@@ -1,0 +1,143 @@
+"""[E1–E6] The §4 process catalog: per-process claims.
+
+* E1 CHAOS: every trace over ``b`` is a smooth solution of ``K ⟵ K``.
+* E2 Ticks: the only smooth solution of ``b ⟵ T;b`` is ``(b,T)^ω``.
+* E3 Random bit (sequence): ``R(b) ⟵ T̄`` has exactly the traces
+  ``(b,T)`` and ``(b,F)``; ``R(b) ⟵ c`` answers one bit per tick.
+* E4 Fair random sequence: smooth solutions carry infinitely many of
+  both bits; all-T / all-F streams are rejected.
+* E5 Finite ticks: ``(d,T)^i`` is a trace for every i; ``(d,T)^ω`` not.
+* E6 Random number: the traces are exactly ``(d,n)`` for n ∈ ℕ.
+"""
+
+from conftest import banner, row
+
+from repro.processes import (
+    chaos,
+    fair_random,
+    finite_ticks,
+    random_bit,
+    random_number,
+    ticks,
+)
+from repro.processes.fair_random import bit_trace
+from repro.processes.ticks import the_trace
+from repro.traces import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+def test_e1_chaos(benchmark):
+    process = chaos.make()
+    count = benchmark(lambda: len(process.traces_upto(3)))
+    banner("E1", "CHAOS: every trace is a smooth solution of K ⟵ K")
+    row("traces to depth 3 (expect 1+2+4+8)", count)
+    assert count == 15
+
+
+def test_e2_ticks(benchmark):
+    process = ticks.make()
+    b = next(iter(process.channels))
+
+    def check():
+        finite = process.traces_upto(5)
+        omega_ok = process.description().is_smooth_solution(
+            the_trace(b), depth=32
+        )
+        return finite, omega_ok
+
+    finite, omega_ok = benchmark(check)
+    banner("E2", "Ticks: only (b,T)^ω is a smooth solution of b ⟵ T;b")
+    row("finite smooth solutions", len(finite))
+    row("(b,T)^ω smooth", omega_ok)
+    assert not finite and omega_ok
+
+
+def test_e3_random_bit(benchmark):
+    process = random_bit.make()
+    traces = benchmark(lambda: process.traces_upto(3))
+    banner("E3", "Random bit: exactly the traces (b,T) and (b,F)")
+    row("traces", sorted(repr(t) for t in traces))
+    assert len(traces) == 2
+
+
+def test_e3_random_bit_sequence(benchmark):
+    process = random_bit.make_sequence()
+    b, c = get(process, "b"), get(process, "c")
+
+    def counts_balance():
+        return all(
+            t.count_on(b) == t.count_on(c)
+            for t in process.traces_upto(4)
+        )
+
+    balanced = benchmark(counts_balance)
+    banner("E3", "Random bit sequence: one bit per tick (R(b) ⟵ c)")
+    row("bit count = tick count in every trace", balanced)
+    assert balanced
+
+
+def test_e4_fair_random(benchmark):
+    process = fair_random.make()
+    c = get(process, "c")
+    desc = process.description()
+
+    def verdicts():
+        fair = desc.is_smooth_solution(bit_trace(c, ("T", "F")),
+                                       depth=24)
+        all_t = desc.is_smooth_solution(
+            Trace.cycle_pairs([(c, "T")]), depth=24
+        )
+        all_f = desc.is_smooth_solution(
+            Trace.cycle_pairs([(c, "F")]), depth=24
+        )
+        return fair, all_t, all_f
+
+    fair, all_t, all_f = benchmark(verdicts)
+    banner("E4", "Fair random sequence: both bits infinitely often")
+    row("fair alternation smooth", fair)
+    row("T^ω smooth (must be False)", all_t)
+    row("F^ω smooth (must be False)", all_f)
+    assert fair and not all_t and not all_f
+
+
+def test_e5_finite_ticks(benchmark):
+    process = finite_ticks.make()
+    d = get(process, "d")
+
+    def check():
+        finite_ok = all(
+            process.is_trace(Trace.from_pairs([(d, "T")] * i),
+                             depth=32)
+            for i in range(5)
+        )
+        omega = Trace.cycle_pairs([(d, "T")])
+        return finite_ok, process.is_trace(omega)
+
+    finite_ok, omega_ok = benchmark(check)
+    banner("E5", "Finite ticks: (d,T)^i for every i, never (d,T)^ω")
+    row("(d,T)^i traces, i < 5", finite_ok)
+    row("(d,T)^ω a trace (must be False)", omega_ok)
+    assert finite_ok and not omega_ok
+
+
+def test_e6_random_number(benchmark):
+    process = random_number.make()
+    d = get(process, "d")
+
+    def check():
+        naturals_ok = all(
+            process.is_trace(Trace.from_pairs([(d, n)]), depth=48)
+            for n in (0, 1, 2, 5, 11)
+        )
+        rejects = not process.is_trace(Trace.empty()) and \
+            not process.is_trace(Trace.from_pairs([(d, 1), (d, 2)]))
+        return naturals_ok, rejects
+
+    naturals_ok, rejects = benchmark(check)
+    banner("E6", "Random number: traces = {(d,n) : n ∈ ℕ}, exactly one")
+    row("n ∈ {0,1,2,5,11} all traces", naturals_ok)
+    row("ε and double outputs rejected", rejects)
+    assert naturals_ok and rejects

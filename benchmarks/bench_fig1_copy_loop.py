@@ -1,0 +1,105 @@
+"""[F1] Figure 1 / §2.1: the two-copy loop.
+
+Paper claims regenerated:
+* ``c = b, b = c`` — least fixpoint is the pair of empty sequences;
+* ``c = b, b = 0;c`` — least fixpoint is ``0^ω``; every finite
+  computation is a prefix of it, and the computation never terminates;
+* Theorem 4: those least fixpoints are the unique smooth solutions.
+"""
+
+from conftest import banner, row
+
+from repro.channels import Channel
+from repro.core import kahn_least_fixpoint
+from repro.core.description import DescriptionSystem
+from repro.kahn import RandomOracle, run_network
+from repro.kahn.agents import copy_agent, prepend0_agent
+from repro.processes.deterministic import (
+    copy_description,
+    prepend0_description,
+)
+from repro.seq import EMPTY
+from repro.traces import Trace
+
+B = Channel("b", alphabet={0})
+C = Channel("c", alphabet={0})
+
+
+def loop_system():
+    return DescriptionSystem(
+        [copy_description(B, C), copy_description(C, B)],
+        channels=[B, C], name="fig1",
+    )
+
+
+def modified_system():
+    return DescriptionSystem(
+        [copy_description(B, C), prepend0_description(C, B)],
+        channels=[B, C], name="fig1-modified",
+    )
+
+
+def test_plain_loop_least_fixpoint(benchmark):
+    semantics = benchmark(lambda: kahn_least_fixpoint(loop_system()))
+    banner("F1", "c ⟵ b , b ⟵ c: least fixpoint is (ε, ε)")
+    env = semantics.environment()
+    row("lfp b", repr(env[B]))
+    row("lfp c", repr(env[C]))
+    row("converged", semantics.converged)
+    assert env[B] == EMPTY and env[C] == EMPTY
+
+
+def test_plain_loop_unique_smooth_solution(benchmark):
+    system = loop_system()
+
+    def verdicts():
+        empty_ok = system.is_smooth_solution(Trace.empty())
+        one_step = system.is_smooth_solution(
+            Trace.from_pairs([(B, 0), (C, 0)])
+        )
+        return empty_ok, one_step
+
+    empty_ok, one_step = benchmark(verdicts)
+    banner("F1", "the only smooth solution is the empty trace (Thm 4)")
+    row("ε smooth", empty_ok)
+    row("⟨(b,0)(c,0)⟩ smooth", one_step)
+    assert empty_ok and not one_step
+
+
+def test_modified_loop_zero_omega(benchmark):
+    def lazy_lfp():
+        semantics = kahn_least_fixpoint(modified_system(),
+                                        max_iterations=12)
+        return semantics.lazy_environment()[B].take(16)
+
+    prefix = benchmark(lazy_lfp)
+    banner("F1", "c ⟵ b , b ⟵ 0;c: least solution is 0^ω")
+    row("lfp b prefix", list(prefix))
+    assert list(prefix) == [0] * 16
+
+
+def test_modified_loop_never_terminates(benchmark):
+    def run():
+        return run_network(
+            {"p1": copy_agent(B, C), "p2": prepend0_agent(C, B)},
+            [B, C], RandomOracle(0), max_steps=400,
+        )
+
+    result = benchmark(run)
+    banner("F1", "the modified network's computation never terminates")
+    row("quiescent at step bound", result.quiescent)
+    row("messages sent (all 0)", result.trace.length())
+    assert not result.quiescent
+    assert set(e.message for e in result.trace) == {0}
+
+
+def test_modified_loop_omega_is_smooth(benchmark):
+    system = modified_system()
+    omega = Trace.cycle_pairs([(B, 0), (C, 0)])
+    ok = benchmark(
+        lambda: system.is_smooth_solution(omega, depth=32)
+    )
+    banner("F1", "⟨(b,0)(c,0)⟩^ω is a smooth solution "
+                 "(finite prefixes are not)")
+    row("0^ω smooth", ok)
+    assert ok

@@ -1,0 +1,80 @@
+"""[F4] Figure 4 / §2.4: the Brock–Ackermann anomaly.
+
+Paper claims regenerated:
+* the eliminated equations have exactly two solutions, ⟨0 1 2⟩ and
+  ⟨0 2 1⟩;
+* ⟨0 1 2⟩ is not smooth — ¬(odd(⟨0 1⟩) ⊑ f(⟨0⟩)) — while ⟨0 2 1⟩ is;
+* operationally only ⟨0 2 1⟩ is ever computed: the anomaly is resolved.
+"""
+
+from conftest import banner, row
+
+from repro.anomaly import (
+    SOLUTION_ANOMALOUS,
+    SOLUTION_REAL,
+    analyse,
+    candidate_sequences,
+    channels,
+    combined_description,
+    eliminated_system,
+    operational_outputs,
+    solves_equations,
+    trace_of_output,
+)
+
+
+def test_equation_solutions(benchmark):
+    b, c = channels()
+    system = eliminated_system(b, c)
+
+    def enumerate_solutions():
+        return [
+            s for s in candidate_sequences()
+            if solves_equations(c, s, system)
+        ]
+
+    solutions = benchmark(enumerate_solutions)
+    banner("F4", "exactly two equation solutions over {0,1,2}")
+    for s in solutions:
+        row("solution", list(s))
+    assert solutions == [SOLUTION_ANOMALOUS, SOLUTION_REAL]
+
+
+def test_smoothness_filter(benchmark):
+    b, c = channels()
+    desc = combined_description(b, c)
+
+    def verdicts():
+        return (
+            desc.check(trace_of_output(c, SOLUTION_ANOMALOUS)),
+            desc.check(trace_of_output(c, SOLUTION_REAL)),
+        )
+
+    anomalous, real = benchmark(verdicts)
+    banner("F4", "smoothness rejects ⟨0 1 2⟩, accepts ⟨0 2 1⟩")
+    row("⟨0 1 2⟩ solution / smooth",
+        f"{anomalous.is_solution} / {anomalous.is_smooth}")
+    row("⟨0 2 1⟩ solution / smooth",
+        f"{real.is_solution} / {real.is_smooth}")
+    v = anomalous.first_violation
+    row("rejection witness",
+        f"odd({v.v!r}) = {v.lhs_of_v[1].take(4)!r} ⋢ "
+        f"f({v.u!r}) = {v.rhs_of_u[1].take(4)!r}")
+    assert not anomalous.is_smooth and real.is_smooth
+
+
+def test_operational_resolution(benchmark):
+    outputs = benchmark(
+        lambda: operational_outputs(max_steps=200, n_seeds=50)
+    )
+    banner("F4", "sampled computations produce only ⟨0 2 1⟩")
+    row("operational outputs", sorted(tuple(s) for s in outputs))
+    assert outputs == {SOLUTION_REAL}
+
+
+def test_full_analysis(benchmark):
+    analysis = benchmark(lambda: analyse(n_seeds=40))
+    banner("F4", "end-to-end: smooth solutions = computations")
+    row("anomalous rejected", analysis.anomalous_rejected)
+    row("resolved", analysis.resolved)
+    assert analysis.resolved

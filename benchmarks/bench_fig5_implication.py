@@ -1,0 +1,70 @@
+"""[F5] Figure 5 / §4.5: the implication process.
+
+Paper claims regenerated:
+* the trace set is exactly {⊥, (c,T)(d,T), (c,T)(d,F), (c,F)(d,F)};
+* the description needs the auxiliary random bit ``b`` (§8.2);
+* the reader exercise: ``d ⟵ c AND d`` is not a description of this
+  process.
+"""
+
+from conftest import banner, row
+
+from repro.channels import Channel
+from repro.core import Description
+from repro.functions import and_of, chan
+from repro.processes import implication
+from repro.processes.implication import expected_traces
+from repro.traces import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+def test_trace_set(benchmark):
+    process = implication.make()
+    c, d = get(process, "c"), get(process, "d")
+
+    got = benchmark(lambda: process.traces_upto(3))
+    banner("F5", "traces = the four histories listed in §4.5")
+    for t in sorted(got, key=repr):
+        row("trace", repr(t))
+    assert got == expected_traces(c, d)
+
+
+def test_auxiliary_channel_needed(benchmark):
+    process = implication.make()
+
+    def memberships():
+        c, d = get(process, "c"), get(process, "d")
+        return (
+            process.is_trace(Trace.from_pairs([(c, "T"), (d, "F")])),
+            process.is_trace(Trace.from_pairs([(c, "F"), (d, "T")])),
+        )
+
+    ok, bad = benchmark(memberships)
+    banner("F5", "auxiliary-channel membership (§8.2 projection)")
+    row("(c,T)(d,F) is a trace", ok)
+    row("(c,F)(d,T) is a trace", bad)
+    assert ok and not bad
+
+
+def test_reader_exercise(benchmark):
+    c = Channel("c", alphabet={"T", "F"})
+    d = Channel("d", alphabet={"T", "F"})
+    bogus = Description(chan(d), and_of(chan(c), chan(d)))
+
+    def verdicts():
+        return (
+            bogus.is_smooth_solution(Trace.from_pairs([(c, "T")])),
+            bogus.is_smooth_solution(
+                Trace.from_pairs([(c, "T"), (d, "T")])
+            ),
+        )
+
+    pending_accepted, genuine_accepted = benchmark(verdicts)
+    banner("F5", "why d ⟵ c AND d is NOT a description (exercise)")
+    row("accepts the pending history (c,T)", pending_accepted)
+    row("accepts the genuine trace (c,T)(d,T)", genuine_accepted)
+    assert pending_accepted       # over-accepts: calls it quiescent
+    assert not genuine_accepted   # under-accepts: self-caused output

@@ -1,0 +1,89 @@
+"""[F6] Figure 6 / §4.6: the fork process.
+
+Paper claims regenerated:
+* every splitting of the input stream across ``d`` and ``e`` is a
+  trace, and nothing else (no fairness constraint);
+* the oracle encoding (Park): a random-bit sequence ``b`` drives the
+  routing; all smooth solutions are infinite (the oracle never stops).
+"""
+
+import itertools
+
+from conftest import banner, row
+
+from repro.kahn import RandomOracle, run_network
+from repro.kahn.agents import fork_agent, source_agent
+from repro.processes import fork
+from repro.traces import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+def test_all_splittings_are_traces(benchmark):
+    process = fork.make()
+    c, d, e = (get(process, n) for n in "cde")
+    inputs = [(c, 0), (c, 1), (c, 2)]
+
+    def check_all():
+        results = {}
+        for sides in itertools.product([0, 1], repeat=3):
+            outputs = [
+                ((d if side == 0 else e), message)
+                for side, (_, message) in zip(sides, inputs)
+            ]
+            t = Trace.from_pairs(inputs + outputs)
+            results[sides] = process.is_trace(t, depth=24)
+        return results
+
+    results = benchmark(check_all)
+    banner("F6", "all 2³ splittings of ⟨0 1 2⟩ are traces")
+    accepted = sum(results.values())
+    row("splittings accepted", f"{accepted}/8")
+    assert all(results.values())
+
+
+def test_non_splittings_rejected(benchmark):
+    process = fork.make()
+    c, d, e = (get(process, n) for n in "cde")
+
+    def check_bad():
+        bads = [
+            Trace.from_pairs([(d, 0)]),                  # no input
+            Trace.from_pairs([(c, 0)]),                  # unrouted
+            Trace.from_pairs([(c, 0), (d, 0), (e, 0)]),  # duplicated
+            Trace.from_pairs([(c, 0), (c, 1), (d, 1), (d, 0)]),
+        ]
+        return [process.is_trace(t, depth=16) for t in bads]
+
+    verdicts = benchmark(check_bad)
+    banner("F6", "non-splittings are rejected")
+    row("rejected", f"{verdicts.count(False)}/4")
+    assert not any(verdicts)
+
+
+def test_operational_fork_covers_splittings(benchmark):
+    process = fork.make()
+    c, d, e = (get(process, n) for n in "cde")
+
+    def sample():
+        seen = set()
+        for seed in range(40):
+            result = run_network(
+                {"src": source_agent(c, [0, 1]),
+                 "fork": fork_agent(c, d, e)},
+                [c, d, e], RandomOracle(seed), max_steps=60,
+            )
+            if result.quiescent:
+                seen.add((
+                    tuple(result.trace.messages_on(d)),
+                    tuple(result.trace.messages_on(e)),
+                ))
+        return seen
+
+    seen = benchmark(sample)
+    banner("F6", "operational sampling reaches all 4 splittings of "
+                 "⟨0 1⟩")
+    row("splittings observed", len(seen))
+    assert len(seen) == 4

@@ -1,0 +1,109 @@
+"""[T4] Theorem 4 / §6: least fixpoints as the unique smooth solutions.
+
+Claims regenerated:
+* direction 1: the Kleene chain witnesses the least fixpoint of ``h``
+  as a smooth solution of ``id ⟵ h``;
+* direction 2: any smoothness-satisfying chain is dominated by the
+  Kleene chain (``xⁿ ⊑ hⁿ(⊥)``);
+* the bridge for deterministic networks (Kahn's result), with Kleene
+  iteration cost scaling in the fixpoint size.
+"""
+
+import pytest
+from conftest import banner, row
+
+from repro.channels import Channel
+from repro.core.chains import (
+    dominated_by_kleene,
+    id_description,
+    kleene_witness_chain,
+    theorem4_unique_smooth_solution,
+)
+from repro.core.description import Description, DescriptionSystem
+from repro.core.fixpoint_bridge import kahn_least_fixpoint
+from repro.functions.base import chan, const_seq
+from repro.order.cpo import CountableChain
+from repro.seq import SEQ_CPO, EMPTY, FiniteSeq, fseq
+
+
+def saturating(limit):
+    def h(s):
+        return s if len(s) >= limit else s.append(1)
+
+    return h
+
+
+def test_direction1(benchmark):
+    h = saturating(8)
+
+    def check():
+        lfp = theorem4_unique_smooth_solution(h, SEQ_CPO)
+        desc = id_description(h, SEQ_CPO)
+        chain = kleene_witness_chain(h, SEQ_CPO)
+        return lfp, desc.is_smooth_via(lfp, chain, upto=12)
+
+    lfp, smooth = benchmark(check)
+    banner("T4", "the least fixpoint is a smooth solution of id ⟵ h")
+    row("lfp", repr(lfp))
+    row("witnessed smooth", smooth)
+    assert smooth and len(lfp) == 8
+
+
+def test_direction2(benchmark):
+    h = saturating(6)
+    desc = id_description(h, SEQ_CPO)
+    # a slow chain satisfying smoothness
+    slow_elements = [EMPTY, EMPTY] + [
+        FiniteSeq([1] * k) for k in range(1, 7)
+    ]
+    slow = CountableChain.from_elements(SEQ_CPO, slow_elements)
+
+    def check():
+        return (desc.smoothness_holds_on(slow, upto=7),
+                dominated_by_kleene(slow, h, SEQ_CPO, upto=7))
+
+    smooth, dominated = benchmark(check)
+    banner("T4", "smooth chains are dominated: xⁿ ⊑ hⁿ(⊥)")
+    row("chain satisfies smoothness", smooth)
+    row("dominated by Kleene chain", dominated)
+    assert smooth and dominated
+
+
+@pytest.mark.parametrize("size", [8, 32, 128])
+def test_kleene_iteration_scaling(benchmark, size):
+    h = saturating(size)
+    lfp = benchmark(
+        lambda: theorem4_unique_smooth_solution(
+            h, SEQ_CPO, max_iterations=size + 4
+        )
+    )
+    banner("T4", f"Kleene iteration to a fixpoint of size {size}")
+    row("iterations needed", size)
+    assert len(lfp) == size
+
+
+def test_kahn_bridge(benchmark):
+    # a 3-equation deterministic system: a ⟵ ⟨1 1⟩, b ⟵ a, c ⟵ b
+    A = Channel("a", alphabet={1})
+    B = Channel("b", alphabet={1})
+    C = Channel("c", alphabet={1})
+    system = DescriptionSystem(
+        [
+            Description(chan(A), const_seq(fseq(1, 1))),
+            Description(chan(B), chan(A)),
+            Description(chan(C), chan(B)),
+        ],
+        channels=[A, B, C],
+    )
+
+    semantics = benchmark(lambda: kahn_least_fixpoint(system))
+    banner("T4", "Kahn bridge: deterministic system's lfp")
+    env = semantics.environment()
+    row("a = b = c", repr(env[C]))
+    assert env[A] == env[B] == env[C] == fseq(1, 1)
+    # and the realizing trace is a smooth solution
+    from repro.traces import Trace
+
+    t = Trace.from_pairs([(A, 1), (B, 1), (C, 1),
+                          (A, 1), (B, 1), (C, 1)])
+    assert system.is_smooth_solution(t)

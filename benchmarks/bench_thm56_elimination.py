@@ -1,0 +1,141 @@
+"""[T56] Theorems 5/6 (§7): variable elimination.
+
+Claims regenerated:
+* Theorem 5: projections of D1-smooth solutions are D2-smooth;
+* Theorem 6: the witness construction lifts D2-smooth solutions to D1;
+* the ``f(⊥) = ⊥`` counterexample and the same-system substitution
+  non-example, plus elimination-chain scaling.
+"""
+
+import itertools
+
+import pytest
+from conftest import banner, row
+
+from repro.channels import Channel
+from repro.core import (
+    Description,
+    DescriptionSystem,
+    eliminate_channel,
+    eliminate_channels,
+    theorem5_holds,
+    theorem6_holds,
+)
+from repro.functions.base import chan, const_seq
+from repro.functions.seq_fns import prepend_of
+from repro.seq import fseq
+from repro.traces import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={0, 2})
+
+
+def simple_system():
+    return DescriptionSystem(
+        [
+            Description(chan(B), const_seq(fseq(0), name="⟨0⟩")),
+            Description(chan(C), prepend_of(0, chan(B))),
+        ],
+        channels=[B, C], name="D1",
+    )
+
+
+def test_theorem5(benchmark):
+    from repro.channels import Event
+
+    system = simple_system()
+    events = [Event(B, 0), Event(B, 2), Event(C, 0), Event(C, 2)]
+
+    def check():
+        return all(
+            theorem5_holds(system, B, Trace.finite(combo))
+            for n in range(4)
+            for combo in itertools.product(events, repeat=n)
+        )
+
+    ok = benchmark(check)
+    banner("T56", "Theorem 5: D1-smooth projects to D2-smooth")
+    row("all small traces agree", ok)
+    assert ok
+
+
+def test_theorem6(benchmark):
+    system = simple_system()
+    s = Trace.from_pairs([(C, 0), (C, 0)])
+
+    ok = benchmark(lambda: theorem6_holds(system, B, s))
+    banner("T56", "Theorem 6: witness construction lifts D2 → D1")
+    row("witness smooth and projects to s", ok)
+    assert ok
+
+
+def test_f_bottom_counterexample(benchmark):
+    f = const_seq(fseq(9), name="⟨9⟩")
+    d1 = DescriptionSystem(
+        [Description(chan(B), f), Description(f, chan(B))],
+        channels=[B], name="note-D1",
+    )
+
+    def check():
+        no_solution = not any(
+            d1.is_smooth_solution(t)
+            for t in [Trace.empty(), Trace.from_pairs([(B, 0)]),
+                      Trace.from_pairs([(B, 0), (B, 0)])]
+        )
+        d2 = eliminate_channel(d1, B, enforce=False)
+        return no_solution, d2.is_smooth_solution(Trace.empty())
+
+    no_solution, d2_has_bottom = benchmark(check)
+    banner("T56", "f(⊥) ≠ ⊥: D1 has no smooth solution, D2 has ⊥")
+    row("D1 has no smooth solution", no_solution)
+    row("D2 accepts ⊥", d2_has_bottom)
+    assert no_solution and d2_has_bottom
+
+
+def test_same_system_substitution_non_example(benchmark):
+    V = Channel("v", alphabet={0})
+    W = Channel("w", alphabet={0})
+    U = Channel("u", alphabet={0})
+
+    def check():
+        d1 = DescriptionSystem(
+            [Description(chan(V), chan(W)),
+             Description(chan(U), chan(V))],
+            channels=[U, V, W],
+        )
+        d2 = DescriptionSystem(
+            [Description(chan(V), chan(W)),
+             Description(chan(U), chan(W))],
+            channels=[U, V, W],
+        )
+        t = Trace.from_pairs([(W, 0), (U, 0), (V, 0)])
+        return d2.is_smooth_solution(t), d1.is_smooth_solution(t)
+
+    in_d2, in_d1 = benchmark(check)
+    banner("T56", "substitution *within* a system changes solutions")
+    row("⟨(w,0)(u,0)(v,0)⟩ smooth for D2", in_d2)
+    row("…and for D1 (must be False)", in_d1)
+    assert in_d2 and not in_d1
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_elimination_chain_scaling(benchmark, n):
+    # x0 ⟵ ⟨0⟩, x1 ⟵ x0, …, xn ⟵ x(n-1); eliminate x0 … x(n-1)
+    chans = [Channel(f"x{i}", alphabet={0}) for i in range(n + 1)]
+
+    def build_and_eliminate():
+        system = DescriptionSystem(
+            [Description(chan(chans[0]), const_seq(fseq(0)))] + [
+                Description(chan(chans[i + 1]), chan(chans[i]))
+                for i in range(n)
+            ],
+            channels=chans,
+        )
+        return eliminate_channels(system, chans[:-1])
+
+    reduced = benchmark(build_and_eliminate)
+    banner("T56", f"eliminating a chain of {n} intermediate channels")
+    row("descriptions left", len(reduced))
+    assert len(reduced) == 1
+    value = reduced.descriptions[0].rhs.apply(Trace.empty())
+    assert value.take(3) == fseq(0)

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one figure / worked example /
+theorem claim from the paper (see DESIGN.md §3 for the index) and
+times the core computation with pytest-benchmark.  The printed rows
+are the reproduction artifact; timings situate the implementation's
+costs (tree search growth, elimination overhead, etc.).
+"""
+
+from __future__ import annotations
+
+
+def banner(experiment: str, claim: str) -> None:
+    print(f"\n[{experiment}] {claim}")
+
+
+def row(label: str, value: object) -> None:
+    print(f"    {label:<44s} {value}")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Brock–Ackermann anomaly (§2.4), resolved by smoothness.
+
+The Figure-4 feedback network satisfies the equations
+
+    even(c) ⟵ ⟨0 2⟩ ,   odd(c) ⟵ f(c)
+
+which have exactly two solutions over integer sequences: ⟨0 1 2⟩ and
+⟨0 2 1⟩.  Only ⟨0 2 1⟩ arises from a computation — history-insensitive
+semantics cannot tell them apart (the anomaly); the smoothness
+condition rejects ⟨0 1 2⟩ for precisely the operational reason: process
+B cannot emit 1 before receiving two items.
+
+Run:  python examples/brock_ackermann.py
+"""
+
+from repro.anomaly import (
+    SOLUTION_ANOMALOUS,
+    SOLUTION_REAL,
+    analyse,
+    channels,
+    combined_description,
+    trace_of_output,
+)
+
+
+def main() -> None:
+    analysis = analyse(n_seeds=60)
+
+    print("== equation solutions over sequences (§2.4) ==")
+    for s in analysis.equation_solutions:
+        tag = ("anomalous" if tuple(s) == tuple(SOLUTION_ANOMALOUS)
+               else "real computation")
+        print(f"  c = {list(s)}   [{tag}]")
+
+    print("\n== smoothness verdicts ==")
+    b, c = channels()
+    desc = combined_description(b, c)
+    for s in analysis.equation_solutions:
+        verdict = desc.check(trace_of_output(c, s))
+        print(f"  c = {list(s)}: solution={verdict.is_solution}  "
+              f"smooth={verdict.is_smooth}")
+        if verdict.first_violation is not None:
+            v = verdict.first_violation
+            print(f"     rejected because f({v.v!r}) = {v.lhs_of_v!r}"
+                  f" ⋢ g({v.u!r}) = {v.rhs_of_u!r}")
+
+    print("\n== operational evidence (sampled schedules) ==")
+    print(f"  outputs observed: "
+          f"{sorted(list(s) for s in analysis.operational_outputs)}")
+    print(f"  smooth solutions coincide with computations: "
+          f"{analysis.resolved}")
+
+    assert analysis.anomalous_rejected
+    assert analysis.resolved
+    print("\nAnomaly resolved: smooth solutions = computations.")
+
+
+if __name__ == "__main__":
+    main()

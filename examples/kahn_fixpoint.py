@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Deterministic networks: Kahn's least fixpoint as the unique smooth
+solution (§2.1 and Theorem 4).
+
+The Figure-1 two-copy loop ``c ⟵ b, b ⟵ c`` has least fixpoint ε — the
+network does nothing.  Prepending a 0 (``b ⟵ 0;c``) makes the least
+fixpoint ``0^ω`` — the network loops forever.  Theorem 4 says these
+least fixpoints are exactly the smooth solutions, which we check three
+ways: Kleene iteration, the smooth-solution definition, and an
+operational run.
+
+Run:  python examples/kahn_fixpoint.py
+"""
+
+from repro.channels import Channel
+from repro.core import kahn_least_fixpoint
+from repro.core.chains import (
+    id_description,
+    kleene_witness_chain,
+    theorem4_unique_smooth_solution,
+)
+from repro.core.description import DescriptionSystem
+from repro.kahn import RandomOracle, run_network
+from repro.kahn.agents import copy_agent, prepend0_agent
+from repro.processes.deterministic import (
+    copy_description,
+    prepend0_description,
+)
+from repro.seq import SEQ_CPO, FiniteSeq
+from repro.traces import Trace
+
+B = Channel("b", alphabet={0})
+C = Channel("c", alphabet={0})
+
+
+def main() -> None:
+    print("== Figure 1: c ⟵ b , b ⟵ c ==")
+    loop = DescriptionSystem(
+        [copy_description(B, C), copy_description(C, B)],
+        channels=[B, C],
+    )
+    semantics = kahn_least_fixpoint(loop)
+    print(f"  Kleene iteration converged: {semantics.converged} "
+          f"after {semantics.fixpoint.iterations} steps")
+    print(f"  least fixpoint: b = {semantics.environment()[B]!r}, "
+          f"c = {semantics.environment()[C]!r}")
+    print(f"  ε is a smooth solution: "
+          f"{loop.is_smooth_solution(Trace.empty())}")
+    print(f"  ⟨(b,0)(c,0)⟩ is not:    "
+          f"{not loop.is_smooth_solution(Trace.from_pairs([(B, 0), (C, 0)]))}")
+
+    result = run_network(
+        {"p1": copy_agent(B, C), "p2": copy_agent(C, B)},
+        [B, C], RandomOracle(0), max_steps=50,
+    )
+    print(f"  operational: quiescent={result.quiescent}, "
+          f"events sent={result.trace.length()}")
+
+    print("\n== Figure 1 modified: c ⟵ b , b ⟵ 0;c ==")
+    modified = DescriptionSystem(
+        [copy_description(B, C), prepend0_description(C, B)],
+        channels=[B, C],
+    )
+    semantics = kahn_least_fixpoint(modified, max_iterations=16)
+    lazy = semantics.lazy_environment()
+    print(f"  Kleene iteration converged: {semantics.converged} "
+          "(the behaviour is infinite)")
+    print(f"  lazy least fixpoint: b = {list(lazy[B].take(6))}… "
+          f"(= 0^ω)")
+    omega = Trace.cycle_pairs([(B, 0), (C, 0)])
+    print(f"  ⟨(b,0)(c,0)⟩^ω is a smooth solution: "
+          f"{modified.is_smooth_solution(omega, depth=24)}")
+
+    result = run_network(
+        {"p1": copy_agent(B, C), "p2": prepend0_agent(C, B)},
+        [B, C], RandomOracle(0), max_steps=200,
+    )
+    print(f"  operational: still running after {result.steps} steps, "
+          f"{result.trace.length()} zeros sent")
+
+    print("\n== Theorem 4 over an abstract cpo ==")
+    # h appends 1s, saturating at length 3
+    def h(s: FiniteSeq) -> FiniteSeq:
+        return s if len(s) >= 3 else s.append(1)
+
+    lfp = theorem4_unique_smooth_solution(h, SEQ_CPO)
+    desc = id_description(h, SEQ_CPO)
+    chain = kleene_witness_chain(h, SEQ_CPO)
+    print(f"  least fixpoint of h: {lfp!r}")
+    print(f"  witnessed as a smooth solution of id ⟵ h: "
+          f"{desc.is_smooth_via(lfp, chain, upto=6)}")
+
+
+if __name__ == "__main__":
+    main()

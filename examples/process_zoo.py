@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""The §4 process zoo: every catalog process, its description, and a
+taste of its trace set.
+
+Walks the whole catalog — CHAOS, Ticks, Random Bit, Random Bit
+Sequence, Implication, Fork, Fair Random Sequence, Finite Ticks,
+Random Number, dfm, Fair Merge — printing each process's descriptions
+and a few membership verdicts, denotational and operational.
+
+Run:  python examples/process_zoo.py
+"""
+
+from repro.kahn import RandomOracle, run_network
+from repro.processes import (
+    chaos,
+    fair_random,
+    finite_ticks,
+    fork,
+    implication,
+    merge,
+    random_bit,
+    random_number,
+    ticks,
+)
+from repro.processes.ticks import the_trace
+from repro.traces import Trace
+
+
+def show(process, notes):
+    print(f"\n== {process.name} ==")
+    for desc in process.system:
+        print(f"  {desc.name}")
+    aux = sorted(c.name for c in process.auxiliary_channels)
+    if aux:
+        print(f"  auxiliary channels: {', '.join(aux)}")
+    for note in notes:
+        print(f"  {note}")
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+def main() -> None:
+    print("The §4 catalog — descriptions and trace-set samples")
+
+    p = chaos.make()
+    show(p, [f"traces to depth 3: {len(p.traces_upto(3))} "
+             "(everything)"])
+
+    p = ticks.make()
+    b = next(iter(p.channels))
+    show(p, [
+        f"finite traces: {len(p.traces_upto(4))}",
+        f"(b,T)^ω smooth: "
+        f"{p.description().is_smooth_solution(the_trace(b), depth=24)}",
+    ])
+
+    p = random_bit.make()
+    show(p, [f"traces: {sorted(repr(t) for t in p.traces_upto(2))}"])
+
+    p = random_bit.make_sequence()
+    bq, cq = get(p, "b"), get(p, "c")
+    t = Trace.from_pairs([(cq, "T"), (bq, "F")])
+    show(p, [f"(c,T)(b,F) a trace: {p.is_trace(t)}"])
+
+    p = implication.make()
+    c, d = get(p, "c"), get(p, "d")
+    show(p, [
+        f"traces: {sorted(repr(t) for t in p.traces_upto(3))}",
+        "the F-in/T-out combination is impossible: "
+        f"{not p.is_trace(Trace.from_pairs([(c, 'F'), (d, 'T')]))}",
+    ])
+
+    p = fork.make()
+    c, d, e = get(p, "c"), get(p, "d"), get(p, "e")
+    routed = Trace.from_pairs([(c, 0), (c, 1), (e, 0), (d, 1)])
+    show(p, [f"cross-routing ⟨0→e, 1→d⟩ a trace: "
+             f"{p.is_trace(routed, depth=24)}"])
+
+    p = fair_random.make()
+    c = get(p, "c")
+    from repro.processes.fair_random import bit_trace
+
+    show(p, [
+        "fair bit stream smooth: "
+        f"{p.description().is_smooth_solution(bit_trace(c, ('F',)), depth=24)}",
+        "all-T stream smooth: "
+        f"{p.description().is_smooth_solution(Trace.cycle_pairs([(c, 'T')]), depth=24)}",
+    ])
+
+    p = finite_ticks.make()
+    d = get(p, "d")
+    show(p, [
+        f"(d,T)^3 a trace: "
+        f"{p.is_trace(Trace.from_pairs([(d, 'T')] * 3), depth=32)}",
+        f"(d,T)^ω a trace: "
+        f"{p.is_trace(Trace.cycle_pairs([(d, 'T')]))}",
+    ])
+
+    p = random_number.make()
+    d = get(p, "d")
+    show(p, [
+        f"(d,7) a trace: "
+        f"{p.is_trace(Trace.from_pairs([(d, 7)]), depth=48)}",
+        f"ε a trace: {p.is_trace(Trace.empty())}",
+    ])
+
+    p = merge.make_dfm()
+    b, c, d = get(p, "b"), get(p, "c"), get(p, "d")
+    show(p, [
+        "⟨(b,0)(c,1)(d,1)(d,0)⟩ a trace: "
+        f"{p.is_trace(Trace.from_pairs([(b, 0), (c, 1), (d, 1), (d, 0)]))}",
+    ])
+
+    p = merge.make_fair_merge()
+    c, d, e = get(p, "c"), get(p, "d"), get(p, "e")
+    show(p, [
+        "merge of ⟨0⟩ and ⟨1⟩ as ⟨1 0⟩ a trace: "
+        f"{p.is_trace(Trace.from_pairs([(c, 0), (d, 1), (e, 1), (e, 0)]), depth=24)}",
+    ])
+
+    print("\n== one operational run per nondeterministic machine ==")
+    from repro.kahn.agents import (
+        finite_ticks_agent,
+        random_number_agent,
+    )
+
+    ft_channel = get(finite_ticks.make(), "d")
+    result = run_network({"ft": finite_ticks_agent(ft_channel)},
+                         [ft_channel], RandomOracle(11),
+                         max_steps=100)
+    print(f"  finite ticks emitted: {result.trace.length()}")
+
+    from repro.channels import Channel
+
+    rn_channel = Channel("d")
+    result = run_network({"rn": random_number_agent(rn_channel)},
+                         [rn_channel], RandomOracle(7), max_steps=200)
+    print(f"  random number drawn:  "
+          f"{result.trace.item(0).message}")
+
+
+if __name__ == "__main__":
+    main()

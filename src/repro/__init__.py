@@ -1,0 +1,55 @@
+"""repro — Equational reasoning about nondeterministic processes.
+
+A complete Python implementation of Misra's theory (PODC 1989):
+descriptions ``f ⟵ g`` of nondeterministic message-communicating
+processes, smooth solutions generalizing least fixpoints, composition,
+variable elimination, the §4 process catalog, and an operational Kahn
+network simulator for cross-validation.
+
+Quickstart::
+
+    from repro.channels import Channel
+    from repro.functions import chan, even_of, odd_of
+    from repro.core import Description, combine
+    from repro.traces import Trace
+
+    b = Channel("b", alphabet={0, 2})
+    c = Channel("c", alphabet={1, 3})
+    d = Channel("d", alphabet={0, 1, 2, 3})
+    dfm = combine([
+        Description(even_of(chan(d)), chan(b)),
+        Description(odd_of(chan(d)), chan(c)),
+    ])
+    t = Trace.from_pairs([(b, 0), (d, 0)])
+    assert dfm.is_smooth_solution(t)
+
+Subpackages: :mod:`repro.order`, :mod:`repro.seq`,
+:mod:`repro.channels`, :mod:`repro.traces`, :mod:`repro.functions`,
+:mod:`repro.core`, :mod:`repro.processes`, :mod:`repro.kahn`,
+:mod:`repro.anomaly`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.channels import Channel, Event, ev
+from repro.core import (
+    Description,
+    DescriptionSystem,
+    SmoothSolutionSolver,
+    combine,
+    solve,
+)
+from repro.traces import Trace
+
+__all__ = [
+    "Channel",
+    "Description",
+    "DescriptionSystem",
+    "Event",
+    "SmoothSolutionSolver",
+    "Trace",
+    "__version__",
+    "combine",
+    "ev",
+    "solve",
+]

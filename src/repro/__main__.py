@@ -1,0 +1,157 @@
+"""Command-line demo runner: ``python -m repro <command>``.
+
+Commands:
+
+* ``summary``        — library overview and experiment index;
+* ``dfm``            — classify a few dfm histories and enumerate;
+* ``anomaly``        — run the Brock–Ackermann analysis;
+* ``fig3``           — the §2.3 x/y/z verdicts;
+* ``zoo``            — one-line membership sample per catalog process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_summary() -> int:
+    from repro import __version__
+    from repro.report import render_table
+
+    print(f"repro {__version__} — Equational Reasoning About "
+          "Nondeterministic Processes (Misra, PODC 1989)")
+    print()
+    rows = [
+        ("F1", "Figure 1 / §2.1", "two-copy loop, Kahn fixpoints"),
+        ("F2", "Figure 2 / §2.2", "discriminated fair merge"),
+        ("F3", "Figure 3 / §2.3", "doubling network, x/y/z"),
+        ("F4", "Figure 4 / §2.4", "Brock–Ackermann anomaly"),
+        ("F5", "Figure 5 / §4.5", "implication via random bit"),
+        ("F6", "Figure 6 / §4.6", "fork via oracle"),
+        ("F7", "Figure 7 / §4.10", "fair merge via tagging"),
+        ("E1–E6", "§4 catalog", "CHAOS … random number"),
+        ("T2/T4/T56", "§5–§7", "composition, fixpoint, elimination"),
+        ("S33/S84", "§3.3/§8.4", "solver, induction"),
+    ]
+    print(render_table(["id", "paper artifact", "what"], rows))
+    print("\nRegenerate: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def cmd_dfm() -> int:
+    from repro.channels import Channel
+    from repro.core import Description, combine, solve
+    from repro.functions import chan, even_of, odd_of
+    from repro.report import render_solver_result, render_verdict
+    from repro.traces import Trace
+
+    b = Channel("b", alphabet={0, 2})
+    c = Channel("c", alphabet={1, 3})
+    d = Channel("d", alphabet={0, 1, 2, 3})
+    dfm = combine([
+        Description(even_of(chan(d)), chan(b)),
+        Description(odd_of(chan(d)), chan(c)),
+    ], name="dfm")
+    for t in [
+        Trace.from_pairs([(b, 0), (d, 0)]),
+        Trace.from_pairs([(d, 0)]),
+    ]:
+        print(render_verdict(dfm.check(t)))
+        print()
+    print(render_solver_result(solve(dfm, [b, c, d], max_depth=4)))
+    return 0
+
+
+def cmd_anomaly() -> int:
+    from repro.anomaly import analyse
+
+    analysis = analyse()
+    print("equation solutions:",
+          [list(s) for s in analysis.equation_solutions])
+    print("smooth solutions:  ",
+          [list(s) for s in analysis.smooth_solutions])
+    print("operational:       ",
+          sorted(list(s) for s in analysis.operational_outputs))
+    print("anomaly resolved:  ", analysis.resolved)
+    return 0 if analysis.resolved else 1
+
+
+def cmd_fig3() -> int:
+    from repro.channels import Channel, Event
+    from repro.core import Description, combine
+    from repro.functions import (
+        affine_of,
+        chan,
+        even_of,
+        odd_of,
+        prepend_of,
+        scale_of,
+    )
+    from repro.seq import misra_x, misra_y, misra_z
+    from repro.traces import Trace
+
+    d = Channel("d")
+    desc = combine([
+        Description(even_of(chan(d)),
+                    prepend_of(0, scale_of(2, chan(d)))),
+        Description(odd_of(chan(d)), affine_of(2, 1, chan(d))),
+    ], name="fig3")
+
+    def d_trace(seq):
+        def gen():
+            i = 0
+            while True:
+                try:
+                    yield Event(d, seq.item(i))
+                except IndexError:
+                    return
+                i += 1
+
+        return Trace.lazy(gen())
+
+    for name, seq in [("x", misra_x()), ("y", misra_y()),
+                      ("z", misra_z())]:
+        verdict = desc.check(d_trace(seq), depth=40)
+        print(f"{name}: solves={verdict.is_solution} "
+              f"smooth={verdict.is_smooth}")
+    return 0
+
+
+def cmd_zoo() -> int:
+    from repro.processes import chaos, random_bit
+    from repro.traces import Trace
+
+    p = chaos.make()
+    print(f"CHAOS traces to depth 2: {len(p.traces_upto(2))}")
+    p = random_bit.make()
+    print(f"RandomBit traces: "
+          f"{sorted(repr(t) for t in p.traces_upto(2))}")
+    print("(run examples/process_zoo.py for the full tour)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="demo runner for the PODC'89 reproduction",
+    )
+    parser.add_argument(
+        "command",
+        choices=["summary", "dfm", "anomaly", "fig3", "zoo"],
+        nargs="?",
+        default="summary",
+    )
+    args = parser.parse_args(argv)
+    dispatch = {
+        "summary": cmd_summary,
+        "dfm": cmd_dfm,
+        "anomaly": cmd_anomaly,
+        "fig3": cmd_fig3,
+        "zoo": cmd_zoo,
+    }
+    return dispatch[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The Brock–Ackermann anomaly and its resolution by smoothness (§2.4)."""
+
+from repro.anomaly.brock_ackermann import (
+    SOLUTION_ANOMALOUS,
+    SOLUTION_REAL,
+    AnomalyAnalysis,
+    analyse,
+    candidate_sequences,
+    channels,
+    combined_description,
+    eliminated_system,
+    full_system,
+    make_agents,
+    operational_outputs,
+    solves_equations,
+    trace_of_output,
+)
+
+__all__ = [
+    "AnomalyAnalysis",
+    "SOLUTION_ANOMALOUS",
+    "SOLUTION_REAL",
+    "analyse",
+    "candidate_sequences",
+    "channels",
+    "combined_description",
+    "eliminated_system",
+    "full_system",
+    "make_agents",
+    "operational_outputs",
+    "solves_equations",
+    "trace_of_output",
+]

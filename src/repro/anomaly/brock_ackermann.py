@@ -1,0 +1,155 @@
+"""The Brock–Ackermann anomaly (§2.4, Figure 4) end to end.
+
+Network: process A fair-merges its odd-only input ``b`` with the stored
+sequence ``⟨0 2⟩`` onto ``c``; process B outputs ``n + 1`` after seeing
+two inputs, where ``n`` was the first.  Descriptions:
+
+    even(c) ⟵ ⟨0 2⟩ ,  odd(c) ⟵ b      {A}
+    b ⟵ f(c)                            {B}
+
+Eliminating ``b`` (§7):
+
+    even(c) ⟵ ⟨0 2⟩ ,  odd(c) ⟵ f(c)
+
+The anomaly: over sequences, the equations have exactly two solutions —
+``c = ⟨0 1 2⟩`` and ``c = ⟨0 2 1⟩`` — but only ``⟨0 2 1⟩`` arises from a
+computation (A must output both 0 and 2 before B can reply 1).  History-
+insensitive semantics admit both; smoothness rejects ``⟨0 1 2⟩``
+because ``odd(⟨0 1⟩) = ⟨1⟩ ⋢ f(⟨0⟩) = ε``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.core.elimination import eliminate_channel
+from repro.kahn.agents import brock_a_agent, brock_b_agent
+from repro.kahn.quiescence import quiescent_traces
+from repro.processes.deterministic import (
+    brock_a_descriptions,
+    brock_b_description,
+)
+from repro.seq.finite import FiniteSeq, fseq
+from repro.traces.trace import Trace
+
+
+def channels() -> tuple[Channel, Channel]:
+    """The network's channels ``b`` (odd integers) and ``c``."""
+    b = Channel("b", alphabet={1, 3})
+    c = Channel("c", alphabet={0, 1, 2, 3})
+    return b, c
+
+
+def full_system(b: Channel, c: Channel) -> DescriptionSystem:
+    """The three descriptions before elimination."""
+    return DescriptionSystem(
+        brock_a_descriptions(b, c) + [brock_b_description(c, b)],
+        channels=[b, c], name="brock-ackermann",
+    )
+
+
+def eliminated_system(b: Channel, c: Channel) -> DescriptionSystem:
+    """``even(c) ⟵ ⟨0 2⟩ , odd(c) ⟵ f(c)`` after eliminating ``b``."""
+    return eliminate_channel(full_system(b, c), b)
+
+
+def combined_description(b: Channel, c: Channel) -> Description:
+    return eliminated_system(b, c).combined()
+
+
+#: The two solutions of the equations over integer sequences (§2.4).
+SOLUTION_ANOMALOUS: FiniteSeq = fseq(0, 1, 2)
+SOLUTION_REAL: FiniteSeq = fseq(0, 2, 1)
+
+
+def trace_of_output(c: Channel, seq: FiniteSeq) -> Trace:
+    """A trace carrying the given output sequence on ``c``."""
+    return Trace.from_pairs([(c, m) for m in seq])
+
+
+@dataclass(frozen=True)
+class AnomalyAnalysis:
+    """Everything §2.4 claims, computed."""
+
+    equation_solutions: list[FiniteSeq]
+    smooth_solutions: list[FiniteSeq]
+    anomalous_rejected: bool
+    operational_outputs: set[FiniteSeq]
+
+    @property
+    def resolved(self) -> bool:
+        """Smooth solutions coincide with operational outcomes."""
+        return (
+            set(map(tuple, self.smooth_solutions))
+            == set(map(tuple, self.operational_outputs))
+        )
+
+
+def candidate_sequences() -> Iterable[FiniteSeq]:
+    """All permutations of ``{0, 1, 2}`` plus the empty/partial ones —
+    a small universe for exhibiting 'exactly two solutions'."""
+    import itertools
+
+    pool = [0, 1, 2]
+    for r in range(len(pool) + 1):
+        for combo in itertools.permutations(pool, r):
+            yield FiniteSeq(combo)
+
+
+def solves_equations(c: Channel, seq: FiniteSeq,
+                     system: DescriptionSystem) -> bool:
+    """Does the output sequence satisfy the equations (limit only)?"""
+    return system.combined().limit_holds(trace_of_output(c, seq))
+
+
+def analyse(max_steps: int = 200, n_seeds: int = 60) -> AnomalyAnalysis:
+    """Run the whole §2.4 argument and return the evidence."""
+    b, c = channels()
+    system = eliminated_system(b, c)
+    description = system.combined()
+
+    equation_solutions = [
+        s for s in candidate_sequences()
+        if solves_equations(c, s, system)
+    ]
+    smooth = [
+        s for s in equation_solutions
+        if description.is_smooth_solution(trace_of_output(c, s))
+    ]
+    anomalous_rejected = not description.is_smooth_solution(
+        trace_of_output(c, SOLUTION_ANOMALOUS)
+    )
+
+    operational = operational_outputs(max_steps, n_seeds)
+    return AnomalyAnalysis(
+        equation_solutions=equation_solutions,
+        smooth_solutions=smooth,
+        anomalous_rejected=anomalous_rejected,
+        operational_outputs=operational,
+    )
+
+
+def make_agents(b: Channel, c: Channel) -> dict:
+    """Fresh operational network: A and B wired as in Figure 4.
+
+    B's output channel is ``b``, which loops back as A's input; a copy
+    of every ``c`` message also reaches the observer (the trace).
+    """
+    return {
+        "A": brock_a_agent(b, c),
+        "B": brock_b_agent(c, b),
+    }
+
+
+def operational_outputs(max_steps: int = 200,
+                        n_seeds: int = 60) -> set[FiniteSeq]:
+    """The distinct ``c``-sequences of sampled quiescent computations."""
+    b, c = channels()
+    traces = quiescent_traces(
+        lambda: make_agents(b, c), [b, c],
+        seeds=range(n_seeds), max_steps=max_steps,
+    )
+    return {t.messages_on(c) for t in traces}

@@ -1,0 +1,18 @@
+"""Channels, alphabets and events (§3.1.2 of the paper)."""
+
+from repro.channels.channel import (
+    Channel,
+    channel_set,
+    names,
+    non_auxiliary,
+)
+from repro.channels.event import Event, ev
+
+__all__ = [
+    "Channel",
+    "Event",
+    "channel_set",
+    "ev",
+    "names",
+    "non_auxiliary",
+]

@@ -1,0 +1,54 @@
+"""Events: the ``(channel, message)`` pairs traces are made of (§3.1.2)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.channels.channel import Channel
+
+
+class Event:
+    """A single communication: message ``message`` sent along ``channel``.
+
+    Per the paper, only *sends* appear in traces; receipt is not recorded.
+    """
+
+    __slots__ = ("channel", "message")
+
+    def __init__(self, channel: Channel, message: Any):
+        if not channel.admits(message):
+            raise ValueError(
+                f"message {message!r} is not in the alphabet of "
+                f"channel {channel.name!r}"
+            )
+        object.__setattr__(self, "channel", channel)
+        object.__setattr__(self, "message", message)
+
+    def __setattr__(self, *_: Any) -> None:  # pragma: no cover
+        raise AttributeError("Event is immutable")
+
+    def on(self, channels: Any) -> bool:
+        """Return ``True`` iff this event's channel is in ``channels``."""
+        return self.channel in channels
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Event):
+            return (self.channel, self.message) == \
+                (other.channel, other.message)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Event", self.channel, self.message))
+
+    def __repr__(self) -> str:
+        return f"({self.channel.name},{self.message!r})"
+
+    def __iter__(self):
+        """Allow ``c, m = event`` unpacking."""
+        yield self.channel
+        yield self.message
+
+
+def ev(channel: Channel, message: Any) -> Event:
+    """Shorthand constructor."""
+    return Event(channel, message)

@@ -1,0 +1,105 @@
+"""The paper's core contribution: descriptions and smooth solutions.
+
+Modules:
+
+* :mod:`repro.core.description` — descriptions ``f ⟵ g``, smooth
+  solutions, Lemma 2, Theorem 1, combination, description systems (§3.2);
+* :mod:`repro.core.solution` — verdict/report types;
+* :mod:`repro.core.solver` — the §3.3 tree search;
+* :mod:`repro.core.composition` — Theorem 2 (§5);
+* :mod:`repro.core.elimination` — Theorems 5/6 (§7);
+* :mod:`repro.core.chains` — generalized smooth solutions, Theorem 4 (§6);
+* :mod:`repro.core.fixpoint_bridge` — Kahn semantics of deterministic
+  systems (§2.1);
+* :mod:`repro.core.induction` — smooth-solution induction (§8.4).
+"""
+
+from repro.core.chains import (
+    GeneralDescription,
+    dominated_by_kleene,
+    id_description,
+    kleene_witness_chain,
+    theorem4_unique_smooth_solution,
+)
+from repro.core.composition import Component, ComposedNetwork, pipeline
+from repro.core.description import (
+    DEFAULT_DEPTH,
+    Description,
+    DescriptionSystem,
+    combine,
+)
+from repro.core.elimination import (
+    EliminationError,
+    EliminationReport,
+    check_conditions,
+    defining_description,
+    eliminate_channel,
+    eliminate_channels,
+    theorem5_holds,
+    theorem6_holds,
+    theorem6_witness,
+)
+from repro.core.fixpoint_bridge import (
+    KahnSemantics,
+    KahnSystem,
+    NotDeterministicError,
+    kahn_least_fixpoint,
+)
+from repro.core.induction import (
+    InductionReport,
+    check_premises_on_tree,
+    conclude,
+    holds_on_prefixes,
+)
+from repro.core.solution import (
+    LimitReport,
+    SmoothnessViolation,
+    SolutionVerdict,
+)
+from repro.core.solver import (
+    SmoothSolutionSolver,
+    SolverResult,
+    alphabet_candidates,
+    rhs_guided_candidates,
+    solve,
+)
+
+__all__ = [
+    "DEFAULT_DEPTH",
+    "Component",
+    "ComposedNetwork",
+    "Description",
+    "DescriptionSystem",
+    "EliminationError",
+    "EliminationReport",
+    "GeneralDescription",
+    "InductionReport",
+    "KahnSemantics",
+    "KahnSystem",
+    "LimitReport",
+    "NotDeterministicError",
+    "SmoothSolutionSolver",
+    "SmoothnessViolation",
+    "SolutionVerdict",
+    "SolverResult",
+    "alphabet_candidates",
+    "check_conditions",
+    "check_premises_on_tree",
+    "combine",
+    "conclude",
+    "defining_description",
+    "dominated_by_kleene",
+    "eliminate_channel",
+    "eliminate_channels",
+    "holds_on_prefixes",
+    "id_description",
+    "kahn_least_fixpoint",
+    "kleene_witness_chain",
+    "pipeline",
+    "rhs_guided_candidates",
+    "solve",
+    "theorem4_unique_smooth_solution",
+    "theorem5_holds",
+    "theorem6_holds",
+    "theorem6_witness",
+]

@@ -1,0 +1,336 @@
+"""Variable elimination (§7, Theorems 5 and 6).
+
+Given the system ``D1: b ⟵ h, f ⟵ g`` where
+
+1. ``h`` and ``f`` are independent of ``b``,
+2. ``g`` can be written ``g(t) = r(t_b, t_c)`` — automatic for our
+   expression trees, where occurrences of ``b`` are explicit leaves, and
+3. ``f(⊥) = ⊥``,
+
+the channel ``b`` may be *eliminated*: ``D2: f ⟵ g[b := h]`` has the
+same smooth solutions up to projection.  Theorem 5 (easy direction):
+projections of D1's smooth solutions solve D2.  Theorem 6 (hard
+direction): every smooth solution ``s`` of D2 extends to a smooth
+solution ``t`` of D1 with ``t_c = s`` — the proof constructs ``t`` by
+interleaving ``b``-events carrying ``h(sⁱ)`` between the events of
+``s``; :func:`theorem6_witness` reproduces that construction literally.
+
+This machinery is what justifies the equation-style manipulations of
+§2.3 and §4.10 ("eliminating b, c from these equations…").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import (
+    DEFAULT_DEPTH,
+    Description,
+    DescriptionSystem,
+)
+from repro.functions.base import ChannelFn, ContinuousFn
+from repro.seq.finite import FiniteSeq
+from repro.traces.trace import Trace
+
+
+class EliminationError(ValueError):
+    """A §7 side condition failed; elimination would be unsound."""
+
+
+@dataclass(frozen=True)
+class EliminationReport:
+    """Which side conditions were verified for an elimination."""
+
+    channel: Channel
+    h_independent: bool
+    retained_lhs_independent: bool
+    f_bottom_is_bottom: bool
+
+    @property
+    def sound(self) -> bool:
+        return (
+            self.h_independent
+            and self.retained_lhs_independent
+            and self.f_bottom_is_bottom
+        )
+
+
+def defining_description(system: DescriptionSystem,
+                         channel: Channel) -> Description:
+    """The unique description of form ``b ⟵ h`` for ``channel``.
+
+    Raises :class:`EliminationError` if there is no such description or
+    more than one.
+    """
+    matches = [
+        d for d in system.descriptions
+        if isinstance(d.lhs, ChannelFn) and d.lhs.channel == channel
+    ]
+    if len(matches) != 1:
+        raise EliminationError(
+            f"channel {channel.name!r} must have exactly one defining "
+            f"description of the form {channel.name} ⟵ h; found "
+            f"{len(matches)}"
+        )
+    return matches[0]
+
+
+def check_conditions(system: DescriptionSystem, channel: Channel,
+                     depth: int = DEFAULT_DEPTH) -> EliminationReport:
+    """Verify the three §7 side conditions for eliminating ``channel``."""
+    defining = defining_description(system, channel)
+    h = defining.rhs
+    retained = [d for d in system.descriptions if d is not defining]
+
+    h_indep = h.independent_of(channel)
+    lhs_indep = all(d.lhs.independent_of(channel) for d in retained)
+
+    bottom = Trace.empty()
+    f_bottom = True
+    for d in retained:
+        value = d.lhs.apply(bottom)
+        if not _is_bottom_value(value, d, depth):
+            f_bottom = False
+            break
+    return EliminationReport(
+        channel=channel,
+        h_independent=h_indep,
+        retained_lhs_independent=lhs_indep,
+        f_bottom_is_bottom=f_bottom,
+    )
+
+
+def eliminate_channel(system: DescriptionSystem, channel: Channel,
+                      depth: int = DEFAULT_DEPTH,
+                      enforce: bool = True) -> DescriptionSystem:
+    """Produce D2 from D1 by substituting ``channel``'s definition.
+
+    With ``enforce=True`` (default) the §7 side conditions are checked
+    and :class:`EliminationError` is raised when any fails — pass
+    ``enforce=False`` to build the (possibly unsound) system anyway,
+    e.g. to reproduce the paper's counterexamples.
+    """
+    defining = defining_description(system, channel)
+    if enforce:
+        report = check_conditions(system, channel, depth)
+        if not report.sound:
+            raise EliminationError(
+                f"eliminating {channel.name!r} is unsound: {report}"
+            )
+    h = defining.rhs
+    retained = [
+        d.substitute(channel, h)
+        for d in system.descriptions
+        if d is not defining
+    ]
+    if not retained:
+        raise EliminationError(
+            "eliminating the only description would leave an empty system"
+        )
+    return DescriptionSystem(
+        retained,
+        channels=system.channels - {channel},
+        name=f"{system.name} ∖ {channel.name}",
+    )
+
+
+def eliminate_channels(system: DescriptionSystem,
+                       channels: list[Channel],
+                       depth: int = DEFAULT_DEPTH) -> DescriptionSystem:
+    """Eliminate several channels in order (each step checked)."""
+    current = system
+    for c in channels:
+        current = eliminate_channel(current, c, depth)
+    return current
+
+
+# ---------------------------------------------------------------------------
+# The §7 note: general substitutions (p ⟵ h with surjective p)
+# ---------------------------------------------------------------------------
+
+def eliminate_term(system: DescriptionSystem,
+                   defining: Description,
+                   channel: Channel,
+                   surjective: bool = False,
+                   depth: int = DEFAULT_DEPTH) -> DescriptionSystem:
+    """Eliminate a *defined term* rather than a bare channel.
+
+    §7's closing note: if ``p ⟵ h`` is a description where ``p``
+    depends only on ``b`` and ``p`` is **surjective**, then occurrences
+    of the term ``p`` in other descriptions may be replaced by ``h``
+    and ``b`` dropped.  Surjectivity is a semantic property the library
+    cannot decide, so the caller asserts it via ``surjective=True``;
+    the syntactic side conditions (``p`` supported only by ``b``; every
+    retained description mentions ``b`` only inside occurrences of the
+    exact term ``p``; ``h`` independent of ``b``; ``f(⊥) = ⊥``) are
+    checked here.
+
+    Args:
+        system: the D1 system.
+        defining: its member of the form ``p ⟵ h``.
+        channel: the channel ``b`` that ``p`` observes.
+        surjective: caller's assertion that ``p`` is surjective.
+        depth: bound for the ``f(⊥) = ⊥`` check on lazy values.
+    """
+    if defining not in system.descriptions:
+        raise EliminationError("defining description not in system")
+    if not surjective:
+        raise EliminationError(
+            "general substitution requires the caller to assert that "
+            "p is surjective (pass surjective=True)"
+        )
+    p, h = defining.lhs, defining.rhs
+    if p.support != frozenset({channel}):
+        raise EliminationError(
+            f"the defined term must depend exactly on "
+            f"{channel.name!r}; its support is {p.support}"
+        )
+    if not h.independent_of(channel):
+        raise EliminationError(
+            f"h must be independent of {channel.name!r}"
+        )
+    retained = []
+    for d in system.descriptions:
+        if d is defining:
+            continue
+        new_lhs = d.lhs.substitute_term(p, h)
+        new_rhs = d.rhs.substitute_term(p, h)
+        for side, new_side in ((d.lhs, new_lhs), (d.rhs, new_rhs)):
+            if not new_side.independent_of(channel):
+                raise EliminationError(
+                    f"description {d.name!r} mentions "
+                    f"{channel.name!r} outside the term {p.name!r}"
+                )
+            del side
+        if not d.lhs.independent_of(channel) and new_lhs is d.lhs:
+            raise EliminationError(
+                f"left side of {d.name!r} depends on "
+                f"{channel.name!r} but is not the term {p.name!r}"
+            )
+        candidate = Description(new_lhs, new_rhs)
+        value = candidate.lhs.apply(Trace.empty())
+        if not _is_bottom_value(value, candidate, depth):
+            raise EliminationError(
+                f"f(⊥) ≠ ⊥ for description {d.name!r}"
+            )
+        retained.append(candidate)
+    if not retained:
+        raise EliminationError(
+            "eliminating the only description would empty the system"
+        )
+    return DescriptionSystem(
+        retained,
+        channels=system.channels - {channel},
+        name=f"{system.name} ∖ {p.name}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5 and 6 as checkable statements
+# ---------------------------------------------------------------------------
+
+def theorem5_holds(system_d1: DescriptionSystem, channel: Channel,
+                   t: Trace, depth: int = DEFAULT_DEPTH) -> bool:
+    """If ``t`` is smooth for D1, then ``t_c`` is smooth for D2.
+
+    (Vacuously true when ``t`` is not smooth for D1.)
+    """
+    if not system_d1.is_smooth_solution(t, depth):
+        return True
+    d2 = eliminate_channel(system_d1, channel, depth)
+    retained = system_d1.channels - {channel}
+    return d2.is_smooth_solution(t.project(retained), depth)
+
+
+def theorem6_witness(system_d1: DescriptionSystem, channel: Channel,
+                     s: Trace, depth: int = DEFAULT_DEPTH) -> Trace:
+    """The explicit construction from Theorem 6's proof.
+
+    Given a smooth solution ``s`` of D2 (a trace over the retained
+    channels ``c``), build the trace ``t`` with
+
+    * ``t_b^{2i+1} = h(sⁱ)``, ``t_c^{2i+1} = sⁱ``;
+    * ``t_b^{2i+2} = h(sⁱ)``, ``t_c^{2i+2} = s^{i+1}``;
+
+    realized as a lazy trace: before the ``i``-th event of ``s`` is
+    replayed, enough ``b``-events are inserted to bring the ``b``
+    sequence up to ``h(sⁱ)``.  The result satisfies ``t_c = s`` and
+    (when ``s`` is smooth for D2 and the side conditions hold) is a
+    smooth solution of D1.
+    """
+    defining = defining_description(system_d1, channel)
+    h: ContinuousFn = defining.rhs
+
+    def gen() -> Iterator[Event]:
+        emitted_b = 0
+        i = 0
+        while True:
+            s_i = s.take(i)
+            if s_i.length() < i:
+                return  # s exhausted; everything flushed
+            target = _finite_seq_value(h.apply(s_i), depth)
+            while emitted_b < len(target):
+                yield Event(channel, target.item(emitted_b))
+                emitted_b += 1
+            s_next = s.take(i + 1)
+            if s_next.length() == s_i.length():
+                return  # s ends here
+            yield s_next.item(i)
+            i += 1
+
+    return Trace.lazy(gen(), name=f"thm6-witness({s.name or 's'})")
+
+
+def theorem6_holds(system_d1: DescriptionSystem, channel: Channel,
+                   s: Trace, depth: int = DEFAULT_DEPTH) -> bool:
+    """Check Theorem 6 on a concrete smooth solution ``s`` of D2:
+
+    the constructed witness is a smooth solution of D1 projecting to
+    ``s`` (checked to ``depth``).
+    """
+    d2 = eliminate_channel(system_d1, channel, depth)
+    if not d2.is_smooth_solution(s, depth):
+        return True  # theorem's hypothesis fails; nothing to check
+    t = theorem6_witness(system_d1, channel, s, depth)
+    retained = system_d1.channels - {channel}
+    projected = t.project(retained)
+    from repro.traces.domain import trace_eq_upto
+
+    return (
+        trace_eq_upto(projected, s, depth)
+        and system_d1.is_smooth_solution(t, depth)
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _is_bottom_value(value: object, d: Description, depth: int) -> bool:
+    """Is ``value`` the bottom of ``d``'s codomain? (bounded for lazy)"""
+    try:
+        return d.codomain.leq(value, d.codomain.bottom)
+    except ValueError:
+        return d.codomain.leq_upto(value, d.codomain.bottom, depth)
+
+
+def _finite_seq_value(value: object, limit: int) -> FiniteSeq:
+    """Materialize a sequence value produced from a finite trace."""
+    from repro.seq.finite import Seq
+    from repro.seq.lazy import LazySeq
+
+    if isinstance(value, FiniteSeq):
+        return value
+    if isinstance(value, LazySeq):
+        return value.to_finite(limit * 4 + 16)
+    if isinstance(value, Seq):  # pragma: no cover - defensive
+        n = value.known_length()
+        if n is None:
+            raise EliminationError("h produced a value of unknown length")
+        return value.take(n)
+    raise EliminationError(
+        f"h must be sequence-valued for elimination, got {value!r}"
+    )

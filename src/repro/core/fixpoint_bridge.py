@@ -1,0 +1,169 @@
+"""Kahn semantics for deterministic systems (§2.1, §6).
+
+A *deterministic* system is one description per channel, each of the
+form ``channel ⟵ expression`` — Kahn's equations.  Its semantics is the
+least fixpoint of the induced function on the product of the per-channel
+sequence cpos; this module computes it (fuelled Kleene iteration) and
+bridges to the smooth-solution world:
+
+* the least-fixpoint environment satisfies the system's equations;
+* any trace realizing that environment channel-by-channel is a smooth
+  solution of the combined description, and the solver finds no others —
+  Theorem 4 specialized to networks, which is Kahn's result.
+
+The classic example is Figure 1: ``c = b, b = c`` has least fixpoint
+``b = c = ε``, while ``c = b, b = 0;c`` has ``b = c = 0^ω`` (the fuelled
+iteration reports non-convergence and yields the growing approximations,
+whose lub we realize lazily).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.channels.channel import Channel
+from repro.core.description import DescriptionSystem
+from repro.functions.base import ChannelFn
+from repro.order.fixpoint import FixpointResult, kleene_fixpoint
+from repro.order.product import ProductCpo
+from repro.seq.finite import EMPTY, FiniteSeq, Seq
+from repro.seq.lazy import LazySeq
+from repro.seq.ordering import SequenceCpo
+
+
+class NotDeterministicError(ValueError):
+    """The system is not in Kahn form (one ``channel ⟵ expr`` per channel)."""
+
+
+@dataclass(frozen=True)
+class KahnSystem:
+    """A deterministic system in Kahn form."""
+
+    channels: tuple[Channel, ...]
+    system: DescriptionSystem
+
+    @classmethod
+    def from_system(cls, system: DescriptionSystem) -> "KahnSystem":
+        """Validate Kahn form: every description is ``channel ⟵ expr``
+        with distinct left-side channels."""
+        chans: list[Channel] = []
+        for d in system.descriptions:
+            if not isinstance(d.lhs, ChannelFn):
+                raise NotDeterministicError(
+                    f"description {d.name!r} does not define a channel"
+                )
+            if d.lhs.channel in chans:
+                raise NotDeterministicError(
+                    f"channel {d.lhs.channel.name!r} defined twice"
+                )
+            chans.append(d.lhs.channel)
+        return cls(channels=tuple(chans), system=system)
+
+    def domain(self) -> ProductCpo:
+        """The product of the per-channel sequence cpos."""
+        return ProductCpo(
+            [SequenceCpo(c.alphabet, name=f"Seq[{c.name}]")
+             for c in self.channels],
+            name="KahnDomain",
+        )
+
+    def step(self, env_tuple: tuple[Any, ...]) -> tuple[Any, ...]:
+        """One Kahn iteration: evaluate every right side on the
+        environment and truncate to finite values (fuelled)."""
+        env = dict(zip(self.channels, env_tuple))
+        out = []
+        for d in self.system.descriptions:
+            value = d.rhs.apply_env(env)
+            out.append(_truncate(value, _STEP_FUEL))
+        return tuple(out)
+
+    def least_fixpoint(self, max_iterations: int = 200
+                       ) -> "KahnSemantics":
+        """Fuelled Kleene iteration of the equations."""
+        result = kleene_fixpoint(
+            self.domain(), self.step, max_iterations
+        )
+        return KahnSemantics(self, result)
+
+    def environment_of(self, env_tuple: tuple[Any, ...]
+                       ) -> dict[Channel, Any]:
+        return dict(zip(self.channels, env_tuple))
+
+
+_STEP_FUEL = 4096
+
+
+@dataclass(frozen=True)
+class KahnSemantics:
+    """The (possibly approximated) Kahn semantics of a system."""
+
+    system: KahnSystem
+    fixpoint: FixpointResult
+
+    @property
+    def converged(self) -> bool:
+        return self.fixpoint.converged
+
+    def environment(self) -> dict[Channel, Any]:
+        """Channel ↦ sequence at the final iterate."""
+        return self.system.environment_of(self.fixpoint.value)
+
+    def sequence_on(self, channel: Channel) -> Any:
+        return self.environment()[channel]
+
+    def lazy_environment(self) -> dict[Channel, LazySeq]:
+        """Channel ↦ the lub of the per-channel Kleene chains, lazily.
+
+        For non-converging systems (infinite behaviours such as ``0^ω``)
+        this realizes the true least fixpoint as lazy sequences: the
+        ``k``-th chain element is recomputed on demand by iterating the
+        equations ``k`` times.
+        """
+        cpo = SequenceCpo()
+        out: dict[Channel, LazySeq] = {}
+        for idx, channel in enumerate(self.system.channels):
+
+            def nth(k: int, _idx: int = idx) -> FiniteSeq:
+                current: tuple[Any, ...] = tuple(
+                    EMPTY for _ in self.system.channels
+                )
+                for _ in range(k):
+                    current = self.system.step(current)
+                return _as_finite(current[_idx])
+
+            out[channel] = cpo.lub_of_chain_fn(
+                nth, name=f"lfp.{channel.name}"
+            )
+        return out
+
+
+def kahn_least_fixpoint(system: DescriptionSystem,
+                        max_iterations: int = 200) -> KahnSemantics:
+    """One-call convenience: validate Kahn form and iterate."""
+    return KahnSystem.from_system(system).least_fixpoint(max_iterations)
+
+
+def _truncate(value: Any, fuel: int) -> Seq:
+    """Clamp a possibly-lazy sequence value to a finite approximation.
+
+    Keeps every Kleene iterate finite so iteration stays effective; the
+    fuel is far above any test's reach and the lazy-lub path recovers
+    exact infinite behaviour.
+    """
+    if isinstance(value, FiniteSeq):
+        return value
+    if isinstance(value, Seq):
+        return value.take(fuel)
+    raise NotDeterministicError(
+        f"Kahn right sides must be sequence-valued, got {value!r}"
+    )
+
+
+def _as_finite(value: Any) -> FiniteSeq:
+    if isinstance(value, FiniteSeq):
+        return value
+    assert isinstance(value, Seq)
+    n = value.known_length()
+    assert n is not None
+    return value.take(n)

@@ -1,0 +1,93 @@
+"""Verdict objects for smooth-solution checks.
+
+Bounded checking needs honest bookkeeping: a verdict records not just a
+boolean but *how much* was checked, whether the answer is exact or
+certified-only-to-depth, and — on failure — the concrete witnessing
+prefix pair, which is how the paper argues its negative examples (the
+sequence ``z`` of §2.3 fails at ``u = ε, v = ⟨-1⟩``; Brock–Ackermann's
+``0 1 2`` fails at ``odd(⟨0 1⟩) ⋢ f(⟨0⟩)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class SmoothnessViolation:
+    """A pre-pair ``u pre v`` with ``f(v) ⋢ g(u)``."""
+
+    u: Trace
+    v: Trace
+    lhs_of_v: Any
+    rhs_of_u: Any
+    description: str
+
+    def __str__(self) -> str:
+        return (
+            f"smoothness fails in {self.description}: "
+            f"f({self.v!r}) = {self.lhs_of_v!r} ⋢ "
+            f"g({self.u!r}) = {self.rhs_of_u!r}"
+        )
+
+
+@dataclass(frozen=True)
+class LimitReport:
+    """Outcome of the limit condition ``f(t) = g(t)``."""
+
+    holds: bool
+    exact: bool
+    lhs_value: Any
+    rhs_value: Any
+    depth: int
+
+    def __str__(self) -> str:
+        verdict = "holds" if self.holds else "fails"
+        mode = "exactly" if self.exact else f"to depth {self.depth}"
+        return f"limit condition {verdict} ({mode})"
+
+
+@dataclass(frozen=True)
+class SolutionVerdict:
+    """Full verdict: is ``trace`` a smooth solution of the description?"""
+
+    trace: Trace
+    description_name: str
+    limit: LimitReport
+    violations: list[SmoothnessViolation] = field(default_factory=list)
+    depth: int = 0
+    #: ``True`` when both conditions were decided exactly (finite trace,
+    #: finite values); ``False`` means "no counterexample to ``depth``".
+    exact: bool = False
+
+    @property
+    def is_smooth(self) -> bool:
+        return self.limit.holds and not self.violations
+
+    @property
+    def is_solution(self) -> bool:
+        """The limit condition alone (a "solution of the equations")."""
+        return self.limit.holds
+
+    @property
+    def first_violation(self) -> SmoothnessViolation | None:
+        return self.violations[0] if self.violations else None
+
+    def __str__(self) -> str:
+        if self.is_smooth:
+            mode = "exact" if self.exact else f"to depth {self.depth}"
+            return (
+                f"{self.trace!r} is a smooth solution of "
+                f"{self.description_name} ({mode})"
+            )
+        reasons = []
+        if not self.limit.holds:
+            reasons.append(str(self.limit))
+        reasons.extend(str(v) for v in self.violations[:3])
+        return (
+            f"{self.trace!r} is NOT a smooth solution of "
+            f"{self.description_name}: " + "; ".join(reasons)
+        )

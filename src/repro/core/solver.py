@@ -1,0 +1,257 @@
+"""Operational enumeration of smooth solutions (§3.3).
+
+The paper generalizes Kleene iteration to a *tree*: the root is ``⊥``;
+a node ``u`` has a son ``v`` iff ``u pre v`` and ``f(v) ⊑ g(u)``.  Every
+node of the tree automatically satisfies the smoothness condition (the
+path from the root witnesses it), so
+
+* the **finite smooth solutions** are exactly the nodes that also satisfy
+  the limit condition ``f(s) = g(s)``, and
+* the **infinite smooth solutions** are the lubs of infinite paths whose
+  limit condition holds in the limit.
+
+The solver explores this tree breadth-first to a depth bound.  One-step
+extensions are proposed by a *candidate generator* — by default every
+``(channel, message)`` pair from the channels' finite alphabets; for
+channels with infinite alphabets (the naturals on ``d`` in §2.3) the
+caller supplies a generator, typically derived from ``g(u)`` itself
+(an output can only extend the trace if the right side already allows
+it, so the elements of ``g(u)`` bound the useful candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import DEFAULT_DEPTH, Description
+from repro.traces.trace import Trace
+
+#: A candidate generator: finite trace ``u`` ↦ events that may extend it.
+CandidateFn = Callable[[Trace], Iterable[Event]]
+
+
+def alphabet_candidates(channels: Iterable[Channel]) -> CandidateFn:
+    """The default candidate generator: all events over finite alphabets.
+
+    Raises ``ValueError`` at construction if some channel has no finite
+    alphabet — then a custom generator is required.
+    """
+    events: list[Event] = []
+    for c in sorted(channels):
+        if c.alphabet is None:
+            raise ValueError(
+                f"channel {c.name!r} has no finite alphabet; supply a "
+                "custom candidate generator"
+            )
+        events.extend(Event(c, m) for m in sorted(c.alphabet, key=repr))
+
+    def candidates(u: Trace) -> Iterable[Event]:
+        del u
+        return events
+
+    return candidates
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a bounded tree exploration.
+
+    Attributes:
+        finite_solutions: nodes satisfying the limit condition — exact
+            smooth solutions (their smoothness is witnessed by the path).
+        frontier: traces at the depth bound that still have admissible
+            extensions; each is a prefix of zero or more infinite (or
+            deeper finite) smooth solutions.
+        dead_ends: nodes with no admissible extension and a failing
+            limit condition — communication histories after which the
+            description is stuck but not quiescent.
+        nodes_explored: total tree nodes visited.
+        depth: the exploration bound used.
+    """
+
+    finite_solutions: list[Trace] = field(default_factory=list)
+    frontier: list[Trace] = field(default_factory=list)
+    dead_ends: list[Trace] = field(default_factory=list)
+    nodes_explored: int = 0
+    depth: int = 0
+
+    def solution_set(self) -> set[Trace]:
+        return set(self.finite_solutions)
+
+
+class SmoothSolutionSolver:
+    """Bounded breadth-first exploration of the §3.3 tree."""
+
+    def __init__(self, description: Description,
+                 candidates: CandidateFn,
+                 limit_depth: int = DEFAULT_DEPTH):
+        self.description = description
+        self.candidates = candidates
+        self.limit_depth = limit_depth
+
+    @classmethod
+    def over_channels(cls, description: Description,
+                      channels: Iterable[Channel],
+                      limit_depth: int = DEFAULT_DEPTH
+                      ) -> "SmoothSolutionSolver":
+        return cls(description, alphabet_candidates(channels),
+                   limit_depth=limit_depth)
+
+    # -- tree structure ------------------------------------------------------
+
+    def children(self, u: Trace) -> Iterator[Trace]:
+        """Admissible one-step extensions: ``v`` with ``f(v) ⊑ g(u)``."""
+        f, g = self.description.lhs, self.description.rhs
+        gu = g.apply(u)
+        for event in self.candidates(u):
+            v = u.append(event)
+            fv = f.apply(v)
+            if self.description._leq(fv, gu, self.limit_depth):
+                yield v
+
+    def is_node(self, u: Trace) -> bool:
+        """Is the finite trace ``u`` a node of the tree?
+
+        Equivalent to: the path ``⊥ … u`` exists, i.e. every pre-pair
+        along ``u`` satisfies the smoothness condition.
+        """
+        return self.description.smoothness_holds(
+            u, depth=max(u.length(), 1)
+        )
+
+    # -- exploration ----------------------------------------------------------
+
+    def explore(self, max_depth: int,
+                max_nodes: int = 200_000) -> SolverResult:
+        """Breadth-first exploration to ``max_depth``.
+
+        Raises ``RuntimeError`` if more than ``max_nodes`` nodes are
+        generated (runaway alphabets), so misconfigured candidate
+        generators fail fast instead of exhausting memory.
+        """
+        result = SolverResult(depth=max_depth)
+        level: list[Trace] = [Trace.empty()]
+        explored = 0
+        for depth in range(max_depth + 1):
+            next_level: list[Trace] = []
+            for u in level:
+                explored += 1
+                if explored > max_nodes:
+                    raise RuntimeError(
+                        f"solver exceeded {max_nodes} nodes at depth "
+                        f"{depth}; tighten the candidate generator"
+                    )
+                kids = list(self.children(u)) if depth < max_depth \
+                    else None
+                if self.description.limit_holds(u, self.limit_depth):
+                    result.finite_solutions.append(u)
+                if kids is None:
+                    # at the bound: classify as frontier if extendable
+                    if any(True for _ in self.children(u)):
+                        result.frontier.append(u)
+                    elif not self.description.limit_holds(
+                            u, self.limit_depth):
+                        result.dead_ends.append(u)
+                    continue
+                if not kids and not self.description.limit_holds(
+                        u, self.limit_depth):
+                    result.dead_ends.append(u)
+                next_level.extend(kids)
+            level = next_level
+            if not level:
+                break
+        result.nodes_explored = explored
+        return result
+
+    def iter_paths(self, max_depth: int) -> Iterator[Trace]:
+        """Depth-first enumeration of all maximal-at-bound tree paths."""
+
+        def go(u: Trace, depth: int) -> Iterator[Trace]:
+            if depth == max_depth:
+                yield u
+                return
+            extended = False
+            for v in self.children(u):
+                extended = True
+                yield from go(v, depth + 1)
+            if not extended:
+                yield u
+
+        yield from go(Trace.empty(), 0)
+
+
+def solve(description: Description, channels: Iterable[Channel],
+          max_depth: int,
+          limit_depth: int = DEFAULT_DEPTH) -> SolverResult:
+    """One-call convenience: explore over the channels' alphabets."""
+    solver = SmoothSolutionSolver.over_channels(
+        description, channels, limit_depth=limit_depth
+    )
+    return solver.explore(max_depth)
+
+
+def rhs_guided_candidates(channels: Iterable[Channel],
+                          description: Description,
+                          probe_depth: int = 32) -> CandidateFn:
+    """Candidates drawn from what the right side currently allows.
+
+    For a node ``u`` the admissible extensions satisfy ``f(v) ⊑ g(u)``;
+    when ``f`` observes single channels, any new event's message must
+    already appear in the corresponding component of ``g(u)``.  This
+    generator proposes, per channel, the messages occurring in ``g(u)``
+    (flattened across tuple components) — a finite set even when the
+    channel alphabet is infinite.  It may over-approximate (harmless:
+    inadmissible candidates are pruned by the ``f(v) ⊑ g(u)`` test) but
+    never misses an admissible output event of the §2.3 kind.
+    """
+    channel_list = sorted(channels)
+
+    def candidates(u: Trace) -> Iterable[Event]:
+        gu = description.rhs.apply(u)
+        messages = _flatten_messages(gu, probe_depth)
+        for c in channel_list:
+            for m in messages:
+                if c.admits(m):
+                    yield Event(c, m)
+
+    return candidates
+
+
+def _flatten_messages(value: object, probe_depth: int) -> list:
+    """Collect message values occurring in a codomain value."""
+    from repro.seq.finite import Seq
+
+    out: list = []
+    if isinstance(value, tuple):
+        for v in value:
+            out.extend(_flatten_messages(v, probe_depth))
+        return _dedup(out)
+    if isinstance(value, Seq):
+        out.extend(value.take(probe_depth).items)
+        return _dedup(out)
+    if isinstance(value, Trace):
+        out.extend(
+            e.message for e in value.take(probe_depth)
+        )
+        return _dedup(out)
+    out.append(value)
+    return _dedup(out)
+
+
+def _dedup(items: list) -> list:
+    seen = set()
+    result = []
+    for x in items:
+        try:
+            key = x
+            if key in seen:
+                continue
+            seen.add(key)
+        except TypeError:
+            if x in result:
+                continue
+        result.append(x)
+    return result

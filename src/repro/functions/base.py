@@ -1,0 +1,425 @@
+"""Continuous functions from traces into cpos.
+
+Descriptions (§3.2.2) are pairs of continuous functions from traces to a
+common cpo.  This module gives them a concrete, *inspectable* form: a
+small expression language whose leaves are channel observations and whose
+interior nodes are monotone sequence operations.  Keeping functions as
+expression trees (rather than opaque closures) buys three things the
+paper's development needs:
+
+* **support tracking** — the set of channels a function can depend on,
+  used for Theorem 1's independence test and the Composition Theorem's
+  description constraint *dc*;
+* **substitution** — Section 7's variable elimination literally replaces
+  the leaf ``b`` by another function's expression, which is only possible
+  when the structure is visible; and
+* **laziness for free** — every node is built from the lazy-aware
+  combinators of :mod:`repro.seq`, so a function applied to an infinite
+  trace yields its (possibly infinite) value as a lazy sequence without
+  any extra lifting machinery.
+
+Continuity is by construction (each primitive is prefix-stable) and is
+additionally validated empirically in
+:mod:`repro.functions.continuity` and the test suite.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Any,
+    Callable,
+    FrozenSet,
+    Mapping,
+    Optional,
+    Sequence as PySeq,
+)
+
+from repro.channels.channel import Channel
+from repro.order.cpo import Cpo
+from repro.order.product import ProductCpo
+from repro.seq.finite import Seq
+from repro.seq.ordering import SequenceCpo
+from repro.traces.domain import TraceCpo
+from repro.traces.trace import Trace
+
+
+class ContinuousFn(ABC):
+    """A continuous function from traces to a cpo, as an expression tree."""
+
+    #: Human-readable name (used by description reprs).
+    name: str = "f"
+    #: The codomain cpo — where values of this function live.
+    codomain: Cpo
+    #: Channels this function may depend on; ``None`` means unknown/all.
+    support: Optional[FrozenSet[Channel]] = None
+
+    @abstractmethod
+    def apply(self, trace: Trace) -> Any:
+        """Evaluate on a finite or lazy trace.
+
+        On a finite trace the result is a finite codomain value; on a
+        lazy trace the result may be lazy (its finite prefixes are exact).
+        """
+
+    def __call__(self, trace: Trace) -> Any:
+        return self.apply(trace)
+
+    @abstractmethod
+    def substitute(self, channel: Channel,
+                   replacement: "ContinuousFn") -> "ContinuousFn":
+        """Replace every observation of ``channel`` by ``replacement``.
+
+        This is the syntactic engine of Section 7's variable elimination:
+        ``g' = g[b := h]``.  ``replacement`` must be sequence-valued when
+        it substitutes a sequence-valued leaf.
+        """
+
+    def apply_env(self, env: "Mapping[Channel, Any]") -> Any:
+        """Evaluate against per-channel message sequences instead of a trace.
+
+        The paper's equations constrain only the per-channel sequences
+        (the interleaving is pinned separately, by smoothness); evaluating
+        on an environment ``{channel: sequence}`` is what the Kahn
+        fixpoint computation of §2.1/§6 iterates on.  Functions that
+        inspect the interleaving itself (projections, identity) do not
+        support environment evaluation and raise ``TypeError``.
+        """
+        raise TypeError(
+            f"{self.name} cannot be evaluated on a channel environment"
+        )
+
+    # -- support utilities --------------------------------------------------
+
+    def depends_only_on(self, channels: FrozenSet[Channel]) -> bool:
+        """Is the support known and contained in ``channels``?"""
+        return self.support is not None and self.support <= channels
+
+    def independent_of(self, channel: Channel) -> bool:
+        """Is the support known and avoiding ``channel``? (§7)"""
+        return self.support is not None and channel not in self.support
+
+    def __repr__(self) -> str:
+        return self.name
+
+    # -- structural identity -------------------------------------------------
+
+    def expr_key(self) -> tuple:
+        """A structural fingerprint of this expression.
+
+        Two expressions with the same key denote the same function in
+        every model (same constructors, same channels/constants, same
+        operation *names*).  Used by the §7 note's general substitution
+        to find occurrences of a defined term ``p`` inside other
+        descriptions.  Operation identity is by name — two OpFns built
+        by the same combinator (e.g. ``even_of``) share a name and are
+        therefore matched, which is the intent.
+        """
+        return (type(self).__name__, self.name)
+
+    def substitute_term(self, target: "ContinuousFn",
+                        replacement: "ContinuousFn") -> "ContinuousFn":
+        """Replace every sub-expression structurally equal to ``target``.
+
+        This is the engine of §7's note on general substitutions: when
+        ``p ⟵ h`` is a description and ``p`` is surjective, occurrences
+        of the *term* ``p`` (not the bare channel) may be replaced by
+        ``h``.  The default handles the leaf case; composite nodes
+        recurse.
+        """
+        if same_expression(self, target):
+            return replacement
+        return self
+
+
+def same_expression(a: ContinuousFn, b: ContinuousFn) -> bool:
+    """Structural equality of function expressions (see ``expr_key``)."""
+    return a.expr_key() == b.expr_key()
+
+
+def are_independent(f: ContinuousFn, g: ContinuousFn) -> bool:
+    """Theorem 1's side condition: disjoint (known) channel supports."""
+    return (
+        f.support is not None
+        and g.support is not None
+        and not (f.support & g.support)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+class ChannelFn(ContinuousFn):
+    """The function the paper writes as the channel name: ``b(t) = t_b``,
+    delivered as the plain message sequence carried by the channel."""
+
+    def __init__(self, channel: Channel):
+        self.channel = channel
+        self.name = channel.name
+        self.codomain = SequenceCpo(channel.alphabet,
+                                    name=f"Seq[{channel.name}]")
+        self.support = frozenset({channel})
+
+    def apply(self, trace: Trace) -> Seq:
+        return trace.sequence_on(self.channel)
+
+    def apply_env(self, env: Mapping[Channel, Any]) -> Any:
+        try:
+            return env[self.channel]
+        except KeyError:
+            raise KeyError(
+                f"environment lacks channel {self.channel.name!r}"
+            ) from None
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        if channel == self.channel:
+            return replacement
+        return self
+
+    def expr_key(self) -> tuple:
+        return ("ChannelFn", self.channel.name)
+
+
+class ProjectionFn(ContinuousFn):
+    """Trace projection ``t ↦ t_L`` as a continuous function (Fact F3)."""
+
+    def __init__(self, channels: FrozenSet[Channel], name: str = ""):
+        self.channels = frozenset(channels)
+        self.name = name or (
+            "π{" + ",".join(sorted(c.name for c in self.channels)) + "}"
+        )
+        self.codomain = TraceCpo(self.channels, name=self.name)
+        self.support = self.channels
+
+    def apply(self, trace: Trace) -> Trace:
+        return trace.project(self.channels)
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        if channel in self.channels:
+            raise ValueError(
+                f"cannot substitute {channel.name!r} inside a trace "
+                "projection; rewrite the description with channel "
+                "functions first"
+            )
+        return self
+
+    def expr_key(self) -> tuple:
+        return ("ProjectionFn",
+                tuple(sorted(c.name for c in self.channels)))
+
+
+class IdentityFn(ContinuousFn):
+    """The identity on traces; the ``id`` of Theorem 4's ``id ⟵ h``."""
+
+    def __init__(self, channels: Optional[FrozenSet[Channel]] = None):
+        self.name = "id"
+        self.codomain = TraceCpo(channels, name="Trace")
+        self.support = channels
+
+    def apply(self, trace: Trace) -> Trace:
+        return trace
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        raise ValueError("cannot substitute inside the identity function")
+
+
+class ConstFn(ContinuousFn):
+    """A constant function.  Constants are trivially continuous.
+
+    The value may be an infinite lazy sequence (e.g. ``trues`` of §4.7).
+    """
+
+    def __init__(self, value: Any, codomain: Cpo, name: str = ""):
+        self.value = value
+        self.codomain = codomain
+        self.name = name or f"const({value!r})"
+        self.support = frozenset()
+
+    def apply(self, trace: Trace) -> Any:
+        del trace
+        return self.value
+
+    def apply_env(self, env: Mapping[Channel, Any]) -> Any:
+        del env
+        return self.value
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        return self
+
+    def expr_key(self) -> tuple:
+        from repro.seq.finite import FiniteSeq
+
+        if isinstance(self.value, FiniteSeq):
+            value_key = ("finite", self.value.items)
+        else:
+            value_key = ("opaque", self.name)
+        return ("ConstFn", value_key)
+
+
+# ---------------------------------------------------------------------------
+# Interior nodes
+# ---------------------------------------------------------------------------
+
+class OpFn(ContinuousFn):
+    """A monotone operation applied to the values of argument functions.
+
+    ``op`` receives one codomain value per argument function and must be
+    monotone (and prefix-stable on sequence values) in each; all the
+    operations in :mod:`repro.functions.seq_fns` and
+    :mod:`repro.functions.logic` qualify.  Continuity of the composite
+    follows from continuity of the parts.
+    """
+
+    def __init__(self, name: str, op: Callable[..., Any],
+                 args: PySeq[ContinuousFn],
+                 codomain: Optional[Cpo] = None):
+        if not args:
+            raise ValueError("OpFn needs at least one argument function")
+        self.op = op
+        self.args = tuple(args)
+        self.name = name
+        self.codomain = codomain if codomain is not None else SequenceCpo()
+        supports = [a.support for a in self.args]
+        self.support = (
+            None if any(s is None for s in supports)
+            else frozenset().union(*supports)  # type: ignore[arg-type]
+        )
+
+    def apply(self, trace: Trace) -> Any:
+        return self.op(*(a.apply(trace) for a in self.args))
+
+    def apply_env(self, env: Mapping[Channel, Any]) -> Any:
+        return self.op(*(a.apply_env(env) for a in self.args))
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        new_args = tuple(
+            a.substitute(channel, replacement) for a in self.args
+        )
+        if new_args == self.args:
+            return self
+        return OpFn(self.name, self.op, new_args, codomain=self.codomain)
+
+    def expr_key(self) -> tuple:
+        return ("OpFn", self.name,
+                tuple(a.expr_key() for a in self.args))
+
+    def substitute_term(self, target: ContinuousFn,
+                        replacement: ContinuousFn) -> ContinuousFn:
+        if same_expression(self, target):
+            return replacement
+        new_args = tuple(
+            a.substitute_term(target, replacement) for a in self.args
+        )
+        if new_args == self.args:
+            return self
+        return OpFn(self.name, self.op, new_args,
+                    codomain=self.codomain)
+
+
+class TupleFn(ContinuousFn):
+    """Pairing: ``(f₁, …, fₙ)(t) = (f₁(t), …, fₙ(t))``.
+
+    This is the paper's mechanism for combining multiple descriptions
+    into one (Note in Section 4): the codomain is the product cpo of the
+    component codomains.
+    """
+
+    def __init__(self, components: PySeq[ContinuousFn], name: str = ""):
+        if not components:
+            raise ValueError("TupleFn needs at least one component")
+        self.components = tuple(components)
+        self.name = name or (
+            "(" + ", ".join(c.name for c in self.components) + ")"
+        )
+        self.codomain = ProductCpo(
+            [c.codomain for c in self.components]
+        )
+        supports = [c.support for c in self.components]
+        self.support = (
+            None if any(s is None for s in supports)
+            else frozenset().union(*supports)  # type: ignore[arg-type]
+        )
+
+    def apply(self, trace: Trace) -> tuple[Any, ...]:
+        return tuple(c.apply(trace) for c in self.components)
+
+    def apply_env(self, env: Mapping[Channel, Any]) -> tuple[Any, ...]:
+        return tuple(c.apply_env(env) for c in self.components)
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        new = tuple(
+            c.substitute(channel, replacement) for c in self.components
+        )
+        if new == self.components:
+            return self
+        return TupleFn(new)
+
+    def expr_key(self) -> tuple:
+        return ("TupleFn",
+                tuple(c.expr_key() for c in self.components))
+
+    def substitute_term(self, target: ContinuousFn,
+                        replacement: ContinuousFn) -> ContinuousFn:
+        if same_expression(self, target):
+            return replacement
+        new = tuple(
+            c.substitute_term(target, replacement)
+            for c in self.components
+        )
+        if new == self.components:
+            return self
+        return TupleFn(new)
+
+
+class LambdaFn(ContinuousFn):
+    """An opaque continuous function given directly as a callable.
+
+    Escape hatch for tests and for functions outside the expression
+    language.  Substitution is unavailable (no structure to rewrite) and
+    the support must be declared by the caller (or left unknown).
+    """
+
+    def __init__(self, name: str, fn: Callable[[Trace], Any],
+                 codomain: Cpo,
+                 support: Optional[FrozenSet[Channel]] = None):
+        self.name = name
+        self.fn = fn
+        self.codomain = codomain
+        self.support = support
+
+    def apply(self, trace: Trace) -> Any:
+        return self.fn(trace)
+
+    def substitute(self, channel: Channel,
+                   replacement: ContinuousFn) -> ContinuousFn:
+        if self.support is not None and channel not in self.support:
+            return self
+        raise ValueError(
+            f"cannot substitute {channel.name!r} inside opaque function "
+            f"{self.name!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def chan(channel: Channel) -> ChannelFn:
+    """The observation function of a channel."""
+    return ChannelFn(channel)
+
+
+def const_seq(value: Any, name: str = "") -> ConstFn:
+    """A constant sequence-valued function."""
+    return ConstFn(value, SequenceCpo(), name=name)
+
+
+def tuple_fn(*components: ContinuousFn) -> TupleFn:
+    return TupleFn(components)

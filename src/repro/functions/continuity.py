@@ -1,0 +1,79 @@
+"""Empirical continuity validation for trace functions.
+
+The theory requires every function in a description to be continuous
+(§3).  Our functions are continuous by construction, but construction
+can be wrong; this module checks, on generated samples:
+
+* **monotonicity** — ``u ⊑ v ⇒ f(u) ⊑ f(v)`` over prefix pairs of
+  sample traces;
+* **prefix consistency (continuity surrogate)** — for a lazy trace
+  ``t``, the chain ``f(t↾0) ⊑ f(t↾1) ⊑ …`` ascends and its elements are
+  approximations of ``f(t)`` — i.e. ``f(lub) = lub(f)`` restricted to
+  the materialized part.
+
+Both checks raise :class:`~repro.order.checks.LawViolation` with the
+offending pair on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence as PySeq
+
+from repro.functions.base import ContinuousFn
+from repro.order.checks import LawViolation
+from repro.traces.trace import Trace
+
+
+def check_fn_monotone(fn: ContinuousFn,
+                      traces: Iterable[Trace]) -> None:
+    """Check monotonicity of ``fn`` over all prefix pairs of each trace
+    and over all prefix-comparable pairs across traces."""
+    pool: list[Trace] = []
+    for t in traces:
+        pool.extend(t.prefixes())
+    for u in pool:
+        for v in pool:
+            if not u.is_prefix_of(v):
+                continue
+            fu, fv = fn.apply(u), fn.apply(v)
+            if not fn.codomain.leq(fu, fv):
+                raise LawViolation(
+                    f"{fn.name} is not monotone: {u!r} ⊑ {v!r} but "
+                    f"{fu!r} ⋢ {fv!r}"
+                )
+
+
+def check_fn_continuous_on(fn: ContinuousFn, trace: Trace,
+                           depth: int) -> None:
+    """Check that prefix applications of ``fn`` approximate ``f(trace)``.
+
+    For each ``n ≤ depth``: ``f(t↾n) ⊑ f(t↾n+1)`` (chain ascends) and
+    ``f(t↾n) ⊑ f(t)`` up to the depth bound (elements approximate the
+    limit).  For finite traces this specializes to exact continuity.
+    """
+    limit = fn.apply(trace)
+    previous = None
+    for n in range(depth + 1):
+        prefix = trace.take(n)
+        value = fn.apply(prefix)
+        if previous is not None and not fn.codomain.leq(previous, value):
+            raise LawViolation(
+                f"{fn.name}: prefix chain does not ascend at n={n}"
+            )
+        if not fn.codomain.leq_upto(value, limit, depth):
+            raise LawViolation(
+                f"{fn.name}: f(t↾{n}) = {value!r} does not approximate "
+                f"the limit within depth {depth}"
+            )
+        previous = value
+        if prefix.length() < n:
+            break  # trace exhausted
+
+
+def check_continuous_fn(fn: ContinuousFn, traces: PySeq[Trace],
+                        depth: int = 12) -> None:
+    """Run both checks over a family of sample traces."""
+    finite = [t for t in traces if t.is_known_finite()]
+    check_fn_monotone(fn, finite)
+    for t in traces:
+        check_fn_continuous_on(fn, t, depth)

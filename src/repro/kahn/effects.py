@@ -1,0 +1,69 @@
+"""Effects: the vocabulary of operational process behaviours.
+
+Agents (operational processes) are Python generators that *yield*
+effects and receive results back.  The runtime interprets:
+
+* :class:`Send` — transmit a message; appended to the global trace
+  (traces record sends only, §3.1.1);
+* :class:`Recv` — wait for a message on one channel (blocks while the
+  channel is empty — the paper's "a process waits as long as no number
+  is available");
+* :class:`RecvAny` — wait for a message on any of several channels (the
+  merge primitive); the runtime answers ``(channel, message)`` and uses
+  the oracle to break ties;
+* :class:`Poll` — non-blocking availability test (answers ``bool``);
+* :class:`Choose` — nondeterministic choice among ``arity``
+  alternatives (answers an index chosen by the oracle);
+* :class:`Halt` — terminate deliberately (returning from the generator
+  is equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.channels.channel import Channel
+
+
+@dataclass(frozen=True)
+class Send:
+    channel: Channel
+    message: Any
+
+
+@dataclass(frozen=True)
+class Recv:
+    channel: Channel
+
+
+@dataclass(frozen=True)
+class RecvAny:
+    channels: tuple[Channel, ...]
+
+    def __init__(self, channels: Sequence[Channel]):
+        object.__setattr__(self, "channels", tuple(channels))
+        if not self.channels:
+            raise ValueError("RecvAny needs at least one channel")
+
+
+@dataclass(frozen=True)
+class Poll:
+    channel: Channel
+
+
+@dataclass(frozen=True)
+class Choose:
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError("Choose needs arity ≥ 1")
+
+
+@dataclass(frozen=True)
+class Halt:
+    pass
+
+
+Effect = Send | Recv | RecvAny | Poll | Choose | Halt

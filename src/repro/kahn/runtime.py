@@ -1,0 +1,241 @@
+"""The operational network runtime.
+
+Channels are unbounded FIFO queues (Kahn's asynchronous, lossless,
+order-preserving channels); agents run one effect at a time under a
+scheduler.  The runtime records the global communication history (sends
+only) and detects *quiescence*: every agent halted, or blocked on a
+receive whose every candidate channel is empty.  Quiescent histories are
+the paper's traces; non-quiescent ones are the communication histories
+that the process is guaranteed to extend (§3.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.kahn.effects import (
+    Choose,
+    Effect,
+    Halt,
+    Poll,
+    Recv,
+    RecvAny,
+    Send,
+)
+from repro.traces.trace import Trace
+
+#: An agent body: a generator yielding effects and receiving answers.
+AgentBody = Generator[Effect, Any, None]
+#: A factory producing a fresh agent body per run.
+AgentFactory = Callable[[], AgentBody]
+
+
+class AgentState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    HALTED = "halted"
+
+
+class Agent:
+    """A named operational process instance."""
+
+    def __init__(self, name: str, body: AgentBody):
+        self.name = name
+        self.body = body
+        self.state = AgentState.READY
+        #: channels the agent is blocked waiting on (when BLOCKED)
+        self.waiting_on: tuple[Channel, ...] = ()
+        #: the pending effect to resume (a Recv/RecvAny while blocked)
+        self.pending: Optional[Effect] = None
+        self._next_input: Any = None
+        self._started = False
+
+    def __repr__(self) -> str:
+        return f"Agent({self.name!r}, {self.state.value})"
+
+
+@dataclass
+class RunResult:
+    """Outcome of a bounded network run."""
+
+    trace: Trace
+    quiescent: bool
+    steps: int
+    halted_agents: list[str] = field(default_factory=list)
+    blocked_agents: list[str] = field(default_factory=list)
+
+    def events(self) -> list[Event]:
+        return list(self.trace)
+
+
+class Oracle:
+    """Resolves the two kinds of nondeterminism: which ready agent runs
+    next, and which branch a ``Choose``/``RecvAny`` takes.
+
+    The base class is deterministic (always the first option); see
+    :mod:`repro.kahn.scheduler` for random and scripted oracles.
+    """
+
+    def pick_agent(self, ready: list[Agent]) -> int:
+        del ready
+        return 0
+
+    def pick_choice(self, agent: Agent, arity: int) -> int:
+        del agent, arity
+        return 0
+
+
+class Runtime:
+    """Executes a set of agents over shared channels."""
+
+    def __init__(self, agents: dict[str, AgentBody],
+                 channels: Iterable[Channel]):
+        self.agents = [Agent(name, body)
+                       for name, body in agents.items()]
+        self.queues: dict[Channel, deque] = {
+            c: deque() for c in channels
+        }
+        self.history: list[Event] = []
+        self.steps = 0
+
+    # -- channel plumbing --------------------------------------------------
+
+    def _queue(self, channel: Channel) -> deque:
+        try:
+            return self.queues[channel]
+        except KeyError:
+            raise KeyError(
+                f"channel {channel.name!r} is not part of this network"
+            ) from None
+
+    def send(self, channel: Channel, message: Any) -> None:
+        if not channel.admits(message):
+            raise ValueError(
+                f"message {message!r} not admitted by "
+                f"channel {channel.name!r}"
+            )
+        self._queue(channel).append(message)
+        self.history.append(Event(channel, message))
+
+    def available(self, channel: Channel) -> bool:
+        return bool(self._queue(channel))
+
+    # -- agent stepping ------------------------------------------------------
+
+    def ready_agents(self) -> list[Agent]:
+        """Agents that can make progress now.
+
+        A blocked agent becomes ready when any of its awaited channels
+        has data.
+        """
+        out = []
+        for a in self.agents:
+            if a.state is AgentState.HALTED:
+                continue
+            if a.state is AgentState.BLOCKED:
+                if any(self.available(c) for c in a.waiting_on):
+                    out.append(a)
+            else:
+                out.append(a)
+        return out
+
+    def is_quiescent(self) -> bool:
+        """No agent can make progress: the history is a quiescent trace."""
+        return not self.ready_agents()
+
+    def step(self, oracle: Oracle) -> bool:
+        """Run one effect of one ready agent.  Returns ``False`` when
+        the network is quiescent (no step taken)."""
+        ready = self.ready_agents()
+        if not ready:
+            return False
+        agent = ready[oracle.pick_agent(ready) % len(ready)]
+        self._run_one_effect(agent, oracle)
+        self.steps += 1
+        return True
+
+    def _advance(self, agent: Agent, value: Any) -> Optional[Effect]:
+        """Feed ``value`` into the agent and get its next effect."""
+        try:
+            if not agent._started:
+                agent._started = True
+                return next(agent.body)
+            return agent.body.send(value)
+        except StopIteration:
+            agent.state = AgentState.HALTED
+            return None
+
+    def _run_one_effect(self, agent: Agent, oracle: Oracle) -> None:
+        # resume a blocked receive, or fetch the next effect
+        if agent.state is AgentState.BLOCKED:
+            effect = agent.pending
+            agent.state = AgentState.READY
+            agent.pending = None
+            agent.waiting_on = ()
+        else:
+            effect = self._advance(agent, agent._next_input)
+            agent._next_input = None
+        if effect is None:
+            return
+        self._interpret(agent, effect, oracle)
+
+    def _interpret(self, agent: Agent, effect: Effect,
+                   oracle: Oracle) -> None:
+        if isinstance(effect, Send):
+            self.send(effect.channel, effect.message)
+            agent._next_input = None
+        elif isinstance(effect, Recv):
+            if self.available(effect.channel):
+                agent._next_input = self._queue(
+                    effect.channel).popleft()
+            else:
+                self._block(agent, effect, (effect.channel,))
+        elif isinstance(effect, RecvAny):
+            live = [c for c in effect.channels if self.available(c)]
+            if live:
+                idx = oracle.pick_choice(agent, len(live)) % len(live)
+                channel = live[idx]
+                agent._next_input = (
+                    channel, self._queue(channel).popleft()
+                )
+            else:
+                self._block(agent, effect, effect.channels)
+        elif isinstance(effect, Poll):
+            agent._next_input = self.available(effect.channel)
+        elif isinstance(effect, Choose):
+            agent._next_input = (
+                oracle.pick_choice(agent, effect.arity) % effect.arity
+            )
+        elif isinstance(effect, Halt):
+            agent.body.close()
+            agent.state = AgentState.HALTED
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown effect {effect!r}")
+
+    def _block(self, agent: Agent, effect: Effect,
+               channels: tuple[Channel, ...]) -> None:
+        agent.state = AgentState.BLOCKED
+        agent.pending = effect
+        agent.waiting_on = channels
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, oracle: Oracle, max_steps: int) -> RunResult:
+        """Run until quiescence or the step bound."""
+        while self.steps < max_steps:
+            if not self.step(oracle):
+                break
+        return RunResult(
+            trace=Trace.finite(self.history),
+            quiescent=self.is_quiescent(),
+            steps=self.steps,
+            halted_agents=[a.name for a in self.agents
+                           if a.state is AgentState.HALTED],
+            blocked_agents=[a.name for a in self.agents
+                            if a.state is AgentState.BLOCKED],
+        )

@@ -1,0 +1,109 @@
+"""Oracles: reproducible resolutions of scheduling nondeterminism.
+
+A network computation is determined by its oracle (Park's terminology,
+§4.6): which ready agent steps next and which branch each choice takes.
+Enumerating oracles enumerates computations — the operational
+counterpart of enumerating smooth solutions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.kahn.runtime import Agent, AgentBody, Oracle, RunResult, Runtime
+from repro.channels.channel import Channel
+
+
+class FirstOracle(Oracle):
+    """Always the first option — deterministic, round-robin-free."""
+
+
+class RoundRobinOracle(Oracle):
+    """Cycle through ready agents; choices cycle through branches.
+
+    Guarantees that no perpetually-ready agent is starved, which is the
+    operational fairness assumption behind quiescent traces.
+    """
+
+    def __init__(self) -> None:
+        self._agent_counter = 0
+        self._choice_counter = 0
+
+    def pick_agent(self, ready: list[Agent]) -> int:
+        self._agent_counter += 1
+        return self._agent_counter % len(ready)
+
+    def pick_choice(self, agent: Agent, arity: int) -> int:
+        self._choice_counter += 1
+        return self._choice_counter % arity
+
+
+class RandomOracle(Oracle):
+    """Seeded pseudo-random scheduling — the workhorse for sampling
+    many distinct computations of a nondeterministic network."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick_agent(self, ready: list[Agent]) -> int:
+        return self._rng.randrange(len(ready))
+
+    def pick_choice(self, agent: Agent, arity: int) -> int:
+        del agent
+        return self._rng.randrange(arity)
+
+
+class ScriptedOracle(Oracle):
+    """Replay a fixed script of indices (then fall back to 0).
+
+    Lets tests steer a network into one specific computation — e.g. the
+    two computations of §2.3 that produce the sequences ``x`` and ``y``.
+    """
+
+    def __init__(self, agent_picks: Sequence[int] = (),
+                 choice_picks: Sequence[int] = ()):
+        self._agents = list(agent_picks)
+        self._choices = list(choice_picks)
+        self._ai = 0
+        self._ci = 0
+
+    def pick_agent(self, ready: list[Agent]) -> int:
+        if self._ai < len(self._agents):
+            value = self._agents[self._ai]
+            self._ai += 1
+            return value
+        return 0
+
+    def pick_choice(self, agent: Agent, arity: int) -> int:
+        del agent, arity
+        if self._ci < len(self._choices):
+            value = self._choices[self._ci]
+            self._ci += 1
+            return value
+        return 0
+
+
+def run_network(agents: dict[str, AgentBody],
+                channels: Iterable[Channel],
+                oracle: Oracle,
+                max_steps: int = 10_000) -> RunResult:
+    """Build a runtime and run it to quiescence or the step bound."""
+    return Runtime(agents, channels).run(oracle, max_steps)
+
+
+def sample_runs(make_agents, channels: Iterable[Channel],
+                seeds: Iterable[int],
+                max_steps: int = 10_000) -> Iterator[RunResult]:
+    """One run per seed, each from a fresh copy of the network.
+
+    ``make_agents`` is a zero-argument callable returning the agent
+    dict (generators are single-use, so each run needs fresh bodies).
+    """
+    channel_list = list(channels)
+    for seed in seeds:
+        yield run_network(
+            make_agents(), channel_list, RandomOracle(seed),
+            max_steps=max_steps,
+        )

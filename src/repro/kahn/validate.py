@@ -1,0 +1,97 @@
+"""Cross-validation: operational computations ⇔ smooth solutions.
+
+The paper's central claim ("every smooth solution corresponds to a
+computation and vice versa") is checked empirically here:
+
+* **operational → denotational**: every quiescent trace sampled from the
+  runtime is a smooth solution of the network's description, and every
+  non-quiescent history satisfies the smoothness condition (it is a node
+  of the §3.3 tree) but, typically, not the limit condition;
+* **denotational → operational**: every finite smooth solution found by
+  the solver is realized as the trace of some oracle-driven run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.channels.channel import Channel
+from repro.core.description import DEFAULT_DEPTH, Description
+from repro.kahn.quiescence import NetworkFactory, collect_traces
+from repro.kahn.scheduler import sample_runs
+from repro.traces.trace import Trace
+
+
+@dataclass
+class CrossCheckReport:
+    """Outcome of an operational-vs-denotational comparison."""
+
+    quiescent_checked: int = 0
+    quiescent_smooth: int = 0
+    prefixes_checked: int = 0
+    prefixes_smooth_condition: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def all_agree(self) -> bool:
+        return not self.failures
+
+
+def check_operational_soundness(
+        make_agents: NetworkFactory,
+        channels: Iterable[Channel],
+        description: Description,
+        seeds: Iterable[int],
+        max_steps: int = 10_000,
+        depth: int = DEFAULT_DEPTH) -> CrossCheckReport:
+    """Operational → denotational direction."""
+    report = CrossCheckReport()
+    sample = collect_traces(make_agents, channels, seeds,
+                            max_steps=max_steps)
+    for t in sample.quiescent:
+        report.quiescent_checked += 1
+        verdict = description.check(t, depth)
+        if verdict.is_smooth:
+            report.quiescent_smooth += 1
+        else:
+            report.failures.append(
+                f"quiescent trace not smooth: {verdict}"
+            )
+    for t in sample.prefixes:
+        report.prefixes_checked += 1
+        if description.smoothness_holds(t, depth=max(t.length(), 1)):
+            report.prefixes_smooth_condition += 1
+        else:
+            report.failures.append(
+                f"operational history violates smoothness: {t!r}"
+            )
+    return report
+
+
+def check_denotational_completeness(
+        make_agents: NetworkFactory,
+        channels: Iterable[Channel],
+        finite_solutions: Iterable[Trace],
+        seeds: Iterable[int],
+        max_steps: int = 10_000) -> CrossCheckReport:
+    """Denotational → operational direction: every given finite smooth
+    solution is the trace of some sampled run.
+
+    Sampling may miss rare interleavings; pass more seeds to tighten.
+    """
+    report = CrossCheckReport()
+    observed: set[Trace] = set()
+    for result in sample_runs(make_agents, channels, seeds,
+                              max_steps=max_steps):
+        if result.quiescent:
+            observed.add(result.trace)
+    for s in finite_solutions:
+        report.quiescent_checked += 1
+        if s in observed:
+            report.quiescent_smooth += 1
+        else:
+            report.failures.append(
+                f"smooth solution never observed operationally: {s!r}"
+            )
+    return report

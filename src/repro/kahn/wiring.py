@@ -1,0 +1,85 @@
+"""Wiring: couple a described network with its operational agents.
+
+Tests and examples repeatedly build the same pairing — a
+:class:`~repro.core.description.DescriptionSystem` (the specification)
+and a dict of agent factories (the machine) — and then cross-validate.
+:class:`OperationalNetwork` packages that pairing with one-call
+validation, sampling and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable
+
+from repro.channels.channel import Channel
+from repro.core.description import DEFAULT_DEPTH, DescriptionSystem
+from repro.kahn.quiescence import TraceSample, collect_traces
+from repro.kahn.runtime import AgentBody, RunResult
+from repro.kahn.scheduler import RandomOracle, run_network
+from repro.kahn.validate import (
+    CrossCheckReport,
+    check_operational_soundness,
+)
+
+#: Factory for one agent body (generators are single-use).
+AgentFactory = Callable[[], AgentBody]
+
+
+@dataclass
+class OperationalNetwork:
+    """A specification/machine pair over a shared channel set."""
+
+    name: str
+    channels: list[Channel]
+    system: DescriptionSystem
+    agents: Dict[str, AgentFactory] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = self.system.channels - set(self.channels)
+        if missing:
+            names = ", ".join(sorted(c.name for c in missing))
+            raise ValueError(
+                f"system mentions channels not wired: {names}"
+            )
+
+    def make_agents(self) -> Dict[str, AgentBody]:
+        """Fresh agent bodies for one run."""
+        return {name: make() for name, make in self.agents.items()}
+
+    def run(self, seed: int = 0,
+            max_steps: int = 10_000) -> RunResult:
+        return run_network(
+            self.make_agents(), self.channels, RandomOracle(seed),
+            max_steps=max_steps,
+        )
+
+    def sample(self, seeds: Iterable[int],
+               max_steps: int = 10_000) -> TraceSample:
+        return collect_traces(
+            self.make_agents, self.channels, seeds,
+            max_steps=max_steps,
+        )
+
+    def validate(self, seeds: Iterable[int] = range(20),
+                 max_steps: int = 10_000,
+                 depth: int = DEFAULT_DEPTH) -> CrossCheckReport:
+        """Operational soundness: sampled runs against the description."""
+        return check_operational_soundness(
+            self.make_agents, self.channels,
+            self.system.combined(), seeds,
+            max_steps=max_steps, depth=depth,
+        )
+
+    def assert_valid(self, seeds: Iterable[int] = range(20),
+                     max_steps: int = 10_000,
+                     depth: int = DEFAULT_DEPTH) -> None:
+        """Raise ``AssertionError`` with the failures if any run
+        disagrees with the specification."""
+        report = self.validate(seeds, max_steps, depth)
+        if not report.all_agree:
+            details = "\n".join(report.failures[:5])
+            raise AssertionError(
+                f"network {self.name!r} disagrees with its "
+                f"description:\n{details}"
+            )

@@ -1,0 +1,56 @@
+"""Order theory substrate: posets, cpos, flat/product domains, fixpoints.
+
+This package implements the complete-partial-order background of Section 3
+of the paper: partial orders, chains and lubs (:mod:`repro.order.poset`,
+:mod:`repro.order.cpo`), the flat and product domain constructions used by
+the Section 4 examples (:mod:`repro.order.flat`,
+:mod:`repro.order.product`), Kleene iteration / Theorem 3
+(:mod:`repro.order.fixpoint`), and empirical law validators
+(:mod:`repro.order.checks`).
+"""
+
+from repro.order.cpo import CountableChain, Cpo
+from repro.order.fixpoint import (
+    FixpointResult,
+    is_fixpoint,
+    is_least_fixpoint,
+    kleene_chain,
+    kleene_fixpoint,
+)
+from repro.order.flat import BOTTOM, T_ONLY, TF, FlatCpo, is_flat_bottom
+from repro.order.poset import (
+    DiscreteOrder,
+    DualOrder,
+    NotAChainError,
+    PartialOrder,
+    find_lub,
+    maximal_elements,
+    minimal_elements,
+    sort_chain,
+)
+from repro.order.product import ProductCpo, pair_cpo
+
+__all__ = [
+    "BOTTOM",
+    "CountableChain",
+    "Cpo",
+    "DiscreteOrder",
+    "DualOrder",
+    "FixpointResult",
+    "FlatCpo",
+    "NotAChainError",
+    "PartialOrder",
+    "ProductCpo",
+    "TF",
+    "T_ONLY",
+    "find_lub",
+    "is_fixpoint",
+    "is_flat_bottom",
+    "is_least_fixpoint",
+    "kleene_chain",
+    "kleene_fixpoint",
+    "maximal_elements",
+    "minimal_elements",
+    "pair_cpo",
+    "sort_chain",
+]

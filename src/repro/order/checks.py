@@ -1,0 +1,113 @@
+"""Empirical validators for order-theoretic laws.
+
+The paper assumes its functions are continuous and its domains are cpos.
+These validators verify the assumptions on finite samples; they are used
+by the test suite and by :mod:`repro.functions.continuity` to sanity-check
+every function in the process catalog.
+
+Each ``check_*`` function raises :class:`LawViolation` with a concrete
+counterexample on failure and returns ``None`` on success, so they compose
+cleanly with pytest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.order.cpo import Cpo
+from repro.order.poset import PartialOrder
+
+
+class LawViolation(AssertionError):
+    """An order-theoretic law failed on a concrete counterexample."""
+
+
+def check_reflexive(order: PartialOrder, sample: Iterable[Any]) -> None:
+    """``x ⊑ x`` for every sampled ``x``."""
+    for x in sample:
+        if not order.leq(x, x):
+            raise LawViolation(f"{order.name}: {x!r} ⋢ {x!r} (reflexivity)")
+
+
+def check_antisymmetric(order: PartialOrder,
+                        sample: Sequence[Any]) -> None:
+    """``x ⊑ y`` and ``y ⊑ x`` imply ``x == y`` for sampled pairs."""
+    for x in sample:
+        for y in sample:
+            if order.leq(x, y) and order.leq(y, x) and x != y:
+                raise LawViolation(
+                    f"{order.name}: {x!r} and {y!r} violate antisymmetry"
+                )
+
+
+def check_transitive(order: PartialOrder, sample: Sequence[Any]) -> None:
+    """``x ⊑ y ⊑ z`` implies ``x ⊑ z`` for sampled triples."""
+    for x in sample:
+        for y in sample:
+            if not order.leq(x, y):
+                continue
+            for z in sample:
+                if order.leq(y, z) and not order.leq(x, z):
+                    raise LawViolation(
+                        f"{order.name}: transitivity fails on "
+                        f"{x!r} ⊑ {y!r} ⊑ {z!r}"
+                    )
+
+
+def check_bottom(cpo: Cpo, sample: Iterable[Any]) -> None:
+    """``⊥ ⊑ x`` for every sampled ``x``."""
+    for x in sample:
+        if not cpo.leq(cpo.bottom, x):
+            raise LawViolation(f"{cpo.name}: ⊥ ⋢ {x!r}")
+
+
+def check_partial_order(order: PartialOrder,
+                        sample: Sequence[Any]) -> None:
+    """Reflexivity, antisymmetry and transitivity on the sample."""
+    check_reflexive(order, sample)
+    check_antisymmetric(order, sample)
+    check_transitive(order, sample)
+
+
+def check_cpo(cpo: Cpo, sample: Sequence[Any] | None = None) -> None:
+    """Partial-order laws plus the bottom law on the sample."""
+    if sample is None:
+        sample = cpo.sample()
+    check_partial_order(cpo, sample)
+    check_bottom(cpo, sample)
+
+
+def check_monotone(fn: Callable[[Any], Any], domain: PartialOrder,
+                   codomain: PartialOrder, sample: Sequence[Any],
+                   name: str = "f") -> None:
+    """``x ⊑ y`` implies ``f(x) ⊑ f(y)`` for sampled pairs."""
+    for x in sample:
+        for y in sample:
+            if domain.leq(x, y) and not codomain.leq(fn(x), fn(y)):
+                raise LawViolation(
+                    f"{name} is not monotone: {x!r} ⊑ {y!r} but "
+                    f"{fn(x)!r} ⋢ {fn(y)!r}"
+                )
+
+
+def check_continuous_on_chain(fn: Callable[[Any], Any], domain: Cpo,
+                              codomain: Cpo, chain: Sequence[Any],
+                              name: str = "f") -> None:
+    """``f(lub S) = lub f(S)`` for a materialized finite chain ``S``.
+
+    A finite chain's lub is its maximum, so this reduces to
+    ``f(max S) = max f(S)`` — which for a monotone ``f`` follows
+    automatically; the check still catches non-monotone impostors and
+    domain errors, and matters for lazily-extended chains whose
+    materialized prefix is compared at several depths by callers.
+    """
+    if not chain:
+        return
+    lub_in = domain.lub_chain(list(chain))
+    images = [fn(x) for x in chain]
+    lub_out = codomain.lub_chain(images)
+    if not codomain.eq(fn(lub_in), lub_out):
+        raise LawViolation(
+            f"{name} is not continuous on the sampled chain: "
+            f"f(lub) = {fn(lub_in)!r} but lub(f) = {lub_out!r}"
+        )

@@ -1,0 +1,169 @@
+"""Complete partial orders and chains.
+
+A cpo (Section 3 of the paper) is a partial order with
+
+1. a bottom element ``⊥`` with ``⊥ ⊑ x`` for every ``x``, and
+2. a least upper bound for every chain.
+
+Infinite chains cannot be materialized, so :meth:`Cpo.lub_chain` receives a
+finite ascending sequence (the materialized part of a chain) and concrete
+domains additionally provide lazy lubs where that makes sense (the sequence
+and trace domains do).  :class:`CountableChain` packages the paper's notion
+of a countable chain ``x^0 ⊑ x^1 ⊑ …`` with ``x^0 = ⊥`` (Section 6), which
+is the form of chain used to define smooth solutions over arbitrary cpos.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.order.poset import NotAChainError, PartialOrder
+
+
+class Cpo(PartialOrder):
+    """A complete partial order ``(D, ⊑, ⊥)``."""
+
+    @property
+    @abstractmethod
+    def bottom(self) -> Any:
+        """The least element ``⊥`` of the domain."""
+
+    def is_bottom(self, x: Any) -> bool:
+        """Return ``True`` iff ``x`` is (order-equal to) ``⊥``."""
+        return self.leq(x, self.bottom)
+
+    def eq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        """Bounded equality for domains with infinite elements.
+
+        Domains whose elements are all finite (flat domains) use exact
+        equality regardless of ``depth``.  Sequence-like domains override
+        this with prefix-bounded comparison: a ``False`` answer is always
+        conclusive, a ``True`` answer certifies agreement to ``depth``.
+        """
+        del depth
+        return self.eq(x, y)
+
+    def leq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        """Bounded order test, analogous to :meth:`eq_upto`."""
+        del depth
+        return self.leq(x, y)
+
+    def lub_chain(self, chain: Sequence[Any]) -> Any:
+        """Least upper bound of a finite ascending chain.
+
+        The default implementation returns the last element after checking
+        that the sequence really ascends.  Domains with interesting limits
+        override this or provide lazy variants.
+        """
+        if not chain:
+            return self.bottom
+        if not self.is_ascending(chain):
+            raise NotAChainError(
+                f"sequence is not ascending in {self.name}"
+            )
+        return chain[-1]
+
+    def sample(self) -> list[Any]:
+        """A small list of representative elements, used by validators.
+
+        Concrete domains override this; the default offers just ``⊥``.
+        """
+        return [self.bottom]
+
+
+class CountableChain:
+    """A countable chain ``x^0 ⊑ x^1 ⊑ …`` with ``x^0 = ⊥`` (Section 6).
+
+    The chain is given by a generator function ``nth(n)``; elements are
+    memoized.  A chain may be *finite* in content (eventually constant) —
+    :meth:`stabilizes_by` detects that.
+
+    The paper defines ``u pre v in S`` to mean ``u = x^n`` and
+    ``v = x^{n+1}`` for some ``n``; :meth:`pre_pairs` enumerates these.
+    """
+
+    def __init__(self, cpo: Cpo, nth: Callable[[int], Any],
+                 name: str = "chain"):
+        self.cpo = cpo
+        self.name = name
+        self._nth = nth
+        self._memo: list[Any] = []
+
+    @classmethod
+    def from_elements(cls, cpo: Cpo, elements: Sequence[Any],
+                      name: str = "chain") -> "CountableChain":
+        """Chain that ascends through ``elements`` then stays constant.
+
+        ``elements[0]`` must be order-equal to ``⊥``.
+        """
+        if not elements:
+            raise ValueError("a countable chain is nonempty (x^0 = ⊥)")
+        if not cpo.eq(elements[0], cpo.bottom):
+            raise ValueError("a countable chain must start at ⊥")
+        if not cpo.is_ascending(elements):
+            raise NotAChainError("elements do not ascend")
+        last = len(elements) - 1
+
+        def nth(n: int) -> Any:
+            return elements[min(n, last)]
+
+        return cls(cpo, nth, name=name)
+
+    @classmethod
+    def by_iteration(cls, cpo: Cpo, step: Callable[[Any], Any],
+                     name: str = "iteration") -> "CountableChain":
+        """The Kleene chain ``⊥, h(⊥), h²(⊥), …`` of a monotone ``step``."""
+
+        memo: list[Any] = [cpo.bottom]
+
+        def nth(n: int) -> Any:
+            while len(memo) <= n:
+                memo.append(step(memo[-1]))
+            return memo[n]
+
+        return cls(cpo, nth, name=name)
+
+    def __getitem__(self, n: int) -> Any:
+        if n < 0:
+            raise IndexError("chain indices are natural numbers")
+        while len(self._memo) <= n:
+            self._memo.append(self._nth(len(self._memo)))
+        return self._memo[n]
+
+    def prefix(self, n: int) -> list[Any]:
+        """The first ``n`` elements ``x^0 … x^{n-1}``."""
+        return [self[i] for i in range(n)]
+
+    def pre_pairs(self, upto: int) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(x^n, x^{n+1})`` for ``n`` in ``[0, upto)``."""
+        for n in range(upto):
+            yield self[n], self[n + 1]
+
+    def validate(self, upto: int) -> None:
+        """Check ascent and the ``x^0 = ⊥`` condition up to index ``upto``.
+
+        Raises :class:`NotAChainError` or :class:`ValueError` on failure.
+        """
+        if not self.cpo.eq(self[0], self.cpo.bottom):
+            raise ValueError(f"{self.name}: x^0 is not ⊥")
+        for n in range(upto):
+            if not self.cpo.leq(self[n], self[n + 1]):
+                raise NotAChainError(
+                    f"{self.name}: x^{n} ⋢ x^{n + 1}"
+                )
+
+    def stabilizes_by(self, n: int) -> bool:
+        """Return ``True`` iff ``x^n = x^{n+1}`` (the chain has converged).
+
+        For a monotone iteration this implies the chain is constant from
+        ``n`` on, so ``x^n`` is the lub of the whole chain.
+        """
+        return self.cpo.eq(self[n], self[n + 1])
+
+    def lub_upto(self, n: int) -> Any:
+        """The lub of the materialized prefix ``x^0 … x^n`` (just ``x^n``)."""
+        return self[n]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CountableChain {self.name!r} over {self.cpo.name!r}>"

@@ -1,0 +1,102 @@
+"""Kleene fixpoint iteration (Theorem 3 of the paper).
+
+For a continuous function ``h`` on a cpo, the least fixpoint is the lub of
+the chain ``⊥, h(⊥), h²(⊥), …``.  On a computer the chain can only be
+materialized to finite depth, so :func:`kleene_fixpoint` iterates with a
+*fuel* bound and reports whether the chain stabilized (in which case the
+returned value is exactly the least fixpoint) or merely produced an
+approximation from below (every element of the Kleene chain is ⊑ the least
+fixpoint, so the approximation is sound).
+
+This is the machinery behind the deterministic (Kahn) side of the paper:
+Section 2.1's two-copy network, and the bridge of Theorem 4 (the least
+fixpoint is the unique smooth solution of ``id ⟵ h``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.order.cpo import CountableChain, Cpo
+
+
+@dataclass(frozen=True)
+class FixpointResult:
+    """Outcome of a fuelled Kleene iteration.
+
+    Attributes:
+        value: the last computed element ``h^k(⊥)``.
+        converged: ``True`` iff ``h^k(⊥) = h^{k+1}(⊥)``; then ``value`` is
+            the least fixpoint exactly.
+        iterations: the ``k`` at which iteration stopped.
+        chain: the materialized prefix of the Kleene chain,
+            ``[⊥, h(⊥), …, h^k(⊥)]``.
+    """
+
+    value: Any
+    converged: bool
+    iterations: int
+    chain: list[Any] = field(repr=False)
+
+
+def kleene_chain(cpo: Cpo, h: Callable[[Any], Any]) -> CountableChain:
+    """The countable chain ``⊥, h(⊥), h²(⊥), …`` as a lazy object."""
+    return CountableChain.by_iteration(cpo, h, name="kleene")
+
+
+def kleene_fixpoint(cpo: Cpo, h: Callable[[Any], Any],
+                    max_iterations: int = 1000) -> FixpointResult:
+    """Iterate ``h`` from ``⊥`` until stabilization or fuel runs out.
+
+    ``h`` must be monotone for the result to approximate the least fixpoint
+    from below; monotonicity is *not* checked here (use
+    :func:`repro.order.checks.check_monotone` in tests).
+
+    Raises:
+        ValueError: if ``max_iterations`` is negative.
+    """
+    if max_iterations < 0:
+        raise ValueError("max_iterations must be nonnegative")
+    chain = [cpo.bottom]
+    current = cpo.bottom
+    for i in range(max_iterations):
+        nxt = h(current)
+        if not cpo.leq(current, nxt):
+            raise ValueError(
+                "iteration left the ascending Kleene chain at step "
+                f"{i}: h is not monotone (or not a self-map) on {cpo.name}"
+            )
+        chain.append(nxt)
+        if cpo.leq(nxt, current):
+            return FixpointResult(
+                value=current, converged=True, iterations=i, chain=chain
+            )
+        current = nxt
+    converged = cpo.eq(h(current), current)
+    return FixpointResult(
+        value=current,
+        converged=converged,
+        iterations=max_iterations,
+        chain=chain,
+    )
+
+
+def is_fixpoint(cpo: Cpo, h: Callable[[Any], Any], z: Any) -> bool:
+    """Return ``True`` iff ``z = h(z)`` in the order of ``cpo``."""
+    return cpo.eq(z, h(z))
+
+
+def is_least_fixpoint(cpo: Cpo, h: Callable[[Any], Any], z: Any,
+                      candidates: list[Any]) -> bool:
+    """Check that ``z`` is a fixpoint and ⊑ every fixpoint in ``candidates``.
+
+    Brute-force check for tests over small domains.
+    """
+    if not is_fixpoint(cpo, h, z):
+        return False
+    return all(
+        cpo.leq(z, y)
+        for y in candidates
+        if is_fixpoint(cpo, h, y)
+    )

@@ -1,0 +1,102 @@
+"""Flat domains.
+
+A flat domain lifts a set of values with a fresh bottom element: ``⊥ ⊑ v``
+for every value ``v``, and distinct values are incomparable.  The paper
+uses several flat domains:
+
+* ``{T, F, ⊥}`` — the domain of the random-bit function ``R`` (§4.3) and of
+  the ``AND`` truth table (§4.5);
+* ``{T, ⊥}`` — the range of ``R``;
+* flat integers — message values.
+
+``BOTTOM`` is a module-level singleton so that flat-domain bottoms compare
+equal across domain instances (convenient when composing functions whose
+codomains are built independently).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Optional
+
+from repro.order.cpo import Cpo
+
+
+class _Bottom:
+    """The unique bottom token of flat domains."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):  # pragma: no cover - pickling support
+        return (_Bottom, ())
+
+
+#: The bottom element shared by all flat domains.
+BOTTOM = _Bottom()
+
+
+def is_flat_bottom(x: Any) -> bool:
+    """Return ``True`` iff ``x`` is the flat-domain bottom token."""
+    return x is BOTTOM
+
+
+class FlatCpo(Cpo):
+    """The flat cpo over a (possibly unrestricted) set of values.
+
+    If ``values`` is ``None`` the domain is "flat over everything": any
+    non-bottom Python value is an element.  Otherwise membership is
+    restricted to the given values, and :meth:`leq` raises ``ValueError``
+    on foreign elements — catching domain mix-ups early.
+    """
+
+    def __init__(self, values: Optional[Iterable[Any]] = None,
+                 name: str = "flat"):
+        self.values: Optional[FrozenSet[Any]] = (
+            None if values is None else frozenset(values)
+        )
+        self.name = name
+
+    @property
+    def bottom(self) -> Any:
+        return BOTTOM
+
+    def contains(self, x: Any) -> bool:
+        """Return ``True`` iff ``x`` is an element of this domain."""
+        if x is BOTTOM:
+            return True
+        return self.values is None or x in self.values
+
+    def _check(self, x: Any) -> None:
+        if not self.contains(x):
+            raise ValueError(f"{x!r} is not an element of {self.name}")
+
+    def leq(self, x: Any, y: Any) -> bool:
+        self._check(x)
+        self._check(y)
+        if x is BOTTOM:
+            return True
+        return x == y and y is not BOTTOM
+
+    def sample(self) -> list[Any]:
+        if self.values is None:
+            return [BOTTOM]
+        return [BOTTOM, *sorted(self.values, key=repr)]
+
+
+#: The flat booleans ``{T, F, ⊥}`` used throughout Section 4.
+TF = FlatCpo({"T", "F"}, name="flat{T,F}")
+
+#: The range ``{T, ⊥}`` of the function R of §4.3.
+T_ONLY = FlatCpo({"T"}, name="flat{T}")
+
+
+def flat_integers(name: str = "flat-int") -> FlatCpo:
+    """The flat domain over all Python integers (unrestricted)."""
+    return FlatCpo(None, name=name)

@@ -1,0 +1,193 @@
+"""Partial orders.
+
+The paper's semantic universe is built from complete partial orders (cpos);
+this module provides the plain partial-order layer: the ordering relation,
+upper bounds, least upper bounds, and chains (Section 3 of the paper).
+
+A partial order is represented *extensionally* by an object implementing
+:class:`PartialOrder`: a ``leq`` relation plus (optionally) an element
+universe used by validators and brute-force searches.  Elements themselves
+are ordinary Python values; the order object is passed around explicitly so
+the same value type can live in several orders (e.g. ``'T'`` is an element
+of both the flat boolean domain and a discrete order).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Optional, Sequence
+
+
+class PartialOrder(ABC):
+    """A partial order ``(D, ⊑)``.
+
+    Subclasses implement :meth:`leq`.  All other operations are derived.
+    """
+
+    #: Human-readable name used in reprs and error messages.
+    name: str = "poset"
+
+    @abstractmethod
+    def leq(self, x: Any, y: Any) -> bool:
+        """Return ``True`` iff ``x ⊑ y``."""
+
+    def lt(self, x: Any, y: Any) -> bool:
+        """Return ``True`` iff ``x ⊑ y`` and ``x ≠ y`` (strict order)."""
+        return self.leq(x, y) and not self.eq(x, y)
+
+    def eq(self, x: Any, y: Any) -> bool:
+        """Order-theoretic equality: ``x ⊑ y`` and ``y ⊑ x``.
+
+        For most concrete domains this coincides with ``==``, but domains
+        whose elements have non-canonical representations (e.g. lazy
+        sequences) may override it.
+        """
+        return self.leq(x, y) and self.leq(y, x)
+
+    def comparable(self, x: Any, y: Any) -> bool:
+        """Return ``True`` iff ``x ⊑ y`` or ``y ⊑ x``."""
+        return self.leq(x, y) or self.leq(y, x)
+
+    def is_upper_bound(self, z: Any, elements: Iterable[Any]) -> bool:
+        """Return ``True`` iff ``z`` is an upper bound of ``elements``.
+
+        Follows the paper's definition: ``z`` is an upper bound of a
+        nonempty set ``S`` iff ``x ⊑ z`` for every ``x`` in ``S``.
+        """
+        return all(self.leq(x, z) for x in elements)
+
+    def is_lub(self, z: Any, elements: Sequence[Any],
+               candidates: Iterable[Any]) -> bool:
+        """Return ``True`` iff ``z`` is the least upper bound of ``elements``.
+
+        ``candidates`` is the universe searched for competing upper bounds;
+        for infinite domains pass a representative finite sample.
+        """
+        if not self.is_upper_bound(z, elements):
+            return False
+        return all(
+            self.leq(z, y)
+            for y in candidates
+            if self.is_upper_bound(y, elements)
+        )
+
+    def lub_of_finite(self, elements: Sequence[Any]) -> Any:
+        """Least upper bound of a finite *chain*, i.e. its maximum.
+
+        Raises :class:`NotAChainError` if ``elements`` is not totally
+        ordered, and :class:`ValueError` if it is empty.
+        """
+        if not elements:
+            raise ValueError("lub of an empty collection is undefined")
+        best = elements[0]
+        for x in elements[1:]:
+            if self.leq(best, x):
+                best = x
+            elif not self.leq(x, best):
+                raise NotAChainError(
+                    f"{best!r} and {x!r} are incomparable in {self.name}"
+                )
+        return best
+
+    def is_chain(self, elements: Sequence[Any]) -> bool:
+        """Return ``True`` iff every pair of ``elements`` is comparable.
+
+        This is the paper's definition of a chain (Section 3).  The empty
+        collection is *not* a chain (the paper requires nonemptiness).
+        """
+        if not elements:
+            return False
+        return all(
+            self.comparable(x, y)
+            for i, x in enumerate(elements)
+            for y in elements[i + 1:]
+        )
+
+    def is_ascending(self, elements: Sequence[Any]) -> bool:
+        """Return ``True`` iff ``elements`` is a weakly ascending sequence."""
+        return all(
+            self.leq(a, b) for a, b in zip(elements, elements[1:])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NotAChainError(ValueError):
+    """Raised when an operation requiring a chain receives incomparables."""
+
+
+class DiscreteOrder(PartialOrder):
+    """The discrete order: ``x ⊑ y`` iff ``x == y``.
+
+    Useful as a degenerate base case in tests; it is not a cpo (no bottom)
+    unless it has exactly one element.
+    """
+
+    name = "discrete"
+
+    def leq(self, x: Any, y: Any) -> bool:
+        return bool(x == y)
+
+
+class DualOrder(PartialOrder):
+    """The opposite order of a given partial order."""
+
+    def __init__(self, base: PartialOrder):
+        self.base = base
+        self.name = f"dual({base.name})"
+
+    def leq(self, x: Any, y: Any) -> bool:
+        return self.base.leq(y, x)
+
+
+def maximal_elements(order: PartialOrder,
+                     elements: Sequence[Any]) -> list[Any]:
+    """Return the elements of ``elements`` not strictly below any other."""
+    result = []
+    for x in elements:
+        if not any(order.lt(x, y) for y in elements):
+            result.append(x)
+    return result
+
+
+def minimal_elements(order: PartialOrder,
+                     elements: Sequence[Any]) -> list[Any]:
+    """Return the elements of ``elements`` not strictly above any other."""
+    return maximal_elements(DualOrder(order), elements)
+
+
+def sort_chain(order: PartialOrder, elements: Sequence[Any]) -> list[Any]:
+    """Sort a chain into ascending order.
+
+    Raises :class:`NotAChainError` if the elements are not totally ordered.
+    """
+    result: list[Any] = []
+    for x in elements:
+        placed = False
+        for i, y in enumerate(result):
+            if order.leq(x, y):
+                result.insert(i, x)
+                placed = True
+                break
+            if not order.leq(y, x):
+                raise NotAChainError(
+                    f"{x!r} and {y!r} are incomparable in {order.name}"
+                )
+        if not placed:
+            result.append(x)
+    return result
+
+
+def find_lub(order: PartialOrder, elements: Sequence[Any],
+             universe: Iterable[Any]) -> Optional[Any]:
+    """Brute-force least upper bound of ``elements`` within ``universe``.
+
+    Returns ``None`` if no element of ``universe`` is a lub.  Intended for
+    small finite domains (tests, validators).
+    """
+    uppers = [z for z in universe if order.is_upper_bound(z, elements)]
+    for z in uppers:
+        if all(order.leq(z, y) for y in uppers):
+            return z
+    return None

@@ -1,0 +1,91 @@
+"""Product cpos.
+
+The paper combines multiple descriptions into one by pairing both sides
+(Note in Section 4): the codomain of the combined description is the
+cartesian product of the component codomains, ordered componentwise:
+
+    (x₁, …, xₙ) ⊑ (y₁, …, yₙ)   iff   xᵢ ⊑ yᵢ for every i.
+
+The product of cpos is again a cpo, with ``⊥ = (⊥₁, …, ⊥ₙ)`` and lubs
+computed componentwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence
+
+from repro.order.cpo import Cpo
+
+
+class ProductCpo(Cpo):
+    """The componentwise-ordered product of finitely many cpos."""
+
+    def __init__(self, components: Sequence[Cpo], name: str = ""):
+        if not components:
+            raise ValueError("a product cpo needs at least one component")
+        self.components: tuple[Cpo, ...] = tuple(components)
+        self.name = name or (
+            "×".join(c.name for c in self.components)
+        )
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    @property
+    def bottom(self) -> tuple[Any, ...]:
+        return tuple(c.bottom for c in self.components)
+
+    def _check(self, x: Any) -> tuple[Any, ...]:
+        if not isinstance(x, tuple) or len(x) != self.arity:
+            raise ValueError(
+                f"{x!r} is not a {self.arity}-tuple element of {self.name}"
+            )
+        return x
+
+    def leq(self, x: Any, y: Any) -> bool:
+        x = self._check(x)
+        y = self._check(y)
+        return all(
+            c.leq(a, b)
+            for c, a, b in zip(self.components, x, y)
+        )
+
+    def lub_chain(self, chain: Sequence[Any]) -> tuple[Any, ...]:
+        if not chain:
+            return self.bottom
+        columns = list(zip(*(self._check(x) for x in chain)))
+        return tuple(
+            c.lub_chain(list(col))
+            for c, col in zip(self.components, columns)
+        )
+
+    def eq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        x = self._check(x)
+        y = self._check(y)
+        return all(
+            c.eq_upto(a, b, depth)
+            for c, a, b in zip(self.components, x, y)
+        )
+
+    def leq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        x = self._check(x)
+        y = self._check(y)
+        return all(
+            c.leq_upto(a, b, depth)
+            for c, a, b in zip(self.components, x, y)
+        )
+
+    def project(self, x: Any, index: int) -> Any:
+        """The ``index``-th component of a product element."""
+        return self._check(x)[index]
+
+    def sample(self) -> list[Any]:
+        per_component = [c.sample()[:3] for c in self.components]
+        return [tuple(t) for t in itertools.product(*per_component)]
+
+
+def pair_cpo(left: Cpo, right: Cpo) -> ProductCpo:
+    """The binary product ``left × right``."""
+    return ProductCpo((left, right))

@@ -1,0 +1,34 @@
+"""The process catalog: §2's deterministic processes and §4's examples."""
+
+from repro.processes import (
+    chaos,
+    deterministic,
+    fair_random,
+    finite_ticks,
+    fork,
+    implication,
+    lossy,
+    merge,
+    random_bit,
+    random_number,
+    ticks,
+)
+from repro.processes.network import Network
+from repro.processes.process import DescribedProcess, Process
+
+__all__ = [
+    "DescribedProcess",
+    "Network",
+    "Process",
+    "chaos",
+    "deterministic",
+    "fair_random",
+    "finite_ticks",
+    "fork",
+    "implication",
+    "lossy",
+    "merge",
+    "random_bit",
+    "random_number",
+    "ticks",
+]

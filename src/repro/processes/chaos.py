@@ -1,0 +1,39 @@
+"""CHAOS (§4.1): the process that may send anything on its channel.
+
+The paper *derives* the description: if every trace is to be a smooth
+solution of ``f ⟵ g``, then ``f`` must be constant (``f(u) = f(v)``
+along every edge), and by the limit condition ``g`` equals the same
+constant.  Hence CHAOS is ``K ⟵ K`` for any constant ``K``; we use the
+bottom of the sequence cpo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import ConstFn
+from repro.processes.process import DescribedProcess
+from repro.seq.finite import EMPTY
+from repro.seq.ordering import SequenceCpo
+
+DEFAULT_ALPHABET: frozenset[Any] = frozenset({0, 1})
+
+
+def chaos_description(constant: Any = EMPTY) -> Description:
+    """``K ⟵ K`` — every trace is a smooth solution."""
+    cpo = SequenceCpo()
+    k = ConstFn(constant, cpo, name="K")
+    return Description(k, k, name="K ⟵ K")
+
+
+def make(channel: Optional[Channel] = None,
+         alphabet: Iterable[Any] = DEFAULT_ALPHABET
+         ) -> DescribedProcess:
+    """The CHAOS process on ``channel`` (default: fresh ``b``)."""
+    b = channel or Channel("b", alphabet=alphabet)
+    system = DescriptionSystem(
+        [chaos_description()], channels=[b], name="CHAOS"
+    )
+    return DescribedProcess("CHAOS", [b], system)

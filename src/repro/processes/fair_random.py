@@ -1,0 +1,67 @@
+"""Fair random sequence (§4.7): infinitely many ``T``s *and* ``F``s.
+
+Description:
+
+    TRUE(c)  ⟵ trues
+    FALSE(c) ⟵ falses
+
+Every smooth solution is an infinite bit sequence whose ``T``
+subsequence is ``T^ω`` and whose ``F`` subsequence is ``F^ω`` — i.e.
+both bits occur infinitely often.  This is the fairness primitive out of
+which §4.8 (finite ticks) and §4.9 (random number) are built.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import ConstFn, chan
+from repro.functions.seq_fns import false_of, true_of
+from repro.processes.process import DescribedProcess
+from repro.seq.builders import repeat
+from repro.seq.ordering import SequenceCpo
+from repro.traces.trace import Trace
+
+
+def fair_random_descriptions(c: Channel) -> list[Description]:
+    trues = ConstFn(repeat("T", name="trues"), SequenceCpo(),
+                    name="trues")
+    falses = ConstFn(repeat("F", name="falses"), SequenceCpo(),
+                     name="falses")
+    return [
+        Description(true_of(chan(c)), trues,
+                    name=f"TRUE({c.name}) ⟵ trues"),
+        Description(false_of(chan(c)), falses,
+                    name=f"FALSE({c.name}) ⟵ falses"),
+    ]
+
+
+def make(channel: Optional[Channel] = None) -> DescribedProcess:
+    c = channel or Channel("c", alphabet={"T", "F"})
+    system = DescriptionSystem(
+        fair_random_descriptions(c), channels=[c],
+        name="FairRandomSequence",
+    )
+    return DescribedProcess("FairRandomSequence", [c], system)
+
+
+def bit_trace(channel: Channel, bits: Iterable[str],
+              then_alternate: bool = True,
+              name: str = "bits") -> Trace:
+    """A lazy trace emitting the given bits, then alternating ``T F``
+    forever (which keeps both subsequences infinite — fair)."""
+    import itertools
+
+    prefix = tuple(bits)
+
+    def gen():
+        for x in prefix:
+            yield Event(channel, x)
+        if then_alternate:
+            for x in itertools.cycle(("T", "F")):
+                yield Event(channel, x)
+
+    return Trace.lazy(gen(), name=name)

@@ -1,0 +1,70 @@
+"""Finite sequence of ticks (§4.8): some finite number of ``T``s, halt.
+
+The interest of this process is the fairness property it encodes:
+``(d,T)^i`` is a trace for *every* ``i ≥ 0``, yet the infinite
+``(d,T)^ω`` is not — a property no single Kahn function can express.
+
+Implementation: an auxiliary fair random sequence ``c`` (§4.7) is
+copied to ``d`` up to (not including) its first ``F``:
+
+    TRUE(c) ⟵ trues ,  FALSE(c) ⟵ falses ,  d ⟵ g(c)
+
+where ``g`` takes the longest ``F``-free prefix.  Since ``c`` must
+contain an ``F`` (indeed infinitely many), ``d`` is always finite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan
+from repro.functions.seq_fns import until_first_f_of
+from repro.processes.fair_random import bit_trace, fair_random_descriptions
+from repro.processes.process import DescribedProcess
+from repro.traces.trace import Trace
+
+
+def make(d: Optional[Channel] = None) -> DescribedProcess:
+    d = d or Channel("d", alphabet={"T"})
+    c = Channel("c_ticks", alphabet={"T", "F"}, auxiliary=True)
+    descriptions = fair_random_descriptions(c) + [
+        Description(chan(d), until_first_f_of(chan(c)),
+                    name=f"{d.name} ⟵ g({c.name})"),
+    ]
+    system = DescriptionSystem(descriptions, channels=[c, d],
+                               name="FiniteTicks")
+    return DescribedProcess(
+        "FiniteTicks", [c, d], system,
+        witness_fn=lambda t: witness(t, c, d),
+    )
+
+
+def witness(t: Trace, c: Channel, d: Channel) -> Optional[Trace]:
+    """An infinite smooth solution projecting to the visible ``(d,T)^i``.
+
+    Shape: ``(c,T)(d,T)`` repeated ``i`` times, then ``(c,F)`` and a fair
+    ``T/F`` alternation on ``c`` forever.  Any other visible trace has no
+    witness.
+    """
+    from repro.channels.event import Event
+
+    if not t.is_known_finite():
+        return None  # (d,T)^ω and friends are not traces (see tests)
+    i = t.length()
+    if any(ev.channel != d or ev.message != "T" for ev in t):
+        return None
+
+    def gen():
+        for _ in range(i):
+            yield Event(c, "T")
+            yield Event(d, "T")
+        yield Event(c, "F")
+        tail = bit_trace(c, (), then_alternate=True)
+        k = 0
+        while True:
+            yield tail.item(k)
+            k += 1
+
+    return Trace.lazy(gen(), name=f"finite-ticks-witness({i})")

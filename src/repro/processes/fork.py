@@ -1,0 +1,168 @@
+"""Fork (§4.6): route every input to one of two outputs, no fairness.
+
+Implementation (Figure 6): an auxiliary infinite random-bit *oracle*
+``b`` decides, per input item, whether it goes to ``d`` (bit ``T``) or
+``e`` (bit ``F``).  Descriptions:
+
+    R(b) ⟵ trues ,   d ⟵ g(c, b) ,   e ⟵ h(c, b)
+
+where ``g``/``h`` select the input elements at the oracle's ``T``/``F``
+positions.  (The oracle is Park's trick [1982] for expressing
+nondeterministic routing with continuous functions.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import ConstFn, chan
+from repro.functions.logic import r_of
+from repro.functions.seq_fns import select_of
+from repro.processes.process import DescribedProcess
+from repro.seq.builders import repeat
+from repro.seq.ordering import SequenceCpo
+
+DEFAULT_ALPHABET = frozenset({0, 1, 2})
+
+
+def oracle_description(b: Channel) -> Description:
+    """``R(b) ⟵ trues``: an unending supply of random bits (§4.4 with a
+    tick source already applied)."""
+    trues = ConstFn(repeat("T", name="trues"), SequenceCpo(),
+                    name="trues")
+    return Description(r_of(chan(b)), trues,
+                       name=f"R({b.name}) ⟵ trues")
+
+
+def fork_descriptions(b: Channel, c: Channel, d: Channel,
+                      e: Channel) -> list[Description]:
+    return [
+        oracle_description(b),
+        Description(chan(d), select_of(chan(c), chan(b), "T"),
+                    name=f"{d.name} ⟵ g({c.name},{b.name})"),
+        Description(chan(e), select_of(chan(c), chan(b), "F"),
+                    name=f"{e.name} ⟵ h({c.name},{b.name})"),
+    ]
+
+
+def make(c: Optional[Channel] = None, d: Optional[Channel] = None,
+         e: Optional[Channel] = None,
+         alphabet: Iterable[Any] = DEFAULT_ALPHABET
+         ) -> DescribedProcess:
+    c = c or Channel("c", alphabet=alphabet)
+    d = d or Channel("d", alphabet=alphabet)
+    e = e or Channel("e", alphabet=alphabet)
+    b = Channel("b_fork", alphabet={"T", "F"}, auxiliary=True)
+    system = DescriptionSystem(
+        fork_descriptions(b, c, d, e),
+        channels=[b, c, d, e], name="Fork",
+    )
+    return DescribedProcess(
+        "Fork", [b, c, d, e], system,
+        witness_fn=lambda t: witness(t, b, c, d, e),
+    )
+
+
+def route(t: "Trace", c: Channel, d: Channel,
+          e: Channel) -> Optional[list[str]]:
+    """Find oracle bits routing ``c``'s items to the ``d``/``e`` outputs
+    observed in a finite visible trace, or ``None`` if impossible.
+
+    Constraints encoded: outputs preserve input order per side, each
+    output event follows its input event, and (quiescence) every input
+    is routed.  Resolved by depth-first search over the (few) ambiguous
+    assignments.
+    """
+    events = list(t)
+    n_inputs = sum(1 for ev in events if ev.channel == c)
+
+    def go(k: int, pending: tuple[tuple[int, Any], ...],
+           received: int,
+           bits: dict[int, str]) -> Optional[dict[int, str]]:
+        if k == len(events):
+            return dict(bits) if not pending else None
+        event = events[k]
+        if event.channel == c:
+            return go(k + 1,
+                      pending + ((received, event.message),),
+                      received + 1, bits)
+        want = "T" if event.channel == d else "F"
+        last_same = max(
+            (i for i, bit in bits.items() if bit == want), default=-1
+        )
+        for slot, (idx, msg) in enumerate(pending):
+            if msg != event.message or idx <= last_same:
+                continue
+            new_bits = dict(bits)
+            new_bits[idx] = want
+            rest = pending[:slot] + pending[slot + 1:]
+            found = go(k + 1, rest, received, new_bits)
+            if found is not None:
+                return found
+        return None
+
+    assignment = go(0, (), 0, {})
+    if assignment is None:
+        return None
+    return [assignment[i] for i in range(n_inputs)]
+
+
+def witness(t: "Trace", b: Channel, c: Channel, d: Channel,
+            e: Channel) -> Optional["Trace"]:
+    """An infinite smooth solution of the Fork description projecting to
+    the finite visible trace ``t`` — or ``None`` when ``t`` is not a
+    Fork trace.
+
+    Oracle bits are emitted in index order just before they are needed;
+    after the visible events the oracle is padded with ``T`` forever
+    (``R(b) ⟵ trues`` forces every smooth solution to be infinite)."""
+    import itertools
+
+    from repro.channels.event import Event as Ev
+    from repro.traces.trace import Trace as Tr
+
+    if not t.is_known_finite():
+        return None
+    bits = route(t, c, d, e)
+    if bits is None:
+        return None
+    events = list(t)
+    input_index_of_output = _match_outputs_to_inputs(events, c, d, e,
+                                                     bits)
+
+    def gen():
+        emitted_bits = 0
+        for k, event in enumerate(events):
+            if event.channel in (d, e):
+                need = input_index_of_output[k] + 1
+                while emitted_bits < need:
+                    yield Ev(b, bits[emitted_bits])
+                    emitted_bits += 1
+            yield event
+        while emitted_bits < len(bits):
+            yield Ev(b, bits[emitted_bits])
+            emitted_bits += 1
+        for _ in itertools.count():
+            yield Ev(b, "T")
+
+    return Tr.lazy(gen(), name="fork-witness")
+
+
+def _match_outputs_to_inputs(events: list, c: Channel, d: Channel,
+                             e: Channel,
+                             bits: list[str]) -> dict[int, int]:
+    """Map each output event position to the input index it carries."""
+    t_indices = [i for i, bit in enumerate(bits) if bit == "T"]
+    f_indices = [i for i, bit in enumerate(bits) if bit == "F"]
+    out: dict[int, int] = {}
+    ti = fi = 0
+    for k, event in enumerate(events):
+        if event.channel == d:
+            out[k] = t_indices[ti]
+            ti += 1
+        elif event.channel == e:
+            out[k] = f_indices[fi]
+            fi += 1
+    return out

@@ -1,0 +1,64 @@
+"""Implication (§4.5): receive at most one bit, answer after receiving.
+
+Output ``F`` if the input is ``F``; arbitrary otherwise.  Quiescent
+traces (over ``c``, ``d``):
+
+    ⊥    (c,T)(d,T)    (c,T)(d,F)    (c,F)(d,F)
+
+The description uses the Figure-5 implementation: an auxiliary random
+bit ``b`` (§4.3) is ANDed with the input —
+
+    R(b) ⟵ T̄ ,   d ⟵ b AND c
+
+The §4.5 reader exercises are reproduced in the tests: ``d ⟵ c AND d``
+is *not* a description of this process (it admits spurious smooth
+solutions), and a non-strict AND changes the trace set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan
+from repro.functions.logic import and_of
+from repro.processes.process import DescribedProcess
+from repro.processes.random_bit import random_bit_description
+from repro.traces.trace import Trace
+
+BITS = frozenset({"T", "F"})
+
+
+def implication_descriptions(b: Channel, c: Channel,
+                             d: Channel) -> list[Description]:
+    """``R(b) ⟵ T̄`` and ``d ⟵ b AND c`` (Figure 5)."""
+    return [
+        random_bit_description(b),
+        Description(
+            chan(d), and_of(chan(b), chan(c)),
+            name=f"{d.name} ⟵ {b.name} AND {c.name}",
+        ),
+    ]
+
+
+def make(c: Optional[Channel] = None,
+         d: Optional[Channel] = None) -> DescribedProcess:
+    c = c or Channel("c", alphabet=BITS)
+    d = d or Channel("d", alphabet=BITS)
+    b = Channel("b_impl", alphabet=BITS, auxiliary=True)
+    system = DescriptionSystem(
+        implication_descriptions(b, c, d),
+        channels=[b, c, d], name="Implication",
+    )
+    return DescribedProcess("Implication", [b, c, d], system)
+
+
+def expected_traces(c: Channel, d: Channel) -> set[Trace]:
+    """The four quiescent traces listed in §4.5."""
+    return {
+        Trace.empty(),
+        Trace.from_pairs([(c, "T"), (d, "T")]),
+        Trace.from_pairs([(c, "T"), (d, "F")]),
+        Trace.from_pairs([(c, "F"), (d, "F")]),
+    }

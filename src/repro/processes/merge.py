@@ -1,0 +1,204 @@
+"""Merge processes: ``dfm`` (§2.2) and the general fair merge (§4.10).
+
+``dfm`` — discriminated fair merge — takes even integers on ``b``, odd
+integers on ``c``, and fairly merges them onto ``d``:
+
+    even(d) ⟵ b ,   odd(d) ⟵ c
+
+The discrimination (parity) lets the inputs be recovered from the
+output, so no auxiliary channel is needed; nondeterminism (the merge
+order) and fairness (every input eventually appears) are both captured.
+
+The general fair merge (Figure 7) removes the discrimination by tagging:
+processes A/B tag inputs with 0/1, process D performs a discriminated
+merge on the tags, and C strips tags:
+
+    c' ⟵ t0(c) ,  d' ⟵ t1(d) ,
+    ZERO(b) ⟵ c' ,  ONE(b) ⟵ d' ,
+    e ⟵ r(b)
+
+with auxiliary channels ``b, c', d'``.  §4.10 then eliminates ``c'`` and
+``d'`` (justified by §7):
+
+    ZERO(b) ⟵ t0(c) ,  ONE(b) ⟵ t1(d) ,  e ⟵ r(b)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan
+from repro.functions.seq_fns import (
+    even_of,
+    odd_of,
+    tag_of,
+    tagged_of,
+    untag_of,
+)
+from repro.processes.process import DescribedProcess
+from repro.traces.trace import Trace
+
+EVENS = frozenset({0, 2, 4})
+ODDS = frozenset({1, 3, 5})
+
+
+# ---------------------------------------------------------------------------
+# dfm (§2.2)
+# ---------------------------------------------------------------------------
+
+def dfm_descriptions(b: Channel, c: Channel,
+                     d: Channel) -> list[Description]:
+    """``even(d) ⟵ b , odd(d) ⟵ c``."""
+    return [
+        Description(even_of(chan(d)), chan(b),
+                    name=f"even({d.name}) ⟵ {b.name}"),
+        Description(odd_of(chan(d)), chan(c),
+                    name=f"odd({d.name}) ⟵ {c.name}"),
+    ]
+
+
+def make_dfm(b: Optional[Channel] = None, c: Optional[Channel] = None,
+             d: Optional[Channel] = None,
+             evens: Iterable[int] = EVENS,
+             odds: Iterable[int] = ODDS) -> DescribedProcess:
+    evens, odds = frozenset(evens), frozenset(odds)
+    b = b or Channel("b", alphabet=evens)
+    c = c or Channel("c", alphabet=odds)
+    d = d or Channel("d", alphabet=evens | odds)
+    system = DescriptionSystem(
+        dfm_descriptions(b, c, d), channels=[b, c, d], name="dfm"
+    )
+    return DescribedProcess("dfm", [b, c, d], system)
+
+
+# ---------------------------------------------------------------------------
+# Fair merge (§4.10, Figure 7)
+# ---------------------------------------------------------------------------
+
+def fair_merge_descriptions_full(
+        c: Channel, d: Channel, e: Channel,
+        b: Channel, c1: Channel, d1: Channel) -> list[Description]:
+    """The five descriptions of the Figure-7 implementation."""
+    return [
+        Description(chan(c1), tag_of(0, chan(c)),
+                    name=f"{c1.name} ⟵ t0({c.name})"),
+        Description(chan(d1), tag_of(1, chan(d)),
+                    name=f"{d1.name} ⟵ t1({d.name})"),
+        Description(tagged_of(0, chan(b)), chan(c1),
+                    name=f"ZERO({b.name}) ⟵ {c1.name}"),
+        Description(tagged_of(1, chan(b)), chan(d1),
+                    name=f"ONE({b.name}) ⟵ {d1.name}"),
+        Description(chan(e), untag_of(chan(b)),
+                    name=f"{e.name} ⟵ r({b.name})"),
+    ]
+
+
+def fair_merge_descriptions(c: Channel, d: Channel, e: Channel,
+                            b: Channel) -> list[Description]:
+    """The post-elimination system of §4.10 (c', d' removed)."""
+    return [
+        Description(tagged_of(0, chan(b)), tag_of(0, chan(c)),
+                    name=f"ZERO({b.name}) ⟵ t0({c.name})"),
+        Description(tagged_of(1, chan(b)), tag_of(1, chan(d)),
+                    name=f"ONE({b.name}) ⟵ t1({d.name})"),
+        Description(chan(e), untag_of(chan(b)),
+                    name=f"{e.name} ⟵ r({b.name})"),
+    ]
+
+
+def make_fair_merge(c: Optional[Channel] = None,
+                    d: Optional[Channel] = None,
+                    e: Optional[Channel] = None,
+                    alphabet: Iterable[Any] = frozenset({0, 1, 2}),
+                    full_network: bool = False) -> DescribedProcess:
+    """The fair merge process.
+
+    With ``full_network=True`` the five-description Figure-7 system is
+    used (auxiliary ``b``, ``c'``, ``d'``); otherwise the eliminated
+    three-description system (auxiliary ``b`` only).
+    """
+    alphabet = frozenset(alphabet)
+    tag_alphabet = frozenset(
+        {(0, m) for m in alphabet} | {(1, m) for m in alphabet}
+    )
+    c = c or Channel("c", alphabet=alphabet)
+    d = d or Channel("d", alphabet=alphabet)
+    e = e or Channel("e", alphabet=alphabet)
+    b = Channel("b_merge", alphabet=tag_alphabet, auxiliary=True)
+    if full_network:
+        c1 = Channel("c'", alphabet=tag_alphabet, auxiliary=True)
+        d1 = Channel("d'", alphabet=tag_alphabet, auxiliary=True)
+        descriptions = fair_merge_descriptions_full(c, d, e, b, c1, d1)
+        channels = [b, c, c1, d, d1, e]
+    else:
+        descriptions = fair_merge_descriptions(c, d, e, b)
+        channels = [b, c, d, e]
+    system = DescriptionSystem(descriptions, channels=channels,
+                               name="FairMerge")
+    return DescribedProcess(
+        "FairMerge", channels, system,
+        witness_fn=(None if full_network
+                    else (lambda t: witness(t, b, c, d, e))),
+    )
+
+
+def route(t: Trace, c: Channel, d: Channel,
+          e: Channel) -> Optional[list[int]]:
+    """Assign each output item of a finite visible trace to input ``c``
+    (tag 0) or ``d`` (tag 1), or ``None`` if no assignment exists.
+
+    Constraints: outputs preserve each input's order, each output
+    follows its input event, and (quiescence, by ``e ⟵ r(b)`` plus the
+    ZERO/ONE limit conditions) every input is eventually output.
+    """
+    events = list(t)
+
+    def go(k: int, pend_c: tuple, pend_d: tuple,
+           tags: tuple[int, ...]) -> Optional[tuple[int, ...]]:
+        if k == len(events):
+            return tags if not pend_c and not pend_d else None
+        event = events[k]
+        if event.channel == c:
+            return go(k + 1, pend_c + (event.message,), pend_d, tags)
+        if event.channel == d:
+            return go(k + 1, pend_c, pend_d + (event.message,), tags)
+        # output event: must match the head of one pending input queue
+        # (heads only: each side's items appear on e in arrival order).
+        if pend_c and pend_c[0] == event.message:
+            found = go(k + 1, pend_c[1:], pend_d, tags + (0,))
+            if found is not None:
+                return found
+        if pend_d and pend_d[0] == event.message:
+            found = go(k + 1, pend_c, pend_d[1:], tags + (1,))
+            if found is not None:
+                return found
+        return None
+
+    result = go(0, (), (), ())
+    return None if result is None else list(result)
+
+
+def witness(t: Trace, b: Channel, c: Channel, d: Channel,
+            e: Channel) -> Optional[Trace]:
+    """A finite smooth solution of the eliminated §4.10 system that
+    projects to the finite visible trace ``t``: insert the tagged
+    ``b``-event immediately before each output event."""
+    from repro.channels.event import Event
+
+    if not t.is_known_finite():
+        return None
+    tags = route(t, c, d, e)
+    if tags is None:
+        return None
+
+    def gen():
+        out_index = 0
+        for event in t:
+            if event.channel == e:
+                yield Event(b, (tags[out_index], event.message))
+                out_index += 1
+            yield event
+
+    return Trace.finite(gen(), name="fair-merge-witness")

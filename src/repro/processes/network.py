@@ -1,0 +1,73 @@
+"""Networks of processes (§3.1.2) and their composed descriptions (§5)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.channels.channel import Channel
+from repro.core.composition import Component, ComposedNetwork
+from repro.core.description import DEFAULT_DEPTH, DescriptionSystem
+from repro.processes.process import DescribedProcess, Process
+from repro.traces.trace import Trace
+
+
+class Network(Process):
+    """A finite collection of component processes, itself a process.
+
+    The incident channels are the union of the components'; ``t`` is a
+    network trace iff ``tᵢ`` is a trace of component ``i`` for every
+    ``i`` (§3.1.2).
+    """
+
+    def __init__(self, processes: Iterable[Process],
+                 name: str = "network"):
+        self.processes = list(processes)
+        if not self.processes:
+            raise ValueError("a network needs at least one process")
+        channels: frozenset[Channel] = frozenset()
+        for p in self.processes:
+            channels |= p.channels
+        super().__init__(name, channels,
+                         is_trace=lambda t: self.is_trace(t))
+
+    def is_trace(self, t: Trace, depth: int = DEFAULT_DEPTH) -> bool:
+        return all(
+            p.is_trace(t.project(p.channels), depth)
+            for p in self.processes
+        )
+
+    def described_components(self) -> list[DescribedProcess]:
+        out = []
+        for p in self.processes:
+            if not isinstance(p, DescribedProcess):
+                raise TypeError(
+                    f"component {p.name!r} has no description"
+                )
+            out.append(p)
+        return out
+
+    def composed(self) -> ComposedNetwork:
+        """The Theorem 2 composition of the components' descriptions."""
+        return ComposedNetwork(
+            [
+                Component(
+                    name=p.name,
+                    channels=p.channels,
+                    description=p.description(),
+                )
+                for p in self.described_components()
+            ],
+            name=self.name,
+        )
+
+    def system(self) -> DescriptionSystem:
+        """All component descriptions pooled into one system."""
+        descriptions = []
+        for p in self.described_components():
+            descriptions.extend(p.system.descriptions)
+        return DescriptionSystem(descriptions, self.channels,
+                                 name=self.name)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(p.name for p in self.processes)
+        return f"Network({self.name!r}: [{parts}])"

@@ -1,0 +1,200 @@
+"""Processes as trace sets, specified by descriptions (§3.1–§3.2, §8.2).
+
+A process is (1) a set of incident channels and (2) a set of quiescent
+traces over them.  A :class:`DescribedProcess` obtains its trace set
+from a description system: the traces are the smooth solutions —
+projected onto the non-auxiliary incident channels when the description
+introduces auxiliary channels (§8.2's semantics).
+
+Trace-set membership for described processes:
+
+* with no auxiliary channels, ``t`` is a trace iff ``t`` is a smooth
+  solution (decidable for finite ``t``, bounded for lazy ``t``);
+* with auxiliary channels, membership is existential ("some smooth
+  solution projects to ``t``"), realized by bounded solver enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.channels.channel import Channel, non_auxiliary
+from repro.core.description import (
+    DEFAULT_DEPTH,
+    Description,
+    DescriptionSystem,
+)
+from repro.core.solver import (
+    CandidateFn,
+    SmoothSolutionSolver,
+    alphabet_candidates,
+)
+from repro.traces.trace import Trace
+
+
+class Process:
+    """A process given extensionally: channels plus a trace predicate."""
+
+    def __init__(self, name: str, channels: Iterable[Channel],
+                 is_trace: Callable[[Trace], bool]):
+        self.name = name
+        self.channels = frozenset(channels)
+        self._is_trace = is_trace
+
+    def is_trace(self, t: Trace, depth: int = DEFAULT_DEPTH) -> bool:
+        del depth
+        return self._is_trace(t)
+
+    def project(self, t: Trace) -> Trace:
+        return t.project(self.channels)
+
+    def __repr__(self) -> str:
+        chans = ",".join(sorted(c.name for c in self.channels))
+        return f"Process({self.name!r}: {chans})"
+
+
+class DescribedProcess(Process):
+    """A process whose trace set is given by a description system."""
+
+    def __init__(self, name: str, channels: Iterable[Channel],
+                 system: DescriptionSystem,
+                 candidates: Optional[CandidateFn] = None,
+                 aux_search_slack: int = 2,
+                 witness_fn: Optional[
+                     Callable[[Trace], Optional[Trace]]] = None):
+        self.system = system
+        self.candidates = candidates
+        #: For membership with auxiliary channels: how many auxiliary
+        #: events to allow per visible event (plus a constant) when
+        #: searching for a witnessing smooth solution.
+        self.aux_search_slack = aux_search_slack
+        #: Optional constructive witness: visible trace ↦ candidate
+        #: smooth solution projecting to it (or ``None``).  Needed when
+        #: the smooth solutions are all infinite (e.g. oracle-driven
+        #: processes like Fork, whose description forces an infinite
+        #: auxiliary channel), where solver enumeration cannot decide
+        #: membership of finite visible traces.
+        self.witness_fn = witness_fn
+        all_channels = frozenset(channels)
+        super().__init__(
+            name, all_channels,
+            is_trace=lambda t: self.is_trace(t),
+        )
+
+    @property
+    def visible_channels(self) -> frozenset[Channel]:
+        """Incident non-auxiliary channels — where traces live (§8.2)."""
+        return non_auxiliary(self.channels)
+
+    @property
+    def auxiliary_channels(self) -> frozenset[Channel]:
+        return self.channels - self.visible_channels
+
+    def description(self) -> Description:
+        return self.system.combined()
+
+    def _candidates(self) -> CandidateFn:
+        if self.candidates is not None:
+            return self.candidates
+        return alphabet_candidates(self.channels)
+
+    def solver(self, limit_depth: int = DEFAULT_DEPTH
+               ) -> SmoothSolutionSolver:
+        return SmoothSolutionSolver(
+            self.description(), self._candidates(),
+            limit_depth=limit_depth,
+        )
+
+    # -- trace-set membership ---------------------------------------------
+
+    def is_trace(self, t: Trace, depth: int = DEFAULT_DEPTH) -> bool:
+        """Is ``t`` (over the visible channels) a quiescent trace?
+
+        Exact for finite ``t`` without auxiliary channels; for auxiliary
+        channels the existential is resolved by bounded enumeration —
+        sound, and complete whenever a witnessing smooth solution exists
+        within ``(slack + 1)·|t| + slack`` events (use
+        :meth:`is_trace_within` directly to widen the search, e.g. for
+        the §4.9 random-number process where the auxiliary event count
+        grows with the *message value*, not the trace length).
+        """
+        if not self.auxiliary_channels:
+            return self.description().is_smooth_solution(t, depth)
+        if self.witness_fn is not None:
+            candidate = self.witness_fn(t)
+            if candidate is None:
+                return False
+            return self._witness_checks_out(candidate, t, depth)
+        if not t.is_known_finite():
+            raise ValueError(
+                "membership with auxiliary channels is only implemented "
+                "for finite traces"
+            )
+        slack = self.aux_search_slack
+        return self.is_trace_within(
+            t, search_depth=(slack + 1) * t.length() + slack
+        )
+
+    def _witness_checks_out(self, candidate: Trace, t: Trace,
+                            depth: int) -> bool:
+        return (
+            self._projects_to(candidate, t, depth)
+            and self.description().is_smooth_solution(candidate, depth)
+        )
+
+    def _projects_to(self, candidate: Trace, t: Trace,
+                     depth: int, scan_cap: int = 100_000) -> bool:
+        """Does the candidate's visible projection equal finite ``t``?
+
+        Scans the (possibly infinite) candidate event-by-event: all of
+        ``t``'s events must appear, in order, and no extra visible event
+        may follow within ``depth`` further events (beyond that, the
+        description's limit condition pins the visible content).
+        """
+        if not t.is_known_finite():
+            raise ValueError("witness comparison needs finite t")
+        visible = self.visible_channels
+        want = list(t)
+        matched = 0
+        extra_scan = 0
+        i = 0
+        while i < scan_cap:
+            try:
+                event = candidate.item(i)
+            except IndexError:
+                return matched == len(want)
+            i += 1
+            if event.channel in visible:
+                if matched < len(want):
+                    if event != want[matched]:
+                        return False
+                    matched += 1
+                else:
+                    return False  # surplus visible event
+            elif matched == len(want):
+                extra_scan += 1
+                if extra_scan >= depth:
+                    return True
+        return matched == len(want)
+
+    def is_trace_within(self, t: Trace, search_depth: int) -> bool:
+        """Existential membership via solver enumeration to a depth."""
+        visible = self.visible_channels
+        result = self.solver().explore(search_depth)
+        return any(
+            s.project(visible) == t for s in result.finite_solutions
+        )
+
+    def traces_upto(self, depth: int,
+                    limit_depth: int = DEFAULT_DEPTH) -> set[Trace]:
+        """All finite quiescent traces reachable within ``depth`` solver
+        steps, projected onto the visible channels."""
+        result = self.solver(limit_depth).explore(depth)
+        visible = self.visible_channels
+        return {s.project(visible) for s in result.finite_solutions}
+
+    def smooth_solutions_upto(self, depth: int,
+                              limit_depth: int = DEFAULT_DEPTH
+                              ) -> list[Trace]:
+        """Unprojected finite smooth solutions (including auxiliaries)."""
+        return self.solver(limit_depth).explore(depth).finite_solutions

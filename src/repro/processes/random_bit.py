@@ -1,0 +1,62 @@
+"""Random bit (§4.3) and random bit sequence (§4.4).
+
+§4.3: a process with output channel ``b`` that sends one bit (``T`` or
+``F``) and halts.  Description: ``R(b) ⟵ T̄`` where ``R`` maps both bits
+to ``T``.  The smooth solutions are exactly ``(b,T)`` and ``(b,F)`` —
+note how applying the information-discarding ``R`` on the *left* turns
+an equation into a nondeterministic choice.
+
+§4.4: with an input channel ``c`` of ticks, ``R(b) ⟵ c`` produces one
+fresh random bit per tick.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan, const_seq
+from repro.functions.logic import r_of
+from repro.processes.process import DescribedProcess
+from repro.seq.finite import fseq
+
+BIT_ALPHABET = frozenset({"T", "F"})
+
+
+def random_bit_description(b: Channel) -> Description:
+    """``R(b) ⟵ T̄`` (one bit, then halt)."""
+    return Description(
+        r_of(chan(b)), const_seq(fseq("T"), name="T̄"),
+        name=f"R({b.name}) ⟵ T̄",
+    )
+
+
+def random_bit_sequence_description(b: Channel,
+                                    c: Channel) -> Description:
+    """``R(b) ⟵ c`` (one random bit per tick received on ``c``)."""
+    return Description(
+        r_of(chan(b)), chan(c),
+        name=f"R({b.name}) ⟵ {c.name}",
+    )
+
+
+def make(channel: Optional[Channel] = None) -> DescribedProcess:
+    """The §4.3 single random bit process."""
+    b = channel or Channel("b", alphabet=BIT_ALPHABET)
+    system = DescriptionSystem(
+        [random_bit_description(b)], channels=[b], name="RandomBit"
+    )
+    return DescribedProcess("RandomBit", [b], system)
+
+
+def make_sequence(b: Optional[Channel] = None,
+                  c: Optional[Channel] = None) -> DescribedProcess:
+    """The §4.4 random bit sequence process (input ``c``: ticks)."""
+    b = b or Channel("b", alphabet=BIT_ALPHABET)
+    c = c or Channel("c", alphabet={"T"})
+    system = DescriptionSystem(
+        [random_bit_sequence_description(b, c)],
+        channels=[b, c], name="RandomBitSequence",
+    )
+    return DescribedProcess("RandomBitSequence", [b, c], system)

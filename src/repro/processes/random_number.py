@@ -1,0 +1,70 @@
+"""Random number (§4.9): output one arbitrary natural number, halt.
+
+Implementation: count the ``T``s of an auxiliary fair random sequence
+``c`` (§4.7) up to its first ``F``, then output the count:
+
+    TRUE(c) ⟵ trues ,  FALSE(c) ⟵ falses ,  d ⟵ h(c)
+
+Every natural number is a possible output (choose a ``c`` starting with
+that many ``T``s), and exactly one number is ever output (``c`` has an
+``F``; the count is then frozen) — unbounded nondeterminism from a
+finite description, which is the §4.9 punchline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan
+from repro.functions.seq_fns import count_ticks_of
+from repro.processes.fair_random import fair_random_descriptions
+from repro.processes.process import DescribedProcess
+from repro.traces.trace import Trace
+
+
+def make(d: Optional[Channel] = None) -> DescribedProcess:
+    d = d or Channel("d")  # alphabet: all naturals — unconstrained
+    c = Channel("c_count", alphabet={"T", "F"}, auxiliary=True)
+    descriptions = fair_random_descriptions(c) + [
+        Description(chan(d), count_ticks_of(chan(c)),
+                    name=f"{d.name} ⟵ h({c.name})"),
+    ]
+    system = DescriptionSystem(descriptions, channels=[c, d],
+                               name="RandomNumber")
+    return DescribedProcess(
+        "RandomNumber", [c, d], system,
+        witness_fn=lambda t: witness(t, c, d),
+    )
+
+
+def witness(t: Trace, c: Channel, d: Channel) -> Optional[Trace]:
+    """A smooth solution projecting to the visible trace ``(d, n)``.
+
+    Shape: ``(c,T)^n (c,F) (d,n)`` then fair alternation on ``c``.
+    The empty visible trace is *not* a trace of this process: every
+    smooth solution contains an ``F`` on ``c``, after which the output
+    is forced — the process always outputs exactly one number.
+    """
+    import itertools
+
+    from repro.channels.event import Event
+
+    if not t.is_known_finite() or t.length() != 1:
+        return None
+    event = t.item(0)
+    if event.channel != d or not isinstance(event.message, int) \
+            or event.message < 0:
+        return None
+    n = event.message
+
+    def gen():
+        for _ in range(n):
+            yield Event(c, "T")
+        yield Event(c, "F")
+        yield Event(d, n)
+        for bit in itertools.cycle(("T", "F")):
+            yield Event(c, bit)
+
+    return Trace.lazy(gen(), name=f"random-number-witness({n})")

@@ -1,0 +1,37 @@
+"""Ticks (§4.2): the deterministic unending stream of ``T``s.
+
+Description: ``b ⟵ T; b``.  Its only smooth solution is the infinite
+trace ``(b,T)^ω`` — every finite trace fails the limit condition (the
+right side is always one element longer), while the smoothness condition
+admits exactly the one-step extensions by ``(b,T)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan
+from repro.functions.seq_fns import prepend_of
+from repro.processes.process import DescribedProcess
+from repro.traces.trace import Trace
+
+
+def ticks_description(b: Channel) -> Description:
+    """``b ⟵ T; b``."""
+    return Description(chan(b), prepend_of("T", chan(b)),
+                       name=f"{b.name} ⟵ T;{b.name}")
+
+
+def make(channel: Optional[Channel] = None) -> DescribedProcess:
+    b = channel or Channel("b", alphabet={"T"})
+    system = DescriptionSystem(
+        [ticks_description(b)], channels=[b], name="Ticks"
+    )
+    return DescribedProcess("Ticks", [b], system)
+
+
+def the_trace(channel: Channel) -> Trace:
+    """``(b,T)^ω`` — the process's unique quiescent trace."""
+    return Trace.cycle_pairs([(channel, "T")], name="(b,T)^ω")

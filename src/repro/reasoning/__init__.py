@@ -1,0 +1,41 @@
+"""Equational reasoning: safety and progress properties (§2.3, §8.4)."""
+
+from repro.reasoning.checker import (
+    ProgressReport,
+    SafetyReport,
+    check_progress,
+    check_progress_on_quiescent,
+    check_safety,
+    check_safety_on_description,
+)
+from repro.reasoning.properties import (
+    ProgressProperty,
+    SafetyProperty,
+    always,
+    counting_bound,
+    eventually_all,
+    eventually_count,
+    eventually_message,
+    never_message,
+    outputs_justified_by_inputs,
+    precedes,
+)
+
+__all__ = [
+    "ProgressProperty",
+    "ProgressReport",
+    "SafetyProperty",
+    "SafetyReport",
+    "always",
+    "check_progress",
+    "check_progress_on_quiescent",
+    "check_safety",
+    "check_safety_on_description",
+    "counting_bound",
+    "eventually_all",
+    "eventually_count",
+    "eventually_message",
+    "never_message",
+    "outputs_justified_by_inputs",
+    "precedes",
+]

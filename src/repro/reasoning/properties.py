@@ -1,0 +1,188 @@
+"""Safety and progress properties of process behaviours (§2.3).
+
+The paper advertises equational descriptions as a vehicle for proving
+*safety* ("appearance of ``2×n`` in the output is preceded by ``n``")
+and *progress* ("every natural number appears in the output
+eventually") properties.  This module gives those two shapes a first-
+class form:
+
+* a :class:`SafetyProperty` is a prefix-closed predicate on finite
+  traces — if it holds of a trace it holds of every prefix.  Safety
+  properties are checked on *all* reachable histories (every node of
+  the §3.3 tree) and, by admissibility, transfer to infinite smooth
+  solutions from their prefixes.
+* a :class:`ProgressProperty` is a monotone *goal*: once a finite
+  prefix satisfies it, every extension does.  Progress is checked on
+  quiescent solutions (or deep prefixes of infinite ones) — it need
+  not hold along the way, only eventually.
+
+Combinators build the common shapes: event invariants, precedence
+(``b``-events must be preceded by matching ``a``-events), message
+appearance, and boolean combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.traces.trace import Trace
+
+TracePredicate = Callable[[Trace], bool]
+
+
+@dataclass(frozen=True)
+class SafetyProperty:
+    """A prefix-closed predicate on finite traces."""
+
+    name: str
+    holds: TracePredicate
+
+    def __call__(self, t: Trace) -> bool:
+        return self.holds(t)
+
+    def conjoin(self, other: "SafetyProperty") -> "SafetyProperty":
+        return SafetyProperty(
+            f"({self.name} ∧ {other.name})",
+            lambda t: self.holds(t) and other.holds(t),
+        )
+
+    def __and__(self, other: "SafetyProperty") -> "SafetyProperty":
+        return self.conjoin(other)
+
+
+@dataclass(frozen=True)
+class ProgressProperty:
+    """A monotone goal: satisfied prefixes stay satisfied."""
+
+    name: str
+    satisfied: TracePredicate
+
+    def __call__(self, t: Trace) -> bool:
+        return self.satisfied(t)
+
+    def conjoin(self, other: "ProgressProperty") -> "ProgressProperty":
+        return ProgressProperty(
+            f"({self.name} ∧ {other.name})",
+            lambda t: self.satisfied(t) and other.satisfied(t),
+        )
+
+    def __and__(self, other: "ProgressProperty") -> "ProgressProperty":
+        return self.conjoin(other)
+
+
+# ---------------------------------------------------------------------------
+# Safety combinators
+# ---------------------------------------------------------------------------
+
+def always(name: str, event_ok: Callable[[Event], bool]
+           ) -> SafetyProperty:
+    """Every event of the trace satisfies ``event_ok``."""
+    return SafetyProperty(
+        name, lambda t: all(event_ok(e) for e in t)
+    )
+
+
+def never_message(channel: Channel, message: Any) -> SafetyProperty:
+    """The message never appears on the channel."""
+    return always(
+        f"never ({channel.name},{message!r})",
+        lambda e: not (e.channel == channel and e.message == message),
+    )
+
+
+def precedes(name: str,
+             trigger: Callable[[Event], Optional[Any]],
+             required: Callable[[Any], Callable[[Event], bool]]
+             ) -> SafetyProperty:
+    """Every trigger event is preceded by a required event.
+
+    ``trigger(e)`` returns a key (or ``None`` if ``e`` is not a
+    trigger); ``required(key)`` yields the predicate an *earlier* event
+    must satisfy.  Each trigger consumes one earlier event, so repeated
+    triggers need repeated justifications (multiset semantics).
+    """
+
+    def holds(t: Trace) -> bool:
+        events = list(t)
+        used = [False] * len(events)
+        for i, e in enumerate(events):
+            key = trigger(e)
+            if key is None:
+                continue
+            needed = required(key)
+            for j in range(i):
+                if not used[j] and needed(events[j]):
+                    used[j] = True
+                    break
+            else:
+                return False
+        return True
+
+    return SafetyProperty(name, holds)
+
+
+def outputs_justified_by_inputs(inputs: Iterable[Channel],
+                                outputs: Iterable[Channel]
+                                ) -> SafetyProperty:
+    """Every output message was previously received on some input.
+
+    The dfm/merge safety property: no invented outputs.
+    """
+    input_set = frozenset(inputs)
+    output_set = frozenset(outputs)
+    return precedes(
+        "outputs justified by inputs",
+        lambda e: e.message if e.channel in output_set else None,
+        lambda message: (
+            lambda e: e.channel in input_set and e.message == message
+        ),
+    )
+
+
+def counting_bound(name: str, channel: Channel,
+                   bound: Callable[[Trace], int]) -> SafetyProperty:
+    """The number of events on ``channel`` never exceeds ``bound(t)``."""
+    return SafetyProperty(
+        name, lambda t: t.count_on(channel) <= bound(t)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Progress combinators
+# ---------------------------------------------------------------------------
+
+def eventually_message(channel: Channel, message: Any
+                       ) -> ProgressProperty:
+    """The message appears on the channel."""
+    return ProgressProperty(
+        f"eventually ({channel.name},{message!r})",
+        lambda t: any(
+            e.channel == channel and e.message == message for e in t
+        ),
+    )
+
+
+def eventually_all(name: str, channel: Channel,
+                   messages: Iterable[Any]) -> ProgressProperty:
+    """All of the given messages appear on the channel."""
+    wanted = list(messages)
+
+    def satisfied(t: Trace) -> bool:
+        seen = set()
+        for e in t:
+            if e.channel == channel:
+                seen.add(e.message)
+        return all(m in seen for m in wanted)
+
+    return ProgressProperty(name, satisfied)
+
+
+def eventually_count(channel: Channel, n: int) -> ProgressProperty:
+    """At least ``n`` events appear on the channel."""
+    return ProgressProperty(
+        f"#({channel.name}) ≥ {n}",
+        lambda t: t.count_on(channel) >= n,
+    )

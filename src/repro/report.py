@@ -1,0 +1,129 @@
+"""Human-readable rendering of the library's artifacts.
+
+Descriptions, verdicts, solver results and operational runs all have
+``repr``s tuned for debugging; this module renders them as multi-line
+reports for examples, notebooks and failure messages.  Pure string
+formatting — no semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.description import Description, DescriptionSystem
+from repro.core.solution import SolutionVerdict
+from repro.core.solver import SolverResult
+from repro.kahn.runtime import RunResult
+from repro.traces.trace import Trace
+
+
+def render_trace(t: Trace, max_events: int = 16) -> str:
+    """One-line trace rendering: ``(b,0)(d,0)…``."""
+    n = t.events.known_length()
+    if n is None:
+        shown = "".join(repr(e) for e in t.iter_upto(max_events))
+        return shown + "…"
+    if n == 0:
+        return "ε"
+    shown = "".join(
+        repr(t.item(i)) for i in range(min(n, max_events))
+    )
+    return shown + ("…" if n > max_events else "")
+
+
+def render_description(desc: Description) -> str:
+    """``lhs ⟵ rhs`` with support annotation."""
+    support = desc.support()
+    chans = (
+        "{" + ",".join(sorted(c.name for c in support)) + "}"
+        if support is not None else "unknown"
+    )
+    return f"{desc.lhs.name} ⟵ {desc.rhs.name}    [channels {chans}]"
+
+
+def render_system(system: DescriptionSystem) -> str:
+    lines = [f"system {system.name!r}:"]
+    lines.extend(
+        f"  {render_description(d)}" for d in system.descriptions
+    )
+    return "\n".join(lines)
+
+
+def render_verdict(verdict: SolutionVerdict) -> str:
+    lines = [
+        f"trace    {render_trace(verdict.trace)}",
+        f"against  {verdict.description_name}",
+        f"limit    {verdict.limit}",
+    ]
+    if verdict.violations:
+        lines.append(f"smooth   {len(verdict.violations)} violation(s):")
+        for violation in verdict.violations[:4]:
+            lines.append(
+                f"         at u = {render_trace(violation.u)}: "
+                f"f(v) = {violation.lhs_of_v!r} ⋢ "
+                f"g(u) = {violation.rhs_of_u!r}"
+            )
+        if len(verdict.violations) > 4:
+            lines.append(
+                f"         … {len(verdict.violations) - 4} more"
+            )
+    else:
+        lines.append("smooth   no violations")
+    mode = "exact" if verdict.exact else f"to depth {verdict.depth}"
+    status = "SMOOTH SOLUTION" if verdict.is_smooth else (
+        "solution, NOT smooth" if verdict.is_solution
+        else "not a solution"
+    )
+    lines.append(f"verdict  {status} ({mode})")
+    return "\n".join(lines)
+
+
+def render_solver_result(result: SolverResult,
+                         max_listed: int = 10) -> str:
+    lines = [
+        f"explored {result.nodes_explored} nodes to depth "
+        f"{result.depth}",
+        f"finite smooth solutions: {len(result.finite_solutions)}",
+    ]
+    for t in result.finite_solutions[:max_listed]:
+        lines.append(f"  {render_trace(t)}")
+    if len(result.finite_solutions) > max_listed:
+        lines.append(
+            f"  … {len(result.finite_solutions) - max_listed} more"
+        )
+    if result.frontier:
+        lines.append(
+            f"live paths at the depth bound: {len(result.frontier)}"
+        )
+    if result.dead_ends:
+        lines.append(f"dead ends: {len(result.dead_ends)}")
+    return "\n".join(lines)
+
+
+def render_run(result: RunResult) -> str:
+    status = "quiescent" if result.quiescent else "still live"
+    lines = [
+        f"{status} after {result.steps} steps",
+        f"trace: {render_trace(result.trace)}",
+    ]
+    if result.halted_agents:
+        lines.append(f"halted:  {', '.join(result.halted_agents)}")
+    if result.blocked_agents:
+        lines.append(f"blocked: {', '.join(result.blocked_agents)}")
+    return "\n".join(lines)
+
+
+def render_table(headers: Iterable[str],
+                 rows: Iterable[Iterable[object]]) -> str:
+    """A minimal fixed-width text table (used by the CLI)."""
+    header_list = [str(h) for h in headers]
+    row_lists = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header_list]
+    for row in row_lists:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header_list)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt.format(*row) for row in row_lists)
+    return "\n".join(lines)

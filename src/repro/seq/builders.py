@@ -1,0 +1,162 @@
+"""Constructors for the sequences the paper works with.
+
+Includes the infinite constants of the examples — ``0^ω`` (§2.1), the
+tick stream ``T^ω`` (§4.2), ``trues``/``falses`` (§4.7) — and the three
+solution sequences ``x``, ``y``, ``z`` of the Figure-3 network (§2.3),
+built from the blocks ``B_i`` and ``C_i`` exactly as the paper defines
+them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.seq.finite import EMPTY, FiniteSeq, Seq, fseq
+from repro.seq.lazy import LazySeq
+
+
+def empty() -> FiniteSeq:
+    """The empty sequence ``ε``."""
+    return EMPTY
+
+def single(value: Any) -> FiniteSeq:
+    """The one-element sequence ``v̄``."""
+    return FiniteSeq((value,))
+
+
+def from_iterable(items: Iterable[Any]) -> FiniteSeq:
+    """A finite sequence from any finite iterable."""
+    return FiniteSeq(items)
+
+
+def repeat(value: Any, name: str | None = None) -> LazySeq:
+    """The infinite constant sequence ``v^ω``."""
+    return LazySeq(itertools.repeat(value),
+                   name=name or f"{value!r}^ω")
+
+
+def repeat_finite(value: Any, n: int) -> FiniteSeq:
+    """The finite sequence ``v^n``."""
+    return FiniteSeq((value,) * n)
+
+
+def naturals(start: int = 0) -> LazySeq:
+    """The infinite sequence ``start, start+1, …``."""
+    return LazySeq(itertools.count(start), name=f"naturals({start})")
+
+
+def iterate(step: Callable[[Any], Any], seed: Any,
+            name: str = "iterate") -> LazySeq:
+    """The infinite sequence ``seed, step(seed), step²(seed), …``."""
+
+    def gen() -> Iterator[Any]:
+        current = seed
+        while True:
+            yield current
+            current = step(current)
+
+    return LazySeq(gen(), name=name)
+
+
+def cycle(items: Iterable[Any], name: str = "cycle") -> LazySeq:
+    """The infinite periodic repetition of a finite block."""
+    block = tuple(items)
+    if not block:
+        raise ValueError("cannot cycle an empty block")
+    return LazySeq(itertools.cycle(block), name=name)
+
+
+def concat(left: Seq, right: Seq, name: str = "concat") -> Seq:
+    """Concatenation that tolerates a lazy/infinite left operand.
+
+    If ``left`` is known finite the result is eager where possible;
+    otherwise the result is lazy (and if ``left`` is infinite, ``right``
+    is simply never reached — consistent with ``;`` on the sequence cpo).
+    """
+    llen = left.known_length()
+    if llen is not None and isinstance(left, FiniteSeq) and \
+            isinstance(right, FiniteSeq):
+        return left.concat(right)
+
+    def gen() -> Iterator[Any]:
+        i = 0
+        while True:
+            try:
+                yield left.item(i)
+            except IndexError:
+                break
+            i += 1
+        j = 0
+        while True:
+            try:
+                yield right.item(j)
+            except IndexError:
+                return
+            j += 1
+
+    return LazySeq(gen(), name=name)
+
+
+def prepend(value: Any, seq: Seq) -> Seq:
+    """The paper's ``v; s``."""
+    return concat(single(value), seq, name=f"{value!r};…")
+
+
+def from_blocks(block: Callable[[int], FiniteSeq],
+                name: str = "blocks") -> LazySeq:
+    """Concatenation of ``block(0), block(1), …`` as a lazy sequence."""
+
+    def gen() -> Iterator[Any]:
+        for i in itertools.count():
+            for item in block(i):
+                yield item
+
+    return LazySeq(gen(), name=name)
+
+
+# ---------------------------------------------------------------------------
+# The Section 2.3 solution sequences.
+# ---------------------------------------------------------------------------
+
+def block_b(i: int) -> FiniteSeq:
+    """``B_i``: the integers ``0 … 2^i - 1`` in increasing order (§2.3)."""
+    if i < 0:
+        raise ValueError("block index must be nonnegative")
+    return FiniteSeq(range(2 ** i))
+
+
+def block_b_reversed(i: int) -> FiniteSeq:
+    """``rev(B_i)``: the integers ``2^i - 1 … 0``."""
+    return FiniteSeq(reversed(range(2 ** i)))
+
+
+def block_c(i: int) -> FiniteSeq:
+    """``C_i`` of §2.3: ``C_0 = ⟨-1⟩``, ``C_1 = ⟨0 -2⟩`` and ``C_{i+1}``
+    replaces each element ``m`` of ``C_i`` by ``2m, 2m+1`` (for i ≥ 1)."""
+    if i < 0:
+        raise ValueError("block index must be nonnegative")
+    if i == 0:
+        return fseq(-1)
+    current = fseq(0, -2)
+    for _ in range(i - 1):
+        doubled: list[int] = []
+        for m in current:
+            doubled.extend((2 * m, 2 * m + 1))
+        current = FiniteSeq(doubled)
+    return current
+
+
+def misra_x() -> LazySeq:
+    """The solution sequence ``x`` of §2.3: ``B_0 B_1 B_2 …``."""
+    return from_blocks(block_b, name="x = B₀B₁B₂…")
+
+
+def misra_y() -> LazySeq:
+    """The solution sequence ``y`` of §2.3: ``rev(B_0) rev(B_1) …``."""
+    return from_blocks(block_b_reversed, name="y = rev(B)…")
+
+
+def misra_z() -> LazySeq:
+    """The non-computation solution ``z`` of §2.3: ``C_0 C_1 C_2 …``."""
+    return from_blocks(block_c, name="z = C₀C₁C₂…")

@@ -1,0 +1,187 @@
+"""Sequence combinators (lazy-aware).
+
+These are the element-level operations out of which the paper's
+continuous functions are built: pointwise maps (``2×d``, ``2×d+1``, the
+random-bit range map ``R``), subsequence filters (``even``, ``odd``,
+``TRUE``, ``FALSE``, ``ZERO``, ``ONE``), pointwise binary operations
+(``AND``), and structural helpers (interleaving, subsequence tests).
+
+Every combinator has two faces:
+
+* applied to a :class:`FiniteSeq` it returns a :class:`FiniteSeq`
+  eagerly — this is the face the smoothness machinery uses; and
+* applied to a lazy sequence it returns a lazy sequence.
+
+All the finite faces are monotone with respect to prefix order (each is
+*prefix-stable*: the output on a prefix is a prefix of the output on any
+extension), which is what makes the derived trace functions continuous.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.seq.finite import FiniteSeq, Seq
+from repro.seq.lazy import LazySeq, NonProductiveError
+
+
+def seq_map(fn: Callable[[Any], Any], seq: Seq,
+            name: str = "map") -> Seq:
+    """Pointwise map; preserves length, hence monotone and continuous."""
+    if isinstance(seq, FiniteSeq):
+        return FiniteSeq(fn(x) for x in seq)
+
+    def gen() -> Iterator[Any]:
+        i = 0
+        while True:
+            try:
+                yield fn(seq.item(i))
+            except IndexError:
+                return
+            i += 1
+
+    return LazySeq(gen(), name=name)
+
+
+def seq_filter(pred: Callable[[Any], bool], seq: Seq,
+               name: str = "filter",
+               scan_limit: int = 1_000_000) -> Seq:
+    """Subsequence of elements satisfying ``pred``.
+
+    Monotone: filtering a prefix yields a prefix of the filtered whole.
+    On lazy input, pulls at most ``scan_limit`` source elements between
+    successive outputs before raising :class:`NonProductiveError`.
+    """
+    if isinstance(seq, FiniteSeq):
+        return FiniteSeq(x for x in seq if pred(x))
+
+    def gen() -> Iterator[Any]:
+        i = 0
+        sterile = 0
+        while True:
+            try:
+                x = seq.item(i)
+            except IndexError:
+                return
+            i += 1
+            if pred(x):
+                sterile = 0
+                yield x
+            else:
+                sterile += 1
+                if sterile > scan_limit:
+                    raise NonProductiveError(
+                        f"filter {name!r} scanned {scan_limit} elements "
+                        "without producing"
+                    )
+
+    return LazySeq(gen(), name=name)
+
+
+def pointwise(fn: Callable[..., Any], *seqs: Seq,
+              name: str = "pointwise") -> Seq:
+    """Apply ``fn`` position-by-position; output length = min length.
+
+    This is the sequence lifting used for ``AND`` in §4.5: the i-th
+    output exists only when every input has an i-th element (the strict
+    reading, matching the paper's strict AND whose result is ⊥ when
+    either argument is ⊥).
+    """
+    if all(isinstance(s, FiniteSeq) for s in seqs):
+        n = min((len(s) for s in seqs), default=0)  # type: ignore[arg-type]
+        return FiniteSeq(
+            fn(*(s.item(i) for s in seqs)) for i in range(n)
+        )
+
+    def gen() -> Iterator[Any]:
+        i = 0
+        while True:
+            try:
+                args = [s.item(i) for s in seqs]
+            except IndexError:
+                return
+            yield fn(*args)
+            i += 1
+
+    return LazySeq(gen(), name=name)
+
+
+def take_while(pred: Callable[[Any], bool], seq: Seq,
+               name: str = "take_while") -> Seq:
+    """Longest prefix whose elements all satisfy ``pred``.
+
+    This is §4.8's function ``g`` (with ``pred = (≠ F)``): the longest
+    prefix containing no ``F``.  Monotone: if no failing element has
+    been seen in a prefix, extending the input can only extend the
+    output; once a failing element appears the output is frozen.
+    """
+    if isinstance(seq, FiniteSeq):
+        out = []
+        for x in seq:
+            if not pred(x):
+                break
+            out.append(x)
+        return FiniteSeq(out)
+
+    def gen() -> Iterator[Any]:
+        i = 0
+        while True:
+            try:
+                x = seq.item(i)
+            except IndexError:
+                return
+            if not pred(x):
+                return
+            yield x
+            i += 1
+
+    return LazySeq(gen(), name=name)
+
+
+def subsequence_positions(seq: Seq, oracle: Seq, keep: Any,
+                          name: str = "select") -> Seq:
+    """Elements of ``seq`` at the positions where ``oracle`` equals ``keep``.
+
+    This is the oracle-driven splitting of §4.6 (Fork): with a boolean
+    oracle ``b``, ``g(c, b)`` keeps the elements of ``c`` where ``b`` is
+    ``T`` and ``h(c, b)`` those where it is ``F``.  The i-th input is
+    routed only when *both* the i-th input and the i-th oracle bit are
+    available, which keeps the function monotone in both arguments.
+    """
+    paired = pointwise(lambda x, o: (x, o), seq, oracle, name=name)
+    routed = seq_filter(lambda xo: xo[1] == keep, paired, name=name)
+    return seq_map(lambda xo: xo[0], routed, name=name)
+
+
+def is_subsequence(candidate: FiniteSeq, of: FiniteSeq) -> bool:
+    """Order-preserving containment (the fair-merge fairness condition
+    speaks of prefixes of an input being subsequences of output prefixes).
+    """
+    it = iter(of)
+    return all(any(x == y for y in it) for x in candidate)
+
+
+def interleavings(left: FiniteSeq, right: FiniteSeq
+                  ) -> Iterator[FiniteSeq]:
+    """All merge interleavings of two finite sequences.
+
+    Used by tests/benches to enumerate the expected trace sets of the
+    merge processes.  The count is C(|l|+|r|, |l|).
+    """
+
+    def go(i: int, j: int, acc: tuple) -> Iterator[tuple]:
+        if i == len(left) and j == len(right):
+            yield acc
+            return
+        if i < len(left):
+            yield from go(i + 1, j, acc + (left.item(i),))
+        if j < len(right):
+            yield from go(i, j + 1, acc + (right.item(j),))
+
+    for combo in go(0, 0, ()):
+        yield FiniteSeq(combo)
+
+
+def count_occurrences(seq: FiniteSeq, value: Any) -> int:
+    """Number of occurrences of ``value`` in a finite sequence."""
+    return sum(1 for x in seq if x == value)

@@ -1,0 +1,181 @@
+"""Finite message sequences.
+
+The paper's semantic domain is sequences (of messages, or of
+channel/message pairs) under prefix order.  :class:`FiniteSeq` is the
+finite fragment: an immutable, hashable, tuple-backed sequence with the
+algebra the paper uses — concatenation ``;``, prefix tests, and the
+``u pre v`` relation (|v| = |u| + 1).
+
+Infinite sequences live in :mod:`repro.seq.lazy`; both share the
+:class:`Seq` interface so the rest of the library is agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Iterator, Optional
+
+
+class Seq(ABC):
+    """A finite or (possibly) infinite sequence.
+
+    The interface deliberately exposes only *prefix-safe* operations:
+    indexing, finite prefixes, and bounded iteration.  Whole-sequence
+    operations (length, equality) are available only when finiteness is
+    known.
+    """
+
+    @abstractmethod
+    def item(self, i: int) -> Any:
+        """The ``i``-th element (0-based).
+
+        Raises ``IndexError`` if the sequence is finite and shorter.
+        """
+
+    @abstractmethod
+    def take(self, n: int) -> "FiniteSeq":
+        """The prefix of length ``min(n, len(self))`` as a finite sequence."""
+
+    @abstractmethod
+    def known_length(self) -> Optional[int]:
+        """The length if finiteness has been *established*, else ``None``.
+
+        ``None`` means "not known to be finite", not "infinite": a lazy
+        sequence reports ``None`` until its generator is exhausted.
+        """
+
+    def has_at_least(self, n: int) -> bool:
+        """Return ``True`` iff the sequence has at least ``n`` elements.
+
+        May force materialization of the first ``n`` elements.
+        """
+        return len(self.take(n)) >= n
+
+    def head(self) -> Any:
+        """The first element; raises ``IndexError`` on the empty sequence."""
+        return self.item(0)
+
+    def iter_upto(self, n: int) -> Iterator[Any]:
+        """Iterate over at most the first ``n`` elements."""
+        return iter(self.take(n).items)
+
+
+class FiniteSeq(Seq):
+    """An immutable finite sequence of messages."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        object.__setattr__(self, "items", tuple(items))
+
+    def __setattr__(self, *_: Any) -> None:  # pragma: no cover
+        raise AttributeError("FiniteSeq is immutable")
+
+    # -- Seq interface ---------------------------------------------------
+
+    def item(self, i: int) -> Any:
+        if i < 0:
+            raise IndexError("sequence indices are natural numbers")
+        return self.items[i]
+
+    def take(self, n: int) -> "FiniteSeq":
+        if n < 0:
+            raise ValueError("prefix length must be nonnegative")
+        if n >= len(self.items):
+            return self
+        return FiniteSeq(self.items[:n])
+
+    def known_length(self) -> int:
+        return len(self.items)
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def __getitem__(self, i: int) -> Any:
+        return self.items[i]
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, FiniteSeq):
+            return self.items == other.items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("FiniteSeq", self.items))
+
+    def __repr__(self) -> str:
+        if not self.items:
+            return "ε"
+        body = " ".join(repr(x) for x in self.items)
+        return f"⟨{body}⟩"
+
+    # -- sequence algebra --------------------------------------------------
+
+    def concat(self, other: "FiniteSeq") -> "FiniteSeq":
+        """Concatenation — the paper's ``;`` operator."""
+        return FiniteSeq(self.items + other.items)
+
+    def __add__(self, other: "FiniteSeq") -> "FiniteSeq":
+        if not isinstance(other, FiniteSeq):
+            return NotImplemented
+        return self.concat(other)
+
+    def append(self, value: Any) -> "FiniteSeq":
+        """Extension by a single element (a 1-step extension)."""
+        return FiniteSeq(self.items + (value,))
+
+    def drop(self, n: int) -> "FiniteSeq":
+        """The suffix after removing the first ``n`` elements."""
+        if n < 0:
+            raise ValueError("drop count must be nonnegative")
+        return FiniteSeq(self.items[n:])
+
+    def is_prefix_of(self, other: Seq) -> bool:
+        """Prefix order ``self ⊑ other`` (other may be lazy/infinite)."""
+        prefix = other.take(len(self.items))
+        return prefix.items == self.items
+
+    def is_proper_prefix_of(self, other: Seq) -> bool:
+        """``self ⊑ other`` and ``self ≠ other``."""
+        if not self.is_prefix_of(other):
+            return False
+        return other.has_at_least(len(self.items) + 1)
+
+    def pre(self, other: "FiniteSeq") -> bool:
+        """The paper's ``u pre v``: prefix with length exactly one less."""
+        return (
+            len(other.items) == len(self.items) + 1
+            and self.is_prefix_of(other)
+        )
+
+    def prefixes(self) -> Iterator["FiniteSeq"]:
+        """All prefixes, ascending from ``ε`` to the sequence itself."""
+        for n in range(len(self.items) + 1):
+            yield self.take(n)
+
+    def proper_prefixes(self) -> Iterator["FiniteSeq"]:
+        """All prefixes except the sequence itself."""
+        for n in range(len(self.items)):
+            yield self.take(n)
+
+    def one_step_extensions(self, alphabet: Iterable[Any]
+                            ) -> Iterator["FiniteSeq"]:
+        """All ``v`` with ``self pre v`` whose new element is in alphabet."""
+        for value in alphabet:
+            yield self.append(value)
+
+
+#: The empty sequence ``ε`` (also the bottom of the sequence cpo).
+EMPTY = FiniteSeq()
+
+
+def fseq(*items: Any) -> FiniteSeq:
+    """Convenience constructor: ``fseq(1, 2, 3)`` is ``⟨1 2 3⟩``."""
+    return FiniteSeq(items)

@@ -1,0 +1,123 @@
+"""Lazy (possibly infinite) sequences.
+
+The paper's interesting behaviours are infinite: ``0^ω`` (§2.1), the
+sequences ``x, y, z`` of §2.3, ``(b,T)^ω`` (§4.2), the fair random
+sequence (§4.7).  Python has no native lazy streams, so this module
+provides a memoized generator-backed sequence: elements are produced on
+demand and cached, making repeated prefix extraction cheap and
+deterministic.
+
+Design notes (this is the "clunky encoding" the reproduction notes warn
+about, tamed):
+
+* A :class:`LazySeq` never claims to be infinite — it only *fails to be
+  known finite* until its generator is exhausted.  All consumers in the
+  library therefore work with explicit prefix depths.
+* Element production may itself be unproductive (e.g. filtering an
+  infinite stream that stops matching).  Combinators that risk this take a
+  ``scan_limit`` and raise :class:`NonProductiveError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.seq.finite import FiniteSeq, Seq
+
+
+class NonProductiveError(RuntimeError):
+    """A lazy computation consumed its scan budget without producing."""
+
+
+class LazySeq(Seq):
+    """A memoized, generator-backed, possibly infinite sequence."""
+
+    __slots__ = ("_memo", "_source", "_exhausted", "name")
+
+    def __init__(self, source: Iterator[Any], name: str = "lazy"):
+        self._memo: list[Any] = []
+        self._source: Optional[Iterator[Any]] = iter(source)
+        self._exhausted = False
+        self.name = name
+
+    @classmethod
+    def from_function(cls, nth: Callable[[int], Any],
+                      name: str = "lazy") -> "LazySeq":
+        """A sequence whose ``i``-th element is ``nth(i)`` (total ⇒ infinite)."""
+
+        def gen() -> Iterator[Any]:
+            i = 0
+            while True:
+                yield nth(i)
+                i += 1
+
+        return cls(gen(), name=name)
+
+    # -- materialization ---------------------------------------------------
+
+    def _force(self, n: int) -> None:
+        """Materialize elements until ``len(memo) >= n`` or exhaustion."""
+        while len(self._memo) < n and not self._exhausted:
+            assert self._source is not None
+            try:
+                self._memo.append(next(self._source))
+            except StopIteration:
+                self._exhausted = True
+                self._source = None
+
+    # -- Seq interface ---------------------------------------------------
+
+    def item(self, i: int) -> Any:
+        if i < 0:
+            raise IndexError("sequence indices are natural numbers")
+        self._force(i + 1)
+        if i < len(self._memo):
+            return self._memo[i]
+        raise IndexError(
+            f"lazy sequence {self.name!r} is finite with length "
+            f"{len(self._memo)}; no element {i}"
+        )
+
+    def take(self, n: int) -> FiniteSeq:
+        if n < 0:
+            raise ValueError("prefix length must be nonnegative")
+        self._force(n)
+        return FiniteSeq(self._memo[:n])
+
+    def known_length(self) -> Optional[int]:
+        if self._exhausted:
+            return len(self._memo)
+        return None
+
+    def materialized_length(self) -> int:
+        """How many elements have been produced so far (monotone)."""
+        return len(self._memo)
+
+    def to_finite(self, limit: int) -> FiniteSeq:
+        """Materialize fully, refusing to exceed ``limit`` elements.
+
+        Raises :class:`NonProductiveError` if more than ``limit`` elements
+        exist (the sequence may be infinite).
+        """
+        self._force(limit + 1)
+        if not self._exhausted:
+            raise NonProductiveError(
+                f"lazy sequence {self.name!r} exceeds {limit} elements"
+            )
+        return FiniteSeq(self._memo)
+
+    def __repr__(self) -> str:
+        shown = ", ".join(repr(x) for x in self._memo[:6])
+        tail = "" if self._exhausted else ", …"
+        return f"LazySeq({self.name!r}: [{shown}{tail}])"
+
+
+def as_seq(value: Any) -> Seq:
+    """Coerce tuples/lists/iterators to a :class:`Seq`; pass Seqs through."""
+    if isinstance(value, Seq):
+        return value
+    if isinstance(value, (tuple, list)):
+        return FiniteSeq(value)
+    if hasattr(value, "__iter__"):
+        return LazySeq(iter(value))
+    raise TypeError(f"cannot interpret {value!r} as a sequence")

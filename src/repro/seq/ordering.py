@@ -1,0 +1,191 @@
+"""The prefix order on sequences and the sequence cpo.
+
+Sequences under prefix ordering form a cpo (Fact F1 of the paper, stated
+there for traces; the proof is identical for message sequences): the empty
+sequence ``ε`` is bottom, and every chain has a lub — for a chain of
+finite sequences with unbounded length the lub is the infinite sequence
+each of them prefixes, which we realize lazily.
+
+Decidability notes:
+
+* ``seq_leq(a, b)`` is decidable whenever ``a`` is finite (the common case
+  throughout the library: smoothness checks compare *finite* values).
+* For a lazy ``a``, only the bounded approximation :func:`seq_leq_upto`
+  is offered; it is sound for "no" answers at any depth and for "yes"
+  answers it certifies agreement up to the depth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence as PySequence
+
+from repro.order.cpo import Cpo
+from repro.order.poset import NotAChainError
+from repro.seq.finite import EMPTY, FiniteSeq, Seq, fseq
+from repro.seq.lazy import LazySeq
+
+
+def seq_leq(a: Seq, b: Seq) -> bool:
+    """Prefix order ``a ⊑ b``.
+
+    Decidable when ``a`` is known finite (including exhausted lazy
+    sequences).  Raises ``ValueError`` when ``a`` is lazy with unknown
+    length — use :func:`seq_leq_upto` in that situation.
+    """
+    length = a.known_length()
+    if length is None and isinstance(a, LazySeq):
+        # One cheap attempt: force a little and re-check; many lazy
+        # sequences used in practice are secretly finite.
+        a.take(_FINITENESS_PROBE)
+        length = a.known_length()
+    if length is None:
+        raise ValueError(
+            "prefix order with a lazy left operand of unknown length is "
+            "undecidable; use seq_leq_upto"
+        )
+    return a.take(length).is_prefix_of(b)
+
+
+_FINITENESS_PROBE = 4096
+_DEFAULT_STABLE_STEPS = 64
+
+
+def seq_leq_upto(a: Seq, b: Seq, depth: int) -> bool:
+    """Bounded prefix order: ``a.take(depth) ⊑ b`` and, if ``a`` is known
+    finite within ``depth``, the exact ``a ⊑ b``.
+
+    A ``False`` answer is always conclusive (``a ⋢ b``).
+    """
+    front = a.take(depth)
+    la = a.known_length()
+    if la is not None and la <= depth:
+        return a.take(la).is_prefix_of(b)
+    return front.is_prefix_of(b)
+
+
+def seq_eq_upto(a: Seq, b: Seq, depth: int) -> bool:
+    """Bounded equality: agree on the first ``depth`` elements and on
+    finiteness whenever both lengths are known within ``depth``.
+
+    A ``False`` answer is conclusive; ``True`` is exact when both are
+    known finite within the depth, else "no disagreement found".
+    """
+    fa, fb = a.take(depth), b.take(depth)
+    if fa != fb:
+        return False
+    la, lb = a.known_length(), b.known_length()
+    if la is not None and lb is not None:
+        return la == lb and a.take(la) == b.take(lb)
+    if la is not None and la < depth:
+        return False  # a ended early but b kept going
+    if lb is not None and lb < depth:
+        return False
+    return True
+
+
+class SequenceCpo(Cpo):
+    """The cpo of message sequences over an (optional) alphabet.
+
+    Order-level operations treat finite sequences exactly and lazy ones
+    through :func:`seq_leq`'s decidability rules.  ``lub_chain`` handles
+    materialized finite chains; :meth:`lub_of_chain_fn` realizes the lub
+    of a lazily-presented chain as a :class:`LazySeq`.
+    """
+
+    def __init__(self, alphabet: Optional[frozenset] = None,
+                 name: str = "Seq"):
+        self.alphabet = alphabet
+        self.name = name
+
+    @property
+    def bottom(self) -> FiniteSeq:
+        return EMPTY
+
+    def leq(self, x: Any, y: Any) -> bool:
+        return seq_leq(_coerce(x), _coerce(y))
+
+    def eq(self, x: Any, y: Any) -> bool:
+        a, b = _coerce(x), _coerce(y)
+        la, lb = a.known_length(), b.known_length()
+        if la is not None and lb is not None:
+            return a.take(la) == b.take(lb)
+        return super().eq(a, b)
+
+    def eq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        return seq_eq_upto(_coerce(x), _coerce(y), depth)
+
+    def leq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        return seq_leq_upto(_coerce(x), _coerce(y), depth)
+
+    def lub_chain(self, chain: PySequence[Any]) -> Seq:
+        if not chain:
+            return EMPTY
+        seqs = [_coerce(x) for x in chain]
+        if not self.is_ascending(seqs):
+            raise NotAChainError("sequence chain does not ascend")
+        return seqs[-1]
+
+    def lub_of_chain_fn(self, nth: Callable[[int], FiniteSeq],
+                        name: str = "lub",
+                        stable_steps: int = _DEFAULT_STABLE_STEPS
+                        ) -> LazySeq:
+        """The lub of the chain ``nth(0) ⊑ nth(1) ⊑ …`` as a lazy sequence.
+
+        The chain must ascend; each element emitted is drawn from the
+        first ``nth(k)`` long enough to contain it.  If the chain's
+        lengths are bounded the resulting lazy sequence is finite and its
+        generator terminates once the chain stabilizes — detected
+        *heuristically* when ``stable_steps`` consecutive chain elements
+        add nothing.  Raise ``stable_steps`` for chains that legitimately
+        stall for long stretches before growing again.
+        """
+
+        def gen():
+            emitted = 0
+            k = 0
+            stable = 0
+            current = nth(0)
+            while True:
+                while len(current) > emitted:
+                    yield current[emitted]
+                    emitted += 1
+                    stable = 0
+                k += 1
+                nxt = nth(k)
+                if not current.is_prefix_of(nxt):
+                    raise NotAChainError(
+                        f"chain {name!r} does not ascend at index {k}"
+                    )
+                if len(nxt) == len(current):
+                    stable += 1
+                    if stable >= stable_steps:
+                        return
+                current = nxt
+
+        return LazySeq(gen(), name=name)
+
+    def sample(self) -> list[Any]:
+        letters = sorted(self.alphabet, key=repr)[:2] if self.alphabet \
+            else [0, 1]
+        a, b = (letters + letters)[:2]
+        return [
+            EMPTY,
+            fseq(a),
+            fseq(b),
+            fseq(a, a),
+            fseq(a, b),
+            fseq(b, a),
+            fseq(a, b, a),
+        ]
+
+
+def _coerce(x: Any) -> Seq:
+    if isinstance(x, Seq):
+        return x
+    if isinstance(x, (tuple, list)):
+        return FiniteSeq(x)
+    raise TypeError(f"{x!r} is not a sequence-domain element")
+
+
+#: A ready-made unrestricted sequence cpo.
+SEQ_CPO = SequenceCpo()

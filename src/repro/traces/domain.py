@@ -1,0 +1,153 @@
+"""The cpo of traces under prefix ordering (Fact F1).
+
+``TraceCpo`` is the domain over which descriptions are interpreted.  Its
+bottom is the empty trace; lubs of materialized finite chains are their
+maxima, and lubs of lazily-presented chains of finite traces are lazy
+traces (Fact F2 in reverse: a trace is the lub of its finite prefixes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence as PySequence
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.order.cpo import Cpo
+from repro.order.poset import NotAChainError
+from repro.seq.finite import FiniteSeq
+from repro.seq.lazy import LazySeq
+from repro.traces.trace import Trace
+
+
+class TraceCpo(Cpo):
+    """Traces over a fixed set of channels, prefix-ordered."""
+
+    def __init__(self, channels: Optional[frozenset[Channel]] = None,
+                 name: str = "Trace"):
+        self.channels = channels
+        self.name = name
+
+    @property
+    def bottom(self) -> Trace:
+        return Trace.empty()
+
+    def _coerce(self, x: Any) -> Trace:
+        if not isinstance(x, Trace):
+            raise TypeError(f"{x!r} is not a trace")
+        return x
+
+    def leq(self, x: Any, y: Any) -> bool:
+        a, b = self._coerce(x), self._coerce(y)
+        n = a.events.known_length()
+        if n is None:
+            raise ValueError(
+                "prefix order with a lazy left operand is undecidable; "
+                "compare finite prefixes"
+            )
+        return a.take(n).is_prefix_of(b)
+
+    def eq(self, x: Any, y: Any) -> bool:
+        a, b = self._coerce(x), self._coerce(y)
+        la, lb = a.events.known_length(), b.events.known_length()
+        if la is not None and lb is not None:
+            return la == lb and a.take(la).is_prefix_of(b)
+        return super().eq(a, b)
+
+    def eq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        return trace_eq_upto(self._coerce(x), self._coerce(y), depth)
+
+    def leq_upto(self, x: Any, y: Any, depth: int) -> bool:
+        a = self._coerce(x).take(depth)
+        b = self._coerce(y)
+        la = a.events.known_length()
+        assert la is not None
+        return a.take(la).is_prefix_of(b)
+
+    def lub_chain(self, chain: PySequence[Any]) -> Trace:
+        if not chain:
+            return Trace.empty()
+        traces = [self._coerce(t) for t in chain]
+        if not self.is_ascending(traces):
+            raise NotAChainError("trace chain does not ascend")
+        return traces[-1]
+
+    def lub_of_chain_fn(self, nth: Callable[[int], Trace],
+                        name: str = "lub",
+                        stable_steps: int = 64) -> Trace:
+        """The lub of ``nth(0) ⊑ nth(1) ⊑ …`` as a lazy trace.
+
+        Mirrors :meth:`repro.seq.ordering.SequenceCpo.lub_of_chain_fn`;
+        stabilization is detected heuristically after ``stable_steps``
+        non-growing chain elements.
+        """
+
+        def gen():
+            emitted = 0
+            k = 0
+            stable = 0
+            current = nth(0)
+            while True:
+                n = current.length()
+                while n > emitted:
+                    yield current.item(emitted)
+                    emitted += 1
+                    stable = 0
+                k += 1
+                nxt = nth(k)
+                if not current.is_prefix_of(nxt):
+                    raise NotAChainError(
+                        f"trace chain {name!r} does not ascend at {k}"
+                    )
+                if nxt.length() == n:
+                    stable += 1
+                    if stable >= stable_steps:
+                        return
+                current = nxt
+
+        return Trace(LazySeq(gen(), name=name), name=name)
+
+    def sample(self) -> list[Any]:
+        if not self.channels:
+            return [Trace.empty()]
+        chans = sorted(self.channels)
+        events: list[Event] = []
+        for c in chans[:2]:
+            alphabet = sorted(c.alphabet, key=repr)[:2] if c.alphabet \
+                else [0, 1]
+            events.extend(Event(c, m) for m in alphabet)
+        sample = [Trace.empty()]
+        sample.extend(Trace.finite([e]) for e in events)
+        sample.extend(
+            Trace.finite([e1, e2])
+            for e1 in events[:2]
+            for e2 in events[:2]
+        )
+        return sample
+
+
+def trace_eq_upto(a: Trace, b: Trace, depth: int) -> bool:
+    """Bounded trace equality, conclusive for ``False``.
+
+    Mirrors :func:`repro.seq.ordering.seq_eq_upto` at the trace level.
+    """
+    fa, fb = a.take(depth), b.take(depth)
+    la = fa.events.known_length()
+    lb = fb.events.known_length()
+    assert la is not None and lb is not None
+    if la != lb:
+        return False
+    if FiniteSeq(fa.events.take(la).items) != \
+            FiniteSeq(fb.events.take(lb).items):
+        return False
+    ka, kb = a.events.known_length(), b.events.known_length()
+    if ka is not None and kb is not None:
+        return ka == kb
+    if ka is not None and ka < depth:
+        return False
+    if kb is not None and kb < depth:
+        return False
+    return True
+
+
+#: Unrestricted trace cpo.
+TRACE_CPO = TraceCpo()

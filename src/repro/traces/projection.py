@@ -1,0 +1,86 @@
+"""Projection of traces onto channel subsets (§3.1.2–3.1.3).
+
+``project(t, L)`` is the subsequence ``t_L`` of events on channels in
+``L``.  Projection is a continuous function from traces to traces (Fact
+F3); this module provides it in standalone-function form plus the
+witness constructions behind Facts F4 and F5 that the Composition
+Theorem's proof relies on.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.channels.channel import Channel
+from repro.traces.trace import Trace
+
+
+def project(trace: Trace, channels: AbstractSet[Channel]) -> Trace:
+    """The projection ``t_L``."""
+    return trace.project(channels)
+
+
+def fact_f4(u: Trace, v: Trace,
+            channels: AbstractSet[Channel]) -> bool:
+    """Fact F4: ``u pre v`` implies ``u_L = v_L`` or ``u_L pre v_L``.
+
+    Returns the truth of the consequent for a concrete ``u pre v`` pair
+    (raises if ``u pre v`` does not hold — the fact is conditional).
+    """
+    if not u.pre(v):
+        raise ValueError("fact F4 applies to pairs with u pre v")
+    pu, pv = u.project(channels), v.project(channels)
+    lu, lv = pu.length(), pv.length()
+    if lu == lv:
+        return pu.is_prefix_of(pv) and lu == lv
+    return pu.pre(pv)
+
+
+def fact_f5_witness(t: Trace, channels: AbstractSet[Channel],
+                    x: Trace, y: Trace,
+                    search_depth: int = 10_000
+                    ) -> Optional[tuple[Trace, Trace]]:
+    """Fact F5's existential witness.
+
+    Given ``x pre y in t_L``, find ``(u, v)`` with ``u pre v in t``,
+    ``u_L = x`` and ``v_L = y``.  Implements the paper's construction:
+    ``v`` is the *shortest* prefix of ``t`` with ``v_L = y``; ``u`` is its
+    immediate predecessor.
+
+    Returns ``None`` if no witness exists within ``search_depth`` prefixes
+    of ``t`` (for genuine projections of prefixes of ``t`` a witness
+    always exists).
+    """
+    if not x.pre(y):
+        raise ValueError("fact F5 applies to pairs with x pre y")
+    target_len = y.length()
+    for n in range(1, search_depth + 1):
+        v = t.take(n)
+        if v.length() < n:
+            return None  # trace exhausted
+        pv = v.project(channels)
+        if pv.length() == target_len and pv.is_prefix_of(y):
+            u = t.take(n - 1)
+            if u.project(channels) == x and pv == y:
+                return u, v
+            return None  # shortest prefix reached but projections differ
+    return None
+
+
+def is_projection_of_prefix(candidate: Trace, t: Trace,
+                            channels: AbstractSet[Channel],
+                            search_depth: int = 10_000) -> bool:
+    """Is ``candidate = (t.take(n))_L`` for some ``n ≤ search_depth``?"""
+    want = candidate.length()
+    for n in range(search_depth + 1):
+        prefix = t.take(n)
+        if prefix.length() < n:
+            # trace ended; check the full projection
+            return prefix.project(channels) == candidate
+        proj = prefix.project(channels)
+        if proj.length() == want:
+            if proj == candidate:
+                return True
+        if proj.length() > want:
+            return False
+    return False

@@ -1,0 +1,261 @@
+"""Traces: sequences of communication events (§3.1).
+
+A trace is a sequence of ``(channel, message)`` pairs.  The paper uses
+"trace" for the *quiescent* communication histories that define a
+process; here :class:`Trace` is the data structure for any communication
+history — quiescence is a property ascribed by processes and
+descriptions, not by the data type.
+
+A :class:`Trace` wraps a :class:`~repro.seq.finite.Seq` of
+:class:`~repro.channels.event.Event` values, so it inherits the finite /
+lazy duality of the sequence layer: the paper's infinite quiescent traces
+(e.g. ``(b,T)^ω`` of §4.2) are lazy traces, and every check the core
+performs on them goes through finite prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+)
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.seq.finite import EMPTY, FiniteSeq, Seq
+from repro.seq.lazy import LazySeq
+
+
+class Trace:
+    """A finite or lazy sequence of events."""
+
+    __slots__ = ("events", "name")
+
+    def __init__(self, events: Seq, name: str = ""):
+        self.events = events
+        self.name = name
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def finite(cls, events: Iterable[Event] = (), name: str = "") -> "Trace":
+        """A finite trace from an iterable of events."""
+        seq = FiniteSeq(events)
+        for e in seq:
+            _require_event(e)
+        return cls(seq, name=name)
+
+    @classmethod
+    def of(cls, *events: Event) -> "Trace":
+        """Shorthand finite constructor: ``Trace.of(ev(b,0), ev(d,0))``."""
+        return cls.finite(events)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Channel, Any]],
+                   name: str = "") -> "Trace":
+        """A finite trace from ``(channel, message)`` tuples."""
+        return cls.finite((Event(c, m) for c, m in pairs), name=name)
+
+    @classmethod
+    def lazy(cls, events: Iterator[Event], name: str = "lazy") -> "Trace":
+        """A lazy (possibly infinite) trace from an event iterator."""
+        return cls(LazySeq(events, name=name), name=name)
+
+    @classmethod
+    def cycle_pairs(cls, pairs: Iterable[tuple[Channel, Any]],
+                    name: str = "cycle") -> "Trace":
+        """The infinite periodic trace repeating the given block."""
+        import itertools
+
+        block = tuple(Event(c, m) for c, m in pairs)
+        if not block:
+            raise ValueError("cannot cycle an empty block")
+        return cls(LazySeq(itertools.cycle(block), name=name), name=name)
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        """The empty trace ``⊥``."""
+        return _EMPTY_TRACE
+
+    # -- basic structure -----------------------------------------------------
+
+    def is_known_finite(self) -> bool:
+        return self.events.known_length() is not None
+
+    def known_length(self) -> Optional[int]:
+        return self.events.known_length()
+
+    def length(self) -> int:
+        """Length of a known-finite trace; raises otherwise."""
+        n = self.events.known_length()
+        if n is None:
+            raise ValueError(
+                f"trace {self.name!r} is not known finite; use take()"
+            )
+        return n
+
+    def item(self, i: int) -> Event:
+        return self.events.item(i)
+
+    def take(self, n: int) -> "Trace":
+        """The finite prefix of length (at most) ``n``."""
+        return Trace(self.events.take(n), name=self.name)
+
+    def append(self, event: Event) -> "Trace":
+        """One-step extension of a finite trace."""
+        _require_event(event)
+        if not isinstance(self.events, FiniteSeq):
+            raise ValueError("can only extend a finite trace")
+        return Trace(self.events.append(event))
+
+    def concat(self, other: "Trace") -> "Trace":
+        if not isinstance(self.events, FiniteSeq) or \
+                not isinstance(other.events, FiniteSeq):
+            raise ValueError("concat requires finite traces")
+        return Trace(self.events.concat(other.events))
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate a known-finite trace."""
+        n = self.length()
+        return iter(self.events.take(n).items)
+
+    def iter_upto(self, n: int) -> Iterator[Event]:
+        return self.events.iter_upto(n)
+
+    # -- prefix order ----------------------------------------------------
+
+    def is_prefix_of(self, other: "Trace") -> bool:
+        """Prefix order; requires self known finite (or forces it)."""
+        n = self.events.known_length()
+        if n is None:
+            raise ValueError("prefix test requires a finite left operand")
+        return self.events.take(n).is_prefix_of(other.events)
+
+    def pre(self, other: "Trace") -> bool:
+        """The paper's ``u pre v``: prefix, one element shorter."""
+        if not (self.is_known_finite() and other.is_known_finite()):
+            raise ValueError("pre is a relation on finite traces")
+        return (
+            other.length() == self.length() + 1
+            and self.is_prefix_of(other)
+        )
+
+    def prefixes(self) -> Iterator["Trace"]:
+        """All finite prefixes of a finite trace, ascending."""
+        for n in range(self.length() + 1):
+            yield self.take(n)
+
+    def pre_pairs(self, depth: int) -> Iterator[tuple["Trace", "Trace"]]:
+        """Pairs ``(u, v)`` with ``u pre v in self``, up to |v| = depth.
+
+        For a finite trace shorter than ``depth`` this enumerates *all*
+        its pre-pairs; for a lazy trace it enumerates the pre-pairs among
+        the first ``depth`` prefixes — the basis of every bounded
+        smoothness check in the library.
+        """
+        previous = self.take(0)
+        for n in range(1, depth + 1):
+            current = self.take(n)
+            if current.events.known_length() == previous.events.known_length():
+                return  # trace ended before reaching depth
+            yield previous, current
+            previous = current
+
+    # -- channel structure --------------------------------------------------
+
+    def project(self, channels: AbstractSet[Channel]) -> "Trace":
+        """The projection ``t_L`` (§3.1.2): keep events on ``channels``."""
+        from repro.seq.combinators import seq_filter
+
+        chans = frozenset(channels)
+        filtered = seq_filter(
+            lambda e: e.channel in chans, self.events,
+            name=f"{self.name}|{{{','.join(sorted(c.name for c in chans))}}}",
+        )
+        return Trace(filtered, name=self.name)
+
+    def sequence_on(self, channel: Channel) -> Seq:
+        """The message sequence carried by ``channel`` in this trace.
+
+        This is the function the paper writes as the channel name itself:
+        ``b(t) = t_b`` viewed as a plain message sequence.
+        """
+        from repro.seq.combinators import seq_filter, seq_map
+
+        filtered = seq_filter(
+            lambda e: e.channel == channel, self.events,
+            name=f"{self.name}.{channel.name}",
+        )
+        return seq_map(lambda e: e.message, filtered,
+                       name=f"{self.name}.{channel.name}")
+
+    def channels_used(self) -> frozenset[Channel]:
+        """Channels occurring in a finite trace."""
+        return frozenset(e.channel for e in self)
+
+    def messages_on(self, channel: Channel) -> FiniteSeq:
+        """Finite-trace shortcut for :meth:`sequence_on`."""
+        return FiniteSeq(
+            e.message for e in self if e.channel == channel
+        )
+
+    def count_on(self, channel: Channel) -> int:
+        """Number of events on ``channel`` in a finite trace."""
+        return sum(1 for e in self if e.channel == channel)
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        a, b = self.events.known_length(), other.events.known_length()
+        if a is None or b is None:
+            raise ValueError(
+                "equality of traces of unknown length is undecidable; "
+                "compare finite prefixes"
+            )
+        return self.events.take(a) == other.events.take(b)
+
+    def __hash__(self) -> int:
+        n = self.events.known_length()
+        if n is None:
+            raise ValueError("only finite traces are hashable")
+        return hash(("Trace", self.events.take(n)))
+
+    def __repr__(self) -> str:
+        n = self.events.known_length()
+        if n is None:
+            shown = " ".join(repr(e) for e in self.iter_upto(5))
+            return f"Trace⟨{shown} …⟩"
+        if n == 0:
+            return "Trace⟨⟩"
+        shown = " ".join(repr(self.item(i)) for i in range(min(n, 12)))
+        ellipsis = " …" if n > 12 else ""
+        return f"Trace⟨{shown}{ellipsis}⟩"
+
+    # -- functional helpers ------------------------------------------------
+
+    def map_events(self, fn: Callable[[Event], Event],
+                   name: str = "map") -> "Trace":
+        from repro.seq.combinators import seq_map
+
+        return Trace(seq_map(fn, self.events, name=name), name=name)
+
+
+def _require_event(e: Any) -> None:
+    if not isinstance(e, Event):
+        raise TypeError(f"traces contain Events, got {e!r}")
+
+
+_EMPTY_TRACE = Trace(EMPTY, name="⊥")
+
+
+def one_step_extensions(trace: Trace,
+                        candidates: Iterable[Event]) -> Iterator[Trace]:
+    """All ``v`` with ``trace pre v`` whose new event is a candidate."""
+    for event in candidates:
+        yield trace.append(event)

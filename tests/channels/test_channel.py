@@ -1,0 +1,60 @@
+"""Unit tests for repro.channels.channel."""
+
+import pytest
+
+from repro.channels.channel import (
+    Channel,
+    channel_set,
+    names,
+    non_auxiliary,
+)
+
+
+class TestChannel:
+    def test_identity_by_name(self):
+        assert Channel("b") == Channel("b", alphabet={1})
+        assert Channel("b") != Channel("c")
+
+    def test_hash_by_name(self):
+        assert len({Channel("b"), Channel("b", alphabet={0})}) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("")
+
+    def test_immutable(self):
+        c = Channel("b")
+        with pytest.raises(AttributeError):
+            c.name = "x"
+
+    def test_admits_with_alphabet(self):
+        c = Channel("b", alphabet={0, 1})
+        assert c.admits(0)
+        assert not c.admits(7)
+
+    def test_admits_unrestricted(self):
+        assert Channel("b").admits(object())
+
+    def test_ordering_by_name(self):
+        assert Channel("a") < Channel("b")
+
+    def test_auxiliary_flag(self):
+        assert Channel("b", auxiliary=True).auxiliary
+        assert not Channel("b").auxiliary
+
+    def test_repr_marks_auxiliary(self):
+        assert "aux" in repr(Channel("b", auxiliary=True))
+
+
+class TestChannelSets:
+    def test_channel_set(self):
+        s = channel_set(Channel("a"), Channel("b"))
+        assert Channel("a") in s
+
+    def test_names_sorted(self):
+        assert names({Channel("z"), Channel("a")}) == ("a", "z")
+
+    def test_non_auxiliary(self):
+        visible = Channel("v")
+        hidden = Channel("h", auxiliary=True)
+        assert non_auxiliary({visible, hidden}) == frozenset({visible})

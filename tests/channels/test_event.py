@@ -1,0 +1,47 @@
+"""Unit tests for repro.channels.event."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event, ev
+
+
+class TestEvent:
+    def test_construction(self):
+        b = Channel("b", alphabet={0, 1})
+        e = Event(b, 1)
+        assert e.channel == b
+        assert e.message == 1
+
+    def test_alphabet_enforced(self):
+        b = Channel("b", alphabet={0})
+        with pytest.raises(ValueError):
+            Event(b, 7)
+
+    def test_unrestricted_channel(self):
+        Event(Channel("b"), "anything")  # no raise
+
+    def test_equality_and_hash(self):
+        b = Channel("b")
+        assert Event(b, 1) == Event(b, 1)
+        assert Event(b, 1) != Event(b, 2)
+        assert len({Event(b, 1), Event(b, 1)}) == 1
+
+    def test_unpacking(self):
+        b = Channel("b")
+        channel, message = Event(b, 5)
+        assert channel == b
+        assert message == 5
+
+    def test_on(self):
+        b, c = Channel("b"), Channel("c")
+        assert Event(b, 1).on({b})
+        assert not Event(b, 1).on({c})
+
+    def test_immutable(self):
+        e = ev(Channel("b"), 1)
+        with pytest.raises(AttributeError):
+            e.message = 2
+
+    def test_repr(self):
+        assert repr(ev(Channel("b"), 3)) == "(b,3)"

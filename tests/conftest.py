@@ -1,0 +1,63 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.channels import Channel, Event
+from repro.seq import FiniteSeq
+from repro.traces import Trace
+
+
+# ---------------------------------------------------------------------------
+# channels
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def chan_b() -> Channel:
+    return Channel("b", alphabet={0, 2, 4})
+
+
+@pytest.fixture
+def chan_c() -> Channel:
+    return Channel("c", alphabet={1, 3, 5})
+
+
+@pytest.fixture
+def chan_d() -> Channel:
+    return Channel("d", alphabet={0, 1, 2, 3, 4, 5})
+
+
+@pytest.fixture
+def bit_channel() -> Channel:
+    return Channel("bit", alphabet={"T", "F"})
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def finite_seqs(elements=st.integers(min_value=-4, max_value=7),
+                max_size: int = 8):
+    """Strategy for :class:`FiniteSeq` values."""
+    return st.lists(elements, max_size=max_size).map(FiniteSeq)
+
+
+def bit_seqs(max_size: int = 8):
+    return finite_seqs(st.sampled_from(["T", "F"]), max_size=max_size)
+
+
+def traces_over(channels: list[Channel], max_size: int = 6):
+    """Strategy for finite traces over the given channels."""
+    event = st.one_of([
+        st.sampled_from(sorted(c.alphabet, key=repr)).map(
+            lambda m, c=c: Event(c, m)
+        )
+        for c in channels
+    ])
+    return st.lists(event, max_size=max_size).map(Trace.finite)
+
+
+# re-export for test modules
+__all__ = ["bit_seqs", "finite_seqs", "traces_over"]

@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.chains — §6 and Theorem 4."""
+
+import pytest
+
+from repro.core.chains import (
+    GeneralDescription,
+    dominated_by_kleene,
+    id_description,
+    kleene_witness_chain,
+    theorem4_unique_smooth_solution,
+)
+from repro.order.cpo import CountableChain
+from repro.order.flat import TF, BOTTOM
+from repro.seq import SEQ_CPO, EMPTY, FiniteSeq, fseq
+
+
+def saturating(limit: int):
+    def h(s: FiniteSeq) -> FiniteSeq:
+        return s if len(s) >= limit else s.append(1)
+
+    return h
+
+
+class TestGeneralDescription:
+    def test_limit_condition(self):
+        desc = id_description(saturating(2), SEQ_CPO)
+        assert desc.limit_holds(fseq(1, 1))
+        assert not desc.limit_holds(fseq(1))
+
+    def test_smoothness_on_kleene_chain(self):
+        h = saturating(3)
+        desc = id_description(h, SEQ_CPO)
+        chain = kleene_witness_chain(h, SEQ_CPO)
+        assert desc.smoothness_holds_on(chain, upto=6)
+
+    def test_is_smooth_via(self):
+        h = saturating(2)
+        desc = id_description(h, SEQ_CPO)
+        chain = kleene_witness_chain(h, SEQ_CPO)
+        assert desc.is_smooth_via(fseq(1, 1), chain, upto=5)
+
+    def test_wrong_z_rejected(self):
+        h = saturating(2)
+        desc = id_description(h, SEQ_CPO)
+        chain = kleene_witness_chain(h, SEQ_CPO)
+        # ⟨1⟩ upper-bounds only the start of the chain
+        assert not desc.is_smooth_via(fseq(1), chain, upto=5)
+
+    def test_non_kleene_witness_chain(self):
+        # a hand-built chain witnessing the same solution
+        h = saturating(2)
+        desc = id_description(h, SEQ_CPO)
+        chain = CountableChain.from_elements(
+            SEQ_CPO, [EMPTY, fseq(1), fseq(1, 1)]
+        )
+        assert desc.is_smooth_via(fseq(1, 1), chain, upto=5)
+
+    def test_flat_domain_description(self):
+        # over {T,F,⊥}: h constant T; smooth solution is T
+        desc = id_description(lambda x: "T", TF)
+        chain = kleene_witness_chain(lambda x: "T", TF)
+        assert desc.is_smooth_via("T", chain, upto=3)
+        assert not desc.limit_holds("F")
+
+
+class TestTheorem4:
+    def test_direction1_lfp_is_smooth(self):
+        # the Kleene chain witnesses the least fixpoint
+        h = saturating(4)
+        lfp = theorem4_unique_smooth_solution(h, SEQ_CPO)
+        assert lfp == fseq(1, 1, 1, 1)
+        desc = id_description(h, SEQ_CPO)
+        chain = kleene_witness_chain(h, SEQ_CPO)
+        assert desc.is_smooth_via(lfp, chain, upto=8)
+
+    def test_direction2_domination(self):
+        # any smoothness-satisfying chain is below the Kleene chain
+        h = saturating(3)
+        slow = CountableChain.from_elements(
+            SEQ_CPO, [EMPTY, EMPTY, fseq(1), fseq(1, 1),
+                      fseq(1, 1, 1)]
+        )
+        desc = id_description(h, SEQ_CPO)
+        assert desc.smoothness_holds_on(slow, upto=6)
+        assert dominated_by_kleene(slow, h, SEQ_CPO, upto=6)
+
+    def test_direction2_violator_not_dominated(self):
+        # a chain that jumps ahead of hⁿ(⊥) violates smoothness
+        h = saturating(3)
+        fast = CountableChain.from_elements(
+            SEQ_CPO, [EMPTY, fseq(1, 1)]
+        )
+        desc = id_description(h, SEQ_CPO)
+        assert not desc.smoothness_holds_on(fast, upto=2)
+        assert not dominated_by_kleene(fast, h, SEQ_CPO, upto=2)
+
+    def test_uniqueness_on_flat_domain(self):
+        # id ⟵ h over flat {T,F,⊥} with h = identity: the least
+        # fixpoint is ⊥ and is the only smooth solution reachable from
+        # a ⊥-rooted chain
+        lfp = theorem4_unique_smooth_solution(lambda x: x, TF)
+        assert lfp is BOTTOM
+
+    def test_nonconverging_iteration_raises(self):
+        with pytest.raises(RuntimeError):
+            theorem4_unique_smooth_solution(
+                lambda s: s.append(1), SEQ_CPO, max_iterations=10
+            )

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.composition — Theorem 2 (§5)."""
+
+import itertools
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.composition import Component, ComposedNetwork, pipeline
+from repro.core.description import Description
+from repro.functions.base import chan
+from repro.functions.seq_fns import even_of, odd_of, prepend_of
+from repro.processes.deterministic import (
+    copy_description,
+    prepend0_description,
+)
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0})
+C = Channel("c", alphabet={0})
+D = Channel("d", alphabet={0, 1})
+E = Channel("e", alphabet={1, 3})
+
+
+def fig1_components():
+    """The two copy processes of Figure 1."""
+    return [
+        Component("P1", frozenset({B, C}), copy_description(B, C)),
+        Component("P2", frozenset({B, C}), copy_description(C, B)),
+    ]
+
+
+class TestComponent:
+    def test_satisfies_dc(self):
+        comp = Component("P", frozenset({B, C}),
+                         copy_description(B, C))
+        assert comp.satisfies_dc()
+
+    def test_dc_violation(self):
+        comp = Component("P", frozenset({B}),
+                         copy_description(B, C))
+        assert not comp.satisfies_dc()
+
+    def test_projection(self):
+        comp = Component("P", frozenset({B}),
+                         Description(chan(B), chan(B)))
+        t = Trace.from_pairs([(B, 0), (C, 0)])
+        assert comp.project(t) == Trace.from_pairs([(B, 0)])
+
+
+class TestComposedNetwork:
+    def test_dc_enforced_at_construction(self):
+        with pytest.raises(ValueError):
+            ComposedNetwork([
+                Component("bad", frozenset({B}),
+                          copy_description(B, C)),
+            ])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedNetwork([])
+
+    def test_channels_union(self):
+        net = ComposedNetwork(fig1_components())
+        assert net.channels == frozenset({B, C})
+
+    def test_fig1_only_smooth_solution_is_empty(self):
+        # §2.1: the two-copy loop's behaviour is the empty trace
+        net = ComposedNetwork(fig1_components())
+        assert net.network_smooth(Trace.empty())
+        for t in [
+            Trace.from_pairs([(B, 0)]),
+            Trace.from_pairs([(B, 0), (C, 0)]),
+            Trace.from_pairs([(C, 0), (B, 0)]),
+        ]:
+            assert not net.network_smooth(t)
+
+    def test_fig1_modified_loops_forever(self):
+        # with b ⟵ 0;c the loop emits 0s forever: ⟨(b,0)(c,0)…⟩ is
+        # smooth in the limit, every finite prefix is not
+        components = [
+            Component("P1", frozenset({B, C}),
+                      copy_description(B, C)),
+            Component("P2", frozenset({B, C}),
+                      prepend0_description(C, B)),
+        ]
+        net = ComposedNetwork(components)
+        omega = Trace.cycle_pairs([(B, 0), (C, 0)])
+        assert net.network_smooth(omega, depth=24)
+        assert not net.network_smooth(Trace.empty())
+        assert not net.network_smooth(omega.take(4))
+
+
+class TestSublemma:
+    def test_equivalence_exhaustively(self):
+        # network smooth ≡ componentwise smooth, on all small traces
+        from repro.channels.event import Event
+
+        net = ComposedNetwork(fig1_components())
+        events = [Event(B, 0), Event(C, 0)]
+        for n in range(4):
+            for combo in itertools.product(events, repeat=n):
+                t = Trace.finite(combo)
+                assert net.sublemma_agrees(t)
+
+    def test_mixed_network_sublemma(self):
+        # P (doubles into d) feeding a dfm-like discriminator
+        p = Component(
+            "P", frozenset({D}),
+            Description(even_of(chan(D)), prepend_of(0, even_of(chan(D)))),
+        )
+        from repro.channels.event import Event
+
+        q = Component(
+            "Q", frozenset({D, E}),
+            Description(odd_of(chan(D)), chan(E)),
+        )
+        net = ComposedNetwork([p, q])
+        events = [Event(D, 0), Event(D, 1), Event(E, 1)]
+        for n in range(3):
+            for combo in itertools.product(events, repeat=n):
+                assert net.sublemma_agrees(Trace.finite(combo))
+
+    def test_network_trace_definition(self):
+        net = ComposedNetwork(fig1_components())
+        assert net.is_network_trace(Trace.empty())
+        assert not net.is_network_trace(Trace.from_pairs([(B, 0)]))
+
+
+class TestPipeline:
+    def test_chain_of_copies(self):
+        # b → c → d: quiescent traces require full propagation
+        chans = [Channel(f"x{i}", alphabet={0}) for i in range(4)]
+        comps = [
+            Component(
+                f"copy{i}",
+                frozenset({chans[i], chans[i + 1]}),
+                copy_description(chans[i], chans[i + 1]),
+            )
+            for i in range(3)
+        ]
+        net = pipeline(comps)
+        assert net.network_smooth(Trace.empty())
+        full = Trace.from_pairs([(c, 0) for c in chans])
+        # x0 is nobody's output here; a trace with x0 fed and all
+        # copies propagated is smooth
+        assert net.network_smooth(full)
+        stalled = Trace.from_pairs([(chans[0], 0)])
+        assert not net.network_smooth(stalled)

@@ -1,0 +1,115 @@
+"""Edge cases of the description machinery: lazy values on both sides,
+trace-valued (projection) sides, and mixed codomains."""
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, combine
+from repro.functions.base import (
+    ConstFn,
+    ProjectionFn,
+    chan,
+    const_seq,
+)
+from repro.seq.builders import repeat
+from repro.seq.finite import fseq
+from repro.seq.ordering import SequenceCpo
+from repro.traces.domain import TraceCpo
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 1})
+C = Channel("c", alphabet={0, 1})
+
+
+class TestLazyValuesBothSides:
+    def test_lazy_constant_description(self):
+        # K ⟵ K with K an *infinite* lazy constant: every trace is a
+        # smooth solution (the CHAOS argument), and the bounded
+        # comparison machinery must cope with unknown-length values
+        trues = ConstFn(repeat("T"), SequenceCpo(), name="T^ω")
+        desc = Description(trues, trues, name="T^ω ⟵ T^ω")
+        assert desc.is_smooth_solution(Trace.empty())
+        assert desc.is_smooth_solution(Trace.from_pairs([(B, 0)]))
+
+    def test_lazy_vs_finite_conclusively_unequal(self):
+        trues = ConstFn(repeat("T"), SequenceCpo(), name="T^ω")
+        finite = const_seq(fseq("T"), name="⟨T⟩")
+        desc = Description(finite, trues)
+        # ⟨T⟩ ≠ T^ω is decided within the depth bound
+        assert not desc.limit_holds(Trace.empty(), depth=8)
+
+    def test_smoothness_with_lazy_rhs(self):
+        # f finite-valued, g lazy-valued: f(v) ⊑ g(u) decidable
+        trues = ConstFn(repeat("T"), SequenceCpo(), name="T^ω")
+        bit = Channel("bit", alphabet={"T"})
+        desc = Description(chan(bit), trues)
+        assert desc.smoothness_holds(
+            Trace.from_pairs([(bit, "T")] * 3)
+        )
+
+
+class TestProjectionValuedDescriptions:
+    def test_projection_lhs(self):
+        # π_{b}(t) ⟵ const(⟨(b,0)⟩): smooth solutions carry exactly
+        # one (b,0), anywhere among other channels' events
+        target = Trace.from_pairs([(B, 0)])
+        desc = Description(
+            ProjectionFn(frozenset({B})),
+            ConstFn(target, TraceCpo(frozenset({B}))),
+            name="π_b ⟵ ⟨(b,0)⟩",
+        )
+        assert desc.is_smooth_solution(Trace.from_pairs([(B, 0)]))
+        assert desc.is_smooth_solution(
+            Trace.from_pairs([(C, 1), (B, 0), (C, 0)])
+        )
+        assert not desc.is_smooth_solution(Trace.empty())
+        assert not desc.is_smooth_solution(
+            Trace.from_pairs([(B, 0), (B, 0)])
+        )
+
+    def test_mixed_codomain_combination(self):
+        # combine a projection-valued and a sequence-valued description
+        target = Trace.from_pairs([(B, 0)])
+        proj_desc = Description(
+            ProjectionFn(frozenset({B})),
+            ConstFn(target, TraceCpo(frozenset({B}))),
+        )
+        seq_desc = Description(chan(C), const_seq(fseq(1)))
+        both = combine([proj_desc, seq_desc])
+        assert both.is_smooth_solution(
+            Trace.from_pairs([(B, 0), (C, 1)])
+        )
+        assert not both.is_smooth_solution(
+            Trace.from_pairs([(B, 0)])
+        )
+        assert not both.is_smooth_solution(
+            Trace.from_pairs([(C, 1)])
+        )
+
+
+class TestVerdictExactness:
+    def test_finite_values_exact(self):
+        desc = Description(chan(B), const_seq(fseq(0)))
+        assert desc.check(Trace.from_pairs([(B, 0)])).exact
+
+    def test_lazy_value_not_exact(self):
+        trues = ConstFn(repeat("T"), SequenceCpo(), name="T^ω")
+        desc = Description(trues, trues)
+        assert not desc.check(Trace.empty()).exact
+
+    def test_identity_equation_has_only_bottom(self):
+        # b ⟵ b is x = f(x) with f = id: by Theorem 4 its only smooth
+        # solution is the least fixpoint ε — appending any b event
+        # violates smoothness (b(v) ⋢ b(u))
+        desc = Description(chan(B), chan(B), name="b ⟵ b")
+        assert desc.is_smooth_solution(Trace.empty())
+        assert not desc.is_smooth_solution(Trace.from_pairs([(B, 0)]))
+        omega = Trace.cycle_pairs([(B, 0)])
+        assert not desc.is_smooth_solution(omega, depth=8)
+
+    def test_lazy_trace_not_exact(self):
+        from repro.functions.seq_fns import prepend_of
+
+        bit = Channel("bit", alphabet={"T"})
+        desc = Description(chan(bit), prepend_of("T", chan(bit)))
+        omega = Trace.cycle_pairs([(bit, "T")])
+        verdict = desc.check(omega, depth=8)
+        assert verdict.is_smooth and not verdict.exact

@@ -1,0 +1,234 @@
+"""Unit tests for repro.core.elimination — Theorems 5/6 (§7)."""
+
+import itertools
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.core.elimination import (
+    EliminationError,
+    check_conditions,
+    defining_description,
+    eliminate_channel,
+    eliminate_channels,
+    theorem5_holds,
+    theorem6_holds,
+    theorem6_witness,
+)
+from repro.functions.base import chan, const_seq
+from repro.functions.seq_fns import even_of, prepend_of, scale_of
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={0, 2})
+D = Channel("d", alphabet={0, 2})
+
+
+def simple_system():
+    """D1: b ⟵ ⟨0⟩ , c ⟵ 0;b   (h const, g mentions b)."""
+    return DescriptionSystem(
+        [
+            Description(chan(B), const_seq(fseq(0), name="⟨0⟩")),
+            Description(chan(C), prepend_of(0, chan(B))),
+        ],
+        channels=[B, C],
+        name="D1",
+    )
+
+
+class TestDefiningDescription:
+    def test_found(self):
+        d = defining_description(simple_system(), B)
+        assert d.rhs.apply(Trace.empty()) == fseq(0)
+
+    def test_missing(self):
+        with pytest.raises(EliminationError):
+            defining_description(simple_system(), D)
+
+    def test_duplicate(self):
+        system = DescriptionSystem(
+            [
+                Description(chan(B), const_seq(fseq(0))),
+                Description(chan(B), const_seq(fseq(2))),
+            ],
+            channels=[B],
+        )
+        with pytest.raises(EliminationError):
+            defining_description(system, B)
+
+
+class TestConditions:
+    def test_good_system(self):
+        report = check_conditions(simple_system(), B)
+        assert report.sound
+
+    def test_h_depends_on_b(self):
+        system = DescriptionSystem(
+            [
+                Description(chan(B), prepend_of(0, chan(B))),
+                Description(chan(C), chan(B)),
+            ],
+            channels=[B, C],
+        )
+        report = check_conditions(system, B)
+        assert not report.h_independent
+        with pytest.raises(EliminationError):
+            eliminate_channel(system, B)
+
+    def test_f_bottom_not_bottom(self):
+        # the paper's counterexample needs f(⊥) ≠ ⊥; a constant left
+        # side provides one
+        system = DescriptionSystem(
+            [
+                Description(chan(B), const_seq(fseq(0))),
+                Description(const_seq(fseq(9), name="⟨9⟩"),
+                            chan(B)),
+            ],
+            channels=[B, C],
+        )
+        report = check_conditions(system, B)
+        assert not report.f_bottom_is_bottom
+
+
+class TestEliminate:
+    def test_substitution_applied(self):
+        d2 = eliminate_channel(simple_system(), B)
+        assert len(d2) == 1
+        # c ⟵ 0;⟨0⟩ = ⟨0 0⟩
+        got = d2.descriptions[0].rhs.apply(Trace.empty())
+        assert got.take(5) == fseq(0, 0)
+
+    def test_channel_removed(self):
+        d2 = eliminate_channel(simple_system(), B)
+        assert B not in d2.channels
+
+    def test_cannot_empty_the_system(self):
+        system = DescriptionSystem(
+            [Description(chan(B), const_seq(fseq(0)))], channels=[B]
+        )
+        with pytest.raises(EliminationError):
+            eliminate_channel(system, B)
+
+    def test_eliminate_many(self):
+        # b ⟵ ⟨0⟩, c ⟵ b, d ⟵ c: eliminate b then c
+        system = DescriptionSystem(
+            [
+                Description(chan(B), const_seq(fseq(0))),
+                Description(chan(C), chan(B)),
+                Description(chan(D), chan(C)),
+            ],
+            channels=[B, C, D],
+        )
+        d2 = eliminate_channels(system, [B, C])
+        assert len(d2) == 1
+        assert d2.descriptions[0].rhs.apply(Trace.empty()) == fseq(0)
+
+    def test_enforce_false_builds_anyway(self):
+        system = DescriptionSystem(
+            [
+                Description(chan(B), const_seq(fseq(0))),
+                Description(const_seq(fseq(9)), chan(B)),
+            ],
+            channels=[B, C],
+        )
+        d2 = eliminate_channel(system, B, enforce=False)
+        assert len(d2) == 1
+
+
+class TestTheorem5:
+    def test_on_all_small_traces(self):
+        system = simple_system()
+        from repro.channels.event import Event
+
+        events = [Event(B, 0), Event(B, 2), Event(C, 0), Event(C, 2)]
+        for n in range(4):
+            for combo in itertools.product(events, repeat=n):
+                t = Trace.finite(combo)
+                assert theorem5_holds(system, B, t)
+
+
+class TestTheorem6:
+    def test_witness_projects_to_s(self):
+        system = simple_system()
+        # s over {c}: smooth solution of D2 is ⟨(c,0)(c,0)⟩
+        s = Trace.from_pairs([(C, 0), (C, 0)])
+        d2 = eliminate_channel(system, B)
+        assert d2.is_smooth_solution(s)
+        t = theorem6_witness(system, B, s)
+        proj = t.take(50).project(frozenset({C}))
+        assert proj == s
+
+    def test_witness_is_smooth_for_d1(self):
+        system = simple_system()
+        s = Trace.from_pairs([(C, 0), (C, 0)])
+        assert theorem6_holds(system, B, s)
+
+    def test_vacuous_when_s_not_smooth(self):
+        system = simple_system()
+        s = Trace.from_pairs([(C, 2)])
+        assert theorem6_holds(system, B, s)  # hypothesis fails
+
+    def test_infinite_s(self):
+        # b ⟵ ⟨0⟩, c ⟵ 0;c: D2 is c ⟵ 0;c (ticks-like); witness for
+        # the infinite s must interleave the single b event
+        system = DescriptionSystem(
+            [
+                Description(chan(B), const_seq(fseq(0))),
+                Description(chan(C), prepend_of(0, chan(C))),
+            ],
+            channels=[B, C],
+        )
+        s = Trace.cycle_pairs([(C, 0)])
+        t = theorem6_witness(system, B, s)
+        assert t.take(3).count_on(B) >= 1
+        assert system.is_smooth_solution(t, depth=16)
+
+
+class TestPaperCounterexamples:
+    def test_f_bottom_condition_note(self):
+        """§7's note: D1 = (b ⟵ f, f ⟵ b) with f(⊥) ≠ ⊥ has no smooth
+        solution though D2 = (f ⟵ f) has one (⊥)."""
+        f = const_seq(fseq(9), name="⟨9⟩")
+        d1 = DescriptionSystem(
+            [
+                Description(chan(B), f),        # b ⟵ f
+                Description(f, chan(B)),        # f ⟵ b
+            ],
+            channels=[B],
+            name="note-D1",
+        )
+        # ⊥ fails the limit condition of the second description
+        assert not d1.is_smooth_solution(Trace.empty())
+        # any nonempty trace fails smoothness of f ⟵ b at its first
+        # step: f(v) = ⟨9⟩ ⋢ b(⊥) = ε
+        assert not d1.is_smooth_solution(Trace.from_pairs([(B, 0)]))
+        # yet D2 = f ⟵ f has the smooth solution ⊥
+        d2 = eliminate_channel(d1, B, enforce=False)
+        assert d2.is_smooth_solution(Trace.empty())
+
+    def test_same_system_substitution_note(self):
+        """§7's closing note: D1 = (v ⟵ w, u ⟵ v) and
+        D2 = (v ⟵ w, u ⟵ w) do NOT have the same smooth solutions:
+        ⟨(w,0)(u,0)(v,0)⟩ solves D2 but not D1."""
+        V = Channel("v", alphabet={0})
+        W = Channel("w", alphabet={0})
+        U = Channel("u", alphabet={0})
+        d1 = DescriptionSystem(
+            [
+                Description(chan(V), chan(W)),
+                Description(chan(U), chan(V)),
+            ],
+            channels=[U, V, W], name="D1",
+        )
+        d2 = DescriptionSystem(
+            [
+                Description(chan(V), chan(W)),
+                Description(chan(U), chan(W)),
+            ],
+            channels=[U, V, W], name="D2",
+        )
+        t = Trace.from_pairs([(W, 0), (U, 0), (V, 0)])
+        assert d2.is_smooth_solution(t)
+        assert not d1.is_smooth_solution(t)

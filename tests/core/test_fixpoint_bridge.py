@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.fixpoint_bridge — Kahn semantics (§2.1)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.core.fixpoint_bridge import (
+    KahnSystem,
+    NotDeterministicError,
+    kahn_least_fixpoint,
+)
+from repro.functions.base import chan, const_seq
+from repro.functions.seq_fns import even_of, prepend_of, scale_of
+from repro.processes.deterministic import (
+    copy_description,
+    prepend0_description,
+)
+from repro.seq.finite import EMPTY, fseq
+
+B = Channel("b", alphabet={0})
+C = Channel("c", alphabet={0})
+D = Channel("d")
+
+
+def fig1_system():
+    """c ⟵ b , b ⟵ c (the two-copy loop)."""
+    return DescriptionSystem(
+        [copy_description(B, C), copy_description(C, B)],
+        channels=[B, C], name="fig1",
+    )
+
+
+def fig1_modified_system():
+    """c ⟵ b , b ⟵ 0;c."""
+    return DescriptionSystem(
+        [copy_description(B, C), prepend0_description(C, B)],
+        channels=[B, C], name="fig1'",
+    )
+
+
+class TestKahnForm:
+    def test_accepts_kahn_form(self):
+        KahnSystem.from_system(fig1_system())
+
+    def test_rejects_non_channel_lhs(self):
+        system = DescriptionSystem(
+            [Description(even_of(chan(D)), chan(B))],
+            channels=[B, D],
+        )
+        with pytest.raises(NotDeterministicError):
+            KahnSystem.from_system(system)
+
+    def test_rejects_duplicate_definitions(self):
+        system = DescriptionSystem(
+            [
+                Description(chan(B), const_seq(fseq(0))),
+                Description(chan(B), const_seq(EMPTY)),
+            ],
+            channels=[B],
+        )
+        with pytest.raises(NotDeterministicError):
+            KahnSystem.from_system(system)
+
+
+class TestFig1:
+    def test_least_fixpoint_is_empty(self):
+        # §2.1: the unique least fixpoint of c = b, b = c is ε, ε
+        semantics = kahn_least_fixpoint(fig1_system())
+        assert semantics.converged
+        env = semantics.environment()
+        assert env[B] == EMPTY
+        assert env[C] == EMPTY
+
+    def test_nonempty_solutions_exist_but_not_least(self):
+        # b = c = ⟨3⟩ also solves the equations (the paper's remark) —
+        # it is a fixpoint but not the least one
+        system = KahnSystem.from_system(fig1_system())
+        three = Channel("b", alphabet={0, 3})
+        del three
+        candidate = (fseq(0), fseq(0))
+        assert system.step(candidate) == candidate  # a fixpoint
+        lfp = system.least_fixpoint().fixpoint.value
+        assert system.domain().leq(lfp, candidate)
+        assert not system.domain().leq(candidate, lfp)
+
+
+class TestFig1Modified:
+    def test_iteration_does_not_converge(self):
+        semantics = kahn_least_fixpoint(fig1_modified_system(),
+                                        max_iterations=30)
+        assert not semantics.converged
+
+    def test_lazy_lfp_is_zero_omega(self):
+        # §2.1: least solution is b = c = 0^ω
+        semantics = kahn_least_fixpoint(fig1_modified_system(),
+                                        max_iterations=10)
+        lazy = semantics.lazy_environment()
+        assert lazy[B].take(6) == fseq(0, 0, 0, 0, 0, 0)
+        assert lazy[C].take(4) == fseq(0, 0, 0, 0)
+
+    def test_finite_approximations_grow(self):
+        semantics = kahn_least_fixpoint(fig1_modified_system(),
+                                        max_iterations=12)
+        chain = semantics.fixpoint.chain
+        lengths = [len(env[0]) for env in chain]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] > lengths[0]
+
+
+class TestDoublingChain:
+    def test_single_process_lfp(self):
+        # b ⟵ 0;2×b alone: lfp is 0, 0, 0, … (each element doubles the
+        # previous output stream's element: all zeros)
+        system = DescriptionSystem(
+            [Description(chan(D),
+                         prepend_of(0, scale_of(2, chan(D))))],
+            channels=[D],
+        )
+        semantics = kahn_least_fixpoint(system, max_iterations=8)
+        lazy = semantics.lazy_environment()
+        assert lazy[D].take(4) == fseq(0, 0, 0, 0)
+
+    def test_environment_of(self):
+        system = KahnSystem.from_system(fig1_system())
+        # description order is (c ⟵ b, b ⟵ c), so channels are (C, B)
+        assert system.channels == (C, B)
+        env = system.environment_of((fseq(0), EMPTY))
+        assert env[C] == fseq(0)
+        assert env[B] == EMPTY

@@ -1,0 +1,90 @@
+"""The §7 closing note: general substitution ``p ⟵ h``, p surjective.
+
+Concrete instance: the Brock–Ackermann-style description pair
+
+    odd(b) ⟵ ⟨1⟩ ,   c ⟵ 9; odd(b)
+
+``p = odd(b)`` depends only on ``b`` and is surjective onto odd-integer
+sequences; replacing the *term* ``odd(b)`` by its definition yields
+``c ⟵ 9;⟨1⟩`` and drops ``b``.
+"""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.core.elimination import EliminationError, eliminate_term
+from repro.functions.base import chan, const_seq
+from repro.functions.seq_fns import odd_of, prepend_of
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={1, 2, 3})
+C = Channel("c", alphabet={1, 9})
+
+
+def system():
+    defining = Description(odd_of(chan(B)),
+                           const_seq(fseq(1), name="⟨1⟩"),
+                           name="odd(b) ⟵ ⟨1⟩")
+    user = Description(chan(C), prepend_of(9, odd_of(chan(B))),
+                       name="c ⟵ 9;odd(b)")
+    return defining, DescriptionSystem([defining, user],
+                                       channels=[B, C])
+
+
+class TestEliminateTerm:
+    def test_substitution_result(self):
+        defining, d1 = system()
+        d2 = eliminate_term(d1, defining, B, surjective=True)
+        assert len(d2) == 1
+        value = d2.descriptions[0].rhs.apply(Trace.empty())
+        assert value.take(5) == fseq(9, 1)
+        assert B not in d2.channels
+
+    def test_solution_preservation_on_samples(self):
+        defining, d1 = system()
+        d2 = eliminate_term(d1, defining, B, surjective=True)
+        # D1's smooth solutions project to D2 smooth solutions
+        t = Trace.from_pairs([(B, 1), (C, 9), (C, 1)])
+        if d1.is_smooth_solution(t):
+            assert d2.is_smooth_solution(t.project(frozenset({C})))
+
+    def test_surjectivity_must_be_asserted(self):
+        defining, d1 = system()
+        with pytest.raises(EliminationError):
+            eliminate_term(d1, defining, B)
+
+    def test_p_must_depend_only_on_b(self):
+        bad_defining = Description(
+            odd_of(chan(C)), const_seq(fseq(1)), name="odd(c) ⟵ ⟨1⟩"
+        )
+        user = Description(chan(C), const_seq(fseq(9)))
+        d1 = DescriptionSystem([bad_defining, user],
+                               channels=[B, C])
+        with pytest.raises(EliminationError):
+            eliminate_term(d1, bad_defining, B, surjective=True)
+
+    def test_leak_outside_term_detected(self):
+        # a retained description mentioning b directly (not via p)
+        defining = Description(odd_of(chan(B)), const_seq(fseq(1)))
+        leaky = Description(chan(C), prepend_of(9, chan(B)),
+                            name="c ⟵ 9;b")
+        d1 = DescriptionSystem([defining, leaky], channels=[B, C])
+        with pytest.raises(EliminationError):
+            eliminate_term(d1, defining, B, surjective=True)
+
+    def test_defining_must_be_member(self):
+        defining, d1 = system()
+        foreign = Description(odd_of(chan(B)), const_seq(fseq(3)))
+        with pytest.raises(EliminationError):
+            eliminate_term(d1, foreign, B, surjective=True)
+
+    def test_h_independent_of_b_required(self):
+        defining = Description(odd_of(chan(B)),
+                               prepend_of(1, chan(B)),
+                               name="odd(b) ⟵ 1;b")
+        user = Description(chan(C), prepend_of(9, odd_of(chan(B))))
+        d1 = DescriptionSystem([defining, user], channels=[B, C])
+        with pytest.raises(EliminationError):
+            eliminate_term(d1, defining, B, surjective=True)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.core.solution (verdict objects)."""
+
+from repro.channels.channel import Channel
+from repro.core.description import Description
+from repro.core.solution import LimitReport, SolutionVerdict
+from repro.functions.base import chan, const_seq
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+
+
+def desc():
+    return Description(chan(B), const_seq(fseq(0), name="⟨0⟩"))
+
+
+class TestLimitReport:
+    def test_str_success(self):
+        r = LimitReport(True, True, fseq(0), fseq(0), 8)
+        assert "holds" in str(r) and "exactly" in str(r)
+
+    def test_str_bounded(self):
+        r = LimitReport(True, False, fseq(0), fseq(0), 8)
+        assert "depth 8" in str(r)
+
+
+class TestSolutionVerdict:
+    def test_smooth_verdict(self):
+        v = desc().check(Trace.from_pairs([(B, 0)]))
+        assert v.is_smooth and v.is_solution and v.exact
+        assert "smooth solution" in str(v)
+
+    def test_limit_failure_verdict(self):
+        v = desc().check(Trace.empty())
+        assert not v.is_smooth
+        assert not v.is_solution
+        assert v.first_violation is None  # only the limit fails
+        assert "NOT" in str(v)
+
+    def test_smoothness_failure_verdict(self):
+        v = desc().check(Trace.from_pairs([(B, 2)]))
+        assert not v.is_smooth
+        assert v.first_violation is not None
+        assert v.first_violation.u.length() == 0
+
+    def test_violation_str_mentions_description(self):
+        v = desc().check(Trace.from_pairs([(B, 2)]))
+        assert "⟵" in v.first_violation.description or \
+            v.first_violation.description

@@ -1,0 +1,197 @@
+"""Unit tests for repro.functions.base (the expression language)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.functions.base import (
+    ChannelFn,
+    ConstFn,
+    IdentityFn,
+    LambdaFn,
+    OpFn,
+    ProjectionFn,
+    TupleFn,
+    are_independent,
+    chan,
+    const_seq,
+    tuple_fn,
+)
+from repro.functions.seq_fns import even_of, prepend_of
+from repro.order.product import ProductCpo
+from repro.seq.finite import EMPTY, fseq
+from repro.seq.ordering import SequenceCpo
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+
+
+def t_of(*pairs):
+    return Trace.from_pairs(pairs)
+
+
+class TestChannelFn:
+    def test_extracts_channel_sequence(self):
+        f = chan(B)
+        t = t_of((B, 0), (C, 1), (B, 2))
+        assert f.apply(t).take(10) == fseq(0, 2)
+
+    def test_support(self):
+        assert chan(B).support == frozenset({B})
+
+    def test_apply_env(self):
+        assert chan(B).apply_env({B: fseq(0)}) == fseq(0)
+
+    def test_apply_env_missing_channel(self):
+        with pytest.raises(KeyError):
+            chan(B).apply_env({C: fseq(1)})
+
+    def test_substitute_self(self):
+        replacement = const_seq(fseq(9))
+        assert chan(B).substitute(B, replacement) is replacement
+
+    def test_substitute_other(self):
+        f = chan(B)
+        assert f.substitute(C, const_seq(EMPTY)) is f
+
+
+class TestConstFn:
+    def test_ignores_trace(self):
+        k = const_seq(fseq(7))
+        assert k.apply(t_of((B, 0))) == fseq(7)
+        assert k.apply(Trace.empty()) == fseq(7)
+
+    def test_empty_support(self):
+        assert const_seq(EMPTY).support == frozenset()
+
+    def test_substitution_identity(self):
+        k = const_seq(fseq(7))
+        assert k.substitute(B, chan(C)) is k
+
+    def test_apply_env(self):
+        assert const_seq(fseq(7)).apply_env({}) == fseq(7)
+
+
+class TestProjectionFn:
+    def test_projects(self):
+        f = ProjectionFn(frozenset({B}))
+        t = t_of((B, 0), (C, 1))
+        assert f.apply(t) == t_of((B, 0))
+
+    def test_substitute_inside_raises(self):
+        f = ProjectionFn(frozenset({B}))
+        with pytest.raises(ValueError):
+            f.substitute(B, const_seq(EMPTY))
+
+    def test_substitute_outside_is_noop(self):
+        f = ProjectionFn(frozenset({B}))
+        assert f.substitute(C, const_seq(EMPTY)) is f
+
+
+class TestIdentityFn:
+    def test_identity(self):
+        f = IdentityFn()
+        t = t_of((B, 0))
+        assert f.apply(t) is t
+
+    def test_substitution_rejected(self):
+        with pytest.raises(ValueError):
+            IdentityFn().substitute(B, const_seq(EMPTY))
+
+    def test_env_rejected(self):
+        with pytest.raises(TypeError):
+            IdentityFn().apply_env({})
+
+
+class TestOpFn:
+    def test_composition(self):
+        f = even_of(chan(B))
+        t = t_of((B, 0), (B, 2))
+        assert f.apply(t).take(10) == fseq(0, 2)
+
+    def test_support_union(self):
+        from repro.functions.logic import and_of
+
+        f = and_of(chan(B), chan(C))
+        assert f.support == frozenset({B, C})
+
+    def test_requires_args(self):
+        with pytest.raises(ValueError):
+            OpFn("bad", lambda: EMPTY, [])
+
+    def test_substitute_recurses(self):
+        g = prepend_of(0, chan(B))
+        g2 = g.substitute(B, const_seq(fseq(5)))
+        assert g2.apply(Trace.empty()).take(5) == fseq(0, 5)
+
+    def test_substitute_noop_returns_self(self):
+        g = prepend_of(0, chan(B))
+        assert g.substitute(C, const_seq(EMPTY)) is g
+
+    def test_apply_env(self):
+        g = prepend_of(0, chan(B))
+        assert g.apply_env({B: fseq(4)}).take(5) == fseq(0, 4)
+
+
+class TestTupleFn:
+    def test_pairs_values(self):
+        f = tuple_fn(chan(B), chan(C))
+        t = t_of((B, 0), (C, 1))
+        got = f.apply(t)
+        assert got[0].take(5) == fseq(0)
+        assert got[1].take(5) == fseq(1)
+
+    def test_product_codomain(self):
+        f = tuple_fn(chan(B), chan(C))
+        assert isinstance(f.codomain, ProductCpo)
+        assert f.codomain.arity == 2
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            TupleFn([])
+
+    def test_substitute(self):
+        f = tuple_fn(chan(B), chan(C))
+        f2 = f.substitute(B, const_seq(fseq(9)))
+        assert f2.apply(Trace.empty())[0] == fseq(9)
+
+    def test_apply_env(self):
+        f = tuple_fn(chan(B), chan(C))
+        got = f.apply_env({B: fseq(0), C: fseq(1)})
+        assert got == (fseq(0), fseq(1))
+
+
+class TestLambdaFn:
+    def test_opaque_application(self):
+        f = LambdaFn("len", lambda t: fseq(t.length()), SequenceCpo())
+        assert f.apply(t_of((B, 0))) == fseq(1)
+
+    def test_substitution_outside_declared_support(self):
+        f = LambdaFn("k", lambda t: EMPTY, SequenceCpo(),
+                     support=frozenset({C}))
+        assert f.substitute(B, const_seq(EMPTY)) is f
+
+    def test_substitution_inside_rejected(self):
+        f = LambdaFn("k", lambda t: EMPTY, SequenceCpo())
+        with pytest.raises(ValueError):
+            f.substitute(B, const_seq(EMPTY))
+
+
+class TestIndependence:
+    def test_disjoint_supports(self):
+        assert are_independent(chan(B), chan(C))
+
+    def test_shared_support(self):
+        assert not are_independent(chan(B), even_of(chan(B)))
+
+    def test_unknown_support(self):
+        f = LambdaFn("k", lambda t: EMPTY, SequenceCpo())
+        assert not are_independent(f, chan(B))
+
+    def test_depends_only_on(self):
+        assert chan(B).depends_only_on(frozenset({B, C}))
+        assert not chan(B).depends_only_on(frozenset({C}))
+
+    def test_independent_of(self):
+        assert chan(B).independent_of(C)
+        assert not chan(B).independent_of(B)

@@ -1,0 +1,143 @@
+"""Continuity validation of every catalog function (§3's standing
+assumption, checked empirically)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.functions.base import ProjectionFn, chan, const_seq, tuple_fn
+from repro.functions.continuity import (
+    check_continuous_fn,
+    check_fn_monotone,
+)
+from repro.functions.logic import and_of, r_of
+from repro.functions.seq_fns import (
+    affine_of,
+    brock_f_of,
+    count_ticks_of,
+    even_of,
+    false_of,
+    odd_of,
+    prepend_of,
+    scale_of,
+    select_of,
+    tag_of,
+    tagged_of,
+    true_of,
+    untag_of,
+    until_first_f_of,
+)
+from repro.order.checks import LawViolation
+from repro.seq.finite import fseq
+from repro.seq.ordering import SequenceCpo
+from repro.traces.trace import Trace
+
+D = Channel("d", alphabet={0, 1, 2, 3})
+BIT = Channel("bit", alphabet={"T", "F"})
+TAGGED = Channel("tg", alphabet={(0, 0), (0, 1), (1, 0), (1, 1)})
+
+
+def int_traces():
+    return [
+        Trace.empty(),
+        Trace.from_pairs([(D, 0), (D, 1), (D, 2), (D, 3)]),
+        Trace.from_pairs([(D, 3), (D, 2), (D, 0)]),
+        Trace.cycle_pairs([(D, 1), (D, 2)]),
+    ]
+
+
+def bit_traces():
+    return [
+        Trace.empty(),
+        Trace.from_pairs([(BIT, "T"), (BIT, "F"), (BIT, "T")]),
+        Trace.from_pairs([(BIT, "F"), (BIT, "F")]),
+        Trace.cycle_pairs([(BIT, "T"), (BIT, "F")]),
+    ]
+
+
+def mixed_bit_traces():
+    return [
+        Trace.empty(),
+        Trace.from_pairs(
+            [(BIT, "T"), (D, 1), (BIT, "F"), (D, 2), (D, 3)]
+        ),
+        Trace.from_pairs([(D, 0), (BIT, "T")]),
+    ]
+
+
+INT_FNS = [
+    chan(D),
+    even_of(chan(D)),
+    odd_of(chan(D)),
+    scale_of(2, chan(D)),
+    affine_of(2, 1, chan(D)),
+    prepend_of(0, scale_of(2, chan(D))),
+    brock_f_of(chan(D)),
+    tag_of(0, chan(D)),
+    const_seq(fseq(1, 2)),
+    ProjectionFn(frozenset({D})),
+]
+
+BIT_FNS = [
+    r_of(chan(BIT)),
+    true_of(chan(BIT)),
+    false_of(chan(BIT)),
+    until_first_f_of(chan(BIT)),
+    count_ticks_of(chan(BIT)),
+]
+
+MIXED_FNS = [
+    and_of(chan(BIT), r_of(chan(BIT))),
+    select_of(chan(D), chan(BIT), "T"),
+    select_of(chan(D), chan(BIT), "F"),
+    tuple_fn(chan(D), chan(BIT)),
+]
+
+
+@pytest.mark.parametrize("fn", INT_FNS, ids=lambda f: f.name)
+def test_integer_catalog_continuous(fn):
+    check_continuous_fn(fn, int_traces(), depth=10)
+
+
+@pytest.mark.parametrize("fn", BIT_FNS, ids=lambda f: f.name)
+def test_bit_catalog_continuous(fn):
+    check_continuous_fn(fn, bit_traces(), depth=10)
+
+
+@pytest.mark.parametrize("fn", MIXED_FNS, ids=lambda f: f.name)
+def test_mixed_catalog_continuous(fn):
+    check_continuous_fn(fn, mixed_bit_traces(), depth=10)
+
+
+def test_untag_continuous():
+    fn = untag_of(chan(TAGGED))
+    traces = [
+        Trace.empty(),
+        Trace.from_pairs([(TAGGED, (0, 1)), (TAGGED, (1, 0))]),
+    ]
+    check_continuous_fn(fn, traces, depth=6)
+
+
+def test_tagged_of_continuous():
+    fn = tagged_of(0, chan(TAGGED))
+    traces = [
+        Trace.empty(),
+        Trace.from_pairs([(TAGGED, (0, 1)), (TAGGED, (1, 0))]),
+    ]
+    check_continuous_fn(fn, traces, depth=6)
+
+
+def test_detector_catches_non_monotone_impostor():
+    """The harness itself must be able to fail: last-element extraction
+    is not monotone under prefix order."""
+    from repro.functions.base import LambdaFn
+
+    def last_element(t):
+        if t.length() == 0:
+            return fseq()
+        return fseq(t.item(t.length() - 1).message)
+
+    impostor = LambdaFn("last", last_element, SequenceCpo())
+    with pytest.raises(LawViolation):
+        check_fn_monotone(impostor, [
+            Trace.from_pairs([(D, 0), (D, 1)]),
+        ])

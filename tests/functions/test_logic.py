@@ -1,0 +1,111 @@
+"""Unit tests for repro.functions.logic (R and AND, §4.3/§4.5)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.functions.base import chan
+from repro.functions.logic import (
+    and_bit,
+    and_map,
+    and_of,
+    nonstrict_and_bit,
+    r_bit,
+    r_map,
+    r_of,
+)
+from repro.order.flat import BOTTOM
+from repro.seq.finite import EMPTY, fseq
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={"T", "F"})
+C = Channel("c", alphabet={"T", "F"})
+
+
+class TestR:
+    def test_table(self):
+        # the §4.3 table: R(T) = T, R(F) = T, R(⊥) = ⊥
+        assert r_bit("T") == "T"
+        assert r_bit("F") == "T"
+        assert r_bit(BOTTOM) is BOTTOM
+
+    def test_rejects_foreign(self):
+        with pytest.raises(ValueError):
+            r_bit(3)
+
+    def test_r_map(self):
+        assert r_map(fseq("T", "F", "T")) == fseq("T", "T", "T")
+
+    def test_r_map_empty(self):
+        assert r_map(EMPTY) == EMPTY
+
+    def test_r_of_trace_fn(self):
+        f = r_of(chan(B))
+        t = Trace.from_pairs([(B, "F")])
+        assert f.apply(t).take(5) == fseq("T")
+
+    def test_monotone_on_sequences(self):
+        assert r_map(fseq("T")).is_prefix_of(r_map(fseq("T", "F")))
+
+
+class TestStrictAnd:
+    def test_truth_table(self):
+        assert and_bit("T", "T") == "T"
+        assert and_bit("T", "F") == "F"
+        assert and_bit("F", "T") == "F"
+        assert and_bit("F", "F") == "F"
+
+    def test_strictness(self):
+        assert and_bit(BOTTOM, "T") is BOTTOM
+        assert and_bit("F", BOTTOM) is BOTTOM
+
+    def test_rejects_foreign(self):
+        with pytest.raises(ValueError):
+            and_bit("T", 1)
+
+    def test_and_map_min_length(self):
+        out = and_map(fseq("T", "T", "F"), fseq("T", "F"))
+        assert out == fseq("T", "F")
+
+    def test_and_map_empty(self):
+        assert and_map(EMPTY, fseq("T")) == EMPTY
+
+    def test_and_of_trace_fn(self):
+        f = and_of(chan(B), chan(C))
+        t = Trace.from_pairs([(B, "T"), (C, "T"), (B, "F"), (C, "T")])
+        assert f.apply(t).take(5) == fseq("T", "F")
+
+    def test_monotone_in_each_argument(self):
+        a1, a2 = fseq("T"), fseq("T", "F")
+        b1, b2 = fseq("F"), fseq("F", "T")
+        assert and_map(a1, b1).is_prefix_of(and_map(a2, b1))
+        assert and_map(a1, b1).is_prefix_of(and_map(a1, b2))
+
+
+class TestNonstrictAnd:
+    def test_f_dominates_bottom(self):
+        assert nonstrict_and_bit("F", BOTTOM) == "F"
+        assert nonstrict_and_bit(BOTTOM, "F") == "F"
+
+    def test_needs_both_for_t(self):
+        assert nonstrict_and_bit("T", BOTTOM) is BOTTOM
+        assert nonstrict_and_bit("T", "T") == "T"
+
+    def test_why_the_paper_uses_strict_and(self):
+        """§4.5 reader exercise: a pointwise non-strict AND is not
+        prefix-stable at the sequence level.
+
+        With input prefixes b=⟨⟩ (⊥ at position 0) and c=⟨F⟩, the
+        non-strict rule would commit the 0-th output to F; if b later
+        delivers position 0 the output cannot change — fine — but for
+        c=⟨T⟩ it would have to *wait*, making the output's length
+        depend non-monotonically on message values.  The concrete
+        violation: output length would not be a function of the pair of
+        lengths, breaking the min-length monotonicity argument.
+        """
+        # the strict lift is prefix-stable:
+        assert and_map(EMPTY, fseq("F")) == EMPTY
+        # a hypothetical non-strict lift would output ⟨F⟩ there, yet
+        # and_map(⟨T⟩, ⟨F⟩) = ⟨F⟩ too — but and_map(⟨T⟩, ⟨T⟩) = ⟨T⟩,
+        # so ⟨F⟩ ⋢ output-on-extension: non-monotone.
+        assert and_map(fseq("T"), fseq("T")) == fseq("T")
+        assert not fseq("F").is_prefix_of(and_map(fseq("T"), fseq("T")))

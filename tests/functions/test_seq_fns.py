@@ -1,0 +1,168 @@
+"""Unit tests for repro.functions.seq_fns (the paper's operations)."""
+
+import itertools
+
+from repro.channels.channel import Channel
+from repro.functions.base import chan
+from repro.functions.seq_fns import (
+    affine,
+    brock_f,
+    brock_f_of,
+    count_ticks,
+    even_filter,
+    even_of,
+    false_filter,
+    odd_filter,
+    odd_of,
+    prepend_block_of,
+    prepend_of,
+    scale,
+    select_by_oracle,
+    tag_with,
+    tagged_filter,
+    true_filter,
+    untag,
+    until_first_f,
+)
+from repro.seq.finite import EMPTY, fseq
+from repro.seq.lazy import LazySeq
+from repro.traces.trace import Trace
+
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+
+class TestParityFilters:
+    def test_even(self):
+        assert even_filter(fseq(0, 1, 2, 3)) == fseq(0, 2)
+
+    def test_odd(self):
+        assert odd_filter(fseq(0, 1, 2, 3)) == fseq(1, 3)
+
+    def test_negative_numbers(self):
+        # §2.3's z contains negatives; parity must be value-based
+        assert even_filter(fseq(-1, -2)) == fseq(-2)
+        assert odd_filter(fseq(-1, -2)) == fseq(-1)
+
+    def test_lazy(self):
+        assert even_filter(LazySeq(itertools.count())).take(3) == \
+            fseq(0, 2, 4)
+
+
+class TestBitFilters:
+    def test_true_filter(self):
+        assert true_filter(fseq("T", "F", "T")) == fseq("T", "T")
+
+    def test_false_filter(self):
+        assert false_filter(fseq("T", "F")) == fseq("F")
+
+    def test_tagged_filter(self):
+        s = fseq((0, 5), (1, 6), (0, 7))
+        assert tagged_filter(0, s) == fseq((0, 5), (0, 7))
+        assert tagged_filter(1, s) == fseq((1, 6))
+
+    def test_tagged_filter_ignores_untagged(self):
+        assert tagged_filter(0, fseq(5)) == EMPTY
+
+
+class TestPointwiseMaps:
+    def test_scale(self):
+        assert scale(2, fseq(1, 2)) == fseq(2, 4)
+
+    def test_affine(self):
+        # §2.3's 2×d + 1
+        assert affine(2, 1, fseq(0, 1)) == fseq(1, 3)
+
+    def test_tag_untag_roundtrip(self):
+        tagged = tag_with(1, fseq(5, 6))
+        assert tagged == fseq((1, 5), (1, 6))
+        assert untag(tagged) == fseq(5, 6)
+
+
+class TestUntilFirstF:
+    def test_stops_at_f(self):
+        assert until_first_f(fseq("T", "T", "F", "T")) == \
+            fseq("T", "T")
+
+    def test_no_f(self):
+        assert until_first_f(fseq("T", "T")) == fseq("T", "T")
+
+    def test_empty(self):
+        assert until_first_f(EMPTY) == EMPTY
+
+
+class TestCountTicks:
+    def test_counts_before_first_f(self):
+        assert count_ticks(fseq("T", "T", "F")) == fseq(2)
+
+    def test_no_output_before_f(self):
+        # monotonicity requires ε until the F commits the count
+        assert count_ticks(fseq("T", "T")) == EMPTY
+
+    def test_zero(self):
+        assert count_ticks(fseq("F")) == fseq(0)
+
+    def test_frozen_after_f(self):
+        assert count_ticks(fseq("T", "F", "T", "F")) == fseq(1)
+
+    def test_lazy(self):
+        src = LazySeq(iter(["T", "F", "T"]))
+        assert count_ticks(src).to_finite(10) == fseq(1)
+
+    def test_lazy_without_f_produces_nothing_yet(self):
+        src = LazySeq(iter(["T", "T"]))
+        assert count_ticks(src).to_finite(10) == EMPTY
+
+    def test_monotone(self):
+        prefixes = [fseq(*"TT"), fseq(*"TTF"), fseq(*"TTFT")]
+        outs = [count_ticks(p) for p in prefixes]
+        assert outs[0].is_prefix_of(outs[1])
+        assert outs[1].is_prefix_of(outs[2])
+
+
+class TestBrockF:
+    def test_paper_definition(self):
+        # f(ε) = ε, f(⟨n⟩) = ε, f(n; m; x) = ⟨n+1⟩
+        assert brock_f(EMPTY) == EMPTY
+        assert brock_f(fseq(0)) == EMPTY
+        assert brock_f(fseq(0, 2)) == fseq(1)
+        assert brock_f(fseq(0, 2, 9, 9)) == fseq(1)
+
+    def test_lazy(self):
+        assert brock_f(LazySeq(iter([5, 0]))).to_finite(5) == fseq(6)
+        assert brock_f(LazySeq(iter([5]))).to_finite(5) == EMPTY
+
+    def test_as_trace_fn(self):
+        f = brock_f_of(chan(D))
+        t = Trace.from_pairs([(D, 0), (D, 2)])
+        assert f.apply(t).take(5) == fseq(1)
+
+
+class TestSelectByOracle:
+    def test_routing(self):
+        out = select_by_oracle(fseq(1, 2, 3), fseq("T", "F", "T"), "T")
+        assert out == fseq(1, 3)
+
+    def test_monotone_in_both(self):
+        f = lambda s, o: select_by_oracle(s, o, "T")
+        assert f(fseq(1), fseq("T")).is_prefix_of(
+            f(fseq(1, 2), fseq("T", "T"))
+        )
+
+
+class TestTraceLifts:
+    def test_even_of_and_odd_of(self):
+        t = Trace.from_pairs([(D, 0), (D, 1), (D, 2)])
+        assert even_of(chan(D)).apply(t).take(5) == fseq(0, 2)
+        assert odd_of(chan(D)).apply(t).take(5) == fseq(1)
+
+    def test_prepend_of(self):
+        t = Trace.from_pairs([(D, 1)])
+        assert prepend_of(0, chan(D)).apply(t).take(5) == fseq(0, 1)
+
+    def test_prepend_block_of(self):
+        t = Trace.from_pairs([(D, 1)])
+        f = prepend_block_of((7, 8), chan(D))
+        assert f.apply(t).take(5) == fseq(7, 8, 1)
+
+    def test_lift_supports(self):
+        assert even_of(chan(D)).support == frozenset({D})

@@ -1,0 +1,106 @@
+"""§8.2: auxiliary channels are essential — finite ticks needs one.
+
+The paper asserts ("consider a process that outputs a finite number of
+ticks") that some processes cannot be described without auxiliary
+channels.  The argument, made concrete for the tick alphabet ``{T}``:
+
+The traces over the single channel ``d`` with alphabet ``{T}`` are
+``T^i`` (i ≥ 0) and ``T^ω``.  Suppose a description ``f ⟵ g`` over
+``d`` alone has *every* ``T^i`` among its smooth solutions.  Then:
+
+* smoothness of ``T^{i+1}`` includes the edge condition
+  ``f(T^{i+1}) ⊑ g(T^i)`` — which is precisely the smoothness condition
+  ``T^ω`` needs at each of its pre-pairs;
+* ``f(T^i) = g(T^i)`` for all i, so by continuity
+  ``f(T^ω) = lub f(T^i) = lub g(T^i) = g(T^ω)`` — the limit condition.
+
+Hence ``T^ω`` is forcibly a smooth solution too: no description over
+``d`` alone has smooth-solution set ``{T^i : i ≥ 0}``.  With an
+auxiliary fair-random channel, §4.8's description achieves exactly
+that set.  These tests check the forcing on a family of concrete
+candidate descriptions and the separation by the auxiliary version.
+"""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description
+from repro.functions.base import chan, const_seq
+from repro.functions.logic import r_of
+from repro.functions.seq_fns import (
+    prepend_of,
+    take_of,
+    until_first_f_of,
+)
+from repro.processes import finite_ticks
+from repro.seq.builders import repeat, repeat_finite
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+D = Channel("d", alphabet={"T"})
+
+
+def tick_trace(i):
+    return Trace.from_pairs([(D, "T")] * i)
+
+
+OMEGA = Trace.cycle_pairs([(D, "T")])
+
+#: Candidate single-channel descriptions — every combinator in the
+#: library that could plausibly aim at "finitely many ticks".
+CANDIDATES = [
+    Description(chan(D), chan(D), name="d ⟵ d"),
+    Description(chan(D), prepend_of("T", chan(D)), name="d ⟵ T;d"),
+    Description(prepend_of("T", chan(D)), chan(D), name="T;d ⟵ d"),
+    Description(chan(D), const_seq(repeat("T"), name="T^ω"),
+                name="d ⟵ T^ω"),
+    Description(chan(D), const_seq(repeat_finite("T", 3)),
+                name="d ⟵ T³"),
+    Description(r_of(chan(D)), r_of(chan(D)), name="R(d) ⟵ R(d)"),
+    Description(until_first_f_of(chan(D)), chan(D),
+                name="g(d) ⟵ d"),
+    Description(take_of(2, chan(D)), take_of(2, chan(D)),
+                name="take₂ ⟵ take₂"),
+    Description(const_seq(fseq()), const_seq(fseq()), name="K ⟵ K"),
+]
+
+MAX_I = 5
+
+
+@pytest.mark.parametrize("desc", CANDIDATES, ids=lambda d: d.name)
+def test_forcing_lemma_on_candidates(desc):
+    """If all T^i are smooth for a candidate, T^ω is too."""
+    all_finite_smooth = all(
+        desc.is_smooth_solution(tick_trace(i)) for i in range(MAX_I)
+    )
+    if all_finite_smooth:
+        assert desc.is_smooth_solution(OMEGA, depth=24), desc.name
+
+
+@pytest.mark.parametrize("desc", CANDIDATES, ids=lambda d: d.name)
+def test_no_candidate_achieves_the_set(desc):
+    """No single-channel candidate has solution set {T^i} \\ {T^ω}."""
+    achieves = (
+        all(desc.is_smooth_solution(tick_trace(i))
+            for i in range(MAX_I))
+        and not desc.is_smooth_solution(OMEGA, depth=24)
+    )
+    assert not achieves, desc.name
+
+
+class TestAuxiliaryVersionSeparates:
+    def test_finite_ticks_achieves_the_set(self):
+        process = finite_ticks.make()
+        d = next(iter(process.visible_channels))
+        for i in range(MAX_I):
+            t = Trace.from_pairs([(d, "T")] * i)
+            assert process.is_trace(t, depth=32), i
+        omega = Trace.cycle_pairs([(d, "T")])
+        assert not process.is_trace(omega)
+
+    def test_separation_is_by_the_auxiliary_channel(self):
+        # projecting the description onto the visible channel alone
+        # loses the separation: the d-only residue of the §4.8 system
+        # is "d is a T-stream", which the forcing lemma covers
+        process = finite_ticks.make()
+        assert process.auxiliary_channels  # the separator exists

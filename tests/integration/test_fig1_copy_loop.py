@@ -1,0 +1,105 @@
+"""Integration: Figure 1 (§2.1) — the two-copy loop, denotational and
+operational, plus Theorem 4's bridge."""
+
+from repro.channels.channel import Channel
+from repro.core.composition import Component, ComposedNetwork
+from repro.core.fixpoint_bridge import kahn_least_fixpoint
+from repro.kahn.agents import copy_agent, prepend0_agent
+from repro.kahn.scheduler import RandomOracle, run_network
+from repro.processes.deterministic import (
+    copy_description,
+    prepend0_description,
+)
+from repro.core.description import DescriptionSystem
+from repro.seq.finite import EMPTY
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0})
+C = Channel("c", alphabet={0})
+
+
+def loop_system():
+    return DescriptionSystem(
+        [copy_description(B, C), copy_description(C, B)],
+        channels=[B, C], name="fig1",
+    )
+
+
+def modified_system():
+    return DescriptionSystem(
+        [copy_description(B, C), prepend0_description(C, B)],
+        channels=[B, C], name="fig1'",
+    )
+
+
+class TestPlainLoop:
+    def test_lfp_is_empty(self):
+        semantics = kahn_least_fixpoint(loop_system())
+        assert semantics.converged
+        assert all(v == EMPTY for v in semantics.environment().values())
+
+    def test_only_smooth_solution_is_empty_trace(self):
+        system = loop_system()
+        assert system.is_smooth_solution(Trace.empty())
+        import itertools
+
+        from repro.channels.event import Event
+
+        events = [Event(B, 0), Event(C, 0)]
+        for n in range(1, 4):
+            for combo in itertools.product(events, repeat=n):
+                assert not system.is_smooth_solution(
+                    Trace.finite(combo)
+                )
+
+    def test_operational_run_is_silent(self):
+        result = run_network(
+            {"p1": copy_agent(B, C), "p2": copy_agent(C, B)},
+            [B, C], RandomOracle(0), max_steps=100,
+        )
+        assert result.quiescent
+        assert result.trace.length() == 0
+
+
+class TestModifiedLoop:
+    def test_lfp_is_zero_omega(self):
+        semantics = kahn_least_fixpoint(modified_system(),
+                                        max_iterations=20)
+        assert not semantics.converged  # infinite behaviour
+        lazy = semantics.lazy_environment()
+        assert list(lazy[B].take(5)) == [0] * 5
+        assert list(lazy[C].take(5)) == [0] * 5
+
+    def test_infinite_trace_is_smooth(self):
+        omega = Trace.cycle_pairs([(B, 0), (C, 0)])
+        assert modified_system().is_smooth_solution(omega, depth=24)
+
+    def test_network_never_terminates_operationally(self):
+        result = run_network(
+            {"p1": copy_agent(B, C), "p2": prepend0_agent(C, B)},
+            [B, C], RandomOracle(1), max_steps=300,
+        )
+        assert not result.quiescent  # still running at the bound
+        assert result.steps == 300
+        # every message is 0 and both channels keep flowing
+        assert set(e.message for e in result.trace) == {0}
+        assert result.trace.count_on(B) > 10
+        assert result.trace.count_on(C) > 10
+
+    def test_finite_prefixes_are_not_quiescent(self):
+        system = modified_system()
+        omega = Trace.cycle_pairs([(B, 0), (C, 0)])
+        for n in range(1, 5):
+            assert not system.is_smooth_solution(omega.take(n))
+
+
+class TestTheorem2OnFig1:
+    def test_network_description_composes(self):
+        net = ComposedNetwork([
+            Component("p1", frozenset({B, C}),
+                      copy_description(B, C)),
+            Component("p2", frozenset({B, C}),
+                      copy_description(C, B)),
+        ])
+        assert net.network_smooth(Trace.empty())
+        assert net.componentwise_smooth(Trace.empty())

@@ -1,0 +1,136 @@
+"""The §4.10 folklore claim, instantiated: a nondeterministic process
+(the §4.3 Random Bit) built from deterministic processes plus a fair
+merge has the same trace set as its direct description.
+
+Construction (all channels except ``o`` auxiliary):
+
+    s1 ⟵ ⟨T⟩                       {deterministic source}
+    s2 ⟵ ⟨F⟩                       {deterministic source}
+    ZERO(b) ⟵ t0(s1), ONE(b) ⟵ t1(s2), e ⟵ r(b)   {fair merge}
+    o ⟵ take₁(e)                   {deterministic head}
+
+The merge order is the only nondeterminism; the head picks the winner.
+Projected onto ``o`` the smooth solutions are exactly ``(o,T)`` and
+``(o,F)`` — the Random Bit's trace set.
+"""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan, const_seq
+from repro.functions.seq_fns import tag_of, tagged_of, take_of, untag_of
+from repro.processes import random_bit
+from repro.processes.process import DescribedProcess
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+S1 = Channel("s1", alphabet={"T"}, auxiliary=True)
+S2 = Channel("s2", alphabet={"F"}, auxiliary=True)
+BM = Channel("bm", alphabet={(0, "T"), (1, "F")}, auxiliary=True)
+E = Channel("e", alphabet={"T", "F"}, auxiliary=True)
+O = Channel("o", alphabet={"T", "F"})
+
+
+def built_random_bit() -> DescribedProcess:
+    system = DescriptionSystem(
+        [
+            Description(chan(S1), const_seq(fseq("T"), name="⟨T⟩")),
+            Description(chan(S2), const_seq(fseq("F"), name="⟨F⟩")),
+            Description(tagged_of(0, chan(BM)), tag_of(0, chan(S1))),
+            Description(tagged_of(1, chan(BM)), tag_of(1, chan(S2))),
+            Description(chan(E), untag_of(chan(BM))),
+            Description(chan(O), take_of(1, chan(E))),
+        ],
+        channels=[S1, S2, BM, E, O],
+        name="random-bit-from-fair-merge",
+    )
+    return DescribedProcess(
+        "BuiltRandomBit", [S1, S2, BM, E, O], system,
+        witness_fn=witness,
+    )
+
+
+def witness(t: Trace):
+    """The canonical smooth solution projecting to ``(o, bit)``."""
+    if not t.is_known_finite() or t.length() != 1:
+        return None
+    event = t.item(0)
+    if event.channel != O or event.message not in ("T", "F"):
+        return None
+    first = event.message
+    second = "F" if first == "T" else "T"
+
+    def tagged(bit):
+        return (0, "T") if bit == "T" else (1, "F")
+
+    def src(bit):
+        return S1 if bit == "T" else S2
+
+    return Trace.finite([
+        Event(src(first), first),
+        Event(BM, tagged(first)),
+        Event(E, first),
+        Event(O, first),
+        Event(src(second), second),
+        Event(BM, tagged(second)),
+        Event(E, second),
+    ])
+
+
+class TestConstruction:
+    def test_witnesses_are_smooth(self):
+        process = built_random_bit()
+        for bit in ("T", "F"):
+            t = Trace.from_pairs([(O, bit)])
+            w = witness(t)
+            assert process.system.is_smooth_solution(w), bit
+
+    def test_trace_set_is_one_bit(self):
+        process = built_random_bit()
+        assert process.is_trace(Trace.from_pairs([(O, "T")]))
+        assert process.is_trace(Trace.from_pairs([(O, "F")]))
+
+    def test_non_traces_rejected(self):
+        process = built_random_bit()
+        for bad in [
+            Trace.from_pairs([(O, "T"), (O, "F")]),
+            Trace.from_pairs([(O, "T"), (O, "T")]),
+        ]:
+            assert not process.is_trace(bad), bad
+
+    def test_empty_not_quiescent(self):
+        # the sources must fire, the merge must merge, the head must
+        # answer — ε is a non-quiescent history, as for §4.3's process
+        process = built_random_bit()
+        assert not process.system.is_smooth_solution(Trace.empty())
+
+
+class TestEquivalenceWithDirectDescription:
+    def test_same_visible_trace_set(self):
+        built = built_random_bit()
+        direct = random_bit.make()
+        direct_b = next(iter(direct.channels))
+
+        built_set = {
+            tuple(e.message for e in t)
+            for t in [Trace.from_pairs([(O, "T")]),
+                      Trace.from_pairs([(O, "F")])]
+            if built.is_trace(t)
+        }
+        direct_set = {
+            tuple(e.message for e in t)
+            for t in direct.traces_upto(3)
+        }
+        assert built_set == direct_set == {("T",), ("F",)}
+
+    def test_exhaustive_enumeration_agrees(self):
+        # solver over the full auxiliary alphabet, projected onto o
+        built = built_random_bit()
+        solutions = built.solver().explore(7).finite_solutions
+        projected = {
+            tuple(e.message for e in s.project(frozenset({O})))
+            for s in solutions
+        }
+        assert projected == {("T",), ("F",)}

@@ -1,0 +1,80 @@
+"""Unit tests for the replay machinery inside repro.kahn.explore."""
+
+from repro.channels.channel import Channel
+from repro.kahn.effects import Choose, Send
+from repro.kahn.explore import (
+    _ReplayOracle,
+    _next_script,
+    explore_schedules,
+)
+
+X = Channel("x", alphabet={0, 1, 2})
+
+
+class TestNextScript:
+    def test_empty_log_ends(self):
+        assert _next_script([]) is None
+
+    def test_single_binary_decision(self):
+        assert _next_script([(2, 0)]) == [1]
+        assert _next_script([(2, 1)]) is None
+
+    def test_carries_like_odometer(self):
+        # last decision saturated: increment the previous one
+        assert _next_script([(3, 0), (2, 1)]) == [1]
+
+    def test_suffix_dropped(self):
+        # decisions after the incremented one are discarded
+        assert _next_script([(2, 0), (5, 4), (2, 1)]) == [1]
+
+    def test_arity_one_never_increments(self):
+        assert _next_script([(1, 0), (1, 0)]) is None
+
+
+class TestReplayOracle:
+    def test_follows_script_then_zero(self):
+        oracle = _ReplayOracle([1, 2])
+        assert oracle._decide(3) == 1
+        assert oracle._decide(3) == 2
+        assert oracle._decide(3) == 0  # script exhausted
+
+    def test_log_records_arity_and_choice(self):
+        oracle = _ReplayOracle([1])
+        oracle._decide(2)
+        oracle._decide(4)
+        assert oracle.log == [(2, 1), (4, 0)]
+
+    def test_choice_wraps_modulo_arity(self):
+        oracle = _ReplayOracle([5])
+        assert oracle._decide(2) == 1
+
+
+class TestDecisionTreeShape:
+    def test_run_count_matches_choice_tree(self):
+        # a single agent making two binary choices: 4 leaves
+        def chooser():
+            a = yield Choose(2)
+            b = yield Choose(2)
+            yield Send(X, a + b)
+
+        result = explore_schedules(lambda: {"c": chooser()}, [X],
+                                   max_steps=10)
+        assert result.runs == 4
+        assert result.complete
+        # outputs: 0, 1, 1, 2 → three distinct traces
+        assert len(result.quiescent_traces) == 3
+
+    def test_scheduling_choices_counted(self):
+        # two independent one-send agents: 2 interleavings
+        def send(m):
+            def body():
+                yield Send(X, m)
+
+            return body
+
+        result = explore_schedules(
+            lambda: {"a": send(0)(), "b": send(1)()}, [X],
+            max_steps=10,
+        )
+        assert result.complete
+        assert len(result.quiescent_traces) == 2

@@ -1,0 +1,183 @@
+"""Unit tests for repro.kahn.runtime (the operational simulator)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.kahn.effects import Choose, Halt, Poll, Recv, RecvAny, Send
+from repro.kahn.runtime import AgentState, Oracle, Runtime
+from repro.kahn.scheduler import FirstOracle
+
+B = Channel("b", alphabet={0, 1, 2})
+C = Channel("c", alphabet={0, 1, 2})
+
+
+def run(agents, channels=(B, C), max_steps=200, oracle=None):
+    runtime = Runtime(agents, channels)
+    result = runtime.run(oracle or FirstOracle(), max_steps)
+    return runtime, result
+
+
+class TestSendRecv:
+    def test_send_recorded_in_trace(self):
+        def sender():
+            yield Send(B, 1)
+            yield Send(B, 2)
+
+        _, result = run({"s": sender()})
+        assert [e.message for e in result.trace] == [1, 2]
+        assert result.quiescent
+
+    def test_recv_blocks_until_data(self):
+        def consumer():
+            message = yield Recv(B)
+            yield Send(C, message)
+
+        runtime, result = run({"c": consumer()})
+        assert result.quiescent
+        assert result.trace.length() == 0
+        assert result.blocked_agents == ["c"]
+
+    def test_pipeline(self):
+        def producer():
+            yield Send(B, 1)
+
+        def copier():
+            while True:
+                message = yield Recv(B)
+                yield Send(C, message)
+
+        _, result = run({"p": producer(), "c": copier()})
+        assert result.quiescent
+        assert result.trace.messages_on(C).items == (1,)
+
+    def test_fifo_order(self):
+        def producer():
+            yield Send(B, 0)
+            yield Send(B, 1)
+            yield Send(B, 2)
+
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                message = yield Recv(B)
+                received.append(message)
+
+        _, result = run({"p": producer(), "c": consumer()})
+        assert received == [0, 1, 2]
+
+    def test_alphabet_enforced(self):
+        def bad():
+            yield Send(B, 99)
+
+        with pytest.raises(ValueError):
+            run({"bad": bad()})
+
+    def test_unknown_channel_rejected(self):
+        x = Channel("x")
+
+        def bad():
+            yield Send(x, 0)
+
+        with pytest.raises(KeyError):
+            run({"bad": bad()})
+
+
+class TestChooseAndPoll:
+    def test_choose_consults_oracle(self):
+        picks = []
+
+        def chooser():
+            which = yield Choose(3)
+            picks.append(which)
+
+        class Always2(Oracle):
+            def pick_choice(self, agent, arity):
+                return 2
+
+        run({"c": chooser()}, oracle=Always2())
+        assert picks == [2]
+
+    def test_poll(self):
+        answers = []
+
+        def poller():
+            answers.append((yield Poll(B)))
+            yield Send(B, 0)
+            answers.append((yield Poll(B)))
+
+        run({"p": poller()})
+        assert answers == [False, True]
+
+
+class TestRecvAny:
+    def test_takes_whichever_available(self):
+        def producer():
+            yield Send(C, 2)
+
+        got = []
+
+        def merger():
+            channel, message = yield RecvAny([B, C])
+            got.append((channel.name, message))
+
+        _, result = run({"p": producer(), "m": merger()})
+        assert got == [("c", 2)]
+
+    def test_blocks_when_all_empty(self):
+        def merger():
+            yield RecvAny([B, C])
+
+        _, result = run({"m": merger()})
+        assert result.quiescent
+        assert result.blocked_agents == ["m"]
+
+    def test_empty_channel_list_rejected(self):
+        with pytest.raises(ValueError):
+            RecvAny([])
+
+
+class TestHaltAndQuiescence:
+    def test_explicit_halt(self):
+        def agent():
+            yield Send(B, 0)
+            yield Halt()
+            yield Send(B, 1)  # unreachable
+
+        _, result = run({"a": agent()})
+        assert result.halted_agents == ["a"]
+        assert result.trace.length() == 1
+
+    def test_return_is_halt(self):
+        def agent():
+            yield Send(B, 0)
+
+        _, result = run({"a": agent()})
+        assert result.halted_agents == ["a"]
+
+    def test_step_bound(self):
+        def forever():
+            while True:
+                yield Send(B, 0)
+
+        _, result = run({"f": forever()}, max_steps=10)
+        assert not result.quiescent
+        assert result.steps == 10
+
+    def test_blocked_agent_wakes_on_data(self):
+        def late_producer():
+            yield Choose(1)  # burn a step
+            yield Choose(1)
+            yield Send(B, 1)
+
+        def consumer():
+            message = yield Recv(B)
+            yield Send(C, message)
+
+        _, result = run({"c": consumer(), "p": late_producer()})
+        assert result.quiescent
+        assert result.trace.messages_on(C).items == (1,)
+
+    def test_is_quiescent_reflects_state(self):
+        runtime = Runtime({}, [B])
+        assert runtime.is_quiescent()

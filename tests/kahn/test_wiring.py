@@ -1,0 +1,96 @@
+"""Unit tests for repro.kahn.wiring (OperationalNetwork)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan
+from repro.functions.seq_fns import even_of, odd_of
+from repro.kahn.agents import dfm_agent, source_agent
+from repro.kahn.effects import RecvAny, Send
+from repro.kahn.wiring import OperationalNetwork
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+
+def dfm_system():
+    return DescriptionSystem(
+        [
+            Description(even_of(chan(D)), chan(B)),
+            Description(odd_of(chan(D)), chan(C)),
+        ],
+        channels=[B, C, D], name="dfm",
+    )
+
+
+def good_network() -> OperationalNetwork:
+    return OperationalNetwork(
+        name="dfm",
+        channels=[B, C, D],
+        system=dfm_system(),
+        agents={
+            "env-b": lambda: source_agent(B, [0, 2]),
+            "env-c": lambda: source_agent(C, [1]),
+            "dfm": lambda: dfm_agent(B, C, D),
+        },
+    )
+
+
+class TestConstruction:
+    def test_channel_coverage_enforced(self):
+        with pytest.raises(ValueError):
+            OperationalNetwork(
+                name="bad", channels=[B], system=dfm_system(),
+            )
+
+    def test_make_agents_fresh_each_time(self):
+        net = good_network()
+        first = net.make_agents()
+        second = net.make_agents()
+        assert first.keys() == second.keys()
+        assert first["dfm"] is not second["dfm"]
+
+
+class TestRunning:
+    def test_run(self):
+        result = good_network().run(seed=3, max_steps=100)
+        assert result.quiescent
+
+    def test_sample_buckets(self):
+        sample = good_network().sample(seeds=range(6), max_steps=100)
+        assert sample.runs == 6
+        assert sample.quiescent
+
+    def test_validate_agrees(self):
+        report = good_network().validate(seeds=range(10),
+                                         max_steps=100)
+        assert report.all_agree
+
+    def test_assert_valid_passes(self):
+        good_network().assert_valid(seeds=range(5), max_steps=100)
+
+
+class TestValidationCatchesBugs:
+    def test_broken_machine_flagged(self):
+        def broken_dfm():
+            # emits a constant before any input: causality violation
+            yield Send(D, 0)
+            while True:
+                _, message = yield RecvAny((B, C))
+                yield Send(D, message)
+
+        net = OperationalNetwork(
+            name="broken",
+            channels=[B, C, D],
+            system=dfm_system(),
+            agents={
+                "env-b": lambda: source_agent(B, [0]),
+                "dfm": lambda: broken_dfm(),
+            },
+        )
+        report = net.validate(seeds=range(5), max_steps=60)
+        assert not report.all_agree
+        with pytest.raises(AssertionError):
+            net.assert_valid(seeds=range(5), max_steps=60)

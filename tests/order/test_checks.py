@@ -1,0 +1,108 @@
+"""Unit tests for repro.order.checks (law validators)."""
+
+import pytest
+
+from repro.order.checks import (
+    LawViolation,
+    check_antisymmetric,
+    check_bottom,
+    check_continuous_on_chain,
+    check_cpo,
+    check_monotone,
+    check_partial_order,
+    check_reflexive,
+    check_transitive,
+)
+from repro.order.flat import TF
+from repro.order.poset import PartialOrder
+from repro.seq import SEQ_CPO, EMPTY, fseq
+
+
+class BrokenReflexivity(PartialOrder):
+    name = "broken-reflexive"
+
+    def leq(self, x, y):
+        return False
+
+
+class BrokenAntisymmetry(PartialOrder):
+    name = "broken-antisym"
+
+    def leq(self, x, y):
+        return True  # everything ⊑ everything
+
+
+class BrokenTransitivity(PartialOrder):
+    """0 ⊑ 1, 1 ⊑ 2, but 0 ⋢ 2."""
+
+    name = "broken-trans"
+
+    def leq(self, x, y):
+        return x == y or (x, y) in {(0, 1), (1, 2)}
+
+
+class TestLawDetectors:
+    def test_reflexivity_violation(self):
+        with pytest.raises(LawViolation):
+            check_reflexive(BrokenReflexivity(), [1])
+
+    def test_antisymmetry_violation(self):
+        with pytest.raises(LawViolation):
+            check_antisymmetric(BrokenAntisymmetry(), [1, 2])
+
+    def test_transitivity_violation(self):
+        with pytest.raises(LawViolation):
+            check_transitive(BrokenTransitivity(), [0, 1, 2])
+
+    def test_good_orders_pass(self):
+        check_partial_order(SEQ_CPO, SEQ_CPO.sample())
+        check_partial_order(TF, TF.sample())
+
+    def test_bottom_law(self):
+        check_bottom(SEQ_CPO, SEQ_CPO.sample())
+        check_bottom(TF, TF.sample())
+
+    def test_check_cpo_uses_default_sample(self):
+        check_cpo(SEQ_CPO)
+        check_cpo(TF)
+
+
+class TestFunctionChecks:
+    def test_monotone_passes(self):
+        check_monotone(
+            lambda s: s.take(1), SEQ_CPO, SEQ_CPO, SEQ_CPO.sample(),
+            name="take1",
+        )
+
+    def test_monotone_fails_on_length_flip(self):
+        # reverse is not monotone under prefix order
+        def rev(s):
+            return fseq(*reversed(list(s)))
+
+        with pytest.raises(LawViolation):
+            check_monotone(rev, SEQ_CPO, SEQ_CPO, SEQ_CPO.sample(),
+                           name="rev")
+
+    def test_continuous_on_chain_passes(self):
+        chain = [EMPTY, fseq(1), fseq(1, 2)]
+        check_continuous_on_chain(
+            lambda s: s.take(2), SEQ_CPO, SEQ_CPO, chain, name="take2"
+        )
+
+    def test_continuous_on_empty_chain_is_vacuous(self):
+        check_continuous_on_chain(
+            lambda s: s, SEQ_CPO, SEQ_CPO, [], name="id"
+        )
+
+    def test_continuity_surrogate_catches_non_monotone(self):
+        from repro.order.poset import NotAChainError
+
+        def weird(s):
+            # images descend ⇒ not a chain ⇒ f cannot be monotone
+            return fseq(9) if len(s) == 0 else EMPTY
+
+        chain = [EMPTY, fseq(1)]
+        with pytest.raises((LawViolation, NotAChainError)):
+            check_continuous_on_chain(
+                weird, SEQ_CPO, SEQ_CPO, chain, name="weird"
+            )

@@ -1,0 +1,154 @@
+"""Unit tests for repro.order.cpo (cpos and countable chains, §3/§6)."""
+
+import pytest
+
+from repro.order.cpo import CountableChain
+from repro.order.poset import NotAChainError
+from repro.seq import SEQ_CPO, EMPTY, fseq
+
+
+class TestCpoBasics:
+    def test_bottom_below_everything(self):
+        for x in SEQ_CPO.sample():
+            assert SEQ_CPO.leq(SEQ_CPO.bottom, x)
+
+    def test_is_bottom(self):
+        assert SEQ_CPO.is_bottom(EMPTY)
+        assert not SEQ_CPO.is_bottom(fseq(1))
+
+    def test_lub_chain_default(self):
+        assert SEQ_CPO.lub_chain([EMPTY, fseq(1)]) == fseq(1)
+
+    def test_lub_chain_empty_gives_bottom(self):
+        assert SEQ_CPO.lub_chain([]) == EMPTY
+
+    def test_lub_chain_rejects_descent(self):
+        with pytest.raises(NotAChainError):
+            SEQ_CPO.lub_chain([fseq(1), EMPTY])
+
+    def test_eq_upto_default_is_exact_for_finites(self):
+        assert SEQ_CPO.eq_upto(fseq(1), fseq(1), 1)
+        assert not SEQ_CPO.eq_upto(fseq(1), fseq(2), 1)
+
+
+class TestCountableChain:
+    def test_from_elements_basic(self):
+        chain = CountableChain.from_elements(
+            SEQ_CPO, [EMPTY, fseq(1), fseq(1, 2)]
+        )
+        assert chain[0] == EMPTY
+        assert chain[2] == fseq(1, 2)
+        # eventually constant
+        assert chain[10] == fseq(1, 2)
+
+    def test_from_elements_requires_bottom_start(self):
+        with pytest.raises(ValueError):
+            CountableChain.from_elements(SEQ_CPO, [fseq(1)])
+
+    def test_from_elements_requires_ascent(self):
+        with pytest.raises(NotAChainError):
+            CountableChain.from_elements(
+                SEQ_CPO, [EMPTY, fseq(1), fseq(2)]
+            )
+
+    def test_from_elements_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CountableChain.from_elements(SEQ_CPO, [])
+
+    def test_by_iteration(self):
+        # step appends a 0: ⊥, ⟨0⟩, ⟨0 0⟩, …
+        chain = CountableChain.by_iteration(
+            SEQ_CPO, lambda s: s.append(0)
+        )
+        assert chain[0] == EMPTY
+        assert chain[3] == fseq(0, 0, 0)
+
+    def test_negative_index_rejected(self):
+        chain = CountableChain.by_iteration(
+            SEQ_CPO, lambda s: s.append(0)
+        )
+        with pytest.raises(IndexError):
+            chain[-1]
+
+    def test_prefix(self):
+        chain = CountableChain.by_iteration(
+            SEQ_CPO, lambda s: s.append(0)
+        )
+        assert chain.prefix(3) == [EMPTY, fseq(0), fseq(0, 0)]
+
+    def test_pre_pairs(self):
+        chain = CountableChain.by_iteration(
+            SEQ_CPO, lambda s: s.append(0)
+        )
+        pairs = list(chain.pre_pairs(2))
+        assert pairs == [(EMPTY, fseq(0)), (fseq(0), fseq(0, 0))]
+
+    def test_validate_passes_for_good_chain(self):
+        chain = CountableChain.by_iteration(
+            SEQ_CPO, lambda s: s.append(0)
+        )
+        chain.validate(5)  # should not raise
+
+    def test_validate_catches_descent(self):
+        bad = CountableChain(
+            SEQ_CPO, lambda n: fseq(0) if n == 1 else EMPTY
+        )
+        with pytest.raises(NotAChainError):
+            bad.validate(3)
+
+    def test_validate_catches_wrong_start(self):
+        bad = CountableChain(SEQ_CPO, lambda n: fseq(9))
+        with pytest.raises(ValueError):
+            bad.validate(1)
+
+    def test_stabilizes_by(self):
+        chain = CountableChain.from_elements(
+            SEQ_CPO, [EMPTY, fseq(1)]
+        )
+        assert not chain.stabilizes_by(0)
+        assert chain.stabilizes_by(1)
+
+    def test_lub_upto(self):
+        chain = CountableChain.by_iteration(
+            SEQ_CPO, lambda s: s.append(0)
+        )
+        assert chain.lub_upto(2) == fseq(0, 0)
+
+
+class TestLemma1:
+    """Lemma 1 (Loeckx–Sieber 4.11): if every element of chain S is
+    below some element of chain T, then lub(S) ⊑ lub(T)."""
+
+    def test_dominated_chain(self):
+        s = [EMPTY, fseq(1), fseq(1, 2)]
+        t = [EMPTY, fseq(1, 2), fseq(1, 2, 3)]
+        assert all(
+            any(SEQ_CPO.leq(x, y) for y in t) for x in s
+        )
+        assert SEQ_CPO.leq(SEQ_CPO.lub_chain(s), SEQ_CPO.lub_chain(t))
+
+    def test_exhaustive_over_prefix_chains(self):
+        # every pair of prefix chains of a common sequence satisfies
+        # the hypothesis in one direction; check the conclusion
+        base = fseq(1, 2, 3, 4)
+        chains = [
+            [base.take(i) for i in range(k + 1)]
+            for k in range(len(base) + 1)
+        ]
+        for s in chains:
+            for t in chains:
+                if all(any(SEQ_CPO.leq(x, y) for y in t) for x in s):
+                    assert SEQ_CPO.leq(
+                        SEQ_CPO.lub_chain(s), SEQ_CPO.lub_chain(t)
+                    )
+
+    def test_contrapositive_detects_escape(self):
+        s = [EMPTY, fseq(9)]
+        t = [EMPTY, fseq(1)]
+        # fseq(9) is below nothing in t, and indeed lub(s) ⋢ lub(t)
+        assert not all(
+            any(SEQ_CPO.leq(x, y) for y in t) for x in s
+        )
+        assert not SEQ_CPO.leq(
+            SEQ_CPO.lub_chain(s), SEQ_CPO.lub_chain(t)
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for repro.order.fixpoint (Theorem 3, Kleene iteration)."""
+
+import pytest
+
+from repro.order.fixpoint import (
+    is_fixpoint,
+    is_least_fixpoint,
+    kleene_chain,
+    kleene_fixpoint,
+)
+from repro.seq import SEQ_CPO, EMPTY, FiniteSeq, fseq
+
+
+def append_upto(limit: int):
+    """h(s) = s extended by one 0, saturating at ``limit`` elements."""
+
+    def h(s: FiniteSeq) -> FiniteSeq:
+        if len(s) >= limit:
+            return s
+        return s.append(0)
+
+    return h
+
+
+class TestKleeneFixpoint:
+    def test_converges_to_saturation(self):
+        result = kleene_fixpoint(SEQ_CPO, append_upto(3))
+        assert result.converged
+        assert result.value == fseq(0, 0, 0)
+        assert result.iterations == 3
+
+    def test_identity_converges_immediately(self):
+        result = kleene_fixpoint(SEQ_CPO, lambda s: s)
+        assert result.converged
+        assert result.value == EMPTY
+        assert result.iterations == 0
+
+    def test_chain_recorded(self):
+        result = kleene_fixpoint(SEQ_CPO, append_upto(2))
+        assert result.chain[0] == EMPTY
+        assert result.chain[1] == fseq(0)
+        assert result.chain[2] == fseq(0, 0)
+
+    def test_fuel_exhaustion_reported(self):
+        result = kleene_fixpoint(
+            SEQ_CPO, lambda s: s.append(0), max_iterations=5
+        )
+        assert not result.converged
+        assert result.iterations == 5
+        assert len(result.value) == 5
+
+    def test_nonmonotone_detected(self):
+        # h that shrinks leaves the ascending chain
+        def bad(s):
+            return EMPTY if len(s) == 1 else s.append(0)
+
+        with pytest.raises(ValueError):
+            kleene_fixpoint(SEQ_CPO, bad)
+
+    def test_negative_fuel_rejected(self):
+        with pytest.raises(ValueError):
+            kleene_fixpoint(SEQ_CPO, lambda s: s, max_iterations=-1)
+
+    def test_approximation_is_below_lfp(self):
+        # fuelled prefix of the Kleene chain is ⊑ the true lfp
+        result = kleene_fixpoint(SEQ_CPO, append_upto(10),
+                                 max_iterations=4)
+        lfp = kleene_fixpoint(SEQ_CPO, append_upto(10)).value
+        assert SEQ_CPO.leq(result.value, lfp)
+
+
+class TestKleeneChain:
+    def test_lazy_chain_matches_iteration(self):
+        chain = kleene_chain(SEQ_CPO, append_upto(3))
+        assert chain[0] == EMPTY
+        assert chain[2] == fseq(0, 0)
+        assert chain[9] == fseq(0, 0, 0)  # saturated
+
+
+class TestFixpointPredicates:
+    def test_is_fixpoint(self):
+        h = append_upto(2)
+        assert is_fixpoint(SEQ_CPO, h, fseq(0, 0))
+        assert not is_fixpoint(SEQ_CPO, h, fseq(0))
+
+    def test_is_least_fixpoint(self):
+        # h saturating at 1: fixpoints among candidates are ⟨0⟩ and (by
+        # construction of h) nothing smaller.
+        h = append_upto(1)
+        candidates = [EMPTY, fseq(0), fseq(0, 0)]
+        assert is_least_fixpoint(SEQ_CPO, h, fseq(0), candidates)
+        assert not is_least_fixpoint(SEQ_CPO, h, EMPTY, candidates)

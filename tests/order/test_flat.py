@@ -1,0 +1,79 @@
+"""Unit tests for repro.order.flat (flat domains of §4.3/§4.5)."""
+
+import pytest
+
+from repro.order.checks import check_cpo
+from repro.order.flat import (
+    BOTTOM,
+    T_ONLY,
+    TF,
+    FlatCpo,
+    flat_integers,
+    is_flat_bottom,
+)
+
+
+class TestBottomToken:
+    def test_singleton(self):
+        assert BOTTOM is type(BOTTOM)()
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_is_flat_bottom(self):
+        assert is_flat_bottom(BOTTOM)
+        assert not is_flat_bottom("T")
+
+
+class TestTF:
+    def test_bottom_below_values(self):
+        assert TF.leq(BOTTOM, "T")
+        assert TF.leq(BOTTOM, "F")
+
+    def test_values_incomparable(self):
+        assert not TF.leq("T", "F")
+        assert not TF.leq("F", "T")
+
+    def test_reflexive_on_values(self):
+        assert TF.leq("T", "T")
+
+    def test_value_not_below_bottom(self):
+        assert not TF.leq("T", BOTTOM)
+
+    def test_rejects_foreign_elements(self):
+        with pytest.raises(ValueError):
+            TF.leq("X", "T")
+
+    def test_is_cpo(self):
+        check_cpo(TF)
+
+    def test_sample_contains_bottom_and_values(self):
+        sample = TF.sample()
+        assert BOTTOM in sample
+        assert "T" in sample and "F" in sample
+
+
+class TestTOnly:
+    def test_structure(self):
+        assert T_ONLY.leq(BOTTOM, "T")
+        assert T_ONLY.contains("T")
+        assert not T_ONLY.contains("F")
+
+    def test_is_cpo(self):
+        check_cpo(T_ONLY)
+
+
+class TestUnrestrictedFlat:
+    def test_any_value_allowed(self):
+        flat = flat_integers()
+        assert flat.leq(BOTTOM, 42)
+        assert flat.leq(42, 42)
+        assert not flat.leq(42, 43)
+
+    def test_contains_everything(self):
+        flat = FlatCpo(None)
+        assert flat.contains(object())
+
+    def test_lub_chain(self):
+        flat = flat_integers()
+        assert flat.lub_chain([BOTTOM, 5, 5]) == 5

@@ -1,0 +1,118 @@
+"""Unit tests for repro.order.poset."""
+
+import pytest
+
+from repro.order.poset import (
+    DiscreteOrder,
+    DualOrder,
+    NotAChainError,
+    find_lub,
+    maximal_elements,
+    minimal_elements,
+    sort_chain,
+)
+from repro.seq import SEQ_CPO, fseq
+
+
+class TestDiscreteOrder:
+    def test_leq_is_equality(self):
+        order = DiscreteOrder()
+        assert order.leq(1, 1)
+        assert not order.leq(1, 2)
+
+    def test_comparable(self):
+        order = DiscreteOrder()
+        assert order.comparable(3, 3)
+        assert not order.comparable(3, 4)
+
+    def test_eq_via_mutual_leq(self):
+        order = DiscreteOrder()
+        assert order.eq("x", "x")
+        assert not order.eq("x", "y")
+
+
+class TestDualOrder:
+    def test_reverses(self):
+        dual = DualOrder(SEQ_CPO)
+        assert dual.leq(fseq(1, 2), fseq(1))
+        assert not dual.leq(fseq(1), fseq(1, 2))
+
+    def test_name(self):
+        assert "dual" in DualOrder(SEQ_CPO).name
+
+
+class TestUpperBounds:
+    def test_is_upper_bound(self):
+        elems = [fseq(), fseq(1), fseq(1, 2)]
+        assert SEQ_CPO.is_upper_bound(fseq(1, 2), elems)
+        assert SEQ_CPO.is_upper_bound(fseq(1, 2, 3), elems)
+        assert not SEQ_CPO.is_upper_bound(fseq(1), elems)
+
+    def test_is_lub(self):
+        elems = [fseq(), fseq(1)]
+        candidates = [fseq(), fseq(1), fseq(1, 2), fseq(2)]
+        assert SEQ_CPO.is_lub(fseq(1), elems, candidates)
+        assert not SEQ_CPO.is_lub(fseq(1, 2), elems, candidates)
+
+    def test_lub_of_finite_chain(self):
+        chain = [fseq(), fseq(7), fseq(7, 8)]
+        assert SEQ_CPO.lub_of_finite(chain) == fseq(7, 8)
+
+    def test_lub_of_finite_unordered_input(self):
+        chain = [fseq(7, 8), fseq(), fseq(7)]
+        assert SEQ_CPO.lub_of_finite(chain) == fseq(7, 8)
+
+    def test_lub_of_finite_rejects_non_chain(self):
+        with pytest.raises(NotAChainError):
+            SEQ_CPO.lub_of_finite([fseq(1), fseq(2)])
+
+    def test_lub_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            SEQ_CPO.lub_of_finite([])
+
+
+class TestChains:
+    def test_is_chain_true(self):
+        assert SEQ_CPO.is_chain([fseq(), fseq(1), fseq(1, 2)])
+
+    def test_is_chain_false(self):
+        assert not SEQ_CPO.is_chain([fseq(1), fseq(2)])
+
+    def test_empty_is_not_a_chain(self):
+        # the paper requires chains to be nonempty
+        assert not SEQ_CPO.is_chain([])
+
+    def test_singleton_is_chain(self):
+        assert SEQ_CPO.is_chain([fseq(5)])
+
+    def test_is_ascending(self):
+        assert SEQ_CPO.is_ascending([fseq(), fseq(1)])
+        assert not SEQ_CPO.is_ascending([fseq(1), fseq()])
+
+    def test_sort_chain(self):
+        out = sort_chain(SEQ_CPO, [fseq(1, 2), fseq(), fseq(1)])
+        assert out == [fseq(), fseq(1), fseq(1, 2)]
+
+    def test_sort_chain_rejects_incomparables(self):
+        with pytest.raises(NotAChainError):
+            sort_chain(SEQ_CPO, [fseq(1), fseq(2)])
+
+
+class TestExtrema:
+    def test_maximal_elements(self):
+        elems = [fseq(), fseq(1), fseq(2)]
+        assert set(map(tuple, maximal_elements(SEQ_CPO, elems))) == \
+            {(1,), (2,)}
+
+    def test_minimal_elements(self):
+        elems = [fseq(), fseq(1), fseq(2)]
+        assert minimal_elements(SEQ_CPO, elems) == [fseq()]
+
+    def test_find_lub(self):
+        universe = [fseq(), fseq(1), fseq(1, 2), fseq(1, 3)]
+        assert find_lub(SEQ_CPO, [fseq(), fseq(1)], universe) == fseq(1)
+
+    def test_find_lub_missing(self):
+        universe = [fseq(1, 2), fseq(1, 3)]
+        assert find_lub(SEQ_CPO, [fseq(1, 2), fseq(1, 3)],
+                        universe) is None

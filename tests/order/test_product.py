@@ -1,0 +1,78 @@
+"""Unit tests for repro.order.product (the §4 combination codomain)."""
+
+import pytest
+
+from repro.order.checks import check_cpo
+from repro.order.flat import BOTTOM, TF
+from repro.order.product import ProductCpo, pair_cpo
+from repro.seq import SEQ_CPO, EMPTY, fseq
+
+
+class TestProductStructure:
+    def test_bottom(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        assert p.bottom == (EMPTY, EMPTY)
+
+    def test_leq_componentwise(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        assert p.leq((EMPTY, fseq(1)), (fseq(2), fseq(1)))
+        assert not p.leq((fseq(2), fseq(1)), (EMPTY, fseq(1)))
+
+    def test_mixed_component_domains(self):
+        p = pair_cpo(SEQ_CPO, TF)
+        assert p.leq((EMPTY, BOTTOM), (fseq(1), "T"))
+        assert not p.leq((EMPTY, "F"), (fseq(1), "T"))
+
+    def test_rejects_wrong_arity(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        with pytest.raises(ValueError):
+            p.leq((EMPTY,), (EMPTY, EMPTY))
+
+    def test_rejects_non_tuple(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        with pytest.raises(ValueError):
+            p.leq([EMPTY, EMPTY], (EMPTY, EMPTY))
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            ProductCpo([])
+
+    def test_is_cpo(self):
+        check_cpo(pair_cpo(SEQ_CPO, TF))
+
+
+class TestProductOperations:
+    def test_lub_chain(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        chain = [(EMPTY, EMPTY), (fseq(1), EMPTY), (fseq(1), fseq(2))]
+        assert p.lub_chain(chain) == (fseq(1), fseq(2))
+
+    def test_lub_chain_empty(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        assert p.lub_chain([]) == p.bottom
+
+    def test_project(self):
+        p = pair_cpo(SEQ_CPO, TF)
+        assert p.project((fseq(1), "T"), 0) == fseq(1)
+        assert p.project((fseq(1), "T"), 1) == "T"
+
+    def test_eq_upto_componentwise(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        assert p.eq_upto((fseq(1), fseq(2)), (fseq(1), fseq(2)), 4)
+        assert not p.eq_upto((fseq(1), fseq(2)), (fseq(1), fseq(3)), 4)
+
+    def test_leq_upto_componentwise(self):
+        p = pair_cpo(SEQ_CPO, SEQ_CPO)
+        assert p.leq_upto((EMPTY, fseq(2)), (fseq(1), fseq(2, 3)), 4)
+
+    def test_arity_and_name(self):
+        p = ProductCpo([SEQ_CPO, SEQ_CPO, TF])
+        assert p.arity == 3
+        assert "×" in p.name
+
+    def test_sample_tuples(self):
+        p = pair_cpo(TF, TF)
+        sample = p.sample()
+        assert all(isinstance(x, tuple) and len(x) == 2
+                   for x in sample)
+        assert (BOTTOM, BOTTOM) in sample

@@ -1,0 +1,137 @@
+"""Catalog tests: Fair random sequence (§4.7), Finite ticks (§4.8),
+Random number (§4.9) — the fairness-encoding processes."""
+
+import itertools
+
+from repro.channels.event import Event
+from repro.processes import fair_random, finite_ticks, random_number
+from repro.processes.fair_random import bit_trace
+from repro.seq.combinators import count_occurrences
+from repro.traces.trace import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+class TestFairRandom:
+    def test_no_finite_traces(self):
+        process = fair_random.make()
+        assert process.traces_upto(4) == set()
+
+    def test_fair_infinite_sequences_are_smooth(self):
+        process = fair_random.make()
+        c = get(process, "c")
+        desc = process.description()
+        for prefix in ((), ("T", "T", "F"), ("F", "F", "F", "T")):
+            t = bit_trace(c, prefix)
+            assert desc.is_smooth_solution(t, depth=24), prefix
+
+    def test_unfair_all_ts_rejected(self):
+        process = fair_random.make()
+        c = get(process, "c")
+        all_ts = Trace.cycle_pairs([(c, "T")])
+        # FALSE(c) stalls while falses grows: limit conclusively fails
+        assert not process.description().is_smooth_solution(
+            all_ts, depth=24
+        )
+
+    def test_unfair_all_fs_rejected(self):
+        process = fair_random.make()
+        c = get(process, "c")
+        all_fs = Trace.cycle_pairs([(c, "F")])
+        assert not process.description().is_smooth_solution(
+            all_fs, depth=24
+        )
+
+    def test_finite_prefixes_are_nonquiescent_histories(self):
+        process = fair_random.make()
+        c = get(process, "c")
+        desc = process.description()
+        for bits in itertools.product("TF", repeat=3):
+            t = Trace.from_pairs([(c, x) for x in bits])
+            assert desc.smoothness_holds(t)
+            assert not desc.limit_holds(t)
+
+
+class TestFiniteTicks:
+    def test_every_finite_count_is_a_trace(self):
+        process = finite_ticks.make()
+        d = get(process, "d")
+        for i in range(5):
+            t = Trace.from_pairs([(d, "T")] * i)
+            assert process.is_trace(t, depth=48), i
+
+    def test_omega_is_not_a_trace(self):
+        process = finite_ticks.make()
+        d = get(process, "d")
+        omega = Trace.cycle_pairs([(d, "T")])
+        assert not process.is_trace(omega)
+
+    def test_witness_structure(self):
+        from repro.processes.finite_ticks import witness
+
+        process = finite_ticks.make()
+        d = get(process, "d")
+        c = next(iter(process.auxiliary_channels))
+        t = Trace.from_pairs([(d, "T")] * 2)
+        w = witness(t, c, d)
+        assert w is not None
+        # projection onto the visible channel reproduces t
+        assert w.take(40).project({d}) == t
+
+    def test_garbage_has_no_witness(self):
+        from repro.processes.finite_ticks import witness
+
+        process = finite_ticks.make()
+        d = get(process, "d")
+        c = next(iter(process.auxiliary_channels))
+        bad = Trace.from_pairs([(d, "T")])
+        bad = Trace.finite([Event(d, "T"), Event(d, "T")])
+        assert witness(bad, c, d) is not None  # fine: 2 ticks
+        # a non-tick message would be rejected by the channel itself;
+        # a trace on the wrong channel has no witness:
+        assert witness(Trace.from_pairs([(c, "T")]), c, d) is None
+
+
+class TestRandomNumber:
+    def test_every_natural_is_a_trace(self):
+        process = random_number.make()
+        d = get(process, "d")
+        for n in (0, 1, 3, 7):
+            t = Trace.from_pairs([(d, n)])
+            assert process.is_trace(t, depth=48), n
+
+    def test_empty_is_not_a_trace(self):
+        # the process always outputs exactly one number
+        process = random_number.make()
+        assert not process.is_trace(Trace.empty())
+
+    def test_two_outputs_not_a_trace(self):
+        process = random_number.make()
+        d = get(process, "d")
+        t = Trace.from_pairs([(d, 1), (d, 2)])
+        assert not process.is_trace(t)
+
+    def test_negative_not_a_trace(self):
+        process = random_number.make()
+        d = get(process, "d")
+        assert not process.is_trace(Trace.from_pairs([(d, -1)]))
+
+    def test_unbounded_nondeterminism(self):
+        """The §4.9 punchline: one finite description admits
+        arbitrarily large outputs — no bound exists."""
+        process = random_number.make()
+        d = get(process, "d")
+        assert process.is_trace(Trace.from_pairs([(d, 25)]),
+                                depth=64)
+
+
+class TestBitTraceHelper:
+    def test_alternation_is_fair(self):
+        process = fair_random.make()
+        c = get(process, "c")
+        t = bit_trace(c, ("T",))
+        bits = t.take(41).messages_on(c)
+        assert count_occurrences(bits, "T") >= 15
+        assert count_occurrences(bits, "F") >= 15

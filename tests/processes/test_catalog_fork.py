@@ -1,0 +1,95 @@
+"""Catalog tests: Fork (§4.6) — oracle-driven routing."""
+
+import itertools
+
+from repro.processes import fork
+from repro.processes.fork import route, witness
+from repro.traces.trace import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+def make():
+    process = fork.make()
+    return (process, get(process, "c"), get(process, "d"),
+            get(process, "e"))
+
+
+class TestRouting:
+    def test_simple_split(self):
+        process, c, d, e = make()
+        t = Trace.from_pairs([(c, 0), (c, 1), (d, 0), (e, 1)])
+        assert route(t, c, d, e) == ["T", "F"]
+
+    def test_all_to_one_side(self):
+        process, c, d, e = make()
+        t = Trace.from_pairs([(c, 0), (d, 0), (c, 1), (d, 1)])
+        assert route(t, c, d, e) == ["T", "T"]
+
+    def test_order_preserved_per_side(self):
+        process, c, d, e = make()
+        # d outputs 1 then 0 but inputs arrived 0 then 1: impossible
+        t = Trace.from_pairs([(c, 0), (c, 1), (d, 1), (d, 0)])
+        assert route(t, c, d, e) is None
+
+    def test_output_before_input_impossible(self):
+        process, c, d, e = make()
+        t = Trace.from_pairs([(d, 0), (c, 0)])
+        assert route(t, c, d, e) is None
+
+    def test_unrouted_input_not_quiescent(self):
+        process, c, d, e = make()
+        t = Trace.from_pairs([(c, 0)])
+        assert route(t, c, d, e) is None
+
+    def test_ambiguous_messages_resolved_by_backtracking(self):
+        process, c, d, e = make()
+        # two identical inputs split across outputs, cross order
+        t = Trace.from_pairs([(c, 0), (c, 0), (e, 0), (d, 0)])
+        bits = route(t, c, d, e)
+        assert bits is not None
+        assert sorted(bits) == ["F", "T"]
+
+
+class TestWitness:
+    def test_witness_is_smooth_and_projects(self):
+        process, c, d, e = make()
+        t = Trace.from_pairs([(c, 0), (c, 1), (d, 0), (e, 1)])
+        assert process.is_trace(t, depth=24)
+
+    def test_empty_trace(self):
+        process, c, d, e = make()
+        assert process.is_trace(Trace.empty(), depth=16)
+
+    def test_non_traces_rejected(self):
+        process, c, d, e = make()
+        for bad in [
+            Trace.from_pairs([(d, 0)]),            # output from nowhere
+            Trace.from_pairs([(c, 0)]),            # unrouted input
+            Trace.from_pairs([(c, 0), (d, 1)]),    # wrong message
+        ]:
+            assert not process.is_trace(bad, depth=16), bad
+
+    def test_all_splittings_of_two_items(self):
+        """§4.6: every splitting of the input across d and e is a trace."""
+        process, c, d, e = make()
+        inputs = [(c, 0), (c, 1)]
+        for sides in itertools.product([0, 1], repeat=2):
+            outputs = [
+                ((d if side == 0 else e), message)
+                for side, (_, message) in zip(sides, inputs)
+            ]
+            t = Trace.from_pairs(inputs + outputs)
+            assert process.is_trace(t, depth=24), t
+
+    def test_witness_oracle_padding(self):
+        process, c, d, e = make()
+        b = next(iter(process.auxiliary_channels))
+        t = Trace.from_pairs([(c, 0), (d, 0)])
+        w = witness(t, b, c, d, e)
+        assert w is not None
+        # infinite oracle tail of T's
+        tail = [w.item(i) for i in range(3, 10)]
+        assert all(ev.channel == b for ev in tail)

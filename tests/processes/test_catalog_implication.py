@@ -1,0 +1,98 @@
+"""Catalog tests: Implication (§4.5) and its reader exercises."""
+
+import itertools
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import Description
+from repro.functions.base import chan
+from repro.functions.logic import and_of
+from repro.processes import implication
+from repro.processes.implication import expected_traces
+from repro.traces.trace import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+class TestImplicationTraceSet:
+    def test_exactly_the_four_traces(self):
+        process = implication.make()
+        c, d = get(process, "c"), get(process, "d")
+        assert process.traces_upto(3) == expected_traces(c, d)
+
+    def test_membership_via_witness_search(self):
+        process = implication.make()
+        c, d = get(process, "c"), get(process, "d")
+        assert process.is_trace(Trace.from_pairs([(c, "T"),
+                                                  (d, "F")]))
+        # output T on input F is impossible
+        assert not process.is_trace(Trace.from_pairs([(c, "F"),
+                                                      (d, "T")]))
+        # output before input is impossible
+        assert not process.is_trace(Trace.from_pairs([(d, "T"),
+                                                      (c, "T")]))
+
+    def test_auxiliary_channel_is_hidden(self):
+        process = implication.make()
+        assert all(not ch.auxiliary for ch in process.visible_channels)
+        assert len(process.auxiliary_channels) == 1
+
+
+class TestReaderExercise:
+    def test_d_from_c_and_d_is_not_a_description(self):
+        """§4.5 asks why ``d ⟵ c AND d`` does not describe the process.
+
+        Answer made concrete: ⟨(c,T)⟩ — the process has received T and
+        *must* answer — satisfies that description's limit condition
+        (d = ε, AND(⟨T⟩, ε) = ε), so the bogus description wrongly
+        calls this non-quiescent history quiescent."""
+        c = Channel("c", alphabet={"T", "F"})
+        d = Channel("d", alphabet={"T", "F"})
+        bogus = Description(chan(d), and_of(chan(c), chan(d)))
+        pending = Trace.from_pairs([(c, "T")])
+        assert bogus.is_smooth_solution(pending)  # wrongly accepted
+        # whereas the real process does not consider it a trace:
+        process = implication.make(c=c, d=d)
+        assert not process.is_trace(pending)
+
+    def test_bogus_description_rejects_genuine_traces(self):
+        """The deeper reason ``d ⟵ c AND d`` fails: with ``d`` on both
+        sides, an output would have to be caused by itself as input —
+        exactly what smoothness forbids.  So the genuine trace
+        ⟨(c,T)(d,T)⟩ is *rejected*: at u = ⟨(c,T)⟩ the step needs
+        ⟨T⟩ = d(v) ⊑ AND(c(u), d(u)) = AND(⟨T⟩, ε) = ε."""
+        c = Channel("c", alphabet={"T", "F"})
+        d = Channel("d", alphabet={"T", "F"})
+        bogus = Description(chan(d), and_of(chan(c), chan(d)))
+        good = Trace.from_pairs([(c, "T"), (d, "T")])
+        assert not bogus.is_smooth_solution(good)
+        violation = bogus.check(good).first_violation
+        assert violation is not None
+        assert violation.u == Trace.from_pairs([(c, "T")])
+
+
+class TestOperationalAgreement:
+    def test_operational_traces_match(self):
+        from repro.kahn.agents import implication_agent, source_agent
+        from repro.kahn.quiescence import quiescent_traces
+
+        process = implication.make()
+        c, d = get(process, "c"), get(process, "d")
+
+        observed = set()
+        for bit in ("T", "F"):
+            observed |= quiescent_traces(
+                lambda bit=bit: {
+                    "env": source_agent(c, [bit]),
+                    "imp": implication_agent(c, d),
+                },
+                [c, d], seeds=range(12), max_steps=50,
+            )
+        # plus the no-input run
+        observed |= quiescent_traces(
+            lambda: {"imp": implication_agent(c, d)},
+            [c, d], seeds=range(2), max_steps=50,
+        )
+        assert observed == expected_traces(c, d)

@@ -1,0 +1,163 @@
+"""Catalog tests: dfm (§2.2) and fair merge (§4.10, Figure 7)."""
+
+import itertools
+
+import pytest
+
+from repro.channels.event import Event
+from repro.core.elimination import eliminate_channels
+from repro.processes import merge
+from repro.processes.merge import route, witness
+from repro.seq.combinators import interleavings
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+
+def get(process, name):
+    return next(c for c in process.channels if c.name == name)
+
+
+class TestDfm:
+    def test_paper_examples(self):
+        process = merge.make_dfm()
+        b, c, d = (get(process, n) for n in "bcd")
+        desc = process.description()
+        # §3.1.1 example 1: quiescent traces
+        for t in [
+            Trace.empty(),
+            Trace.from_pairs([(b, 0), (d, 0)]),
+            Trace.from_pairs([(b, 0), (c, 1), (c, 3), (d, 1),
+                              (d, 3), (d, 0)]),
+        ]:
+            assert desc.is_smooth_solution(t)
+        # and the non-quiescent histories
+        for t in [
+            Trace.from_pairs([(b, 0)]),
+            Trace.from_pairs([(b, 0), (d, 0), (c, 1)]),
+        ]:
+            assert desc.smoothness_holds(t)
+            assert not desc.limit_holds(t)
+
+    def test_infinite_quiescent_trace(self):
+        process = merge.make_dfm()
+        b, d = get(process, "b"), get(process, "d")
+        omega = Trace.cycle_pairs([(b, 0), (d, 0)])
+        assert process.description().is_smooth_solution(omega,
+                                                        depth=24)
+
+    def test_merge_order_is_free(self):
+        # both output orders for one even + one odd input are traces
+        process = merge.make_dfm()
+        b, c, d = (get(process, n) for n in "bcd")
+        t1 = Trace.from_pairs([(b, 0), (c, 1), (d, 0), (d, 1)])
+        t2 = Trace.from_pairs([(b, 0), (c, 1), (d, 1), (d, 0)])
+        assert process.is_trace(t1)
+        assert process.is_trace(t2)
+
+    def test_wrong_channel_parity_rejected(self):
+        process = merge.make_dfm()
+        b = get(process, "b")
+        with pytest.raises(ValueError):
+            Event(b, 1)  # odd message on the even channel
+
+    def test_invented_output_rejected(self):
+        process = merge.make_dfm()
+        d = get(process, "d")
+        assert not process.is_trace(Trace.from_pairs([(d, 0)]))
+
+    def test_output_set_is_interleavings(self):
+        """The d-sequences of quiescent traces with inputs ⟨0 2⟩ and
+        ⟨1⟩ are exactly the interleavings of the two inputs."""
+        process = merge.make_dfm()
+        b, c, d = (get(process, n) for n in "bcd")
+        want = {tuple(s) for s in interleavings(fseq(0, 2), fseq(1))}
+        got = set()
+        solutions = process.traces_upto(6)
+        for t in solutions:
+            if t.messages_on(b) == fseq(0, 2) and \
+                    t.messages_on(c) == fseq(1):
+                got.add(tuple(t.messages_on(d)))
+        assert got == want
+
+
+class TestFairMergeRouting:
+    def test_simple(self):
+        process = merge.make_fair_merge()
+        c, d, e = (get(process, n) for n in "cde")
+        t = Trace.from_pairs([(c, 0), (d, 1), (e, 0), (e, 1)])
+        assert route(t, c, d, e) == [0, 1]
+
+    def test_ambiguity_backtracked(self):
+        process = merge.make_fair_merge()
+        c, d, e = (get(process, n) for n in "cde")
+        # both inputs carry 0; either assignment works but the second
+        # output must come from the other side
+        t = Trace.from_pairs([(c, 0), (d, 0), (e, 0), (e, 0)])
+        tags = route(t, c, d, e)
+        assert sorted(tags) == [0, 1]
+
+    def test_unmerged_input_not_quiescent(self):
+        process = merge.make_fair_merge()
+        c, d, e = (get(process, n) for n in "cde")
+        assert route(Trace.from_pairs([(c, 0)]), c, d, e) is None
+
+    def test_per_side_order(self):
+        process = merge.make_fair_merge()
+        c, d, e = (get(process, n) for n in "cde")
+        t = Trace.from_pairs([(c, 0), (c, 1), (e, 1), (e, 0)])
+        assert route(t, c, d, e) is None
+
+
+class TestFairMergeProcess:
+    def test_every_interleaving_is_a_trace(self):
+        process = merge.make_fair_merge()
+        c, d, e = (get(process, n) for n in "cde")
+        left, right = fseq(0, 1), fseq(2)
+        for merged in interleavings(left, right):
+            t = Trace.from_pairs(
+                [(c, m) for m in left] + [(d, m) for m in right]
+                + [(e, m) for m in merged]
+            )
+            assert process.is_trace(t, depth=24), t
+
+    def test_starvation_is_not_quiescent(self):
+        # dropping an input (unfair merge) is not quiescent
+        process = merge.make_fair_merge()
+        c, d, e = (get(process, n) for n in "cde")
+        t = Trace.from_pairs([(c, 0), (d, 1), (e, 0)])
+        assert not process.is_trace(t)
+
+    def test_invented_output_rejected(self):
+        process = merge.make_fair_merge()
+        e = get(process, "e")
+        assert not process.is_trace(Trace.from_pairs([(e, 0)]))
+
+
+class TestFigure7Elimination:
+    def test_eliminating_c1_d1_matches_reduced_system(self):
+        """§4.10: eliminating c', d' from the Figure-7 system yields
+        the reduced three-description system; their smooth solutions
+        agree on the reduced channel set."""
+        full = merge.make_fair_merge(full_network=True)
+        reduced = merge.make_fair_merge()
+        c1 = next(ch for ch in full.channels if ch.name == "c'")
+        d1 = next(ch for ch in full.channels if ch.name == "d'")
+        eliminated = eliminate_channels(full.system, [c1, d1])
+
+        c, d, e = (get(reduced, n) for n in "cde")
+        b = next(ch for ch in reduced.channels
+                 if ch.name == "b_merge")
+        # same smooth solutions on a family of witness traces
+        samples = [
+            Trace.empty(),
+            witness(Trace.from_pairs([(c, 0), (e, 0)]), b, c, d, e),
+            witness(Trace.from_pairs([(c, 0), (d, 1), (e, 1),
+                                      (e, 0)]), b, c, d, e),
+            Trace.from_pairs([(c, 0)]),
+            Trace.from_pairs([(e, 0)]),
+        ]
+        for t in samples:
+            if t is None:
+                continue
+            assert eliminated.is_smooth_solution(t) == \
+                reduced.system.is_smooth_solution(t), t

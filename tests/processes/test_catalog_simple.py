@@ -1,0 +1,113 @@
+"""Catalog tests: CHAOS (§4.1), Ticks (§4.2), Random bit (§4.3/4.4)."""
+
+import itertools
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.processes import chaos, random_bit, ticks
+from repro.processes.ticks import the_trace
+from repro.traces.trace import Trace
+
+
+class TestChaos:
+    def test_every_trace_is_a_trace(self):
+        process = chaos.make()
+        b = next(iter(process.channels))
+        events = [Event(b, m) for m in sorted(b.alphabet)]
+        for n in range(4):
+            for combo in itertools.product(events, repeat=n):
+                assert process.is_trace(Trace.finite(combo))
+
+    def test_infinite_trace_is_smooth(self):
+        process = chaos.make()
+        b = next(iter(process.channels))
+        omega = Trace.cycle_pairs([(b, 0), (b, 1)])
+        assert process.description().is_smooth_solution(omega,
+                                                        depth=16)
+
+    def test_enumeration_counts(self):
+        # over a 2-letter alphabet: 1 + 2 + 4 + 8 traces to depth 3
+        process = chaos.make()
+        assert len(process.traces_upto(3)) == 15
+
+    def test_derivation_argument(self):
+        """§4.1 derives that f must be constant along tree edges; spot-
+        check: combining K ⟵ K with any trace gives equal f values on
+        all prefixes."""
+        desc = chaos.chaos_description()
+        b = Channel("b", alphabet={0, 1})
+        t = Trace.from_pairs([(b, 0), (b, 1)])
+        values = {desc.lhs.apply(p) for p in t.prefixes()}
+        assert len(values) == 1
+
+
+class TestTicks:
+    def test_no_finite_traces(self):
+        process = ticks.make()
+        assert process.traces_upto(5) == set()
+
+    def test_omega_is_the_trace(self):
+        process = ticks.make()
+        b = next(iter(process.channels))
+        assert process.description().is_smooth_solution(
+            the_trace(b), depth=32
+        )
+
+    def test_finite_prefixes_satisfy_smoothness_only(self):
+        process = ticks.make()
+        b = next(iter(process.channels))
+        prefix = the_trace(b).take(4)
+        desc = process.description()
+        assert desc.smoothness_holds(prefix)
+        assert not desc.limit_holds(prefix)
+
+    def test_unique_live_path(self):
+        process = ticks.make()
+        result = process.solver().explore(6)
+        assert len(result.frontier) == 1
+
+
+class TestRandomBit:
+    def test_exactly_two_traces(self):
+        process = random_bit.make()
+        b = next(iter(process.channels))
+        assert process.traces_upto(3) == {
+            Trace.from_pairs([(b, "T")]),
+            Trace.from_pairs([(b, "F")]),
+        }
+
+    def test_empty_not_quiescent(self):
+        # the process *will* output a bit: ε is not a trace
+        process = random_bit.make()
+        assert not process.is_trace(Trace.empty())
+
+    def test_two_bits_not_a_trace(self):
+        process = random_bit.make()
+        b = next(iter(process.channels))
+        assert not process.is_trace(
+            Trace.from_pairs([(b, "T"), (b, "F")])
+        )
+
+
+class TestRandomBitSequence:
+    def test_one_bit_per_tick(self):
+        process = random_bit.make_sequence()
+        b = next(c for c in process.channels if c.name == "b")
+        c = next(ch for ch in process.channels if ch.name == "c")
+        # quiescent: bits answered for every tick
+        good = Trace.from_pairs([(c, "T"), (b, "F"), (c, "T"),
+                                 (b, "T")])
+        assert process.is_trace(good)
+        # pending tick: not quiescent
+        pending = Trace.from_pairs([(c, "T")])
+        assert not process.is_trace(pending)
+        # unsolicited bit: not smooth
+        unsolicited = Trace.from_pairs([(b, "T")])
+        assert not process.is_trace(unsolicited)
+
+    def test_bit_count_never_exceeds_tick_count(self):
+        process = random_bit.make_sequence()
+        b = next(c for c in process.channels if c.name == "b")
+        c = next(ch for ch in process.channels if ch.name == "c")
+        for t in process.traces_upto(4):
+            assert t.count_on(b) == t.count_on(c)

@@ -1,0 +1,145 @@
+"""Catalog tests: the deterministic processes of §2 and the Network
+wrapper (§3.1.2)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.processes.deterministic import (
+    make_affine,
+    make_brock_a,
+    make_brock_b,
+    make_copy,
+    make_doubler,
+    make_prepend0,
+)
+from repro.processes.network import Network
+from repro.processes.process import Process
+from repro.traces.trace import Trace
+
+
+class TestCopy:
+    def test_quiescent_requires_propagation(self):
+        process = make_copy()
+        b = next(c for c in process.channels if c.name == "b")
+        c = next(ch for ch in process.channels if ch.name == "c")
+        assert process.is_trace(Trace.empty())
+        assert process.is_trace(Trace.from_pairs([(b, 0), (c, 0)]))
+        assert not process.is_trace(Trace.from_pairs([(b, 0)]))
+        assert not process.is_trace(Trace.from_pairs([(c, 0)]))
+
+    def test_copy_preserves_content(self):
+        process = make_copy()
+        b = next(ch for ch in process.channels if ch.name == "b")
+        c = next(ch for ch in process.channels if ch.name == "c")
+        wrong = Trace.from_pairs([(b, 0), (c, 1)])
+        assert not process.is_trace(wrong)
+
+
+class TestPrepend0:
+    def test_initial_output_required(self):
+        process = make_prepend0()
+        b = next(ch for ch in process.channels if ch.name == "b")
+        assert not process.is_trace(Trace.empty())
+        assert process.is_trace(Trace.from_pairs([(b, 0)]))
+
+
+class TestDoublerAndAffine:
+    def test_doubler(self):
+        d = Channel("d", alphabet={0, 1, 2})
+        b = Channel("b", alphabet={0, 2, 4})
+        process = make_doubler(d, b)
+        assert process.is_trace(Trace.from_pairs([(b, 0)]))
+        assert process.is_trace(
+            Trace.from_pairs([(b, 0), (d, 1), (b, 2)])
+        )
+        assert not process.is_trace(
+            Trace.from_pairs([(b, 0), (d, 1), (b, 4)])
+        )
+
+    def test_affine(self):
+        d = Channel("d", alphabet={0, 1})
+        c = Channel("c", alphabet={1, 3})
+        process = make_affine(d, c)
+        assert process.is_trace(Trace.empty())
+        assert process.is_trace(Trace.from_pairs([(d, 1), (c, 3)]))
+        assert not process.is_trace(Trace.from_pairs([(d, 1),
+                                                      (c, 1)]))
+
+
+class TestBrockProcesses:
+    def test_brock_a_outputs_stored_items(self):
+        b = Channel("b", alphabet={1, 3})
+        c = Channel("c", alphabet={0, 1, 2, 3})
+        process = make_brock_a(b, c)
+        # quiescent only after both stored items (0, 2) are out
+        assert process.is_trace(Trace.from_pairs([(c, 0), (c, 2)]))
+        assert not process.is_trace(Trace.empty())
+        assert not process.is_trace(Trace.from_pairs([(c, 0)]))
+
+    def test_brock_a_merges_input(self):
+        b = Channel("b", alphabet={1, 3})
+        c = Channel("c", alphabet={0, 1, 2, 3})
+        process = make_brock_a(b, c)
+        assert process.is_trace(
+            Trace.from_pairs([(c, 0), (b, 1), (c, 1), (c, 2)])
+        )
+        # dropped input: not quiescent
+        assert not process.is_trace(
+            Trace.from_pairs([(c, 0), (c, 2), (b, 1)])
+        )
+
+    def test_brock_b_needs_two_inputs(self):
+        b = Channel("b", alphabet={1, 2, 3})
+        c = Channel("c", alphabet={0, 1, 2, 3})
+        process = make_brock_b(c, b)
+        assert process.is_trace(Trace.empty())
+        assert process.is_trace(Trace.from_pairs([(c, 0)]))
+        # two inputs force the output
+        assert not process.is_trace(Trace.from_pairs([(c, 0),
+                                                      (c, 2)]))
+        assert process.is_trace(
+            Trace.from_pairs([(c, 0), (c, 2), (b, 1)])
+        )
+
+
+class TestNetwork:
+    def test_network_trace_definition(self):
+        # t is a network trace iff every projection is a component trace
+        b = Channel("b", alphabet={0})
+        c = Channel("c", alphabet={0})
+        d = Channel("d", alphabet={0})
+        p1 = make_copy(b, c, name="p1")
+        p2 = make_copy(c, d, name="p2")
+        net = Network([p1, p2], name="chain")
+        assert net.channels == frozenset({b, c, d})
+        good = Trace.from_pairs([(b, 0), (c, 0), (d, 0)])
+        stalled = Trace.from_pairs([(b, 0), (c, 0)])
+        assert net.is_trace(good)
+        assert not net.is_trace(stalled)
+
+    def test_network_composed_description(self):
+        b = Channel("b", alphabet={0})
+        c = Channel("c", alphabet={0})
+        d = Channel("d", alphabet={0})
+        net = Network([make_copy(b, c), make_copy(c, d)])
+        composed = net.composed()
+        good = Trace.from_pairs([(b, 0), (c, 0), (d, 0)])
+        assert composed.network_smooth(good)
+        assert composed.sublemma_agrees(good)
+
+    def test_network_system_pools_descriptions(self):
+        b = Channel("b", alphabet={0})
+        c = Channel("c", alphabet={0})
+        net = Network([make_copy(b, c)])
+        assert len(net.system()) == 1
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network([])
+
+    def test_undescribed_component_rejected_for_composition(self):
+        b = Channel("b", alphabet={0})
+        raw = Process("raw", [b], lambda t: True)
+        net = Network([raw])
+        with pytest.raises(TypeError):
+            net.composed()

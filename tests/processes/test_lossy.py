@@ -1,0 +1,148 @@
+"""Tests for the lossy-channel extension (processes/lossy.py)."""
+
+import itertools
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.kahn.explore import exhaustive_quiescent_traces
+from repro.kahn.scheduler import RandomOracle, run_network
+from repro.kahn.agents import source_agent
+from repro.processes import lossy
+from repro.processes.lossy import lossy_agent, route, witness
+from repro.traces.trace import Trace
+
+
+def parts():
+    process = lossy.make()
+    chans = {c.name: c for c in process.channels}
+    return process, chans["c"], chans["d"]
+
+
+class TestRouting:
+    def test_full_delivery(self):
+        process, c, d = parts()
+        t = Trace.from_pairs([(c, 0), (d, 0), (c, 1), (d, 1)])
+        assert route(t, c, d) == ["T", "T"]
+
+    def test_total_loss(self):
+        process, c, d = parts()
+        t = Trace.from_pairs([(c, 0), (c, 1)])
+        assert route(t, c, d) == ["F", "F"]
+
+    def test_partial(self):
+        process, c, d = parts()
+        t = Trace.from_pairs([(c, 0), (c, 1), (d, 1)])
+        assert route(t, c, d) == ["F", "T"]
+
+    def test_reordering_impossible(self):
+        process, c, d = parts()
+        t = Trace.from_pairs([(c, 0), (c, 1), (d, 1), (d, 0)])
+        assert route(t, c, d) is None
+
+    def test_delivery_before_input_impossible(self):
+        process, c, d = parts()
+        t = Trace.from_pairs([(d, 0), (c, 0)])
+        assert route(t, c, d) is None
+
+    def test_duplication_impossible(self):
+        process, c, d = parts()
+        t = Trace.from_pairs([(c, 0), (d, 0), (d, 0)])
+        assert route(t, c, d) is None
+
+
+class TestTraceSet:
+    def test_every_subsequence_is_a_trace(self):
+        process, c, d = parts()
+        inputs = [0, 1, 2]
+        for r in range(len(inputs) + 1):
+            for kept in itertools.combinations(inputs, r):
+                t = Trace.from_pairs(
+                    [(c, m) for m in inputs]
+                    + [(d, m) for m in kept]
+                )
+                assert process.is_trace(t, depth=24), kept
+
+    def test_non_subsequences_rejected(self):
+        process, c, d = parts()
+        bads = [
+            Trace.from_pairs([(d, 0)]),
+            Trace.from_pairs([(c, 0), (d, 1)]),
+            Trace.from_pairs([(c, 0), (c, 1), (d, 1), (d, 0)]),
+        ]
+        for t in bads:
+            assert not process.is_trace(t, depth=16), t
+
+    def test_witness_is_smooth(self):
+        process, c, d = parts()
+        b = next(iter(process.auxiliary_channels))
+        t = Trace.from_pairs([(c, 0), (c, 1), (d, 1)])
+        w = witness(t, b, c, d)
+        assert process.system.is_smooth_solution(w, depth=24)
+
+
+class TestOperationalAgent:
+    def test_unbounded_lossy_covers_all_subsequences(self):
+        process, c, d = parts()
+        traces = exhaustive_quiescent_traces(
+            lambda: {"src": source_agent(c, [0, 1]),
+                     "lossy": lossy_agent(c, d)},
+            [c, d], max_steps=30,
+        )
+        delivered = {
+            tuple(t.messages_on(d)) for t in traces
+        }
+        assert delivered == {(), (0,), (1,), (0, 1)}
+
+    def test_every_operational_trace_is_a_process_trace(self):
+        process, c, d = parts()
+        traces = exhaustive_quiescent_traces(
+            lambda: {"src": source_agent(c, [0, 1]),
+                     "lossy": lossy_agent(c, d)},
+            [c, d], max_steps=30,
+        )
+        for t in traces:
+            assert process.is_trace(t, depth=24), t
+
+    def test_fair_lossy_bounds_drops(self):
+        process, c, d = parts()
+        for seed in range(10):
+            result = run_network(
+                {"src": source_agent(c, [0, 1, 2]),
+                 "lossy": lossy_agent(c, d,
+                                      max_consecutive_drops=1)},
+                [c, d], RandomOracle(seed), max_steps=60,
+            )
+            assert result.quiescent
+            # with a drop bound of 1, at least one of any two
+            # consecutive messages is delivered
+            assert result.trace.count_on(d) >= 1
+
+
+class TestRouteAgainstBruteForce:
+    """Greedy routing agrees with brute-force subsequence search."""
+
+    def test_exhaustive_small_universe(self):
+        process, c, d = parts()
+        messages = [0, 1]
+        # all input/delivery phrasings up to small sizes, with the
+        # deliveries appended after the inputs (causally latest)
+        for n_in in range(3):
+            for inputs in itertools.product(messages, repeat=n_in):
+                for n_out in range(n_in + 2):
+                    for outputs in itertools.product(
+                            messages, repeat=n_out):
+                        t = Trace.from_pairs(
+                            [(c, m) for m in inputs]
+                            + [(d, m) for m in outputs]
+                        )
+                        expected = _is_subsequence(
+                            list(outputs), list(inputs)
+                        )
+                        got = route(t, c, d) is not None
+                        assert got == expected, (inputs, outputs)
+
+
+def _is_subsequence(small, big):
+    it = iter(big)
+    return all(any(x == y for y in it) for x in small)

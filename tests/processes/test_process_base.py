@@ -1,0 +1,142 @@
+"""Unit tests for repro.processes.process (membership machinery)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem
+from repro.functions.base import chan, const_seq
+from repro.processes.process import DescribedProcess, Process
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace
+
+V = Channel("v", alphabet={0})
+H = Channel("h", alphabet={0}, auxiliary=True)
+
+
+def process_with_aux() -> DescribedProcess:
+    """v ⟵ h , h ⟵ ⟨0⟩: visible v echoes a hidden constant."""
+    system = DescriptionSystem(
+        [
+            Description(chan(V), chan(H)),
+            Description(chan(H), const_seq(fseq(0), name="⟨0⟩")),
+        ],
+        channels=[V, H],
+    )
+    return DescribedProcess("echo", [V, H], system)
+
+
+class TestPlainProcess:
+    def test_extensional_process(self):
+        p = Process("any", [V], lambda t: t.length() < 2)
+        assert p.is_trace(Trace.empty())
+        assert not p.is_trace(Trace.from_pairs([(V, 0), (V, 0)]))
+
+    def test_project(self):
+        p = Process("any", [V], lambda t: True)
+        t = Trace.from_pairs([(V, 0), (H, 0)])
+        assert p.project(t) == Trace.from_pairs([(V, 0)])
+
+    def test_repr(self):
+        assert "v" in repr(Process("any", [V], lambda t: True))
+
+
+class TestVisibleChannels:
+    def test_split(self):
+        p = process_with_aux()
+        assert p.visible_channels == frozenset({V})
+        assert p.auxiliary_channels == frozenset({H})
+
+
+class TestAuxMembership:
+    def test_positive(self):
+        p = process_with_aux()
+        assert p.is_trace(Trace.from_pairs([(V, 0)]))
+
+    def test_negative(self):
+        p = process_with_aux()
+        assert not p.is_trace(Trace.from_pairs([(V, 0), (V, 0)]))
+
+    def test_empty_not_a_trace(self):
+        # the hidden constant must flow: ε is not quiescent
+        p = process_with_aux()
+        assert not p.is_trace(Trace.empty())
+
+    def test_lazy_trace_rejected_without_witness(self):
+        p = process_with_aux()
+        import itertools
+
+        from repro.channels.event import Event
+
+        lazy = Trace.lazy(
+            Event(V, 0) for _ in itertools.count()
+        )
+        with pytest.raises(ValueError):
+            p.is_trace(lazy)
+
+    def test_is_trace_within_widens_search(self):
+        p = process_with_aux()
+        assert p.is_trace_within(Trace.from_pairs([(V, 0)]),
+                                 search_depth=4)
+        assert not p.is_trace_within(Trace.from_pairs([(V, 0)]),
+                                     search_depth=1)
+
+    def test_traces_upto_projects(self):
+        p = process_with_aux()
+        got = p.traces_upto(3)
+        assert got == {Trace.from_pairs([(V, 0)])}
+
+    def test_smooth_solutions_keep_aux(self):
+        p = process_with_aux()
+        solutions = p.smooth_solutions_upto(3)
+        assert all(s.count_on(H) == 1 for s in solutions)
+
+
+class TestWitnessHook:
+    def test_witness_none_means_rejection(self):
+        system = DescriptionSystem(
+            [Description(chan(V), chan(H)),
+             Description(chan(H), const_seq(fseq(0)))],
+            channels=[V, H],
+        )
+        p = DescribedProcess("echo", [V, H], system,
+                             witness_fn=lambda t: None)
+        assert not p.is_trace(Trace.from_pairs([(V, 0)]))
+
+    def test_bad_witness_rejected(self):
+        system = DescriptionSystem(
+            [Description(chan(V), chan(H)),
+             Description(chan(H), const_seq(fseq(0)))],
+            channels=[V, H],
+        )
+        # witness that does not project to t
+        p = DescribedProcess(
+            "echo", [V, H], system,
+            witness_fn=lambda t: Trace.from_pairs([(H, 0)]),
+        )
+        assert not p.is_trace(Trace.from_pairs([(V, 0)]))
+
+    def test_good_witness_accepted(self):
+        system = DescriptionSystem(
+            [Description(chan(V), chan(H)),
+             Description(chan(H), const_seq(fseq(0)))],
+            channels=[V, H],
+        )
+        p = DescribedProcess(
+            "echo", [V, H], system,
+            witness_fn=lambda t: Trace.from_pairs([(H, 0), (V, 0)]),
+        )
+        assert p.is_trace(Trace.from_pairs([(V, 0)]))
+
+    def test_witness_with_surplus_visible_event_rejected(self):
+        system = DescriptionSystem(
+            [Description(chan(V), chan(H)),
+             Description(chan(H), const_seq(fseq(0)))],
+            channels=[V, H],
+        )
+        p = DescribedProcess(
+            "echo", [V, H], system,
+            witness_fn=lambda t: Trace.from_pairs(
+                [(H, 0), (V, 0), (V, 0)]
+            ),
+        )
+        assert not p.is_trace(Trace.empty())

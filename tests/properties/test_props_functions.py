@@ -1,0 +1,126 @@
+"""Property-based tests: monotonicity/prefix-stability of every
+sequence operation used by descriptions (the §3 continuity assumption)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.logic import and_map, r_map
+from repro.functions.seq_fns import (
+    affine,
+    brock_f,
+    count_ticks,
+    even_filter,
+    odd_filter,
+    scale,
+    select_by_oracle,
+    tag_with,
+    tagged_filter,
+    true_filter,
+    untag,
+    until_first_f,
+)
+from repro.seq import FiniteSeq
+from repro.seq.ordering import seq_leq
+
+ints = st.integers(min_value=-4, max_value=7)
+int_seqs = st.lists(ints, max_size=10).map(FiniteSeq)
+bits = st.sampled_from(["T", "F"])
+bit_seqs = st.lists(bits, max_size=10).map(FiniteSeq)
+tag_seqs = st.lists(
+    st.tuples(st.sampled_from([0, 1]), ints), max_size=8
+).map(FiniteSeq)
+
+UNARY_INT = [even_filter, odd_filter,
+             lambda s: scale(2, s), lambda s: affine(2, 1, s),
+             lambda s: tag_with(0, s), brock_f]
+UNARY_BIT = [true_filter, until_first_f, count_ticks, r_map]
+
+
+@pytest.mark.parametrize("fn", UNARY_INT)
+class TestUnaryIntMonotone:
+    @given(s=int_seqs, extra=st.lists(ints, max_size=4))
+    def test_prefix_stable(self, fn, s, extra):
+        extended = s + FiniteSeq(extra)
+        assert seq_leq(fn(s), fn(extended))
+
+
+@pytest.mark.parametrize("fn", UNARY_BIT)
+class TestUnaryBitMonotone:
+    @given(s=bit_seqs, extra=st.lists(bits, max_size=4))
+    def test_prefix_stable(self, fn, s, extra):
+        extended = s + FiniteSeq(extra)
+        assert seq_leq(fn(s), fn(extended))
+
+
+class TestBinaryMonotone:
+    @given(a=bit_seqs, b=bit_seqs, ea=st.lists(bits, max_size=3),
+           eb=st.lists(bits, max_size=3))
+    def test_and_map(self, a, b, ea, eb):
+        out = and_map(a, b)
+        assert seq_leq(out, and_map(a + FiniteSeq(ea), b))
+        assert seq_leq(out, and_map(a, b + FiniteSeq(eb)))
+        assert seq_leq(out,
+                       and_map(a + FiniteSeq(ea), b + FiniteSeq(eb)))
+
+    @given(s=int_seqs, o=bit_seqs, es=st.lists(ints, max_size=3),
+           eo=st.lists(bits, max_size=3))
+    def test_select_by_oracle(self, s, o, es, eo):
+        out = select_by_oracle(s, o, "T")
+        assert seq_leq(
+            out,
+            select_by_oracle(s + FiniteSeq(es), o + FiniteSeq(eo),
+                             "T"),
+        )
+
+
+class TestAlgebraicIdentities:
+    @given(int_seqs)
+    def test_even_odd_partition(self, s):
+        assert len(even_filter(s)) + len(odd_filter(s)) == len(s)
+
+    @given(int_seqs)
+    def test_tag_untag_roundtrip(self, s):
+        assert untag(tag_with(1, s)) == s
+
+    @given(tag_seqs)
+    def test_tagged_filters_partition(self, s):
+        assert len(tagged_filter(0, s)) + len(tagged_filter(1, s)) \
+            == len(s)
+
+    @given(bit_seqs)
+    def test_r_map_preserves_length(self, s):
+        assert len(r_map(s)) == len(s)
+        assert all(x == "T" for x in r_map(s))
+
+    @given(bit_seqs)
+    def test_until_first_f_has_no_f(self, s):
+        assert "F" not in until_first_f(s).items
+
+    @given(bit_seqs)
+    def test_count_ticks_value(self, s):
+        out = count_ticks(s)
+        if "F" in s.items:
+            first_f = s.items.index("F")
+            assert out == FiniteSeq([first_f])
+        else:
+            assert len(out) == 0
+
+    @given(int_seqs)
+    def test_brock_f_semantics(self, s):
+        out = brock_f(s)
+        if len(s) >= 2:
+            assert out == FiniteSeq([s.item(0) + 1])
+        else:
+            assert len(out) == 0
+
+    @given(a=bit_seqs, b=bit_seqs)
+    def test_and_length_is_min(self, a, b):
+        assert len(and_map(a, b)) == min(len(a), len(b))
+
+    @given(s=int_seqs, o=bit_seqs)
+    def test_oracle_split_partitions_routed_prefix(self, s, o):
+        routed = min(len(s), len(o))
+        t_side = select_by_oracle(s, o, "T")
+        f_side = select_by_oracle(s, o, "F")
+        assert len(t_side) + len(f_side) == routed

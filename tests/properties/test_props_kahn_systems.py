@@ -1,0 +1,127 @@
+"""Property-based tests over randomly generated deterministic systems.
+
+Random acyclic Kahn systems — a constant source plus a chain of random
+monotone stages — exercise the fixpoint bridge: iteration converges,
+the least-fixpoint environment satisfies the equations, and a canonical
+realizing trace is a smooth solution (Theorem 4 in the wild).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import Description, DescriptionSystem
+from repro.core.fixpoint_bridge import KahnSystem, kahn_least_fixpoint
+from repro.functions.base import ContinuousFn, chan, const_seq
+from repro.functions.seq_fns import (
+    affine_of,
+    even_of,
+    odd_of,
+    prepend_of,
+    scale_of,
+)
+from repro.seq.finite import FiniteSeq
+from repro.traces.trace import Trace
+
+STAGE_BUILDERS = [
+    lambda inner: scale_of(2, inner),
+    lambda inner: affine_of(2, 1, inner),
+    lambda inner: even_of(inner),
+    lambda inner: odd_of(inner),
+    lambda inner: prepend_of(0, inner),
+]
+
+
+@st.composite
+def random_systems(draw):
+    """A source ``x0 ⟵ ⟨…⟩`` plus 1–4 chained stages."""
+    source_values = draw(st.lists(
+        st.integers(min_value=0, max_value=5), max_size=4
+    ))
+    n_stages = draw(st.integers(min_value=1, max_value=4))
+    stage_picks = [
+        draw(st.sampled_from(range(len(STAGE_BUILDERS))))
+        for _ in range(n_stages)
+    ]
+    channels = [Channel(f"x{i}") for i in range(n_stages + 1)]
+    descriptions = [
+        Description(chan(channels[0]),
+                    const_seq(FiniteSeq(source_values))),
+    ]
+    for i, pick in enumerate(stage_picks):
+        rhs: ContinuousFn = STAGE_BUILDERS[pick](chan(channels[i]))
+        descriptions.append(Description(chan(channels[i + 1]), rhs))
+    return channels, DescriptionSystem(descriptions,
+                                       channels=channels)
+
+
+class TestRandomKahnSystems:
+    @given(random_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_iteration_converges(self, sys_pair):
+        channels, system = sys_pair
+        semantics = kahn_least_fixpoint(system, max_iterations=50)
+        assert semantics.converged
+
+    @given(random_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_lfp_satisfies_equations(self, sys_pair):
+        channels, system = sys_pair
+        semantics = kahn_least_fixpoint(system, max_iterations=50)
+        assert system.satisfied_by_env(semantics.environment())
+
+    @given(random_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_trace_is_smooth(self, sys_pair):
+        """Realize the lfp as a trace: emit each stage's *entire*
+        sequence before the next stage starts.  Stage k+1's content
+        depends only on stage k's (already fully emitted), so every
+        message follows its cause and the trace must be smooth.
+
+        (A naive element-wise round-robin is NOT causally correct for
+        filter stages — position i of odd(x) can depend on position
+        j > i of x — and the checker rejects it; see
+        ``test_naive_interleaving_can_fail`` below.)"""
+        channels, system = sys_pair
+        semantics = kahn_least_fixpoint(system, max_iterations=50)
+        env = semantics.environment()
+
+        events = []
+        for c in channels:  # topological: the chain order
+            events.extend(Event(c, m) for m in env[c])
+        t = Trace.finite(events)
+        assert system.is_smooth_solution(t)
+
+    def test_naive_interleaving_can_fail(self):
+        """The concrete counterexample hypothesis found: with
+        ``x3 ⟵ odd(x2)``, emitting x3's output before x2 is complete
+        violates smoothness — evidence the checker sees causality, not
+        just per-channel content."""
+        x0, x1, x2, x3 = (Channel(f"x{i}") for i in range(4))
+        system = DescriptionSystem([
+            Description(chan(x0), const_seq(FiniteSeq([0]))),
+            Description(chan(x1), affine_of(2, 1, chan(x0))),
+            Description(chan(x2), prepend_of(0, chan(x1))),
+            Description(chan(x3), odd_of(chan(x2))),
+        ], channels=[x0, x1, x2, x3])
+        naive = Trace.from_pairs([
+            (x0, 0), (x1, 1), (x2, 0), (x3, 1), (x2, 1),
+        ])
+        assert not system.is_smooth_solution(naive)
+        causal = Trace.from_pairs([
+            (x0, 0), (x1, 1), (x2, 0), (x2, 1), (x3, 1),
+        ])
+        assert system.is_smooth_solution(causal)
+
+    @given(random_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_kleene_chain_ascends(self, sys_pair):
+        channels, system = sys_pair
+        kahn = KahnSystem.from_system(system)
+        domain = kahn.domain()
+        current = domain.bottom
+        for _ in range(6):
+            nxt = kahn.step(current)
+            assert domain.leq(current, nxt)
+            current = nxt

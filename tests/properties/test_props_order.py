@@ -1,0 +1,83 @@
+"""Property-based tests: order laws of the sequence and trace domains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq import SEQ_CPO, EMPTY, FiniteSeq, fseq
+from repro.seq.ordering import seq_eq_upto, seq_leq
+
+ints = st.integers(min_value=-3, max_value=5)
+seqs = st.lists(ints, max_size=8).map(FiniteSeq)
+
+
+class TestPrefixOrderLaws:
+    @given(seqs)
+    def test_reflexive(self, s):
+        assert seq_leq(s, s)
+
+    @given(seqs, seqs)
+    def test_antisymmetric(self, a, b):
+        if seq_leq(a, b) and seq_leq(b, a):
+            assert a == b
+
+    @given(seqs, seqs, seqs)
+    def test_transitive(self, a, b, c):
+        if seq_leq(a, b) and seq_leq(b, c):
+            assert seq_leq(a, c)
+
+    @given(seqs)
+    def test_bottom_least(self, s):
+        assert seq_leq(EMPTY, s)
+
+    @given(seqs, seqs)
+    def test_leq_iff_take(self, a, b):
+        # a ⊑ b iff b's first |a| elements are a
+        assert seq_leq(a, b) == (b.take(len(a)) == a and
+                                 len(b) >= len(a))
+
+
+class TestConcatInteraction:
+    @given(seqs, seqs)
+    def test_left_factor_is_prefix(self, a, b):
+        assert seq_leq(a, a + b)
+
+    @given(seqs, seqs, seqs)
+    def test_concat_monotone_right(self, a, b, c):
+        if seq_leq(b, c):
+            assert seq_leq(a + b, a + c)
+
+    @given(seqs, seqs)
+    def test_lengths_add(self, a, b):
+        assert len(a + b) == len(a) + len(b)
+
+
+class TestPreRelation:
+    @given(seqs, ints)
+    def test_append_gives_pre(self, s, x):
+        assert s.pre(s.append(x))
+
+    @given(seqs, seqs)
+    def test_pre_implies_proper_prefix(self, a, b):
+        if a.pre(b):
+            assert a.is_proper_prefix_of(b)
+            assert len(b) == len(a) + 1
+
+    @given(seqs)
+    def test_prefix_chain_structure(self, s):
+        prefixes = list(s.prefixes())
+        assert len(prefixes) == len(s) + 1
+        for u, v in zip(prefixes, prefixes[1:]):
+            assert u.pre(v)
+        assert SEQ_CPO.lub_chain(prefixes) == s
+
+
+class TestEqUpto:
+    @given(seqs, seqs, st.integers(min_value=0, max_value=10))
+    def test_false_is_conclusive(self, a, b, depth):
+        # if bounded equality says no, exact equality is no
+        if not seq_eq_upto(a, b, depth):
+            assert a != b
+
+    @given(seqs, st.integers(min_value=0, max_value=10))
+    def test_reflexive_at_any_depth(self, s, depth):
+        assert seq_eq_upto(s, s, depth)

@@ -1,0 +1,107 @@
+"""Property-based tests of the operational runtime's channel semantics.
+
+Kahn's channel assumptions — lossless, order-preserving, unbounded FIFO
+— are what make the denotational semantics sound.  These properties
+check them on randomly generated producer/consumer networks:
+
+* conservation: every received message was previously sent;
+* FIFO: per-channel receive order equals send order;
+* oracle determinism: the trace is a function of (network, seed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.channel import Channel
+from repro.kahn.effects import Recv, Send
+from repro.kahn.scheduler import RandomOracle, run_network
+
+X = Channel("x", alphabet={0, 1, 2, 3})
+Y = Channel("y", alphabet={0, 1, 2, 3})
+
+messages = st.lists(
+    st.integers(min_value=0, max_value=3), max_size=6
+)
+
+
+def producer(channel, items):
+    def body():
+        for m in items:
+            yield Send(channel, m)
+
+    return body
+
+
+def recording_consumer(channel, log):
+    def body():
+        while True:
+            m = yield Recv(channel)
+            log.append(m)
+
+    return body
+
+
+def relay(src, dst):
+    def body():
+        while True:
+            m = yield Recv(src)
+            yield Send(dst, m)
+
+    return body
+
+
+class TestChannelSemantics:
+    @given(messages, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_order(self, items, seed):
+        log: list = []
+        result = run_network(
+            {"p": producer(X, items)(),
+             "c": recording_consumer(X, log)()},
+            [X], RandomOracle(seed), max_steps=200,
+        )
+        assert result.quiescent
+        assert log == items
+
+    @given(messages, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_through_relay(self, items, seed):
+        log: list = []
+        result = run_network(
+            {"p": producer(X, items)(),
+             "r": relay(X, Y)(),
+             "c": recording_consumer(Y, log)()},
+            [X, Y], RandomOracle(seed), max_steps=400,
+        )
+        assert result.quiescent
+        assert log == items
+        # the trace records each message once per hop
+        assert list(result.trace.messages_on(X)) == items
+        assert list(result.trace.messages_on(Y)) == items
+
+    @given(messages, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_oracle_determinism(self, items, seed):
+        def build():
+            log: list = []
+            return {
+                "p": producer(X, items)(),
+                "r": relay(X, Y)(),
+                "c": recording_consumer(Y, log)(),
+            }
+
+        a = run_network(build(), [X, Y], RandomOracle(seed),
+                        max_steps=400)
+        b = run_network(build(), [X, Y], RandomOracle(seed),
+                        max_steps=400)
+        assert a.trace == b.trace
+        assert a.steps == b.steps
+
+    @given(messages)
+    @settings(max_examples=20, deadline=None)
+    def test_trace_length_is_total_sends(self, items):
+        result = run_network(
+            {"p": producer(X, items)(), "r": relay(X, Y)()},
+            [X, Y], RandomOracle(1), max_steps=400,
+        )
+        assert result.trace.length() == 2 * len(items)

@@ -1,0 +1,158 @@
+"""Property-based tests of the constructive witness machinery.
+
+The fork and fair-merge processes decide finite-trace membership by
+*constructing* a smooth solution.  These properties validate the
+constructions against randomly generated valid (and invalid) visible
+traces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.event import Event
+from repro.processes import fork, merge
+from repro.traces.trace import Trace
+
+
+def fork_parts():
+    process = fork.make()
+    channels = {c.name: c for c in process.channels}
+    return process, channels["c"], channels["d"], channels["e"]
+
+
+def merge_parts():
+    process = merge.make_fair_merge()
+    channels = {c.name: c for c in process.channels}
+    return process, channels["c"], channels["d"], channels["e"]
+
+
+messages = st.sampled_from([0, 1, 2])
+
+
+@st.composite
+def valid_fork_traces(draw):
+    """Inputs arrive in order; each is later routed to d or e."""
+    process, c, d, e = fork_parts()
+    items = draw(st.lists(messages, max_size=4))
+    sides = [draw(st.sampled_from([0, 1])) for _ in items]
+    events = [Event(c, m) for m in items]
+    # outputs appended afterwards in input order (a valid schedule)
+    for m, side in zip(items, sides):
+        events.append(Event(d if side == 0 else e, m))
+    return Trace.finite(events)
+
+
+@st.composite
+def valid_merge_traces(draw):
+    process, c, d, e = merge_parts()
+    left = draw(st.lists(messages, max_size=3))
+    right = draw(st.lists(messages, max_size=3))
+    # one interleaving chosen at random
+    li, ri = 0, 0
+    order = []
+    while li < len(left) or ri < len(right):
+        take_left = li < len(left) and (
+            ri >= len(right) or draw(st.booleans())
+        )
+        if take_left:
+            order.append(left[li])
+            li += 1
+        else:
+            order.append(right[ri])
+            ri += 1
+    events = [Event(c, m) for m in left]
+    events += [Event(d, m) for m in right]
+    events += [Event(e, m) for m in order]
+    return Trace.finite(events)
+
+
+class TestForkWitnesses:
+    @given(valid_fork_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_traces_accepted(self, t):
+        process, c, d, e = fork_parts()
+        assert process.is_trace(t, depth=24)
+
+    @given(valid_fork_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_witness_is_smooth_and_projects(self, t):
+        process, c, d, e = fork_parts()
+        b = next(iter(process.auxiliary_channels))
+        w = fork.witness(t, b, c, d, e)
+        assert w is not None
+        assert process.system.is_smooth_solution(w, depth=24)
+
+    @given(st.lists(messages, min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_unrouted_inputs_rejected(self, items):
+        process, c, d, e = fork_parts()
+        t = Trace.finite([Event(c, m) for m in items])
+        assert not process.is_trace(t, depth=16)
+
+
+class TestMergeWitnesses:
+    @given(valid_merge_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_merges_accepted(self, t):
+        process, c, d, e = merge_parts()
+        assert process.is_trace(t, depth=24)
+
+    @given(valid_merge_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_witness_structure(self, t):
+        process, c, d, e = merge_parts()
+        b = next(iter(process.auxiliary_channels))
+        w = merge.witness(t, b, c, d, e)
+        assert w is not None
+        # the witness adds exactly one b-event per output
+        assert w.count_on(b) == t.count_on(e)
+
+    @given(st.lists(messages, min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_invented_outputs_rejected(self, items):
+        process, c, d, e = merge_parts()
+        t = Trace.finite([Event(e, m) for m in items])
+        assert not process.is_trace(t, depth=16)
+
+
+class TestLossyWitnesses:
+    """Property tests for the lossy-channel routing (extension)."""
+
+    @staticmethod
+    def _parts():
+        from repro.processes import lossy
+
+        process = lossy.make()
+        chans = {c.name: c for c in process.channels}
+        return process, chans["c"], chans["d"]
+
+    @given(st.lists(messages, max_size=5), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_subsequence_is_a_trace(self, items, data):
+        process, c, d = self._parts()
+        keep = [data.draw(st.booleans()) for _ in items]
+        delivered = [m for m, k in zip(items, keep) if k]
+        t = Trace.finite(
+            [Event(c, m) for m in items]
+            + [Event(d, m) for m in delivered]
+        )
+        assert process.is_trace(t, depth=24)
+
+    @given(st.lists(messages, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_route_bits_reconstruct_delivery(self, items):
+        from repro.processes.lossy import route
+
+        process, c, d = self._parts()
+        # deliver every other item
+        delivered = items[::2]
+        t = Trace.finite(
+            [Event(c, m) for m in items]
+            + [Event(d, m) for m in delivered]
+        )
+        bits = route(t, c, d)
+        assert bits is not None
+        reconstructed = [
+            m for m, bit in zip(items, bits) if bit == "T"
+        ]
+        assert reconstructed == delivered

@@ -1,0 +1,125 @@
+"""Unit tests for repro.reasoning.properties."""
+
+from repro.channels.channel import Channel
+from repro.reasoning.properties import (
+    always,
+    counting_bound,
+    eventually_all,
+    eventually_count,
+    eventually_message,
+    never_message,
+    outputs_justified_by_inputs,
+    precedes,
+)
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+
+def t_of(*pairs):
+    return Trace.from_pairs(pairs)
+
+
+class TestAlways:
+    def test_holds(self):
+        prop = always("all small", lambda e: e.message < 4)
+        assert prop(t_of((B, 0), (C, 1)))
+
+    def test_fails(self):
+        prop = always("no odd", lambda e: e.message % 2 == 0)
+        assert not prop(t_of((B, 0), (C, 1)))
+
+    def test_empty_trace_vacuous(self):
+        prop = always("anything", lambda e: False)
+        assert prop(Trace.empty())
+
+    def test_prefix_closed(self):
+        # safety: holds of t ⇒ holds of every prefix
+        prop = always("no 3", lambda e: e.message != 3)
+        t = t_of((B, 0), (C, 1), (D, 0))
+        if prop(t):
+            for p in t.prefixes():
+                assert prop(p)
+
+    def test_conjunction(self):
+        p1 = always("p1", lambda e: e.message < 4)
+        p2 = always("p2", lambda e: e.message >= 0)
+        both = p1 & p2
+        assert both(t_of((B, 0)))
+        assert "∧" in both.name
+
+
+class TestNeverMessage:
+    def test_blocks_specific_event(self):
+        prop = never_message(D, 3)
+        assert prop(t_of((D, 0)))
+        assert not prop(t_of((D, 3)))
+        assert prop(t_of((C, 3)))  # other channel is fine
+
+
+class TestPrecedes:
+    def test_justified(self):
+        prop = outputs_justified_by_inputs([B, C], [D])
+        assert prop(t_of((B, 0), (D, 0)))
+        assert not prop(t_of((D, 0)))
+
+    def test_multiset_semantics(self):
+        # two outputs need two inputs
+        prop = outputs_justified_by_inputs([B, C], [D])
+        assert not prop(t_of((B, 0), (D, 0), (D, 0)))
+
+    def test_order_matters(self):
+        prop = outputs_justified_by_inputs([B, C], [D])
+        assert not prop(t_of((D, 0), (B, 0)))
+
+    def test_custom_keying(self):
+        # every (d, 2n) preceded by (d, n): §2.3's safety shape
+        prop = precedes(
+            "halves first",
+            lambda e: e.message // 2
+            if e.channel == D and e.message in (2,) else None,
+            lambda half: (
+                lambda e: e.channel == D and e.message == half
+            ),
+        )
+        assert prop(t_of((D, 1), (D, 2)))
+        assert not prop(t_of((D, 2), (D, 1)))
+
+
+class TestCountingBound:
+    def test_output_bounded_by_input(self):
+        prop = counting_bound(
+            "d ≤ inputs", D,
+            lambda t: t.count_on(B) + t.count_on(C),
+        )
+        assert prop(t_of((B, 0), (D, 0)))
+        assert not prop(t_of((D, 0)))
+
+
+class TestProgress:
+    def test_eventually_message(self):
+        prop = eventually_message(D, 1)
+        assert not prop(t_of((B, 0)))
+        assert prop(t_of((B, 0), (D, 1)))
+
+    def test_monotone_goal(self):
+        prop = eventually_message(D, 1)
+        t = t_of((D, 1), (B, 0))
+        assert prop(t.take(1)) and prop(t)
+
+    def test_eventually_all(self):
+        prop = eventually_all("0 and 1 on d", D, [0, 1])
+        assert not prop(t_of((D, 0)))
+        assert prop(t_of((D, 0), (D, 1)))
+
+    def test_eventually_count(self):
+        prop = eventually_count(D, 2)
+        assert not prop(t_of((D, 0)))
+        assert prop(t_of((D, 0), (D, 1)))
+
+    def test_conjunction(self):
+        both = eventually_message(D, 0) & eventually_message(D, 1)
+        assert not both(t_of((D, 0)))
+        assert both(t_of((D, 0), (D, 1)))

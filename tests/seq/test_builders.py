@@ -1,0 +1,133 @@
+"""Unit tests for repro.seq.builders, incl. the §2.3 sequences."""
+
+import pytest
+
+from repro.seq.builders import (
+    block_b,
+    block_b_reversed,
+    block_c,
+    concat,
+    cycle,
+    empty,
+    from_blocks,
+    from_iterable,
+    iterate,
+    misra_x,
+    misra_y,
+    misra_z,
+    naturals,
+    prepend,
+    repeat,
+    repeat_finite,
+    single,
+)
+from repro.seq.finite import EMPTY, fseq
+
+
+class TestSimpleBuilders:
+    def test_empty(self):
+        assert empty() == EMPTY
+
+    def test_single(self):
+        assert single(5) == fseq(5)
+
+    def test_from_iterable(self):
+        assert from_iterable(range(3)) == fseq(0, 1, 2)
+
+    def test_repeat(self):
+        assert repeat("T").take(3) == fseq("T", "T", "T")
+
+    def test_repeat_finite(self):
+        assert repeat_finite("T", 2) == fseq("T", "T")
+
+    def test_naturals(self):
+        assert naturals().take(3) == fseq(0, 1, 2)
+        assert naturals(5).take(2) == fseq(5, 6)
+
+    def test_iterate(self):
+        assert iterate(lambda n: 2 * n, 1).take(4) == fseq(1, 2, 4, 8)
+
+    def test_cycle(self):
+        assert cycle([1, 2]).take(5) == fseq(1, 2, 1, 2, 1)
+
+    def test_cycle_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cycle([])
+
+
+class TestConcat:
+    def test_finite_finite(self):
+        assert concat(fseq(1), fseq(2)).take(5) == fseq(1, 2)
+
+    def test_finite_lazy(self):
+        out = concat(fseq(0), naturals(10))
+        assert out.take(3) == fseq(0, 10, 11)
+
+    def test_infinite_left_hides_right(self):
+        out = concat(repeat(0), fseq(9))
+        assert out.take(4) == fseq(0, 0, 0, 0)
+
+    def test_prepend(self):
+        # the paper's "0; c"
+        assert prepend(0, fseq(1, 2)).take(5) == fseq(0, 1, 2)
+
+    def test_prepend_onto_infinite(self):
+        assert prepend("T", repeat("T")).take(3) == \
+            fseq("T", "T", "T")
+
+
+class TestBlocks:
+    def test_block_b(self):
+        # B_i = 0 … 2^i − 1
+        assert block_b(0) == fseq(0)
+        assert block_b(2) == fseq(0, 1, 2, 3)
+
+    def test_block_b_reversed(self):
+        assert block_b_reversed(2) == fseq(3, 2, 1, 0)
+
+    def test_block_b_negative_rejected(self):
+        with pytest.raises(ValueError):
+            block_b(-1)
+
+    def test_block_c_base_cases(self):
+        assert block_c(0) == fseq(-1)
+        assert block_c(1) == fseq(0, -2)
+
+    def test_block_c_recurrence(self):
+        # C₂ replaces 0 by 0,1 and −2 by −4,−3
+        assert block_c(2) == fseq(0, 1, -4, -3)
+
+    def test_from_blocks(self):
+        s = from_blocks(lambda i: fseq(i, i))
+        assert s.take(5) == fseq(0, 0, 1, 1, 2)
+
+
+class TestMisraSequences:
+    """The three solution sequences of §2.3."""
+
+    def test_x_prefix_matches_paper(self):
+        # x = B₀ B₁ B₂ B₃ … = 0 | 0 1 | 0 1 2 3 | 0 … 7 | …
+        want = [0, 0, 1, 0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7]
+        assert list(misra_x().take(15)) == want
+
+    def test_y_prefix_matches_paper(self):
+        want = [0, 1, 0, 3, 2, 1, 0]
+        assert list(misra_y().take(7)) == want
+
+    def test_z_prefix(self):
+        # z = C₀ C₁ C₂ … = −1 | 0 −2 | 0 1 −4 −3 | …
+        want = [-1, 0, -2, 0, 1, -4, -3]
+        assert list(misra_z().take(7)) == want
+
+    def test_even_odd_recurrences_of_b_blocks(self):
+        # even(B_{i+1}) = 2 × B_i and odd(B_{i+1}) = 2 × B_i + 1 (§2.3)
+        from repro.seq.combinators import seq_filter, seq_map
+
+        for i in range(4):
+            b_next = block_b(i + 1)
+            evens = seq_filter(lambda n: n % 2 == 0, b_next)
+            odds = seq_filter(lambda n: n % 2 == 1, b_next)
+            doubled = seq_map(lambda n: 2 * n, block_b(i))
+            doubled1 = seq_map(lambda n: 2 * n + 1, block_b(i))
+            assert evens == doubled
+            assert odds == doubled1

@@ -1,0 +1,141 @@
+"""Unit tests for repro.seq.combinators (monotone sequence operations)."""
+
+import itertools
+
+import pytest
+
+from repro.seq.combinators import (
+    count_occurrences,
+    interleavings,
+    is_subsequence,
+    pointwise,
+    seq_filter,
+    seq_map,
+    subsequence_positions,
+    take_while,
+)
+from repro.seq.finite import EMPTY, fseq
+from repro.seq.lazy import LazySeq, NonProductiveError
+
+
+def lazy(*items):
+    return LazySeq(iter(items))
+
+
+class TestSeqMap:
+    def test_finite(self):
+        assert seq_map(lambda n: n + 1, fseq(1, 2)) == fseq(2, 3)
+
+    def test_lazy(self):
+        out = seq_map(lambda n: n * 2, LazySeq(itertools.count()))
+        assert out.take(3) == fseq(0, 2, 4)
+
+    def test_lazy_finite_source_terminates(self):
+        out = seq_map(lambda n: n, lazy(1, 2))
+        assert out.to_finite(10) == fseq(1, 2)
+
+    def test_monotone_prefix_stability(self):
+        full = seq_map(lambda n: -n, fseq(1, 2, 3))
+        part = seq_map(lambda n: -n, fseq(1, 2))
+        assert part.is_prefix_of(full)
+
+
+class TestSeqFilter:
+    def test_finite(self):
+        assert seq_filter(lambda n: n % 2 == 0,
+                          fseq(1, 2, 3, 4)) == fseq(2, 4)
+
+    def test_lazy(self):
+        out = seq_filter(lambda n: n % 3 == 0,
+                         LazySeq(itertools.count()))
+        assert out.take(3) == fseq(0, 3, 6)
+
+    def test_nonproductive_guarded(self):
+        out = seq_filter(lambda n: False, LazySeq(itertools.count()),
+                         scan_limit=100)
+        with pytest.raises(NonProductiveError):
+            out.take(1)
+
+    def test_prefix_stability(self):
+        pred = lambda n: n > 0
+        full = seq_filter(pred, fseq(-1, 1, -2, 2))
+        part = seq_filter(pred, fseq(-1, 1))
+        assert part.is_prefix_of(full)
+
+
+class TestPointwise:
+    def test_min_length_rule(self):
+        out = pointwise(lambda a, b: a + b, fseq(1, 2, 3), fseq(10, 20))
+        assert out == fseq(11, 22)
+
+    def test_empty_when_any_empty(self):
+        assert pointwise(lambda a, b: a, fseq(1), EMPTY) == EMPTY
+
+    def test_lazy_inputs(self):
+        out = pointwise(lambda a, b: a * b,
+                        LazySeq(itertools.count(1)), fseq(2, 3))
+        assert out.to_finite(10) == fseq(2, 6)
+
+    def test_unary(self):
+        assert pointwise(lambda a: a + 1, fseq(1)) == fseq(2)
+
+
+class TestTakeWhile:
+    def test_basic(self):
+        out = take_while(lambda x: x != "F", fseq("T", "T", "F", "T"))
+        assert out == fseq("T", "T")
+
+    def test_all_pass(self):
+        assert take_while(lambda x: True, fseq(1, 2)) == fseq(1, 2)
+
+    def test_lazy_stops_at_failure(self):
+        src = LazySeq(itertools.cycle(["T", "F"]))
+        out = take_while(lambda x: x != "F", src)
+        assert out.to_finite(10) == fseq("T")
+
+    def test_monotone_freeze_after_failure(self):
+        # output on a prefix is a prefix of output on any extension
+        f = lambda s: take_while(lambda x: x != "F", s)
+        assert f(fseq("T", "F")).is_prefix_of(f(fseq("T", "F", "T")))
+
+
+class TestSubsequencePositions:
+    def test_oracle_routing(self):
+        # §4.6: keep elements where oracle says T
+        out = subsequence_positions(
+            fseq(10, 20, 30), fseq("T", "F", "T"), "T"
+        )
+        assert out == fseq(10, 30)
+
+    def test_waits_for_oracle(self):
+        # an element without its oracle bit is not yet routed
+        out = subsequence_positions(fseq(10, 20), fseq("T"), "T")
+        assert out == fseq(10)
+
+    def test_waits_for_input(self):
+        out = subsequence_positions(fseq(10), fseq("T", "T", "T"), "T")
+        assert out == fseq(10)
+
+
+class TestStructuralHelpers:
+    def test_is_subsequence(self):
+        assert is_subsequence(fseq(1, 3), fseq(1, 2, 3))
+        assert not is_subsequence(fseq(3, 1), fseq(1, 2, 3))
+        assert is_subsequence(EMPTY, EMPTY)
+
+    def test_interleavings_count(self):
+        merges = list(interleavings(fseq(1, 2), fseq(3, 4)))
+        assert len(merges) == 6  # C(4,2)
+        assert fseq(1, 2, 3, 4) in merges
+        assert fseq(3, 1, 4, 2) in merges
+
+    def test_interleavings_preserve_order(self):
+        for merged in interleavings(fseq(1, 2), fseq(8, 9)):
+            left = [x for x in merged if x in (1, 2)]
+            right = [x for x in merged if x in (8, 9)]
+            assert left == [1, 2]
+            assert right == [8, 9]
+
+    def test_count_occurrences(self):
+        assert count_occurrences(fseq(1, 2, 1), 1) == 2
+        assert count_occurrences(EMPTY, 1) == 0

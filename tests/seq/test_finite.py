@@ -1,0 +1,127 @@
+"""Unit tests for repro.seq.finite (FiniteSeq and the pre relation)."""
+
+import pytest
+
+from repro.seq.finite import EMPTY, FiniteSeq, fseq
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        assert FiniteSeq([1, 2]).items == (1, 2)
+
+    def test_fseq_shorthand(self):
+        assert fseq(1, 2, 3) == FiniteSeq((1, 2, 3))
+
+    def test_empty_constant(self):
+        assert len(EMPTY) == 0
+        assert not EMPTY
+
+    def test_immutable(self):
+        s = fseq(1)
+        with pytest.raises(AttributeError):
+            s.items = (2,)
+
+
+class TestSeqInterface:
+    def test_item(self):
+        assert fseq(4, 5).item(1) == 5
+
+    def test_item_out_of_range(self):
+        with pytest.raises(IndexError):
+            fseq(4).item(1)
+
+    def test_item_negative_rejected(self):
+        with pytest.raises(IndexError):
+            fseq(4).item(-1)
+
+    def test_take(self):
+        assert fseq(1, 2, 3).take(2) == fseq(1, 2)
+
+    def test_take_beyond_length(self):
+        s = fseq(1)
+        assert s.take(10) is s
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fseq(1).take(-1)
+
+    def test_known_length(self):
+        assert fseq(1, 2).known_length() == 2
+
+    def test_has_at_least(self):
+        assert fseq(1, 2).has_at_least(2)
+        assert not fseq(1, 2).has_at_least(3)
+
+    def test_head(self):
+        assert fseq(7, 8).head() == 7
+        with pytest.raises(IndexError):
+            EMPTY.head()
+
+    def test_iter_upto(self):
+        assert list(fseq(1, 2, 3).iter_upto(2)) == [1, 2]
+
+
+class TestAlgebra:
+    def test_concat(self):
+        assert fseq(1).concat(fseq(2, 3)) == fseq(1, 2, 3)
+
+    def test_plus_operator(self):
+        assert fseq(1) + fseq(2) == fseq(1, 2)
+
+    def test_concat_with_empty(self):
+        assert fseq(1) + EMPTY == fseq(1)
+        assert EMPTY + fseq(1) == fseq(1)
+
+    def test_append(self):
+        assert fseq(1).append(2) == fseq(1, 2)
+
+    def test_drop(self):
+        assert fseq(1, 2, 3).drop(1) == fseq(2, 3)
+        with pytest.raises(ValueError):
+            fseq(1).drop(-1)
+
+    def test_hashable(self):
+        assert len({fseq(1), fseq(1), fseq(2)}) == 2
+
+    def test_equality_not_with_tuples(self):
+        assert fseq(1) != (1,)
+
+
+class TestPrefixStructure:
+    def test_is_prefix_of(self):
+        assert fseq(1).is_prefix_of(fseq(1, 2))
+        assert EMPTY.is_prefix_of(fseq(1))
+        assert not fseq(2).is_prefix_of(fseq(1, 2))
+
+    def test_is_prefix_of_self(self):
+        assert fseq(1, 2).is_prefix_of(fseq(1, 2))
+
+    def test_proper_prefix(self):
+        assert fseq(1).is_proper_prefix_of(fseq(1, 2))
+        assert not fseq(1, 2).is_proper_prefix_of(fseq(1, 2))
+
+    def test_pre_relation(self):
+        # the paper's u pre v: prefix and exactly one shorter
+        assert fseq(1).pre(fseq(1, 2))
+        assert not fseq(1).pre(fseq(1, 2, 3))
+        assert not fseq(1).pre(fseq(2, 3))
+        assert EMPTY.pre(fseq(9))
+
+    def test_prefixes_ascending(self):
+        out = list(fseq(1, 2).prefixes())
+        assert out == [EMPTY, fseq(1), fseq(1, 2)]
+
+    def test_proper_prefixes(self):
+        assert list(fseq(1, 2).proper_prefixes()) == [EMPTY, fseq(1)]
+
+    def test_one_step_extensions(self):
+        exts = list(fseq(1).one_step_extensions([8, 9]))
+        assert exts == [fseq(1, 8), fseq(1, 9)]
+
+
+class TestRepr:
+    def test_empty_repr(self):
+        assert repr(EMPTY) == "ε"
+
+    def test_nonempty_repr(self):
+        assert repr(fseq(1, 2)) == "⟨1 2⟩"

@@ -1,0 +1,98 @@
+"""Unit tests for repro.seq.lazy (memoized possibly-infinite sequences)."""
+
+import itertools
+
+import pytest
+
+from repro.seq.finite import FiniteSeq, fseq
+from repro.seq.lazy import LazySeq, NonProductiveError, as_seq
+
+
+class TestBasics:
+    def test_take_from_infinite(self):
+        s = LazySeq(itertools.count())
+        assert s.take(3) == fseq(0, 1, 2)
+
+    def test_item(self):
+        s = LazySeq(itertools.count(10))
+        assert s.item(2) == 12
+
+    def test_memoization_single_pass(self):
+        calls = []
+
+        def gen():
+            for i in range(5):
+                calls.append(i)
+                yield i
+
+        s = LazySeq(gen())
+        s.take(3)
+        s.take(3)
+        assert calls == [0, 1, 2]
+
+    def test_unknown_length_until_exhausted(self):
+        s = LazySeq(iter([1, 2]))
+        assert s.known_length() is None
+        s.take(10)
+        assert s.known_length() == 2
+
+    def test_item_past_end_raises(self):
+        s = LazySeq(iter([1]))
+        with pytest.raises(IndexError):
+            s.item(5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            LazySeq(iter([1])).item(-1)
+
+    def test_negative_take_rejected(self):
+        with pytest.raises(ValueError):
+            LazySeq(iter([1])).take(-1)
+
+    def test_materialized_length(self):
+        s = LazySeq(itertools.count())
+        assert s.materialized_length() == 0
+        s.take(4)
+        assert s.materialized_length() == 4
+
+
+class TestFromFunction:
+    def test_nth(self):
+        s = LazySeq.from_function(lambda i: i * i)
+        assert s.take(4) == fseq(0, 1, 4, 9)
+
+
+class TestToFinite:
+    def test_materializes_short(self):
+        s = LazySeq(iter([1, 2]))
+        assert s.to_finite(10) == fseq(1, 2)
+
+    def test_refuses_long(self):
+        s = LazySeq(itertools.count())
+        with pytest.raises(NonProductiveError):
+            s.to_finite(100)
+
+
+class TestAsSeq:
+    def test_passthrough(self):
+        s = fseq(1)
+        assert as_seq(s) is s
+
+    def test_tuple(self):
+        assert isinstance(as_seq((1, 2)), FiniteSeq)
+
+    def test_list(self):
+        assert as_seq([1, 2]).take(2) == fseq(1, 2)
+
+    def test_iterator(self):
+        assert isinstance(as_seq(iter([1])), LazySeq)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(TypeError):
+            as_seq(5)
+
+    def test_has_at_least(self):
+        s = LazySeq(itertools.count())
+        assert s.has_at_least(100)
+        t = LazySeq(iter([1]))
+        assert not t.has_at_least(2)

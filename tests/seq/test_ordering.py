@@ -1,0 +1,112 @@
+"""Unit tests for repro.seq.ordering (prefix order & sequence cpo)."""
+
+import itertools
+
+import pytest
+
+from repro.order.poset import NotAChainError
+from repro.seq.finite import EMPTY, fseq
+from repro.seq.lazy import LazySeq
+from repro.seq.ordering import (
+    SEQ_CPO,
+    SequenceCpo,
+    seq_eq_upto,
+    seq_leq,
+    seq_leq_upto,
+)
+
+
+def lazy_count():
+    return LazySeq(itertools.count())
+
+
+class TestSeqLeq:
+    def test_finite_finite(self):
+        assert seq_leq(fseq(1), fseq(1, 2))
+        assert not seq_leq(fseq(2), fseq(1, 2))
+
+    def test_empty_below_all(self):
+        assert seq_leq(EMPTY, lazy_count())
+
+    def test_finite_below_infinite(self):
+        assert seq_leq(fseq(0, 1), lazy_count())
+        assert not seq_leq(fseq(5), lazy_count())
+
+    def test_secretly_finite_lazy_left(self):
+        # a lazy sequence that is actually short gets probed and decided
+        assert seq_leq(LazySeq(iter([0, 1])), lazy_count())
+
+    def test_truly_lazy_left_raises(self):
+        with pytest.raises(ValueError):
+            seq_leq(lazy_count(), lazy_count())
+
+
+class TestBoundedComparisons:
+    def test_leq_upto_yes(self):
+        assert seq_leq_upto(lazy_count(), lazy_count(), 50)
+
+    def test_leq_upto_conclusive_no(self):
+        a = LazySeq(itertools.count(1))
+        assert not seq_leq_upto(a, lazy_count(), 50)
+
+    def test_eq_upto_agreeing_prefixes(self):
+        assert seq_eq_upto(lazy_count(), lazy_count(), 64)
+
+    def test_eq_upto_disagreement(self):
+        assert not seq_eq_upto(fseq(1), fseq(2), 8)
+
+    def test_eq_upto_length_mismatch_within_depth(self):
+        assert not seq_eq_upto(fseq(1), fseq(1, 2), 8)
+
+    def test_eq_upto_finite_vs_longer_lazy(self):
+        # a ends within depth, b keeps going ⇒ conclusive False
+        assert not seq_eq_upto(fseq(0, 1), lazy_count(), 8)
+
+    def test_eq_upto_exact_when_both_finite(self):
+        assert seq_eq_upto(fseq(1, 2), fseq(1, 2), 100)
+
+
+class TestSequenceCpo:
+    def test_bottom(self):
+        assert SEQ_CPO.bottom == EMPTY
+
+    def test_leq_coerces_tuples(self):
+        assert SEQ_CPO.leq((1,), (1, 2))
+
+    def test_eq_exact_finite(self):
+        assert SEQ_CPO.eq(fseq(1), fseq(1))
+        assert not SEQ_CPO.eq(fseq(1), fseq(1, 2))
+
+    def test_rejects_non_sequences(self):
+        with pytest.raises(TypeError):
+            SEQ_CPO.leq(5, fseq(1))
+
+    def test_lub_chain(self):
+        assert SEQ_CPO.lub_chain([EMPTY, fseq(1)]) == fseq(1)
+        with pytest.raises(NotAChainError):
+            SEQ_CPO.lub_chain([fseq(1), fseq(2)])
+
+    def test_sample_respects_alphabet(self):
+        cpo = SequenceCpo(frozenset({"T", "F"}))
+        for s in cpo.sample():
+            assert all(x in ("T", "F") for x in s)
+
+
+class TestLubOfChainFn:
+    def test_growing_chain_yields_lazy_lub(self):
+        # nth(k) = ⟨0, 1, …, k-1⟩; lub is the naturals
+        lub = SEQ_CPO.lub_of_chain_fn(lambda k: fseq(*range(k)))
+        assert lub.take(5) == fseq(0, 1, 2, 3, 4)
+
+    def test_stabilizing_chain_yields_finite(self):
+        lub = SEQ_CPO.lub_of_chain_fn(
+            lambda k: fseq(*range(min(k, 3))), stable_steps=8
+        )
+        assert lub.to_finite(100) == fseq(0, 1, 2)
+
+    def test_non_ascending_chain_detected(self):
+        lub = SEQ_CPO.lub_of_chain_fn(
+            lambda k: fseq(9) if k == 1 else fseq(*range(k))
+        )
+        with pytest.raises(NotAChainError):
+            lub.take(5)

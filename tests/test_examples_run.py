@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are deliverables; these tests keep them green as the library
+evolves.  Each runs in a subprocess against the installed package.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.glob(
+        "examples/*.py"
+    )
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "at least three runnable examples"

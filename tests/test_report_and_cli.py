@@ -1,0 +1,124 @@
+"""Tests for repro.report and the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, DescriptionSystem, combine
+from repro.core.solver import solve
+from repro.functions.base import chan
+from repro.functions.seq_fns import even_of, odd_of
+from repro.kahn.agents import dfm_agent, source_agent
+from repro.kahn.scheduler import RandomOracle, run_network
+from repro.report import (
+    render_description,
+    render_run,
+    render_solver_result,
+    render_system,
+    render_table,
+    render_trace,
+    render_verdict,
+)
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+
+def dfm():
+    return combine([
+        Description(even_of(chan(D)), chan(B)),
+        Description(odd_of(chan(D)), chan(C)),
+    ], name="dfm")
+
+
+class TestRenderers:
+    def test_render_trace_empty(self):
+        assert render_trace(Trace.empty()) == "ε"
+
+    def test_render_trace_finite(self):
+        t = Trace.from_pairs([(B, 0), (D, 0)])
+        assert render_trace(t) == "(b,0)(d,0)"
+
+    def test_render_trace_truncates(self):
+        t = Trace.from_pairs([(B, 0)] * 20)
+        assert render_trace(t, max_events=3).endswith("…")
+
+    def test_render_trace_lazy(self):
+        t = Trace.cycle_pairs([(B, 0)])
+        assert render_trace(t, max_events=2).endswith("…")
+
+    def test_render_description(self):
+        text = render_description(
+            Description(even_of(chan(D)), chan(B))
+        )
+        assert "⟵" in text and "{b,d}" in text
+
+    def test_render_system(self):
+        system = DescriptionSystem(
+            [Description(even_of(chan(D)), chan(B))],
+            channels=[B, D], name="s",
+        )
+        assert "system 's'" in render_system(system)
+
+    def test_render_verdict_positive(self):
+        verdict = dfm().check(Trace.from_pairs([(B, 0), (D, 0)]))
+        text = render_verdict(verdict)
+        assert "SMOOTH SOLUTION" in text
+
+    def test_render_verdict_negative(self):
+        verdict = dfm().check(Trace.from_pairs([(D, 0)]))
+        text = render_verdict(verdict)
+        assert "violation" in text
+        assert "not a solution" in text
+
+    def test_render_verdict_truncates_violations(self):
+        t = Trace.from_pairs([(D, 0), (D, 1), (D, 2), (D, 3),
+                              (D, 0), (D, 1)])
+        verdict = dfm().check(t)
+        assert "more" in render_verdict(verdict)
+
+    def test_render_solver_result(self):
+        result = solve(dfm(), [B, C, D], max_depth=2)
+        text = render_solver_result(result, max_listed=2)
+        assert "explored" in text
+        assert "…" in text or "solutions" in text
+
+    def test_render_run(self):
+        result = run_network(
+            {"eb": source_agent(B, [0]),
+             "dfm": dfm_agent(B, C, D)},
+            [B, C, D], RandomOracle(0), max_steps=50,
+        )
+        text = render_run(result)
+        assert "quiescent" in text
+
+    def test_render_table_alignment(self):
+        table = render_table(["a", "bb"], [["x", "y"], ["zz", "w"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "command", ["summary", "dfm", "anomaly", "fig3", "zoo"]
+    )
+    def test_commands_run(self, command, capsys):
+        from repro.__main__ import main
+
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_default_is_summary(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 0
+        assert "PODC" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

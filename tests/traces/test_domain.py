@@ -1,0 +1,96 @@
+"""Unit tests for repro.traces.domain (the trace cpo)."""
+
+import itertools
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.order.poset import NotAChainError
+from repro.traces.domain import TRACE_CPO, TraceCpo, trace_eq_upto
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 1})
+
+
+def t_of(*messages):
+    return Trace.from_pairs([(B, m) for m in messages])
+
+
+def lazy_zeros():
+    return Trace.lazy(Event(B, 0) for _ in itertools.count())
+
+
+class TestOrder:
+    def test_bottom(self):
+        assert TRACE_CPO.bottom.length() == 0
+
+    def test_leq(self):
+        assert TRACE_CPO.leq(t_of(0), t_of(0, 1))
+        assert not TRACE_CPO.leq(t_of(1), t_of(0, 1))
+
+    def test_leq_finite_below_lazy(self):
+        assert TRACE_CPO.leq(t_of(0, 0), lazy_zeros())
+
+    def test_leq_lazy_left_raises(self):
+        with pytest.raises(ValueError):
+            TRACE_CPO.leq(lazy_zeros(), lazy_zeros())
+
+    def test_leq_upto_lazy(self):
+        assert TRACE_CPO.leq_upto(lazy_zeros(), lazy_zeros(), 16)
+
+    def test_eq(self):
+        assert TRACE_CPO.eq(t_of(0), t_of(0))
+        assert not TRACE_CPO.eq(t_of(0), t_of(0, 1))
+
+    def test_rejects_non_traces(self):
+        with pytest.raises(TypeError):
+            TRACE_CPO.leq(1, t_of(0))
+
+
+class TestEqUpto:
+    def test_agreement(self):
+        assert trace_eq_upto(lazy_zeros(), lazy_zeros(), 20)
+
+    def test_disagreement(self):
+        assert not trace_eq_upto(t_of(0), t_of(1), 20)
+
+    def test_length_mismatch_within_depth(self):
+        assert not trace_eq_upto(t_of(0), t_of(0, 0), 20)
+
+    def test_finite_vs_continuing_lazy(self):
+        assert not trace_eq_upto(t_of(0, 0), lazy_zeros(), 20)
+
+    def test_via_cpo_method(self):
+        assert TRACE_CPO.eq_upto(lazy_zeros(), lazy_zeros(), 8)
+
+
+class TestLubs:
+    def test_lub_chain(self):
+        chain = [Trace.empty(), t_of(0), t_of(0, 1)]
+        assert TRACE_CPO.lub_chain(chain) == t_of(0, 1)
+
+    def test_lub_chain_rejects_non_chain(self):
+        with pytest.raises(NotAChainError):
+            TRACE_CPO.lub_chain([t_of(0), t_of(1)])
+
+    def test_lub_of_chain_fn_growing(self):
+        lub = TRACE_CPO.lub_of_chain_fn(lambda k: t_of(*([0] * k)))
+        assert lub.take(4).length() == 4
+
+    def test_lub_of_chain_fn_stabilizing(self):
+        lub = TRACE_CPO.lub_of_chain_fn(
+            lambda k: t_of(*([0] * min(k, 2))), stable_steps=4
+        )
+        assert lub.take(50).length() == 2
+
+
+class TestSample:
+    def test_sample_with_channels(self):
+        cpo = TraceCpo(frozenset({B}))
+        sample = cpo.sample()
+        assert any(t.length() == 0 for t in sample)
+        assert any(t.length() == 2 for t in sample)
+
+    def test_sample_without_channels(self):
+        assert TraceCpo().sample() == [Trace.empty()]

@@ -1,0 +1,124 @@
+"""Unit tests for repro.traces.projection — Facts F1–F5 of §3.1.3."""
+
+import itertools
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.traces.domain import TRACE_CPO
+from repro.traces.projection import (
+    fact_f4,
+    fact_f5_witness,
+    is_projection_of_prefix,
+    project,
+)
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+
+
+def t_of(*pairs):
+    return Trace.from_pairs(pairs)
+
+
+class TestFactF1F2:
+    """F1: traces form a cpo; F2: a trace is the lub of its prefixes."""
+
+    def test_f1_cpo_laws(self):
+        from repro.order.checks import check_cpo
+
+        from repro.traces.domain import TraceCpo
+
+        cpo = TraceCpo(frozenset({B, C}))
+        check_cpo(cpo)
+
+    def test_f2_lub_of_prefixes(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        prefixes = list(t.prefixes())
+        assert TRACE_CPO.lub_chain(prefixes) == t
+
+
+class TestFactF3:
+    """F3: projection is continuous."""
+
+    def test_monotone(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        for u in t.prefixes():
+            for v in t.prefixes():
+                if u.is_prefix_of(v):
+                    assert u.project({B}).is_prefix_of(v.project({B}))
+
+    def test_continuous_on_lazy(self):
+        t = Trace.cycle_pairs([(B, 0), (C, 1)])
+        proj = t.project({B})
+        # prefix applications approximate the lazy projection
+        for n in range(8):
+            finite = t.take(n).project({B})
+            assert finite.is_prefix_of(proj)
+
+
+class TestFactF4:
+    def test_projection_of_pre_pair(self):
+        u = t_of((B, 0))
+        v = t_of((B, 0), (C, 1))
+        assert fact_f4(u, v, {B})  # u_L = v_L branch
+        assert fact_f4(u, v, {C})  # u_L pre v_L branch
+
+    def test_requires_pre(self):
+        with pytest.raises(ValueError):
+            fact_f4(t_of((B, 0)), t_of((B, 0), (C, 1), (B, 2)), {B})
+
+    def test_exhaustive_over_small_traces(self):
+        events = [Event(B, 0), Event(B, 2), Event(C, 1)]
+        for combo in itertools.product(events, repeat=3):
+            t = Trace.finite(combo)
+            for u, v in t.pre_pairs(3):
+                assert fact_f4(u, v, {B})
+                assert fact_f4(u, v, {C})
+
+
+class TestFactF5:
+    def test_witness_construction(self):
+        t = t_of((B, 0), (C, 1), (B, 2), (C, 3))
+        proj = t.project({C})
+        x, y = proj.take(1), proj.take(2)
+        witness = fact_f5_witness(t, {C}, x, y)
+        assert witness is not None
+        u, v = witness
+        assert u.pre(v)
+        assert u.project({C}) == x
+        assert v.project({C}) == y
+
+    def test_witness_is_shortest(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        proj = t.project({C})
+        witness = fact_f5_witness(t, {C}, proj.take(0), proj.take(1))
+        assert witness is not None
+        _, v = witness
+        assert v.length() == 2  # (B,0)(C,1) — shortest with proj ⟨1⟩
+
+    def test_requires_pre(self):
+        t = t_of((C, 1), (C, 3))
+        proj = t.project({C})
+        with pytest.raises(ValueError):
+            fact_f5_witness(t, {C}, proj.take(0), proj.take(2))
+
+    def test_no_witness_for_foreign_pair(self):
+        t = t_of((B, 0))
+        x = Trace.empty()
+        y = t_of((C, 1))
+        assert fact_f5_witness(t, {C}, x, y) is None
+
+
+class TestProjectionHelpers:
+    def test_project_function(self):
+        t = t_of((B, 0), (C, 1))
+        assert project(t, {C}) == t_of((C, 1))
+
+    def test_is_projection_of_prefix(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        assert is_projection_of_prefix(t_of((B, 0)), t, {B})
+        assert is_projection_of_prefix(t_of((B, 0), (B, 2)), t, {B})
+        assert not is_projection_of_prefix(t_of((B, 2)), t, {B})

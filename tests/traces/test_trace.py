@@ -1,0 +1,147 @@
+"""Unit tests for repro.traces.trace."""
+
+import itertools
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.seq.finite import fseq
+from repro.traces.trace import Trace, one_step_extensions
+
+B = Channel("b", alphabet={0, 2, 4})
+C = Channel("c", alphabet={1, 3, 5})
+
+
+def t_of(*pairs):
+    return Trace.from_pairs(pairs)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert Trace.empty().length() == 0
+
+    def test_of(self):
+        t = Trace.of(Event(B, 0), Event(C, 1))
+        assert t.length() == 2
+
+    def test_from_pairs(self):
+        t = t_of((B, 0), (C, 1))
+        assert t.item(0) == Event(B, 0)
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            Trace.finite([1, 2])
+
+    def test_lazy(self):
+        t = Trace.lazy(Event(B, 0) for _ in itertools.count())
+        assert t.take(2).length() == 2
+        assert not t.is_known_finite()
+
+    def test_cycle_pairs(self):
+        t = Trace.cycle_pairs([(B, 0), (C, 1)])
+        assert t.item(2) == Event(B, 0)
+
+    def test_cycle_pairs_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.cycle_pairs([])
+
+
+class TestStructure:
+    def test_length_of_lazy_raises(self):
+        t = Trace.lazy(Event(B, 0) for _ in itertools.count())
+        with pytest.raises(ValueError):
+            t.length()
+
+    def test_take(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        assert t.take(2) == t_of((B, 0), (C, 1))
+
+    def test_append(self):
+        t = Trace.empty().append(Event(B, 0))
+        assert t == t_of((B, 0))
+
+    def test_append_to_lazy_rejected(self):
+        t = Trace.lazy(Event(B, 0) for _ in itertools.count())
+        with pytest.raises(ValueError):
+            t.append(Event(B, 0))
+
+    def test_concat(self):
+        t = t_of((B, 0)).concat(t_of((C, 1)))
+        assert t == t_of((B, 0), (C, 1))
+
+    def test_iteration(self):
+        assert list(t_of((B, 0))) == [Event(B, 0)]
+
+    def test_hash_finite_only(self):
+        assert len({t_of((B, 0)), t_of((B, 0))}) == 1
+        lazy = Trace.lazy(Event(B, 0) for _ in itertools.count())
+        with pytest.raises(ValueError):
+            hash(lazy)
+
+    def test_eq_undecidable_for_lazy(self):
+        lazy = Trace.lazy(Event(B, 0) for _ in itertools.count())
+        with pytest.raises(ValueError):
+            lazy == t_of((B, 0))
+
+
+class TestPrefixStructure:
+    def test_is_prefix_of(self):
+        assert t_of((B, 0)).is_prefix_of(t_of((B, 0), (C, 1)))
+        assert not t_of((C, 1)).is_prefix_of(t_of((B, 0), (C, 1)))
+
+    def test_pre(self):
+        assert t_of((B, 0)).pre(t_of((B, 0), (C, 1)))
+        assert not t_of((B, 0)).pre(t_of((B, 0), (C, 1), (B, 2)))
+
+    def test_prefixes(self):
+        t = t_of((B, 0), (C, 1))
+        assert [p.length() for p in t.prefixes()] == [0, 1, 2]
+
+    def test_pre_pairs_finite(self):
+        t = t_of((B, 0), (C, 1))
+        pairs = list(t.pre_pairs(10))
+        assert len(pairs) == 2
+        assert pairs[0][0].length() == 0
+        assert pairs[1][1] == t
+
+    def test_pre_pairs_depth_bound(self):
+        t = Trace.cycle_pairs([(B, 0)])
+        assert len(list(t.pre_pairs(5))) == 5
+
+    def test_one_step_extensions(self):
+        exts = list(one_step_extensions(
+            Trace.empty(), [Event(B, 0), Event(C, 1)]
+        ))
+        assert exts == [t_of((B, 0)), t_of((C, 1))]
+
+
+class TestChannelStructure:
+    def test_project(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        assert t.project({B}) == t_of((B, 0), (B, 2))
+
+    def test_project_lazy(self):
+        t = Trace.cycle_pairs([(B, 0), (C, 1)])
+        proj = t.project({C})
+        assert proj.take(2).messages_on(C) == fseq(1, 1)
+
+    def test_sequence_on(self):
+        t = t_of((B, 0), (C, 1), (B, 2))
+        assert t.sequence_on(B).take(10) == fseq(0, 2)
+
+    def test_messages_on(self):
+        t = t_of((B, 0), (C, 1))
+        assert t.messages_on(C) == fseq(1)
+
+    def test_count_on(self):
+        t = t_of((B, 0), (B, 2), (C, 1))
+        assert t.count_on(B) == 2
+
+    def test_channels_used(self):
+        assert t_of((B, 0)).channels_used() == frozenset({B})
+
+    def test_map_events(self):
+        t = t_of((B, 0))
+        out = t.map_events(lambda e: Event(e.channel, e.message + 2))
+        assert out.take(1) == t_of((B, 2))
