@@ -1,0 +1,87 @@
+"""[EXT] Fault-injection conformance grid over the direct-wired ABP.
+
+Times the conformance harness (``repro.faults.harness``) running the
+alternating-bit protocol against its service specification under a
+grid of seeded channel fault plans, and the supervised runtime's
+watchdog catching an unfair-loss livelock.  Rows reported:
+
+* conformance outcomes per plan family (must be all-conform for fair
+  plans);
+* watchdog termination step vs. the raw step budget (the saving the
+  supervision layer buys on pathological runs).
+
+Seeds per cell default to a quick-mode count so this file is cheap
+enough to run in CI; set ``FAULT_GRID_SEEDS`` for a denser grid.
+"""
+
+import os
+import pathlib
+import sys
+
+import pytest
+from conftest import banner, row
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "examples")
+)
+
+from alternating_bit import (  # noqa: E402
+    FAULTY_CHANNELS,
+    MESSAGES,
+    OUT,
+    direct_agents,
+    fair_loss_plan,
+    loss_and_duplication_plan,
+    service_spec,
+    unfair_loss_plan,
+)
+from repro.faults import no_faults, run_conformance, run_supervised  # noqa: E402
+from repro.kahn import RandomOracle  # noqa: E402
+
+SEEDS = range(int(os.environ.get("FAULT_GRID_SEEDS", "6")))
+
+PLAN_FAMILIES = {
+    "no-faults": no_faults,
+    "fair-loss": lambda: fair_loss_plan(seed=11),
+    "heavy-loss": lambda: fair_loss_plan(seed=23, p=0.5),
+    "loss+dup": lambda: loss_and_duplication_plan(seed=5),
+}
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLAN_FAMILIES))
+def test_conformance_grid(benchmark, plan_name):
+    spec = service_spec(MESSAGES)
+    plans = {plan_name: PLAN_FAMILIES[plan_name]}
+
+    def campaign():
+        return run_conformance(
+            "abp-direct", direct_agents(MESSAGES), FAULTY_CHANNELS,
+            spec.combined(), plans, SEEDS,
+            observe={OUT}, max_steps=4000, watchdog_limit=600,
+        )
+
+    report = benchmark(campaign)
+    banner("EXT-FAULTS", f"ABP conformance under {plan_name}")
+    row("runs", len(report.cases))
+    row("outcomes", report.outcomes())
+    assert report.all_conform, report.violations
+
+
+def test_watchdog_beats_step_budget(benchmark):
+    budget = 50_000
+
+    def livelocked_run():
+        return run_supervised(
+            direct_agents(MESSAGES, retransmit_limit=None),
+            FAULTY_CHANNELS, RandomOracle(3),
+            max_steps=budget, fault_plan=unfair_loss_plan(),
+            watchdog_limit=400,
+        )
+
+    result = benchmark(livelocked_run)
+    banner("EXT-FAULTS", "watchdog vs. unfair-loss livelock")
+    row("step budget", budget)
+    row("terminated at step", result.steps)
+    row("watchdog fired", result.watchdog_fired)
+    assert result.watchdog_fired
+    assert result.steps < budget // 10

@@ -17,11 +17,26 @@ machinery:
   and prefix safety (deliveries form a prefix of the submission order,
   no duplicates) holds at every step.
 
+Part two swaps the explicit lossy-channel *agents* for the fault
+injection layer (``repro.faults``): the same protocol rides directly on
+two channels perturbed by seeded ``DropFault``/``DuplicateFault``
+models, a conformance grid checks every quiescent trace against the
+service spec, and an *unfair* black-hole channel shows the supervised
+runtime's watchdog catching the resulting retransmission livelock.
+
 Run:  python examples/alternating_bit.py
 """
 
 from repro.channels import Channel
 from repro.core import Description, DescriptionSystem
+from repro.faults import (
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    no_faults,
+    run_conformance,
+    run_supervised,
+)
 from repro.functions import chan
 from repro.functions.base import const_seq
 from repro.kahn import RandomOracle, run_network
@@ -107,6 +122,83 @@ def delivery_safety(messages) -> SafetyProperty:
     )
 
 
+# -- part two: the same protocol over fault-injected channels ----------------
+#
+# Instead of modelling loss as explicit channel agents, the sender and
+# receiver talk over DATA/ACK directly and a FaultPlan perturbs the
+# wires.  The channel's recorded stream is the post-fault delivery
+# stream (the §4.6 Fork reading), so the service spec needs no change.
+
+DATA = Channel("data", alphabet=TAGGED)
+ACK = Channel("ack", alphabet=ACKS)
+FAULTY_CHANNELS = [OUT, DATA, ACK]
+
+
+def direct_sender(messages, retransmit_limit=50):
+    """Stop-and-wait over the faulted wire.  ``retransmit_limit=None``
+    never gives up — reliable against fair loss, a livelock against an
+    unfair black hole."""
+    bit = 0
+    for m in messages:
+        yield Send(DATA, (bit, m))
+        attempts = 0
+        while True:
+            has_ack = yield Poll(ACK)
+            if has_ack:
+                ack = yield Recv(ACK)
+                if ack == bit:
+                    break
+                continue
+            attempts += 1
+            if retransmit_limit is not None and attempts > retransmit_limit:
+                return
+            yield Send(DATA, (bit, m))
+        bit ^= 1
+
+
+def direct_receiver():
+    expected = 0
+    while True:
+        bit, message = yield Recv(DATA)
+        yield Send(ACK, bit)
+        if bit == expected:
+            yield Send(OUT, message)
+            expected ^= 1
+
+
+def direct_agents(messages, retransmit_limit=50):
+    """Agent factories (restartable) for the fault-injected protocol."""
+    return {
+        "sender": lambda: direct_sender(messages, retransmit_limit),
+        "receiver": direct_receiver,
+    }
+
+
+def fair_loss_plan(seed, p=0.35, bound=2):
+    """Fair-lossy wires: at most ``bound`` consecutive drops."""
+    return FaultPlan({
+        DATA: DropFault(seed=seed, p=p, max_consecutive_drops=bound),
+        ACK: DropFault(seed=seed + 1, p=p, max_consecutive_drops=bound),
+    }, name=f"fair-loss(p={p})")
+
+
+def loss_and_duplication_plan(seed):
+    """Drops and duplicates on the data wire, drops on the ack wire."""
+    return FaultPlan({
+        DATA: [DropFault(seed=seed, p=0.3, max_consecutive_drops=2),
+               DuplicateFault(seed=seed + 7, p=0.3)],
+        ACK: DropFault(seed=seed + 1, p=0.3, max_consecutive_drops=2),
+    }, name="loss+dup")
+
+
+def unfair_loss_plan():
+    """A black hole on the data wire: unbounded, certain loss."""
+    return FaultPlan(
+        {DATA: DropFault(seed=0, p=1.0, max_consecutive_drops=None)},
+        name="black-hole",
+    )
+
+
 def main() -> None:
     spec = service_spec(MESSAGES)
     safety = delivery_safety(MESSAGES)
@@ -152,6 +244,38 @@ def main() -> None:
         print(f"  {desc.name}")
     assert delivered_ok == runs
     print("\nprotocol verified against its service specification.")
+
+    # -- part two: fault injection & supervision -------------------------
+    print("\n--- fault injection layer ---")
+    grid = {
+        "no-faults": no_faults,
+        "fair-loss": lambda: fair_loss_plan(seed=11),
+        "heavy-loss": lambda: fair_loss_plan(seed=23, p=0.5),
+        "loss+dup": lambda: loss_and_duplication_plan(seed=5),
+    }
+    report = run_conformance(
+        "abp-direct", direct_agents(MESSAGES), FAULTY_CHANNELS,
+        spec.combined(), grid, seeds=range(10),
+        observe={OUT}, max_steps=4000, watchdog_limit=600,
+    )
+    print(report.summary())
+    assert report.all_conform, report.violations
+    print("every quiescent trace under every fair fault plan is a "
+          "smooth solution of the service spec.")
+
+    print("\nunfair loss (black-hole data wire, sender never gives up):")
+    result = run_supervised(
+        direct_agents(MESSAGES, retransmit_limit=None),
+        FAULTY_CHANNELS, RandomOracle(3),
+        max_steps=100_000, fault_plan=unfair_loss_plan(),
+        watchdog_limit=400,
+    )
+    assert result.watchdog_fired and result.steps < 100_000
+    print(f"  watchdog terminated the livelock after {result.steps} "
+          f"steps (budget was 100000):")
+    for line in result.diagnosis.splitlines():
+        print(f"  | {line}")
+    print("\nfault-injected protocol verified; unfair loss diagnosed.")
 
 
 if __name__ == "__main__":

@@ -21,8 +21,9 @@ it, so the elements of ``g(u)`` bound the useful candidates).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.channels.channel import Channel
 from repro.channels.event import Event
@@ -31,6 +32,19 @@ from repro.traces.trace import Trace
 
 #: A candidate generator: finite trace ``u`` ↦ events that may extend it.
 CandidateFn = Callable[[Trace], Iterable[Event]]
+
+
+class CandidateError(RuntimeError):
+    """A user-supplied candidate generator raised; names the trace at
+    which it failed so the misbehaving case is reproducible."""
+
+    def __init__(self, trace: Trace, original: BaseException):
+        super().__init__(
+            f"candidate generator failed at trace {trace!r}: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.trace = trace
+        self.original = original
 
 
 def alphabet_candidates(channels: Iterable[Channel]) -> CandidateFn:
@@ -70,6 +84,11 @@ class SolverResult:
             description is stuck but not quiescent.
         nodes_explored: total tree nodes visited.
         depth: the exploration bound used.
+        truncated: the exploration hit a resource guard (node budget or
+            wall-clock budget) before covering the tree to ``depth``;
+            the result is a sound but partial under-approximation, and
+            unvisited nodes are parked on the frontier.
+        truncation_reason: which guard fired, for diagnostics.
     """
 
     finite_solutions: list[Trace] = field(default_factory=list)
@@ -77,6 +96,8 @@ class SolverResult:
     dead_ends: list[Trace] = field(default_factory=list)
     nodes_explored: int = 0
     depth: int = 0
+    truncated: bool = False
+    truncation_reason: str = ""
 
     def solution_set(self) -> set[Trace]:
         return set(self.finite_solutions)
@@ -106,7 +127,13 @@ class SmoothSolutionSolver:
         """Admissible one-step extensions: ``v`` with ``f(v) ⊑ g(u)``."""
         f, g = self.description.lhs, self.description.rhs
         gu = g.apply(u)
-        for event in self.candidates(u):
+        try:
+            events = list(self.candidates(u))
+        except CandidateError:
+            raise
+        except Exception as exc:
+            raise CandidateError(u, exc) from exc
+        for event in events:
             v = u.append(event)
             fv = f.apply(v)
             if self.description._leq(fv, gu, self.limit_depth):
@@ -125,25 +152,46 @@ class SmoothSolutionSolver:
     # -- exploration ----------------------------------------------------------
 
     def explore(self, max_depth: int,
-                max_nodes: int = 200_000) -> SolverResult:
+                max_nodes: int = 200_000,
+                budget_seconds: Optional[float] = None) -> SolverResult:
         """Breadth-first exploration to ``max_depth``.
 
-        Raises ``RuntimeError`` if more than ``max_nodes`` nodes are
-        generated (runaway alphabets), so misconfigured candidate
-        generators fail fast instead of exhausting memory.
+        Resource guards keep runaway alphabets and hostile candidate
+        generators from running unbounded: at most ``max_nodes`` nodes
+        are expanded, and an optional ``budget_seconds`` wall-clock
+        budget caps the search in time.  When a guard fires the partial
+        result is returned with ``truncated=True`` (unvisited nodes are
+        parked on the frontier) instead of raising — a degraded answer
+        beats no answer for diagnosis.
+
+        A candidate generator that raises aborts the search with a
+        :class:`CandidateError` naming the trace it choked on.
         """
+        deadline = (None if budget_seconds is None
+                    else time.monotonic() + budget_seconds)
         result = SolverResult(depth=max_depth)
         level: list[Trace] = [Trace.empty()]
         explored = 0
         for depth in range(max_depth + 1):
             next_level: list[Trace] = []
-            for u in level:
-                explored += 1
-                if explored > max_nodes:
-                    raise RuntimeError(
-                        f"solver exceeded {max_nodes} nodes at depth "
-                        f"{depth}; tighten the candidate generator"
+            for i, u in enumerate(level):
+                if explored >= max_nodes:
+                    self._truncate(
+                        result, level[i:], next_level,
+                        f"node budget ({max_nodes}) exhausted at "
+                        f"depth {depth}",
                     )
+                    result.nodes_explored = explored
+                    return result
+                if deadline is not None and time.monotonic() > deadline:
+                    self._truncate(
+                        result, level[i:], next_level,
+                        f"wall-clock budget ({budget_seconds}s) "
+                        f"exhausted at depth {depth}",
+                    )
+                    result.nodes_explored = explored
+                    return result
+                explored += 1
                 kids = list(self.children(u)) if depth < max_depth \
                     else None
                 if self.description.limit_holds(u, self.limit_depth):
@@ -165,6 +213,15 @@ class SmoothSolutionSolver:
                 break
         result.nodes_explored = explored
         return result
+
+    @staticmethod
+    def _truncate(result: SolverResult, unvisited: list[Trace],
+                  next_level: list[Trace], reason: str) -> None:
+        """Mark ``result`` partial; park unexpanded nodes as frontier."""
+        result.truncated = True
+        result.truncation_reason = reason
+        result.frontier.extend(unvisited)
+        result.frontier.extend(next_level)
 
     def iter_paths(self, max_depth: int) -> Iterator[Trace]:
         """Depth-first enumeration of all maximal-at-bound tree paths."""

@@ -1,0 +1,57 @@
+"""Fault injection & supervision for the operational Kahn runtime.
+
+The operational counterpart of the paper's lossy/oracle constructions
+(§4.6 Fork, §8.2 auxiliary channels): seeded channel fault models
+(:mod:`~repro.faults.models`), agent crash/stall injectors
+(:mod:`~repro.faults.inject`), fault plans binding them to a network
+(:mod:`~repro.faults.plan`), a supervised runtime with restart policies
+and a livelock watchdog (:mod:`~repro.faults.supervision`), and a
+conformance harness running plan × seed grids against a specification
+(:mod:`~repro.faults.harness`).
+"""
+
+from repro.faults.harness import (
+    ConformanceCase,
+    ConformanceReport,
+    no_faults,
+    run_conformance,
+)
+from repro.faults.inject import InjectedCrash, crash_at_step, stall_at_step
+from repro.faults.models import (
+    ChannelFault,
+    CorruptFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPipeline,
+    ReorderFault,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.supervision import (
+    RestartPolicy,
+    SupervisedRunResult,
+    SupervisedRuntime,
+    run_supervised,
+)
+
+__all__ = [
+    "ChannelFault",
+    "ConformanceCase",
+    "ConformanceReport",
+    "CorruptFault",
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultPipeline",
+    "FaultPlan",
+    "InjectedCrash",
+    "ReorderFault",
+    "RestartPolicy",
+    "SupervisedRunResult",
+    "SupervisedRuntime",
+    "crash_at_step",
+    "no_faults",
+    "run_conformance",
+    "run_supervised",
+    "stall_at_step",
+]

@@ -1,0 +1,153 @@
+"""Conformance harness: a network under a grid of fault plans.
+
+The paper's descriptions are *specifications*; the harness is the
+operational test bench that checks an implementation against one under
+adversity.  For every cell of ``plans × seeds`` it runs the network in
+a :class:`~repro.faults.supervision.SupervisedRuntime` and classifies
+the outcome:
+
+* ``conforms`` — the run quiesced and its (projected) trace is a
+  smooth solution of the specification;
+* ``violation`` — the run quiesced but the checker rejects the trace
+  (the fault broke the implementation in a spec-visible way);
+* ``livelock`` — the watchdog fired (the fault starved the network);
+* ``exhausted`` — the step budget ran out before quiescence.
+
+Whether a ``livelock`` is a pass or a fail depends on the scenario
+(an unfair-loss grid *should* livelock); callers assert on the
+report's outcome counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.channels.channel import Channel
+from repro.core.description import DEFAULT_DEPTH
+from repro.faults.plan import FaultPlan, PlanFactory
+from repro.faults.supervision import (
+    RestartPolicy,
+    SupervisedRunResult,
+    run_supervised,
+)
+from repro.kahn.runtime import AgentFactory
+from repro.kahn.scheduler import RandomOracle
+
+#: A no-fault grid cell (the control column of every grid).
+def no_faults() -> Optional[FaultPlan]:
+    return None
+
+
+@dataclass
+class ConformanceCase:
+    """One grid cell: a plan, a seed, and the classified outcome."""
+
+    plan: str
+    seed: int
+    outcome: str            # conforms | violation | livelock | exhausted
+    result: SupervisedRunResult
+    detail: str = ""
+
+    def __str__(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.plan} × seed {self.seed}] {self.outcome}{tail}"
+
+
+@dataclass
+class ConformanceReport:
+    """All cells of one ``plans × seeds`` conformance grid."""
+
+    network: str
+    cases: list[ConformanceCase] = field(default_factory=list)
+
+    def outcomes(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for case in self.cases:
+            counts[case.outcome] = counts.get(case.outcome, 0) + 1
+        return counts
+
+    def select(self, outcome: str,
+               plan: Optional[str] = None) -> list[ConformanceCase]:
+        return [c for c in self.cases
+                if c.outcome == outcome
+                and (plan is None or c.plan == plan)]
+
+    @property
+    def violations(self) -> list[ConformanceCase]:
+        return self.select("violation")
+
+    @property
+    def livelocks(self) -> list[ConformanceCase]:
+        return self.select("livelock")
+
+    @property
+    def all_conform(self) -> bool:
+        return all(c.outcome == "conforms" for c in self.cases)
+
+    def summary(self) -> str:
+        counts = ", ".join(f"{k}: {v}"
+                           for k, v in sorted(self.outcomes().items()))
+        return (f"conformance[{self.network}] "
+                f"{len(self.cases)} runs — {counts}")
+
+
+def run_conformance(network: str,
+                    agents: Mapping[str, AgentFactory],
+                    channels: Iterable[Channel],
+                    spec,
+                    plans: Mapping[str, PlanFactory],
+                    seeds: Iterable[int],
+                    observe: Optional[Iterable[Channel]] = None,
+                    max_steps: int = 10_000,
+                    policy: Optional[RestartPolicy] = RestartPolicy(),
+                    watchdog_limit: Optional[int] = 500,
+                    depth: int = DEFAULT_DEPTH) -> ConformanceReport:
+    """Run ``agents`` under every ``plan × seed`` cell and check every
+    quiescent trace against ``spec``.
+
+    ``spec`` is anything with ``is_smooth_solution(trace, depth)`` — a
+    :class:`~repro.core.description.Description` or a
+    ``DescriptionSystem``.  ``observe`` projects traces onto the
+    spec-visible channels first (e.g. just the delivery channel of a
+    protocol); plans are *factories* because fault models are stateful
+    and each run needs a fresh, identically-seeded instance.
+    """
+    channel_list = list(channels)
+    observed = set(observe) if observe is not None else None
+    report = ConformanceReport(network=network)
+    for plan_name, make_plan in plans.items():
+        for seed in seeds:
+            result = run_supervised(
+                dict(agents), channel_list, RandomOracle(seed),
+                max_steps=max_steps, fault_plan=make_plan(),
+                policy=policy, watchdog_limit=watchdog_limit,
+            )
+            report.cases.append(_classify(
+                plan_name, seed, result, spec, observed, depth))
+    return report
+
+
+def _classify(plan_name: str, seed: int,
+              result: SupervisedRunResult, spec,
+              observed: Optional[set], depth: int) -> ConformanceCase:
+    if result.watchdog_fired:
+        return ConformanceCase(
+            plan_name, seed, "livelock", result,
+            detail=f"watchdog after {result.steps} steps")
+    if not result.quiescent:
+        return ConformanceCase(
+            plan_name, seed, "exhausted", result,
+            detail=f"no quiescence within {result.steps} steps")
+    trace = result.trace
+    if observed is not None:
+        trace = trace.project(observed)
+    if spec.is_smooth_solution(trace, depth):
+        detail = ""
+        if result.failed_agents:
+            detail = "failed agents: " + ", ".join(result.failed_agents)
+        return ConformanceCase(plan_name, seed, "conforms", result,
+                               detail=detail)
+    return ConformanceCase(
+        plan_name, seed, "violation", result,
+        detail=f"trace rejected by spec: {trace!r}")

@@ -1,0 +1,70 @@
+"""Agent-level fault injectors: crash and stall wrappers.
+
+These wrap an agent body (a generator of effects) in another generator
+that forwards effects and answers transparently until an injection
+point, then misbehaves:
+
+* :func:`crash_at_step` raises :class:`InjectedCrash` after the body
+  has performed a given number of effects — exercising the runtime's
+  failure capture (``AgentState.FAILED``) and a supervisor's restart
+  policy;
+* :func:`stall_at_step` stops forwarding and spins on ``Choose(1)``
+  forever — the agent stays perpetually ready but never communicates,
+  the canonical no-history-growth livelock a watchdog must catch.
+
+Both are deterministic: the injection point is a step count, not a
+coin flip, so a faulty run replays exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kahn.effects import Choose
+from repro.kahn.runtime import AgentBody
+
+
+class InjectedCrash(RuntimeError):
+    """The exception raised by :func:`crash_at_step` wrappers."""
+
+
+def crash_at_step(body: AgentBody, at: int,
+                  message: Optional[str] = None) -> AgentBody:
+    """Run ``body`` for ``at`` effects, then raise ``InjectedCrash``.
+
+    ``at=0`` crashes before the first effect.  The wrapper halts
+    normally if the body finishes earlier.
+    """
+    crash = InjectedCrash(message or f"injected crash after {at} effects")
+    answer = None
+    started = False
+    for performed in range(at):
+        del performed
+        try:
+            effect = body.send(answer) if started else next(body)
+        except StopIteration:
+            return
+        started = True
+        answer = yield effect
+    raise crash
+
+
+def stall_at_step(body: AgentBody, at: int) -> AgentBody:
+    """Run ``body`` for ``at`` effects, then spin without progress.
+
+    The stalled agent yields ``Choose(1)`` forever: it consumes
+    scheduler steps but never sends, so the global history stops
+    growing while the network never quiesces — a livelock.
+    """
+    answer = None
+    started = False
+    for performed in range(at):
+        del performed
+        try:
+            effect = body.send(answer) if started else next(body)
+        except StopIteration:
+            return
+        started = True
+        answer = yield effect
+    while True:
+        yield Choose(1)

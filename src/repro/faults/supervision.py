@@ -1,0 +1,230 @@
+"""Supervision: restart failed agents, watchdog stuck networks.
+
+:class:`SupervisedRuntime` extends the base runtime with two defences
+that turn pathological runs into diagnosable results:
+
+* **Restart policy** — when an agent body raises, the supervisor
+  respawns a fresh body from the agent's factory (bodies are single-use
+  generators), up to ``max_restarts`` times, with an exponentially
+  growing step-budget backoff between failure and respawn.  Restarted
+  agents lose their local state but the network, its channels and the
+  global history survive — Kahn channels are the durable state.
+* **Watchdog** — a network that keeps taking steps without growing the
+  history (agents spinning on polls/choices, retransmitting into a
+  black hole) is livelocked.  After ``watchdog_limit`` consecutive
+  growthless steps the run is terminated with a diagnostic
+  :class:`SupervisedRunResult` instead of burning to ``max_steps``.
+
+Both behaviours are deterministic given the oracle seed and the fault
+plan seeds, so a watchdog firing replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.channels.channel import Channel
+from repro.faults.plan import FaultPlan
+from repro.kahn.runtime import (
+    Agent,
+    AgentFactory,
+    AgentState,
+    Oracle,
+    RunResult,
+    Runtime,
+)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How many times, and how patiently, to restart a failed agent.
+
+    The ``n``-th restart of an agent is delayed by
+    ``backoff_initial * backoff_factor**(n-1)`` runtime steps — an
+    exponential step-budget backoff, so a crash-looping agent consumes
+    a geometrically shrinking share of the schedule.
+    """
+
+    max_restarts: int = 3
+    backoff_initial: int = 8
+    backoff_factor: int = 2
+
+    def delay(self, restart_index: int) -> int:
+        """Backoff before the ``restart_index``-th restart (1-based)."""
+        if restart_index < 1:
+            raise ValueError("restart_index is 1-based")
+        return self.backoff_initial * self.backoff_factor ** (
+            restart_index - 1)
+
+
+@dataclass
+class SupervisedRunResult(RunResult):
+    """A :class:`RunResult` plus supervision telemetry."""
+
+    #: restarts performed per agent (zero entries included)
+    restarts: Dict[str, int] = field(default_factory=dict)
+    #: the watchdog terminated the run (livelock/starvation detected)
+    watchdog_fired: bool = False
+    #: human-readable post-mortem when the watchdog fired
+    diagnosis: str = ""
+
+
+class SupervisedRuntime(Runtime):
+    """A runtime owning agent *factories*, restartable and watched.
+
+    ``watchdog_limit`` is the number of consecutive steps without
+    history growth tolerated before the run is declared livelocked
+    (``None`` disables the watchdog).  ``policy=None`` disables
+    restarts (failures stay FAILED, as in the base runtime).
+    """
+
+    def __init__(self, factories: Dict[str, AgentFactory],
+                 channels: Iterable[Channel],
+                 fault_plan: Optional[FaultPlan] = None,
+                 policy: Optional[RestartPolicy] = RestartPolicy(),
+                 watchdog_limit: Optional[int] = 500):
+        super().__init__(
+            {name: make() for name, make in factories.items()},
+            channels, fault_plan=fault_plan,
+        )
+        self.factories = dict(factories)
+        self.policy = policy
+        self.watchdog_limit = watchdog_limit
+        self.restarts: Dict[str, int] = {n: 0 for n in self.factories}
+        #: agents waiting out a backoff: name → step at which to resume
+        self._resume_at: Dict[str, int] = {}
+        self._last_growth_step = 0
+        self._watchdog_fired = False
+        self._diagnosis = ""
+
+    # -- backoff-aware scheduling --------------------------------------------
+
+    def _in_backoff(self, agent: Agent) -> bool:
+        return self._resume_at.get(agent.name, 0) > self.steps
+
+    def ready_agents(self) -> list[Agent]:
+        return [a for a in super().ready_agents()
+                if not self._in_backoff(a)]
+
+    def is_quiescent(self) -> bool:
+        # an agent waiting out a backoff will run again: not quiescent
+        if any(t > self.steps for t in self._resume_at.values()):
+            return False
+        return super().is_quiescent()
+
+    def step(self, oracle: Oracle) -> bool:
+        grew_from = len(self.history)
+        if super().step(oracle):
+            if len(self.history) > grew_from:
+                self._last_growth_step = self.steps
+            self._handle_failures()
+            return True
+        if any(t > self.steps for t in self._resume_at.values()):
+            # nothing runnable, but a restart is pending: idle tick
+            self.steps += 1
+            return True
+        return False
+
+    # -- restarts -------------------------------------------------------------
+
+    def _handle_failures(self) -> None:
+        if self.policy is None:
+            return
+        for agent in self.agents:
+            if agent.state is not AgentState.FAILED:
+                continue
+            if self.restarts[agent.name] >= self.policy.max_restarts:
+                continue  # restarts exhausted: stays FAILED
+            self.restarts[agent.name] += 1
+            self._resume_at[agent.name] = self.steps + self.policy.delay(
+                self.restarts[agent.name])
+            self._respawn(agent)
+
+    def _respawn(self, agent: Agent) -> None:
+        """Fresh body from the factory; the failure record survives."""
+        body = self.factories[agent.name]()
+        if self.fault_plan is not None:
+            body = self.fault_plan.wrap_agent(agent.name, body)
+        agent.body = body
+        agent.state = AgentState.READY
+        agent.pending = None
+        agent.waiting_on = ()
+        agent._next_input = None
+        agent._started = False
+
+    # -- watchdog -------------------------------------------------------------
+
+    def _watchdog_due(self) -> bool:
+        return (self.watchdog_limit is not None
+                and self.steps - self._last_growth_step
+                >= self.watchdog_limit
+                and not self.is_quiescent())
+
+    def diagnose(self) -> str:
+        """Post-mortem snapshot for a stuck or faulty network."""
+        lines = [
+            f"steps={self.steps}, history length={len(self.history)}, "
+            f"last growth at step {self._last_growth_step}",
+        ]
+        for agent in self.agents:
+            detail = agent.state.value
+            if agent.state is AgentState.BLOCKED:
+                waiting = ", ".join(c.name for c in agent.waiting_on)
+                detail += f" on [{waiting}]"
+            if self.restarts.get(agent.name):
+                detail += f", {self.restarts[agent.name]} restart(s)"
+            if agent.failure is not None:
+                detail += f", last failure: {agent.failure}"
+            lines.append(f"  {agent.name}: {detail}")
+        undelivered = self.undelivered()
+        if undelivered:
+            lines.append(f"  undelivered: {undelivered}")
+        if self.fault_plan is not None:
+            dropped = self.fault_plan.dropped_messages()
+            if dropped:
+                lines.append("  dropped: " + ", ".join(
+                    f"{c.name}×{len(ms)}" for c, ms in dropped.items()))
+        return "\n".join(lines)
+
+    # -- running --------------------------------------------------------------
+
+    def _result(self) -> SupervisedRunResult:
+        base = super()._result()
+        return SupervisedRunResult(
+            **base.__dict__,
+            restarts=dict(self.restarts),
+            watchdog_fired=self._watchdog_fired,
+            diagnosis=self._diagnosis,
+        )
+
+    def run(self, oracle: Oracle,
+            max_steps: int) -> SupervisedRunResult:
+        while self.steps < max_steps:
+            if not self.step(oracle):
+                break
+            if self._watchdog_due():
+                self._watchdog_fired = True
+                self._diagnosis = (
+                    f"watchdog: no history growth for "
+                    f"{self.steps - self._last_growth_step} steps\n"
+                    + self.diagnose()
+                )
+                break
+        return self._result()
+
+
+def run_supervised(factories: Dict[str, AgentFactory],
+                   channels: Iterable[Channel],
+                   oracle: Oracle,
+                   max_steps: int = 10_000,
+                   fault_plan: Optional[FaultPlan] = None,
+                   policy: Optional[RestartPolicy] = RestartPolicy(),
+                   watchdog_limit: Optional[int] = 500
+                   ) -> SupervisedRunResult:
+    """One-call supervised run (mirrors ``run_network``)."""
+    runtime = SupervisedRuntime(
+        factories, channels, fault_plan=fault_plan,
+        policy=policy, watchdog_limit=watchdog_limit,
+    )
+    return runtime.run(oracle, max_steps)

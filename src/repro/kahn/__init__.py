@@ -16,6 +16,7 @@ from repro.kahn.quiescence import (
 )
 from repro.kahn.runtime import (
     Agent,
+    AgentFailure,
     AgentState,
     Oracle,
     RunResult,
@@ -43,6 +44,7 @@ from repro.kahn.validate import (
 
 __all__ = [
     "Agent",
+    "AgentFailure",
     "AgentState",
     "Choose",
     "CrossCheckReport",

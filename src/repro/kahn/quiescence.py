@@ -43,11 +43,18 @@ class TraceSample:
 def collect_traces(make_agents: NetworkFactory,
                    channels: Iterable[Channel],
                    seeds: Iterable[int],
-                   max_steps: int = 10_000) -> TraceSample:
-    """Run the network once per seed and bucket the resulting traces."""
+                   max_steps: int = 10_000,
+                   make_fault_plan=None) -> TraceSample:
+    """Run the network once per seed and bucket the resulting traces.
+
+    ``make_fault_plan`` (fresh plan per run) samples the network's
+    behaviour under channel faults — the quiescent bucket then holds
+    the traces the *perturbed* network can produce.
+    """
     sample = TraceSample()
     for result in sample_runs(make_agents, channels, seeds,
-                              max_steps=max_steps):
+                              max_steps=max_steps,
+                              make_fault_plan=make_fault_plan):
         sample.runs += 1
         if result.quiescent:
             sample.quiescent.append(result.trace)
@@ -69,8 +76,11 @@ def quiescent_traces(make_agents: NetworkFactory,
 def describe_run(result: RunResult) -> str:
     """One-line human-readable summary of a run."""
     kind = "quiescent" if result.quiescent else "prefix"
-    return (
+    line = (
         f"{kind} after {result.steps} steps: {result.trace!r} "
         f"(halted: {result.halted_agents}, "
         f"blocked: {result.blocked_agents})"
     )
+    if result.failed_agents:
+        line += f" (FAILED: {result.failed_agents})"
+    return line

@@ -7,11 +7,30 @@ only) and detects *quiescence*: every agent halted, or blocked on a
 receive whose every candidate channel is empty.  Quiescent histories are
 the paper's traces; non-quiescent ones are the communication histories
 that the process is guaranteed to extend (§3.1.1).
+
+Two robustness extensions beyond the pristine Kahn picture:
+
+* **Agent failure capture** — an exception raised inside an agent body
+  moves that agent to :attr:`AgentState.FAILED` and records an
+  :class:`AgentFailure` (exception + traceback + step) instead of
+  destroying the whole run; the other agents keep running and the
+  partial history survives in the :class:`RunResult`.  Errors raised by
+  the runtime itself while *interpreting* an effect (unknown channel,
+  alphabet violation) still propagate — they are wiring bugs, not
+  process behaviour.
+* **Channel fault injection** — an optional *fault plan* (see
+  :mod:`repro.faults`) intercepts sends.  On a faulted channel the
+  recorded event stream is the *post-fault delivery stream*: a dropped
+  message produces no event, a duplicated one produces two, a delayed
+  one appears at release time.  This is the §4.6 Fork reading of a
+  faulty channel — the loss is internal nondeterminism, and the trace
+  shows only what the channel actually transmitted.
 """
 
 from __future__ import annotations
 
 import enum
+import traceback as _traceback
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -39,6 +58,22 @@ class AgentState(enum.Enum):
     READY = "ready"
     BLOCKED = "blocked"
     HALTED = "halted"
+    #: the body raised; captured, the rest of the network keeps running
+    FAILED = "failed"
+
+
+@dataclass
+class AgentFailure:
+    """Post-mortem record of one agent-body exception."""
+
+    agent: str
+    step: int
+    error: BaseException
+    traceback: str
+
+    def __str__(self) -> str:
+        return (f"{self.agent} failed at step {self.step}: "
+                f"{type(self.error).__name__}: {self.error}")
 
 
 class Agent:
@@ -52,6 +87,8 @@ class Agent:
         self.waiting_on: tuple[Channel, ...] = ()
         #: the pending effect to resume (a Recv/RecvAny while blocked)
         self.pending: Optional[Effect] = None
+        #: the most recent failure (survives a supervised restart)
+        self.failure: Optional[AgentFailure] = None
         self._next_input: Any = None
         self._started = False
 
@@ -68,6 +105,14 @@ class RunResult:
     steps: int
     halted_agents: list[str] = field(default_factory=list)
     blocked_agents: list[str] = field(default_factory=list)
+    #: agents left in ``FAILED`` state at the end of the run
+    failed_agents: list[str] = field(default_factory=list)
+    #: last failure per agent (includes agents later restarted by a
+    #: supervisor — membership in ``failed_agents`` is the terminal test)
+    failures: dict[str, AgentFailure] = field(default_factory=dict)
+    #: per-channel residual contents: queued-but-unconsumed messages,
+    #: plus anything still held in flight by a fault model
+    undelivered: dict[str, list] = field(default_factory=dict)
 
     def events(self) -> list[Event]:
         return list(self.trace)
@@ -91,10 +136,20 @@ class Oracle:
 
 
 class Runtime:
-    """Executes a set of agents over shared channels."""
+    """Executes a set of agents over shared channels.
+
+    ``fault_plan`` (optional, duck-typed — see
+    :class:`repro.faults.plan.FaultPlan`) intercepts channel sends and
+    may wrap agent bodies with crash/stall injectors.
+    """
 
     def __init__(self, agents: dict[str, AgentBody],
-                 channels: Iterable[Channel]):
+                 channels: Iterable[Channel],
+                 fault_plan: Optional[Any] = None):
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            agents = {name: fault_plan.wrap_agent(name, body)
+                      for name, body in agents.items()}
         self.agents = [Agent(name, body)
                        for name, body in agents.items()]
         self.queues: dict[Channel, deque] = {
@@ -109,8 +164,10 @@ class Runtime:
         try:
             return self.queues[channel]
         except KeyError:
+            wired = ", ".join(sorted(c.name for c in self.queues))
             raise KeyError(
-                f"channel {channel.name!r} is not part of this network"
+                f"channel {channel.name!r} is not part of this network "
+                f"(wired channels: {wired or 'none'})"
             ) from None
 
     def send(self, channel: Channel, message: Any) -> None:
@@ -118,6 +175,20 @@ class Runtime:
             raise ValueError(
                 f"message {message!r} not admitted by "
                 f"channel {channel.name!r}"
+            )
+        self._queue(channel)  # reject unknown channels up front
+        if self.fault_plan is None:
+            self._deliver(channel, message)
+            return
+        for delivered in self.fault_plan.on_send(channel, message):
+            self._deliver(channel, delivered)
+
+    def _deliver(self, channel: Channel, message: Any) -> None:
+        """Put ``message`` on the wire: queue it and record the event."""
+        if not channel.admits(message):
+            raise ValueError(
+                f"fault model produced message {message!r} not admitted "
+                f"by channel {channel.name!r}"
             )
         self._queue(channel).append(message)
         self.history.append(Event(channel, message))
@@ -135,7 +206,7 @@ class Runtime:
         """
         out = []
         for a in self.agents:
-            if a.state is AgentState.HALTED:
+            if a.state in (AgentState.HALTED, AgentState.FAILED):
                 continue
             if a.state is AgentState.BLOCKED:
                 if any(self.available(c) for c in a.waiting_on):
@@ -145,22 +216,44 @@ class Runtime:
         return out
 
     def is_quiescent(self) -> bool:
-        """No agent can make progress: the history is a quiescent trace."""
+        """No agent can make progress and no message is in flight: the
+        history is a quiescent trace."""
+        if self.fault_plan is not None and self.fault_plan.held_count():
+            return False
         return not self.ready_agents()
 
     def step(self, oracle: Oracle) -> bool:
         """Run one effect of one ready agent.  Returns ``False`` when
-        the network is quiescent (no step taken)."""
+        the network is quiescent (no step taken).
+
+        When every agent is stuck but a fault model still holds
+        messages in flight, the step flushes them instead — a faulty
+        channel may delay, but (short of dropping) must eventually
+        deliver, so quiescence is only reported once nothing is held.
+        """
         ready = self.ready_agents()
         if not ready:
+            if (self.fault_plan is not None
+                    and self.fault_plan.held_count()):
+                for channel, message in self.fault_plan.flush():
+                    self._deliver(channel, message)
+                self.steps += 1
+                return True
             return False
         agent = ready[oracle.pick_agent(ready) % len(ready)]
         self._run_one_effect(agent, oracle)
         self.steps += 1
+        if self.fault_plan is not None:
+            for channel, message in self.fault_plan.on_step():
+                self._deliver(channel, message)
         return True
 
     def _advance(self, agent: Agent, value: Any) -> Optional[Effect]:
-        """Feed ``value`` into the agent and get its next effect."""
+        """Feed ``value`` into the agent and get its next effect.
+
+        A ``StopIteration`` is a normal halt; any other exception from
+        the body is an agent failure, captured rather than propagated.
+        """
         try:
             if not agent._started:
                 agent._started = True
@@ -168,6 +261,13 @@ class Runtime:
             return agent.body.send(value)
         except StopIteration:
             agent.state = AgentState.HALTED
+            return None
+        except Exception as error:
+            agent.state = AgentState.FAILED
+            agent.failure = AgentFailure(
+                agent=agent.name, step=self.steps, error=error,
+                traceback=_traceback.format_exc(),
+            )
             return None
 
     def _run_one_effect(self, agent: Agent, oracle: Oracle) -> None:
@@ -225,11 +325,16 @@ class Runtime:
 
     # -- running --------------------------------------------------------------
 
-    def run(self, oracle: Oracle, max_steps: int) -> RunResult:
-        """Run until quiescence or the step bound."""
-        while self.steps < max_steps:
-            if not self.step(oracle):
-                break
+    def undelivered(self) -> dict[str, list]:
+        """Residual per-channel contents, keyed by channel name."""
+        out = {c.name: list(q) for c, q in self.queues.items() if q}
+        if self.fault_plan is not None:
+            for channel, held in self.fault_plan.held_messages().items():
+                if held:
+                    out.setdefault(channel.name, []).extend(held)
+        return out
+
+    def _result(self) -> RunResult:
         return RunResult(
             trace=Trace.finite(self.history),
             quiescent=self.is_quiescent(),
@@ -238,4 +343,16 @@ class Runtime:
                            if a.state is AgentState.HALTED],
             blocked_agents=[a.name for a in self.agents
                             if a.state is AgentState.BLOCKED],
+            failed_agents=[a.name for a in self.agents
+                           if a.state is AgentState.FAILED],
+            failures={a.name: a.failure for a in self.agents
+                      if a.failure is not None},
+            undelivered=self.undelivered(),
         )
+
+    def run(self, oracle: Oracle, max_steps: int) -> RunResult:
+        """Run until quiescence or the step bound."""
+        while self.steps < max_steps:
+            if not self.step(oracle):
+                break
+        return self._result()

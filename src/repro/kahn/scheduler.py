@@ -88,22 +88,34 @@ class ScriptedOracle(Oracle):
 def run_network(agents: dict[str, AgentBody],
                 channels: Iterable[Channel],
                 oracle: Oracle,
-                max_steps: int = 10_000) -> RunResult:
-    """Build a runtime and run it to quiescence or the step bound."""
-    return Runtime(agents, channels).run(oracle, max_steps)
+                max_steps: int = 10_000,
+                fault_plan=None) -> RunResult:
+    """Build a runtime and run it to quiescence or the step bound.
+
+    ``fault_plan`` (a :class:`repro.faults.plan.FaultPlan`) perturbs
+    channel deliveries and may inject agent crashes/stalls.
+    """
+    return Runtime(agents, channels,
+                   fault_plan=fault_plan).run(oracle, max_steps)
 
 
 def sample_runs(make_agents, channels: Iterable[Channel],
                 seeds: Iterable[int],
-                max_steps: int = 10_000) -> Iterator[RunResult]:
+                max_steps: int = 10_000,
+                make_fault_plan=None) -> Iterator[RunResult]:
     """One run per seed, each from a fresh copy of the network.
 
     ``make_agents`` is a zero-argument callable returning the agent
-    dict (generators are single-use, so each run needs fresh bodies).
+    dict (generators are single-use, so each run needs fresh bodies);
+    ``make_fault_plan``, when given, likewise returns a fresh
+    :class:`~repro.faults.plan.FaultPlan` per run (fault models are
+    stateful).
     """
     channel_list = list(channels)
     for seed in seeds:
         yield run_network(
             make_agents(), channel_list, RandomOracle(seed),
             max_steps=max_steps,
+            fault_plan=(None if make_fault_plan is None
+                        else make_fault_plan()),
         )

@@ -48,17 +48,50 @@ class OperationalNetwork:
         return {name: make() for name, make in self.agents.items()}
 
     def run(self, seed: int = 0,
-            max_steps: int = 10_000) -> RunResult:
+            max_steps: int = 10_000, fault_plan=None) -> RunResult:
         return run_network(
             self.make_agents(), self.channels, RandomOracle(seed),
-            max_steps=max_steps,
+            max_steps=max_steps, fault_plan=fault_plan,
         )
 
     def sample(self, seeds: Iterable[int],
-               max_steps: int = 10_000) -> TraceSample:
+               max_steps: int = 10_000,
+               make_fault_plan=None) -> TraceSample:
         return collect_traces(
             self.make_agents, self.channels, seeds,
-            max_steps=max_steps,
+            max_steps=max_steps, make_fault_plan=make_fault_plan,
+        )
+
+    def run_supervised(self, seed: int = 0,
+                       max_steps: int = 10_000, fault_plan=None,
+                       policy=None, watchdog_limit: int = 500):
+        """One run under a :class:`~repro.faults.supervision.
+        SupervisedRuntime` (restarts + livelock watchdog)."""
+        from repro.faults.supervision import RestartPolicy, run_supervised
+
+        return run_supervised(
+            self.agents, self.channels, RandomOracle(seed),
+            max_steps=max_steps, fault_plan=fault_plan,
+            policy=policy or RestartPolicy(),
+            watchdog_limit=watchdog_limit,
+        )
+
+    def conformance(self, plans, seeds: Iterable[int] = range(10),
+                    observe=None, max_steps: int = 10_000,
+                    watchdog_limit: int = 500,
+                    depth: int = DEFAULT_DEPTH):
+        """Fault-grid conformance of the machine against the spec.
+
+        ``plans`` maps plan names to zero-argument plan factories; see
+        :func:`repro.faults.harness.run_conformance`.
+        """
+        from repro.faults.harness import run_conformance
+
+        return run_conformance(
+            self.name, self.agents, self.channels,
+            self.system.combined(), plans, seeds,
+            observe=observe, max_steps=max_steps,
+            watchdog_limit=watchdog_limit, depth=depth,
         )
 
     def validate(self, seeds: Iterable[int] = range(20),

@@ -125,12 +125,49 @@ class TestExploration:
         assert result.finite_solutions == []
         assert Trace.from_pairs([(B, 0)]) in result.dead_ends
 
-    def test_node_budget_enforced(self):
+    def test_node_budget_yields_truncated_partial_result(self):
         k = const_seq(fseq())
         desc = Description(k, k)
         solver = SmoothSolutionSolver.over_channels(desc, [D])
-        with pytest.raises(RuntimeError):
-            solver.explore(max_depth=10, max_nodes=20)
+        result = solver.explore(max_depth=10, max_nodes=20)
+        assert result.truncated
+        assert "node budget" in result.truncation_reason
+        assert result.nodes_explored <= 20
+        # unexpanded nodes are parked on the frontier, not lost
+        assert result.frontier
+
+    def test_wall_clock_budget_yields_truncated_result(self):
+        k = const_seq(fseq())
+        desc = Description(k, k)
+        solver = SmoothSolutionSolver.over_channels(desc, [D])
+        result = solver.explore(max_depth=10, budget_seconds=0.0)
+        assert result.truncated
+        assert "wall-clock" in result.truncation_reason
+
+    def test_unbudgeted_exploration_not_truncated(self):
+        result = solve(dfm(), [B, C, D], max_depth=2)
+        assert not result.truncated
+        assert result.truncation_reason == ""
+
+    def test_broken_candidate_generator_is_diagnosed(self):
+        from repro.core.solver import CandidateError
+
+        k = const_seq(fseq())
+        desc = Description(k, k)
+
+        from repro.channels.event import Event
+
+        def hostile(u):
+            if u.length() >= 1:
+                raise ValueError("generator bug")
+            return [Event(D, 0)]
+
+        solver = SmoothSolutionSolver(desc, hostile)
+        with pytest.raises(CandidateError) as info:
+            solver.explore(max_depth=3)
+        # the diagnostic names the offending trace and the original error
+        assert "generator bug" in str(info.value)
+        assert info.value.trace.length() == 1
 
     def test_iter_paths(self):
         desc = dfm()

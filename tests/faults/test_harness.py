@@ -1,0 +1,136 @@
+"""Conformance harness: fault grids × seeds against a specification.
+
+Uses a miniature stop-and-wait protocol (a two-message alternating-bit
+core) so the test is self-contained; the full ABP scenario lives in
+``examples/alternating_bit.py`` and ``benchmarks/bench_fault_injection``.
+"""
+
+from repro.channels.channel import Channel
+from repro.core import Description, DescriptionSystem
+from repro.faults import (
+    CorruptFault,
+    DropFault,
+    FaultPlan,
+    no_faults,
+    run_conformance,
+)
+from repro.functions import chan
+from repro.functions.base import const_seq
+from repro.kahn.effects import Poll, Recv, Send
+from repro.seq import FiniteSeq
+
+PAYLOAD = ["a", "b"]
+OUT = Channel("out", alphabet=frozenset(PAYLOAD))
+DATA = Channel("data",
+               alphabet=frozenset((b, m) for b in (0, 1)
+                                  for m in PAYLOAD))
+ACK = Channel("ack", alphabet=frozenset({0, 1}))
+CHANNELS = [OUT, DATA, ACK]
+
+
+def sender(messages, retransmit_limit=60):
+    bit = 0
+    for m in messages:
+        yield Send(DATA, (bit, m))
+        attempts = 0
+        while True:
+            if (yield Poll(ACK)):
+                if (yield Recv(ACK)) == bit:
+                    break
+                continue
+            attempts += 1
+            if retransmit_limit is not None and attempts > retransmit_limit:
+                return
+            yield Send(DATA, (bit, m))
+        bit ^= 1
+
+
+def receiver():
+    expected = 0
+    while True:
+        bit, message = yield Recv(DATA)
+        yield Send(ACK, bit)
+        if bit == expected:
+            yield Send(OUT, message)
+            expected ^= 1
+
+
+def agents(retransmit_limit=60):
+    return {"sender": lambda: sender(PAYLOAD, retransmit_limit),
+            "receiver": receiver}
+
+
+def spec() -> DescriptionSystem:
+    return DescriptionSystem(
+        [Description(chan(OUT), const_seq(FiniteSeq(PAYLOAD)),
+                     name="out ⟵ payload")],
+        channels=[OUT], name="service",
+    )
+
+
+def fair_loss(seed):
+    return FaultPlan({
+        DATA: DropFault(seed=seed, p=0.4, max_consecutive_drops=2),
+        ACK: DropFault(seed=seed + 1, p=0.4, max_consecutive_drops=2),
+    }, name="fair-loss")
+
+
+class TestConformanceGrid:
+    def test_fair_grid_all_conforms(self):
+        report = run_conformance(
+            "mini-abp", agents(), CHANNELS, spec().combined(),
+            {"none": no_faults, "fair-loss": lambda: fair_loss(9)},
+            seeds=range(6), observe={OUT}, max_steps=3000,
+            watchdog_limit=600,
+        )
+        assert report.all_conform, [str(c) for c in report.cases]
+        assert report.outcomes() == {"conforms": 12}
+
+    def test_payload_corruption_is_flagged_as_violation(self):
+        def corrupting(seed):
+            # corrupt the *delivered payload* channel: spec-visible
+            return FaultPlan({OUT: CorruptFault(
+                seed=seed, p=1.0, max_consecutive=None)},
+                name="corrupt-out")
+
+        report = run_conformance(
+            "mini-abp", agents(), CHANNELS, spec().combined(),
+            {"corrupt-out": lambda: corrupting(2)},
+            seeds=range(4), observe={OUT}, max_steps=3000,
+        )
+        assert not report.all_conform
+        assert len(report.violations) == 4
+        assert all("rejected" in c.detail for c in report.violations)
+
+    def test_unfair_loss_livelocks_and_is_reported(self):
+        def black_hole():
+            return FaultPlan({DATA: DropFault(
+                seed=0, p=1.0, max_consecutive_drops=None)},
+                name="black-hole")
+
+        report = run_conformance(
+            "mini-abp", agents(retransmit_limit=None), CHANNELS,
+            spec().combined(), {"black-hole": black_hole},
+            seeds=range(3), observe={OUT}, max_steps=50_000,
+            watchdog_limit=200,
+        )
+        assert len(report.livelocks) == 3
+        # watchdog cut each run far below the step budget
+        assert all(c.result.steps < 1000 for c in report.livelocks)
+
+    def test_summary_counts_outcomes(self):
+        report = run_conformance(
+            "mini-abp", agents(), CHANNELS, spec().combined(),
+            {"none": no_faults}, seeds=range(2), observe={OUT},
+        )
+        assert "conforms: 2" in report.summary()
+        assert "mini-abp" in report.summary()
+
+    def test_select_filters_by_plan(self):
+        report = run_conformance(
+            "mini-abp", agents(), CHANNELS, spec().combined(),
+            {"none": no_faults, "fair-loss": lambda: fair_loss(1)},
+            seeds=range(2), observe={OUT}, max_steps=3000,
+            watchdog_limit=600,
+        )
+        assert len(report.select("conforms", plan="none")) == 2

@@ -1,0 +1,178 @@
+"""Unit tests for the seeded channel fault models."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.faults.models import (
+    ChannelFault,
+    CorruptFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPipeline,
+    ReorderFault,
+)
+
+B = Channel("b", alphabet={0, 1, 2})
+
+
+def feed(fault, stream):
+    """Push ``stream`` through ``fault``; return deliveries in order."""
+    out = []
+    for message in stream:
+        out.extend(fault.on_send(message))
+    out.extend(fault.flush())
+    return out
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("make", [
+        lambda: DropFault(seed=7, p=0.5),
+        lambda: DuplicateFault(seed=7, p=0.5),
+        lambda: ReorderFault(seed=7, p=0.5),
+        lambda: DelayFault(seed=7, p=0.5),
+    ])
+    def test_same_seed_same_perturbation(self, make):
+        stream = list(range(30)) * 2
+        first = feed(make(), [m % 3 for m in stream])
+        second = feed(make(), [m % 3 for m in stream])
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        stream = [m % 3 for m in range(60)]
+        outs = {tuple(feed(DropFault(seed=s, p=0.5), stream))
+                for s in range(5)}
+        assert len(outs) > 1
+
+
+class TestDropFault:
+    def test_fairness_bound_caps_consecutive_drops(self):
+        fault = DropFault(seed=1, p=1.0, max_consecutive_drops=3)
+        delivered = [bool(fault.on_send(0)) for _ in range(40)]
+        # p=1 drops whenever allowed: exactly every 4th send survives
+        consecutive = 0
+        for got in delivered:
+            if got:
+                consecutive = 0
+            else:
+                consecutive += 1
+                assert consecutive <= 3
+
+    def test_unfair_drop_loses_everything(self):
+        fault = DropFault(seed=1, p=1.0, max_consecutive_drops=None)
+        assert feed(fault, [0] * 50) == []
+        assert len(fault.dropped) == 50
+
+    def test_zero_probability_is_transparent(self):
+        fault = DropFault(seed=1, p=0.0)
+        assert feed(fault, [0, 1, 2]) == [0, 1, 2]
+
+
+class TestDuplicateFault:
+    def test_duplicates_are_adjacent_copies(self):
+        fault = DuplicateFault(seed=3, p=1.0,
+                               max_consecutive_duplicates=None)
+        assert feed(fault, [0, 1]) == [0, 0, 1, 1]
+
+    def test_consecutive_duplication_bound(self):
+        fault = DuplicateFault(seed=3, p=1.0,
+                               max_consecutive_duplicates=2)
+        out = feed(fault, [0] * 9)
+        # pattern: dup, dup, single, dup, dup, single, ...
+        assert len(out) == 9 + 6
+
+
+class TestReorderFault:
+    def test_is_a_permutation_with_bounded_displacement(self):
+        stream = list(range(40))
+        fault = ReorderFault(seed=5, p=0.6, max_hold=3)
+        out = []
+        positions = {}
+        for i, m in enumerate(stream):
+            out.extend(fault.on_send(m))
+        out.extend(fault.flush())
+        assert sorted(out) == stream  # nothing lost or invented
+        for i, m in enumerate(out):
+            positions[m] = i
+        # a message is overtaken by at most max_hold successors
+        for m in stream:
+            assert positions[m] - m <= 3
+
+    def test_flush_releases_stash(self):
+        fault = ReorderFault(seed=0, p=1.0, max_hold=10)
+        assert fault.on_send(1) == []
+        assert fault.held() == [1]
+        assert fault.flush() == [1]
+        assert fault.held() == []
+
+
+class TestCorruptFault:
+    def test_corrupts_within_alphabet(self):
+        fault = CorruptFault(seed=2, p=1.0, max_consecutive=None)
+        fault.bind(B)
+        out = feed(fault, [0] * 20)
+        assert out and all(m in {1, 2} for m in out)
+
+    def test_custom_corruptor(self):
+        fault = CorruptFault(seed=2, p=1.0, max_consecutive=None,
+                             corrupt=lambda m: (m + 1) % 3)
+        assert feed(fault, [0, 1, 2]) == [1, 2, 0]
+
+    def test_requires_alphabet_or_function(self):
+        unbounded = Channel("raw")
+        fault = CorruptFault(seed=2, p=1.0)
+        with pytest.raises(ValueError):
+            fault.bind(unbounded)
+
+
+class TestDelayFault:
+    def test_everything_eventually_delivered(self):
+        fault = DelayFault(seed=4, p=0.7, max_delay=3)
+        out = []
+        for m in range(20):
+            out.extend(fault.on_send(m % 3))
+            out.extend(fault.on_step())
+        # release whatever is still parked
+        out.extend(fault.flush())
+        assert len(out) == 20
+
+    def test_step_release_respects_ttl_bound(self):
+        fault = DelayFault(seed=4, p=1.0, max_delay=2)
+        assert fault.on_send(0) == []
+        released = []
+        for _ in range(2):
+            released.extend(fault.on_step())
+        assert released == [0]
+
+    def test_held_reports_in_flight(self):
+        fault = DelayFault(seed=4, p=1.0, max_delay=5)
+        fault.on_send(1)
+        assert fault.held() == [1]
+
+
+class TestFaultPipeline:
+    def test_composes_left_to_right(self):
+        dup = DuplicateFault(seed=0, p=1.0,
+                             max_consecutive_duplicates=None)
+        corrupt = CorruptFault(seed=0, p=1.0, max_consecutive=None,
+                               corrupt=lambda m: (m + 1) % 3)
+        pipe = FaultPipeline([dup, corrupt])
+        assert pipe.on_send(0) == [1, 1]
+
+    def test_flush_drains_every_stage(self):
+        reorder = ReorderFault(seed=1, p=1.0, max_hold=10)
+        delay = DelayFault(seed=1, p=1.0, max_delay=10)
+        pipe = FaultPipeline([reorder, delay])
+        pipe.on_send(0)  # stashed upstream
+        pipe.on_send(1)  # released through, parked downstream
+        assert pipe.held()
+        flushed = pipe.flush()
+        assert sorted(flushed) == sorted([0, 1])
+        assert pipe.held() == []
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPipeline([])
+
+    def test_base_fault_is_identity(self):
+        assert feed(ChannelFault(), [0, 1, 2]) == [0, 1, 2]

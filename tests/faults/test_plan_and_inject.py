@@ -1,0 +1,131 @@
+"""FaultPlan wiring into the runtime, and agent-body injectors."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.faults import (
+    CorruptFault,
+    DelayFault,
+    DropFault,
+    FaultPlan,
+    InjectedCrash,
+    crash_at_step,
+    stall_at_step,
+)
+from repro.kahn.effects import Recv, Send
+from repro.kahn.runtime import Runtime
+from repro.kahn.scheduler import FirstOracle, RandomOracle, run_network
+
+B = Channel("b", alphabet={0, 1, 2})
+C = Channel("c", alphabet={0, 1, 2})
+
+
+def source(channel, messages):
+    for m in messages:
+        yield Send(channel, m)
+
+
+def copier():
+    while True:
+        m = yield Recv(B)
+        yield Send(C, m)
+
+
+class TestFaultPlanRouting:
+    def test_unfaulted_channels_pass_through(self):
+        plan = FaultPlan({B: DropFault(seed=0, p=1.0,
+                                       max_consecutive_drops=None)})
+        assert plan.on_send(C, 1) == [1]
+        assert plan.on_send(B, 1) == []
+
+    def test_sequence_becomes_pipeline_and_binds(self):
+        plan = FaultPlan({B: [DropFault(seed=0, p=0.0),
+                              CorruptFault(seed=0, p=1.0,
+                                           max_consecutive=None)]})
+        # CorruptFault got bound to B's alphabet through the plan
+        assert plan.on_send(B, 0) != [0]
+        assert all(m in {1, 2} for m in plan.on_send(B, 0))
+
+    def test_describe_names_channels_and_faults(self):
+        plan = FaultPlan({B: DropFault(seed=0)}, name="demo")
+        text = plan.describe()
+        assert "demo" in text and "b" in text and "Drop" in text
+
+
+class TestRuntimeIntegration:
+    def test_dropped_send_leaves_no_event(self):
+        plan = FaultPlan({B: DropFault(seed=0, p=1.0,
+                                       max_consecutive_drops=None)})
+        result = run_network({"s": source(B, [0, 1, 2])}, [B, C],
+                             FirstOracle(), fault_plan=plan)
+        assert result.quiescent
+        assert result.trace.length() == 0
+        assert result.undelivered == {}
+
+    def test_trace_records_post_fault_stream(self):
+        plan = FaultPlan({B: CorruptFault(
+            seed=0, p=1.0, max_consecutive=None,
+            corrupt=lambda m: (m + 1) % 3)})
+        result = run_network(
+            {"s": source(B, [0, 1]), "c": copier()}, [B, C],
+            FirstOracle(), fault_plan=plan,
+        )
+        # the copier saw (and forwarded) the corrupted stream
+        assert result.trace.messages_on(B).items == (1, 2)
+        assert result.trace.messages_on(C).items == (1, 2)
+
+    def test_delayed_messages_flushed_before_quiescence(self):
+        plan = FaultPlan({B: DelayFault(seed=0, p=1.0, max_delay=50)})
+        result = run_network(
+            {"s": source(B, [0, 1, 2]), "c": copier()}, [B, C],
+            FirstOracle(), max_steps=500, fault_plan=plan,
+        )
+        # quiescence is only reported once the wire is empty, so every
+        # parked message got through (delay may reorder) and was copied
+        assert result.quiescent
+        assert sorted(result.trace.messages_on(C).items) == [0, 1, 2]
+
+    def test_fault_output_must_stay_in_alphabet(self):
+        plan = FaultPlan({B: CorruptFault(seed=0, p=1.0,
+                                          max_consecutive=None,
+                                          corrupt=lambda m: 99)})
+        with pytest.raises(ValueError, match="fault model"):
+            run_network({"s": source(B, [0])}, [B, C],
+                        FirstOracle(), fault_plan=plan)
+
+
+class TestInjectors:
+    def test_crash_at_step_counts_effects(self):
+        plan = FaultPlan(agent_faults={
+            "s": lambda body: crash_at_step(body, 2)})
+        result = run_network({"s": source(B, [0, 1, 2])}, [B, C],
+                             FirstOracle(), fault_plan=plan)
+        assert result.trace.messages_on(B).items == (0, 1)
+        assert result.failed_agents == ["s"]
+        assert isinstance(result.failures["s"].error, InjectedCrash)
+
+    def test_crash_at_zero_crashes_before_first_effect(self):
+        plan = FaultPlan(agent_faults={
+            "s": lambda body: crash_at_step(body, 0)})
+        result = run_network({"s": source(B, [0])}, [B, C],
+                             FirstOracle(), fault_plan=plan)
+        assert result.trace.length() == 0
+        assert result.failed_agents == ["s"]
+
+    def test_crash_beyond_body_length_halts_normally(self):
+        plan = FaultPlan(agent_faults={
+            "s": lambda body: crash_at_step(body, 100)})
+        result = run_network({"s": source(B, [0])}, [B, C],
+                             FirstOracle(), fault_plan=plan)
+        assert result.failed_agents == []
+        assert result.halted_agents == ["s"]
+
+    def test_stall_spins_without_history_growth(self):
+        plan = FaultPlan(agent_faults={
+            "s": lambda body: stall_at_step(body, 1)})
+        result = run_network({"s": source(B, [0, 1, 2])}, [B, C],
+                             RandomOracle(0), max_steps=50,
+                             fault_plan=plan)
+        assert not result.quiescent  # perpetually ready, never done
+        assert result.steps == 50
+        assert result.trace.messages_on(B).items == (0,)

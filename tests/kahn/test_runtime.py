@@ -5,7 +5,7 @@ import pytest
 from repro.channels.channel import Channel
 from repro.kahn.effects import Choose, Halt, Poll, Recv, RecvAny, Send
 from repro.kahn.runtime import AgentState, Oracle, Runtime
-from repro.kahn.scheduler import FirstOracle
+from repro.kahn.scheduler import FirstOracle, RandomOracle, RoundRobinOracle
 
 B = Channel("b", alphabet={0, 1, 2})
 C = Channel("c", alphabet={0, 1, 2})
@@ -108,6 +108,125 @@ class TestChooseAndPoll:
 
         run({"p": poller()})
         assert answers == [False, True]
+
+
+class TestOracleEdgeCases:
+    def test_round_robin_does_not_starve_under_perpetual_readiness(self):
+        # a spinner is ready at every step; round-robin must still let
+        # the finite worker complete all of its sends
+        def spinner():
+            while True:
+                yield Choose(1)
+
+        def worker():
+            for m in (0, 1, 2):
+                yield Send(B, m)
+
+        _, result = run({"spin": spinner(), "work": worker()},
+                        max_steps=100, oracle=RoundRobinOracle())
+        assert result.trace.messages_on(B).items == (0, 1, 2)
+        assert "work" in result.halted_agents
+
+    def test_recv_any_blocks_then_wakes_when_second_channel_fills(self):
+        got = []
+
+        def merger():
+            channel, message = yield RecvAny([B, C])
+            got.append((channel.name, message))
+
+        def late_producer():
+            yield Choose(1)  # let the merger block first
+            yield Send(C, 2)
+
+        # FirstOracle runs the merger first: it blocks on both empty
+        # channels, then the producer fills C and the merger wakes
+        _, result = run({"m": merger(), "p": late_producer()})
+        assert got == [("c", 2)]
+        assert result.quiescent
+        assert result.blocked_agents == []
+
+    def test_choose_arity_one_is_degenerate(self):
+        picks = []
+
+        def chooser():
+            picks.append((yield Choose(1)))
+            picks.append((yield Choose(1)))
+
+        # whatever the oracle answers, arity 1 must collapse to 0
+        run({"c": chooser()}, oracle=RandomOracle(42))
+        assert picks == [0, 0]
+
+
+class TestFailureCapture:
+    def test_body_exception_fails_only_that_agent(self):
+        def bomb():
+            yield Send(B, 0)
+            raise ValueError("kaput")
+
+        def steady():
+            yield Send(C, 1)
+            yield Send(C, 2)
+
+        _, result = run({"bomb": bomb(), "steady": steady()})
+        assert result.failed_agents == ["bomb"]
+        assert result.quiescent
+        # the others' progress and the partial history are intact
+        assert result.trace.messages_on(C).items == (1, 2)
+        assert result.trace.messages_on(B).items == (0,)
+
+    def test_failure_carries_traceback_and_step(self):
+        def bomb():
+            yield Send(B, 0)
+            raise ValueError("kaput")
+
+        _, result = run({"bomb": bomb()})
+        failure = result.failures["bomb"]
+        assert "kaput" in failure.traceback
+        assert "ValueError" in failure.traceback
+        assert failure.step >= 1
+        assert "bomb" in str(failure)
+
+    def test_failed_agent_is_skipped_by_scheduler(self):
+        def bomb():
+            raise ValueError("immediate")
+            yield  # pragma: no cover - makes this a generator
+
+        runtime = Runtime({"bomb": bomb()}, [B, C])
+        assert runtime.step(FirstOracle())
+        assert not runtime.step(FirstOracle())  # FAILED, not ready
+        assert runtime.is_quiescent()
+
+
+class TestDiagnostics:
+    def test_undelivered_lists_residual_queue_contents(self):
+        def producer():
+            yield Send(B, 0)
+            yield Send(B, 1)
+
+        _, result = run({"p": producer()})
+        assert result.undelivered == {"b": [0, 1]}
+
+    def test_undelivered_empty_when_all_consumed(self):
+        def producer():
+            yield Send(B, 0)
+
+        def consumer():
+            yield Recv(B)
+
+        _, result = run({"p": producer(), "c": consumer()})
+        assert result.undelivered == {}
+
+    def test_unknown_channel_error_names_wired_channels(self):
+        x = Channel("x")
+
+        def bad():
+            yield Send(x, 0)
+
+        with pytest.raises(KeyError) as info:
+            run({"bad": bad()})
+        message = str(info.value)
+        assert "'x'" in message
+        assert "b" in message and "c" in message  # the wired ones
 
 
 class TestRecvAny:
