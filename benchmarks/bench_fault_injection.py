@@ -67,6 +67,36 @@ def test_conformance_grid(benchmark, plan_name):
     assert report.all_conform, report.violations
 
 
+def test_traced_grid_writes_jsonl():
+    """With ``FAULT_GRID_TRACE=<path>`` set, re-run a small fair-loss
+    grid with the structured tracer attached and write the JSONL event
+    log there (CI uploads it as a workflow artifact)."""
+    trace_path = os.environ.get("FAULT_GRID_TRACE")
+    if trace_path is None:
+        pytest.skip("set FAULT_GRID_TRACE=<path> to record a trace")
+    from repro.obs import JsonlSink, RingBufferSink, Tracer
+
+    ring = RingBufferSink()
+    jsonl = JsonlSink(trace_path)
+    tracer = Tracer([ring, jsonl])
+    report = run_conformance(
+        "abp-direct", direct_agents(MESSAGES), FAULTY_CHANNELS,
+        service_spec(MESSAGES).combined(),
+        {"fair-loss": lambda: fair_loss_plan(seed=11)},
+        seeds=range(2), observe={OUT}, max_steps=4000,
+        watchdog_limit=600, tracer=tracer,
+    )
+    tracer.close()
+    banner("EXT-OBS", "traced fair-loss grid → JSONL event log")
+    row("trace records", len(ring))
+    row("jsonl path", trace_path)
+    row("cell wall-clock (ms)",
+        [round(c.elapsed_s * 1e3, 2) for c in report.cases])
+    assert len(ring) > 0
+    assert jsonl.count == len(ring)
+    assert report.all_conform, report.violations
+
+
 def test_watchdog_beats_step_budget(benchmark):
     budget = 50_000
 

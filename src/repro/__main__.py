@@ -6,13 +6,20 @@ Commands:
 * ``dfm``            — classify a few dfm histories and enumerate;
 * ``anomaly``        — run the Brock–Ackermann analysis;
 * ``fig3``           — the §2.3 x/y/z verdicts;
-* ``zoo``            — one-line membership sample per catalog process.
+* ``zoo``            — one-line membership sample per catalog process;
+* ``trace``          — record an instrumented run of an example and
+  write a Chrome-trace-event timeline (open it in
+  https://ui.perfetto.dev) plus, optionally, a JSONL event log.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
+
+#: Examples the ``trace`` command knows how to record.
+TRACE_EXAMPLES = ("alternating_bit", "dfm")
 
 
 def cmd_summary() -> int:
@@ -131,6 +138,106 @@ def cmd_zoo() -> int:
     return 0
 
 
+def _examples_dir() -> pathlib.Path:
+    """The repo's ``examples/`` directory (checkout layout)."""
+    return pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def cmd_trace(example: str, out: str | None, jsonl: str | None,
+              seed: int, max_steps: int) -> int:
+    """Record an instrumented run and export its Perfetto timeline.
+
+    ``alternating_bit`` exercises all three instrumented layers: a
+    fault-injected supervised protocol run (scheduler / runtime /
+    fault spans) followed by a solver check of the delivered trace
+    against the service specification (solver spans).  ``dfm`` records
+    the §2.2 solver exploration plus an operational dfm network run.
+    """
+    from repro.obs import JsonlSink, RingBufferSink, Tracer, \
+        write_chrome_trace
+    from repro.report import render_metrics
+
+    ring = RingBufferSink(capacity=500_000)
+    sinks = [ring]
+    if jsonl:
+        sinks.append(JsonlSink(jsonl))
+    tracer = Tracer(sinks)
+
+    if example == "alternating_bit":
+        examples = _examples_dir()
+        if not examples.is_dir():
+            print(f"examples directory not found at {examples}",
+                  file=sys.stderr)
+            return 1
+        sys.path.insert(0, str(examples))
+        from alternating_bit import (
+            FAULTY_CHANNELS,
+            MESSAGES,
+            OUT,
+            direct_agents,
+            fair_loss_plan,
+            service_spec,
+        )
+        from repro.core import SmoothSolutionSolver
+        from repro.faults import run_conformance
+
+        spec = service_spec(MESSAGES).combined()
+        report = run_conformance(
+            "abp-direct", direct_agents(MESSAGES), FAULTY_CHANNELS,
+            spec, {"fair-loss": lambda: fair_loss_plan(seed=seed)},
+            seeds=[seed], observe={OUT}, max_steps=max_steps,
+            watchdog_limit=600, tracer=tracer,
+        )
+        case = report.cases[0]
+        print(f"{case}  [{case.elapsed_s * 1e3:.1f}ms]")
+        solver = SmoothSolutionSolver.over_channels(
+            spec, [OUT], tracer=tracer)
+        result = solver.explore(len(MESSAGES) + 1)
+        print(f"solver: {result.nodes_explored} nodes, "
+              f"{len(result.finite_solutions)} finite solution(s)")
+        print(render_metrics(case.metrics, title="run metrics"))
+    elif example == "dfm":
+        from repro.channels import Channel
+        from repro.core import Description, SmoothSolutionSolver, \
+            combine
+        from repro.functions import chan, even_of, odd_of
+        from repro.kahn.agents import dfm_agent, source_agent
+        from repro.kahn.scheduler import RandomOracle, run_network
+
+        b = Channel("b", alphabet={0, 2})
+        c = Channel("c", alphabet={1, 3})
+        d = Channel("d", alphabet={0, 1, 2, 3})
+        dfm = combine([
+            Description(even_of(chan(d)), chan(b)),
+            Description(odd_of(chan(d)), chan(c)),
+        ], name="dfm")
+        solver = SmoothSolutionSolver.over_channels(
+            dfm, [b, c, d], tracer=tracer)
+        result = solver.explore(4)
+        print(f"solver: {result.nodes_explored} nodes, "
+              f"{len(result.finite_solutions)} finite solution(s)")
+        run = run_network(
+            {"eb": source_agent(b, [0, 2]),
+             "dfm": dfm_agent(b, c, d)},
+            [b, c, d], RandomOracle(seed), max_steps=max_steps,
+            tracer=tracer,
+        )
+        print(f"network: {run.steps} steps, "
+              f"quiescent={run.quiescent}")
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown trace example {example!r}", file=sys.stderr)
+        return 1
+
+    tracer.close()
+    out = out or f"{example}.perfetto.json"
+    n = write_chrome_trace(ring.records, out,
+                           process_name=f"repro:{example}")
+    print(f"wrote {n} trace events to {out}"
+          + (f" (+ JSONL log at {jsonl})" if jsonl else ""))
+    print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -138,11 +245,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["summary", "dfm", "anomaly", "fig3", "zoo"],
+        choices=["summary", "dfm", "anomaly", "fig3", "zoo", "trace"],
         nargs="?",
         default="summary",
     )
+    parser.add_argument(
+        "example", nargs="?", choices=TRACE_EXAMPLES,
+        default="alternating_bit",
+        help="for `trace`: which example run to record",
+    )
+    parser.add_argument(
+        "-o", "--out", default=None,
+        help="for `trace`: output path "
+             "(default <example>.perfetto.json)",
+    )
+    parser.add_argument(
+        "--jsonl", default=None,
+        help="for `trace`: also write a JSONL event log here",
+    )
+    parser.add_argument("--seed", type=int, default=11,
+                        help="for `trace`: oracle/fault seed")
+    parser.add_argument("--max-steps", type=int, default=4000,
+                        help="for `trace`: runtime step budget")
     args = parser.parse_args(argv)
+    if args.command == "trace":
+        return cmd_trace(args.example, args.out, args.jsonl,
+                         args.seed, args.max_steps)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

@@ -28,6 +28,8 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.channels.channel import Channel
 from repro.channels.event import Event
 from repro.core.description import DEFAULT_DEPTH, Description
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.traces.trace import Trace
 
 #: A candidate generator: finite trace ``u`` ↦ events that may extend it.
@@ -89,6 +91,8 @@ class SolverResult:
             the result is a sound but partial under-approximation, and
             unvisited nodes are parked on the frontier.
         truncation_reason: which guard fired, for diagnostics.
+        metrics: per-run metrics summary (nodes, branching, prunes, …)
+            when the solver ran with tracing enabled; empty otherwise.
     """
 
     finite_solutions: list[Trace] = field(default_factory=list)
@@ -98,6 +102,7 @@ class SolverResult:
     depth: int = 0
     truncated: bool = False
     truncation_reason: str = ""
+    metrics: dict = field(default_factory=dict)
 
     def solution_set(self) -> set[Trace]:
         return set(self.finite_solutions)
@@ -108,18 +113,21 @@ class SmoothSolutionSolver:
 
     def __init__(self, description: Description,
                  candidates: CandidateFn,
-                 limit_depth: int = DEFAULT_DEPTH):
+                 limit_depth: int = DEFAULT_DEPTH,
+                 tracer: Optional[Tracer] = None):
         self.description = description
         self.candidates = candidates
         self.limit_depth = limit_depth
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @classmethod
     def over_channels(cls, description: Description,
                       channels: Iterable[Channel],
-                      limit_depth: int = DEFAULT_DEPTH
+                      limit_depth: int = DEFAULT_DEPTH,
+                      tracer: Optional[Tracer] = None
                       ) -> "SmoothSolutionSolver":
         return cls(description, alphabet_candidates(channels),
-                   limit_depth=limit_depth)
+                   limit_depth=limit_depth, tracer=tracer)
 
     # -- tree structure ------------------------------------------------------
 
@@ -166,53 +174,131 @@ class SmoothSolutionSolver:
 
         A candidate generator that raises aborts the search with a
         :class:`CandidateError` naming the trace it choked on.
+
+        With a tracer attached the exploration additionally emits
+        ``solver.*`` spans/events (per-level spans, prune / accept /
+        dead-end / truncate events) and fills ``result.metrics``.
         """
         deadline = (None if budget_seconds is None
                     else time.monotonic() + budget_seconds)
+        tracer = self.tracer
+        tracing = tracer.enabled
+        metrics = MetricsRegistry() if tracing else None
         result = SolverResult(depth=max_depth)
         level: list[Trace] = [Trace.empty()]
         explored = 0
-        for depth in range(max_depth + 1):
-            next_level: list[Trace] = []
-            for i, u in enumerate(level):
-                if explored >= max_nodes:
-                    self._truncate(
-                        result, level[i:], next_level,
-                        f"node budget ({max_nodes}) exhausted at "
-                        f"depth {depth}",
-                    )
-                    result.nodes_explored = explored
-                    return result
-                if deadline is not None and time.monotonic() > deadline:
-                    self._truncate(
-                        result, level[i:], next_level,
-                        f"wall-clock budget ({budget_seconds}s) "
-                        f"exhausted at depth {depth}",
-                    )
-                    result.nodes_explored = explored
-                    return result
-                explored += 1
-                kids = list(self.children(u)) if depth < max_depth \
-                    else None
-                if self.description.limit_holds(u, self.limit_depth):
-                    result.finite_solutions.append(u)
-                if kids is None:
-                    # at the bound: classify as frontier if extendable
-                    if any(True for _ in self.children(u)):
-                        result.frontier.append(u)
-                    elif not self.description.limit_holds(
-                            u, self.limit_depth):
-                        result.dead_ends.append(u)
-                    continue
-                if not kids and not self.description.limit_holds(
-                        u, self.limit_depth):
-                    result.dead_ends.append(u)
-                next_level.extend(kids)
-            level = next_level
-            if not level:
-                break
-        result.nodes_explored = explored
+        with tracer.span("solver.explore", category="solver",
+                         track="solver", depth=max_depth,
+                         max_nodes=max_nodes,
+                         limit_depth=self.limit_depth) as root:
+            for depth in range(max_depth + 1):
+                with tracer.span("solver.level", category="solver",
+                                 track="solver", depth=depth,
+                                 width=len(level)):
+                    next_level: list[Trace] = []
+                    for i, u in enumerate(level):
+                        reason = ""
+                        if explored >= max_nodes:
+                            reason = (f"node budget ({max_nodes}) "
+                                      f"exhausted at depth {depth}")
+                        elif deadline is not None and \
+                                time.monotonic() > deadline:
+                            reason = (f"wall-clock budget "
+                                      f"({budget_seconds}s) exhausted "
+                                      f"at depth {depth}")
+                        if reason:
+                            self._truncate(result, level[i:],
+                                           next_level, reason)
+                            if tracing:
+                                tracer.event(
+                                    "solver.truncate",
+                                    category="solver", track="solver",
+                                    reason=reason,
+                                    parked=len(result.frontier))
+                            break
+                        explored += 1
+                        if depth < max_depth:
+                            kids = (self._expand_traced(u, metrics)
+                                    if tracing
+                                    else list(self.children(u)))
+                        else:
+                            kids = None
+                        if self.description.limit_holds(
+                                u, self.limit_depth):
+                            result.finite_solutions.append(u)
+                            if tracing:
+                                tracer.event(
+                                    "solver.accept",
+                                    category="solver", track="solver",
+                                    node=repr(u), depth=depth)
+                        if kids is None:
+                            # at the bound: frontier if extendable
+                            if any(True for _ in self.children(u)):
+                                result.frontier.append(u)
+                            elif not self.description.limit_holds(
+                                    u, self.limit_depth):
+                                result.dead_ends.append(u)
+                            continue
+                        if not kids and not self.description.limit_holds(
+                                u, self.limit_depth):
+                            result.dead_ends.append(u)
+                            if tracing:
+                                tracer.event(
+                                    "solver.dead_end",
+                                    category="solver", track="solver",
+                                    node=repr(u), depth=depth)
+                        next_level.extend(kids)
+                    if tracing:
+                        metrics.gauge("solver.level_width").set(
+                            len(next_level))
+                    level = next_level
+                if result.truncated or not level:
+                    break
+            result.nodes_explored = explored
+            if tracing:
+                metrics.counter("solver.nodes_expanded").inc(explored)
+                metrics.counter("solver.finite_solutions").inc(
+                    len(result.finite_solutions))
+                metrics.counter("solver.dead_ends").inc(
+                    len(result.dead_ends))
+                metrics.gauge("solver.frontier_size").set(
+                    len(result.frontier))
+                result.metrics = metrics.summary()
+                root.annotate(nodes=explored,
+                              solutions=len(result.finite_solutions),
+                              truncated=result.truncated)
         return result
+
+    def _expand_traced(self, u: Trace,
+                       metrics: MetricsRegistry) -> list[Trace]:
+        """The :meth:`children` computation, narrated: one
+        ``solver.prune`` event per inadmissible candidate, branching
+        and prune counts into ``metrics``."""
+        f, g = self.description.lhs, self.description.rhs
+        gu = g.apply(u)
+        try:
+            events = list(self.candidates(u))
+        except CandidateError:
+            raise
+        except Exception as exc:
+            raise CandidateError(u, exc) from exc
+        kids: list[Trace] = []
+        pruned = 0
+        for event in events:
+            v = u.append(event)
+            fv = f.apply(v)
+            if self.description._leq(fv, gu, self.limit_depth):
+                kids.append(v)
+            else:
+                pruned += 1
+                self.tracer.event(
+                    "solver.prune", category="solver", track="solver",
+                    node=repr(u), candidate=repr(event),
+                    reason="f(v) ⋢ g(u)")
+        metrics.counter("solver.candidates_proposed").inc(len(events))
+        metrics.counter("solver.candidates_pruned").inc(pruned)
+        metrics.histogram("solver.branching").record(len(kids))
+        return kids
 
     @staticmethod
     def _truncate(result: SolverResult, unvisited: list[Trace],
@@ -242,10 +328,11 @@ class SmoothSolutionSolver:
 
 def solve(description: Description, channels: Iterable[Channel],
           max_depth: int,
-          limit_depth: int = DEFAULT_DEPTH) -> SolverResult:
+          limit_depth: int = DEFAULT_DEPTH,
+          tracer: Optional[Tracer] = None) -> SolverResult:
     """One-call convenience: explore over the channels' alphabets."""
     solver = SmoothSolutionSolver.over_channels(
-        description, channels, limit_depth=limit_depth
+        description, channels, limit_depth=limit_depth, tracer=tracer
     )
     return solver.explore(max_depth)
 

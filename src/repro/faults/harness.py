@@ -20,6 +20,7 @@ report's outcome counts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
@@ -33,6 +34,7 @@ from repro.faults.supervision import (
 )
 from repro.kahn.runtime import AgentFactory
 from repro.kahn.scheduler import RandomOracle
+from repro.obs.tracer import NULL_TRACER
 
 #: A no-fault grid cell (the control column of every grid).
 def no_faults() -> Optional[FaultPlan]:
@@ -48,6 +50,12 @@ class ConformanceCase:
     outcome: str            # conforms | violation | livelock | exhausted
     result: SupervisedRunResult
     detail: str = ""
+    #: wall-clock seconds for this cell (``time.monotonic`` based,
+    #: matching the solver's monotonic deadlines)
+    elapsed_s: float = 0.0
+    #: the run's metrics summary (populated when the grid is traced),
+    #: so a failing cell ships its own explanation
+    metrics: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         tail = f" ({self.detail})" if self.detail else ""
@@ -85,6 +93,10 @@ class ConformanceReport:
     def all_conform(self) -> bool:
         return all(c.outcome == "conforms" for c in self.cases)
 
+    def total_elapsed_s(self) -> float:
+        """Grid wall-clock: the sum of per-cell monotonic timings."""
+        return sum(c.elapsed_s for c in self.cases)
+
     def summary(self) -> str:
         counts = ", ".join(f"{k}: {v}"
                            for k, v in sorted(self.outcomes().items()))
@@ -102,7 +114,8 @@ def run_conformance(network: str,
                     max_steps: int = 10_000,
                     policy: Optional[RestartPolicy] = RestartPolicy(),
                     watchdog_limit: Optional[int] = 500,
-                    depth: int = DEFAULT_DEPTH) -> ConformanceReport:
+                    depth: int = DEFAULT_DEPTH,
+                    tracer=None) -> ConformanceReport:
     """Run ``agents`` under every ``plan × seed`` cell and check every
     quiescent trace against ``spec``.
 
@@ -116,15 +129,31 @@ def run_conformance(network: str,
     channel_list = list(channels)
     observed = set(observe) if observe is not None else None
     report = ConformanceReport(network=network)
-    for plan_name, make_plan in plans.items():
-        for seed in seeds:
-            result = run_supervised(
-                dict(agents), channel_list, RandomOracle(seed),
-                max_steps=max_steps, fault_plan=make_plan(),
-                policy=policy, watchdog_limit=watchdog_limit,
-            )
-            report.cases.append(_classify(
-                plan_name, seed, result, spec, observed, depth))
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("harness.grid", category="harness",
+                     track="harness", network=network,
+                     plans=sorted(plans)):
+        for plan_name, make_plan in plans.items():
+            for seed in seeds:
+                started = time.monotonic()
+                with tracer.span("harness.cell", category="harness",
+                                 track="harness", plan=plan_name,
+                                 seed=seed) as cell_span:
+                    result = run_supervised(
+                        dict(agents), channel_list,
+                        RandomOracle(seed),
+                        max_steps=max_steps, fault_plan=make_plan(),
+                        policy=policy,
+                        watchdog_limit=watchdog_limit,
+                        tracer=tracer,
+                    )
+                    case = _classify(
+                        plan_name, seed, result, spec, observed,
+                        depth)
+                    cell_span.annotate(outcome=case.outcome)
+                case.elapsed_s = time.monotonic() - started
+                case.metrics = result.metrics
+                report.cases.append(case)
     return report
 
 

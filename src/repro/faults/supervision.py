@@ -83,10 +83,11 @@ class SupervisedRuntime(Runtime):
                  channels: Iterable[Channel],
                  fault_plan: Optional[FaultPlan] = None,
                  policy: Optional[RestartPolicy] = RestartPolicy(),
-                 watchdog_limit: Optional[int] = 500):
+                 watchdog_limit: Optional[int] = 500,
+                 tracer=None):
         super().__init__(
             {name: make() for name, make in factories.items()},
-            channels, fault_plan=fault_plan,
+            channels, fault_plan=fault_plan, tracer=tracer,
         )
         self.factories = dict(factories)
         self.policy = policy
@@ -135,10 +136,24 @@ class SupervisedRuntime(Runtime):
             if agent.state is not AgentState.FAILED:
                 continue
             if self.restarts[agent.name] >= self.policy.max_restarts:
+                if self._tracing:
+                    self.tracer.event(
+                        "supervise.give_up", category="supervision",
+                        track="supervisor", agent=agent.name,
+                        restarts=self.restarts[agent.name],
+                        step=self.steps)
                 continue  # restarts exhausted: stays FAILED
             self.restarts[agent.name] += 1
-            self._resume_at[agent.name] = self.steps + self.policy.delay(
-                self.restarts[agent.name])
+            delay = self.policy.delay(self.restarts[agent.name])
+            self._resume_at[agent.name] = self.steps + delay
+            if self._tracing:
+                self.tracer.event(
+                    "supervise.restart", category="supervision",
+                    track="supervisor", agent=agent.name,
+                    restart=self.restarts[agent.name],
+                    backoff_steps=delay, step=self.steps)
+                self.metrics.counter(
+                    f"supervise.restarts.{agent.name}").inc()
             self._respawn(agent)
 
     def _respawn(self, agent: Agent) -> None:
@@ -210,6 +225,15 @@ class SupervisedRuntime(Runtime):
                     f"{self.steps - self._last_growth_step} steps\n"
                     + self.diagnose()
                 )
+                if self._tracing:
+                    self.tracer.event(
+                        "supervise.watchdog", category="supervision",
+                        track="supervisor", step=self.steps,
+                        stalled_for=(self.steps
+                                     - self._last_growth_step),
+                        diagnosis=self._diagnosis)
+                    self.metrics.counter(
+                        "supervise.watchdog_fired").inc()
                 break
         return self._result()
 
@@ -220,11 +244,11 @@ def run_supervised(factories: Dict[str, AgentFactory],
                    max_steps: int = 10_000,
                    fault_plan: Optional[FaultPlan] = None,
                    policy: Optional[RestartPolicy] = RestartPolicy(),
-                   watchdog_limit: Optional[int] = 500
-                   ) -> SupervisedRunResult:
+                   watchdog_limit: Optional[int] = 500,
+                   tracer=None) -> SupervisedRunResult:
     """One-call supervised run (mirrors ``run_network``)."""
     runtime = SupervisedRuntime(
         factories, channels, fault_plan=fault_plan,
-        policy=policy, watchdog_limit=watchdog_limit,
+        policy=policy, watchdog_limit=watchdog_limit, tracer=tracer,
     )
     return runtime.run(oracle, max_steps)

@@ -46,6 +46,8 @@ from repro.kahn.effects import (
     RecvAny,
     Send,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.traces.trace import Trace
 
 #: An agent body: a generator yielding effects and receiving answers.
@@ -113,6 +115,9 @@ class RunResult:
     #: per-channel residual contents: queued-but-unconsumed messages,
     #: plus anything still held in flight by a fault model
     undelivered: dict[str, list] = field(default_factory=dict)
+    #: per-run metrics summary (steps/sends/blocks per agent and
+    #: channel, fault actions, …) when the run was traced; else empty
+    metrics: dict = field(default_factory=dict)
 
     def events(self) -> list[Event]:
         return list(self.trace)
@@ -145,7 +150,8 @@ class Runtime:
 
     def __init__(self, agents: dict[str, AgentBody],
                  channels: Iterable[Channel],
-                 fault_plan: Optional[Any] = None):
+                 fault_plan: Optional[Any] = None,
+                 tracer: Optional[Tracer] = None):
         self.fault_plan = fault_plan
         if fault_plan is not None:
             agents = {name: fault_plan.wrap_agent(name, body)
@@ -157,6 +163,12 @@ class Runtime:
         }
         self.history: list[Event] = []
         self.steps = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: hot loops test this one flag; everything else is behind it
+        self._tracing = self.tracer.enabled
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self._tracing else None
+        )
 
     # -- channel plumbing --------------------------------------------------
 
@@ -180,8 +192,40 @@ class Runtime:
         if self.fault_plan is None:
             self._deliver(channel, message)
             return
-        for delivered in self.fault_plan.on_send(channel, message):
+        if not self._tracing:
+            for delivered in self.fault_plan.on_send(channel, message):
+                self._deliver(channel, delivered)
+            return
+        held_before = self.fault_plan.held_count()
+        deliveries = self.fault_plan.on_send(channel, message)
+        self._trace_fault_send(channel, message, deliveries,
+                               self.fault_plan.held_count()
+                               - held_before)
+        for delivered in deliveries:
             self._deliver(channel, delivered)
+
+    def _trace_fault_send(self, channel: Channel, message: Any,
+                          deliveries: list, held_delta: int) -> None:
+        """Narrate what the fault plan did to one send."""
+        if len(deliveries) == 1 and deliveries[0] == message \
+                and held_delta == 0:
+            action = "pass"
+        elif not deliveries and held_delta > 0:
+            action = "hold"
+        elif not deliveries:
+            action = "drop"
+        elif len(deliveries) > 1:
+            action = "duplicate"
+        elif deliveries[0] != message:
+            action = "corrupt"
+        else:
+            action = "perturb"
+        self.tracer.event(
+            "fault.send", category="fault", track="faults",
+            channel=channel.name, message=message, action=action,
+            delivered=len(deliveries), held=held_delta, step=self.steps)
+        self.metrics.counter(
+            f"faults.{action}.{channel.name}").inc()
 
     def _deliver(self, channel: Channel, message: Any) -> None:
         """Put ``message`` on the wire: queue it and record the event."""
@@ -237,15 +281,37 @@ class Runtime:
                     and self.fault_plan.held_count()):
                 for channel, message in self.fault_plan.flush():
                     self._deliver(channel, message)
+                    if self._tracing:
+                        self.tracer.event(
+                            "fault.flush", category="fault",
+                            track="faults", channel=channel.name,
+                            message=message, step=self.steps)
                 self.steps += 1
                 return True
             return False
         agent = ready[oracle.pick_agent(ready) % len(ready)]
-        self._run_one_effect(agent, oracle)
+        if self._tracing:
+            self.tracer.event(
+                "oracle.pick_agent", category="scheduler",
+                track="scheduler", step=self.steps,
+                ready=[a.name for a in ready], chosen=agent.name)
+            self.metrics.counter("oracle.agent_picks").inc()
+            self.metrics.counter(f"agent.steps.{agent.name}").inc()
+            self.metrics.gauge("runtime.ready_width").set(len(ready))
+            with self.tracer.span("step", category="runtime",
+                                  track=agent.name, step=self.steps):
+                self._run_one_effect(agent, oracle)
+        else:
+            self._run_one_effect(agent, oracle)
         self.steps += 1
         if self.fault_plan is not None:
             for channel, message in self.fault_plan.on_step():
                 self._deliver(channel, message)
+                if self._tracing:
+                    self.tracer.event(
+                        "fault.release", category="fault",
+                        track="faults", channel=channel.name,
+                        message=message, step=self.steps)
         return True
 
     def _advance(self, agent: Agent, value: Any) -> Optional[Effect]:
@@ -261,6 +327,11 @@ class Runtime:
             return agent.body.send(value)
         except StopIteration:
             agent.state = AgentState.HALTED
+            if self._tracing:
+                self.tracer.event(
+                    "agent.halt", category="runtime",
+                    track=agent.name, step=self.steps)
+                self.metrics.counter("agent.halts").inc()
             return None
         except Exception as error:
             agent.state = AgentState.FAILED
@@ -268,6 +339,12 @@ class Runtime:
                 agent=agent.name, step=self.steps, error=error,
                 traceback=_traceback.format_exc(),
             )
+            if self._tracing:
+                self.tracer.event(
+                    "agent.fail", category="runtime",
+                    track=agent.name, step=self.steps,
+                    error=f"{type(error).__name__}: {error}")
+                self.metrics.counter("agent.failures").inc()
             return None
 
     def _run_one_effect(self, agent: Agent, oracle: Oracle) -> None:
@@ -286,13 +363,28 @@ class Runtime:
 
     def _interpret(self, agent: Agent, effect: Effect,
                    oracle: Oracle) -> None:
+        tracing = self._tracing
         if isinstance(effect, Send):
+            if tracing:
+                self.tracer.event(
+                    "send", category="runtime", track=agent.name,
+                    channel=effect.channel.name,
+                    message=effect.message, step=self.steps)
+                self.metrics.counter(
+                    f"channel.sends.{effect.channel.name}").inc()
             self.send(effect.channel, effect.message)
             agent._next_input = None
         elif isinstance(effect, Recv):
             if self.available(effect.channel):
                 agent._next_input = self._queue(
                     effect.channel).popleft()
+                if tracing:
+                    self.tracer.event(
+                        "recv", category="runtime", track=agent.name,
+                        channel=effect.channel.name,
+                        message=agent._next_input, step=self.steps)
+                    self.metrics.counter(
+                        f"channel.recvs.{effect.channel.name}").inc()
             else:
                 self._block(agent, effect, (effect.channel,))
         elif isinstance(effect, RecvAny):
@@ -303,17 +395,47 @@ class Runtime:
                 agent._next_input = (
                     channel, self._queue(channel).popleft()
                 )
+                if tracing:
+                    self.tracer.event(
+                        "oracle.pick_choice", category="scheduler",
+                        track="scheduler", agent=agent.name,
+                        options=[c.name for c in live],
+                        chosen=channel.name, step=self.steps)
+                    self.tracer.event(
+                        "recv", category="runtime", track=agent.name,
+                        channel=channel.name,
+                        message=agent._next_input[1], step=self.steps)
+                    self.metrics.counter("oracle.choice_picks").inc()
+                    self.metrics.counter(
+                        f"channel.recvs.{channel.name}").inc()
             else:
                 self._block(agent, effect, effect.channels)
         elif isinstance(effect, Poll):
             agent._next_input = self.available(effect.channel)
+            if tracing:
+                self.tracer.event(
+                    "poll", category="runtime", track=agent.name,
+                    channel=effect.channel.name,
+                    available=agent._next_input, step=self.steps)
         elif isinstance(effect, Choose):
             agent._next_input = (
                 oracle.pick_choice(agent, effect.arity) % effect.arity
             )
+            if tracing:
+                self.tracer.event(
+                    "oracle.pick_choice", category="scheduler",
+                    track="scheduler", agent=agent.name,
+                    arity=effect.arity, chosen=agent._next_input,
+                    step=self.steps)
+                self.metrics.counter("oracle.choice_picks").inc()
         elif isinstance(effect, Halt):
             agent.body.close()
             agent.state = AgentState.HALTED
+            if tracing:
+                self.tracer.event(
+                    "agent.halt", category="runtime",
+                    track=agent.name, step=self.steps)
+                self.metrics.counter("agent.halts").inc()
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown effect {effect!r}")
 
@@ -322,6 +444,12 @@ class Runtime:
         agent.state = AgentState.BLOCKED
         agent.pending = effect
         agent.waiting_on = channels
+        if self._tracing:
+            self.tracer.event(
+                "agent.block", category="runtime", track=agent.name,
+                waiting_on=[c.name for c in channels],
+                step=self.steps)
+            self.metrics.counter("agent.blocks").inc()
 
     # -- running --------------------------------------------------------------
 
@@ -333,6 +461,14 @@ class Runtime:
                 if held:
                     out.setdefault(channel.name, []).extend(held)
         return out
+
+    def _metrics_summary(self) -> dict:
+        if self.metrics is None:
+            return {}
+        self.metrics.gauge("runtime.history_len").set(
+            len(self.history))
+        self.metrics.gauge("runtime.steps").set(self.steps)
+        return self.metrics.summary()
 
     def _result(self) -> RunResult:
         return RunResult(
@@ -348,11 +484,18 @@ class Runtime:
             failures={a.name: a.failure for a in self.agents
                       if a.failure is not None},
             undelivered=self.undelivered(),
+            metrics=self._metrics_summary(),
         )
 
     def run(self, oracle: Oracle, max_steps: int) -> RunResult:
         """Run until quiescence or the step bound."""
-        while self.steps < max_steps:
-            if not self.step(oracle):
-                break
+        with self.tracer.span(
+                "runtime.run", category="runtime", track="scheduler",
+                max_steps=max_steps,
+                agents=[a.name for a in self.agents]) as span:
+            while self.steps < max_steps:
+                if not self.step(oracle):
+                    break
+            span.annotate(steps=self.steps,
+                          history_len=len(self.history))
         return self._result()

@@ -89,20 +89,24 @@ def run_network(agents: dict[str, AgentBody],
                 channels: Iterable[Channel],
                 oracle: Oracle,
                 max_steps: int = 10_000,
-                fault_plan=None) -> RunResult:
+                fault_plan=None,
+                tracer=None) -> RunResult:
     """Build a runtime and run it to quiescence or the step bound.
 
     ``fault_plan`` (a :class:`repro.faults.plan.FaultPlan`) perturbs
     channel deliveries and may inject agent crashes/stalls.
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the run as spans
+    and events — agent steps, oracle picks, sends/receives, faults.
     """
-    return Runtime(agents, channels,
-                   fault_plan=fault_plan).run(oracle, max_steps)
+    return Runtime(agents, channels, fault_plan=fault_plan,
+                   tracer=tracer).run(oracle, max_steps)
 
 
 def sample_runs(make_agents, channels: Iterable[Channel],
                 seeds: Iterable[int],
                 max_steps: int = 10_000,
-                make_fault_plan=None) -> Iterator[RunResult]:
+                make_fault_plan=None,
+                tracer=None) -> Iterator[RunResult]:
     """One run per seed, each from a fresh copy of the network.
 
     ``make_agents`` is a zero-argument callable returning the agent
@@ -118,4 +122,5 @@ def sample_runs(make_agents, channels: Iterable[Channel],
             max_steps=max_steps,
             fault_plan=(None if make_fault_plan is None
                         else make_fault_plan()),
+            tracer=tracer,
         )

@@ -1,0 +1,64 @@
+"""Observability: structured tracing, metrics, and timeline export.
+
+The §3.3 tree search and the operational Kahn runtime are
+nondeterministic machines; a verdict alone (``violation``,
+``livelock``, ``truncated``) does not say *which* scheduler choices
+were taken, which candidates were pruned, or which faults fired.  This
+package makes the execution structure itself observable:
+
+* :mod:`~repro.obs.tracer` — nested spans and typed instant events
+  with monotonic timestamps; :data:`NULL_TRACER` compiles the whole
+  layer to a no-op when tracing is off;
+* :mod:`~repro.obs.metrics` — counters, gauges and histograms in a
+  :class:`MetricsRegistry`, summarized into plain dicts that ride on
+  ``SolverResult`` / ``RunResult`` / conformance cells;
+* :mod:`~repro.obs.sinks` — pluggable record sinks: in-memory ring
+  buffer, JSONL file, console pretty-printer;
+* :mod:`~repro.obs.perfetto` — a Chrome-trace-event exporter whose
+  output loads directly in Perfetto (https://ui.perfetto.dev) as a
+  per-agent timeline of the run.
+
+Instrumented layers: :mod:`repro.core.solver` (category ``solver``),
+:mod:`repro.kahn.runtime` + :mod:`repro.kahn.scheduler` (categories
+``runtime``/``scheduler``), and :mod:`repro.faults` (categories
+``fault``/``supervision``/``harness``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EventRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "ConsoleSink",
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferSink",
+    "Sink",
+    "SpanRecord",
+    "Tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,147 @@
+"""Metrics: counters, gauges and histograms for one run.
+
+A :class:`MetricsRegistry` is created per solver exploration / runtime
+run, filled by the instrumentation, and flattened by :meth:`summary`
+into the plain dict that rides on ``SolverResult.metrics``,
+``RunResult.metrics`` and conformance-grid cells — so a failing cell
+ships its own quantitative explanation.
+
+All three instruments are streaming (O(1) state): the histogram keeps
+count/total/min/max plus coarse power-of-two buckets rather than the
+raw samples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value instrument that also remembers its extremes."""
+
+    __slots__ = ("name", "value", "max_value", "min_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.min_value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+
+    def summary(self) -> Dict[str, Any]:
+        return {"last": self.value, "min": self.min_value,
+                "max": self.max_value}
+
+
+class Histogram:
+    """Streaming distribution: count/total/min/max + 2^k buckets.
+
+    Bucket ``k`` counts samples with ``2^(k-1) < v <= 2^k`` (bucket 0
+    counts ``v <= 1``, negatives included) — enough resolution to see
+    the shape of branching factors or queue depths without keeping
+    samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        k = 0
+        bound = 1
+        while value > bound:
+            bound *= 2
+            k += 1
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v
+                        for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; summarize to a plain dict."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(name)
+            return h
+
+    def summary(self) -> Dict[str, Any]:
+        """Flatten every instrument into one JSON-friendly dict.
+
+        Counters map to their integer value; gauges and histograms map
+        to small stat dicts.  Names are sorted so summaries diff
+        cleanly.
+        """
+        out: Dict[str, Any] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.summary()
+        for name, h in self._histograms.items():
+            out[name] = h.summary()
+        return dict(sorted(out.items()))

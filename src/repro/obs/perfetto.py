@@ -1,0 +1,79 @@
+"""Chrome-trace-event export: run timelines that load in Perfetto.
+
+Converts a stream of :class:`~repro.obs.tracer.SpanRecord` /
+:class:`~repro.obs.tracer.EventRecord` values into the JSON object
+format understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+spans become complete (``"ph": "X"``) events, instants become
+``"ph": "i"`` events, and each tracer *track* (agent, solver, fault
+layer, …) becomes a named thread row via ``"M"`` metadata events.
+
+Timestamps convert from the tracer's nanoseconds to the format's
+microseconds (floats are allowed, so sub-µs resolution survives).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.tracer import _jsonable
+
+_PID = 1
+
+
+def to_chrome_trace(records: Iterable[Any],
+                    process_name: str = "repro") -> Dict[str, Any]:
+    """Build the Chrome-trace-event JSON object for ``records``."""
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+
+    def tid_for(track: str) -> int:
+        try:
+            return tids[track]
+        except KeyError:
+            tid = tids[track] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID,
+                "tid": tid, "args": {"name": track},
+            })
+            return tid
+
+    trace_events.append({
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": process_name},
+    })
+    for rec in records:
+        tid = tid_for(rec.track)
+        args = {k: _jsonable(v) for k, v in rec.args.items()}
+        if rec.kind == "span":
+            trace_events.append({
+                "name": rec.name,
+                "cat": rec.category or "span",
+                "ph": "X",
+                "ts": rec.start_ns / 1000.0,
+                "dur": rec.dur_ns / 1000.0,
+                "pid": _PID,
+                "tid": tid,
+                "args": args,
+            })
+        else:
+            trace_events.append({
+                "name": rec.name,
+                "cat": rec.category or "event",
+                "ph": "i",
+                "ts": rec.ts_ns / 1000.0,
+                "s": "t",  # thread-scoped instant
+                "pid": _PID,
+                "tid": tid,
+                "args": args,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[Any], path: str,
+                       process_name: str = "repro") -> int:
+    """Write the Perfetto-loadable JSON file; returns the event count."""
+    doc = to_chrome_trace(records, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -18,11 +18,20 @@ from repro.traces.trace import Trace
 
 
 def render_trace(t: Trace, max_events: int = 16) -> str:
-    """One-line trace rendering: ``(b,0)(d,0)…``."""
+    """One-line trace rendering: ``(b,0)(d,0)…``.
+
+    The trailing ``…`` means *more events exist than were shown*.  For
+    a trace of unknown length we probe one event past the cap: a lazy
+    trace that exhausts within ``max_events`` renders exactly like the
+    equivalent finite trace (no false truncation marker).
+    """
     n = t.events.known_length()
     if n is None:
-        shown = "".join(repr(e) for e in t.iter_upto(max_events))
-        return shown + "…"
+        probed = list(t.iter_upto(max_events + 1))
+        if not probed:
+            return "ε"
+        shown = "".join(repr(e) for e in probed[:max_events])
+        return shown + ("…" if len(probed) > max_events else "")
     if n == 0:
         return "ε"
     shown = "".join(
@@ -110,7 +119,34 @@ def render_run(result: RunResult) -> str:
         lines.append(f"halted:  {', '.join(result.halted_agents)}")
     if result.blocked_agents:
         lines.append(f"blocked: {', '.join(result.blocked_agents)}")
+    if result.failed_agents:
+        lines.append(f"failed:  {', '.join(result.failed_agents)}")
     return "\n".join(lines)
+
+
+def render_metrics(metrics: dict, title: str = "metrics") -> str:
+    """Render a metrics summary dict (see
+    :meth:`repro.obs.MetricsRegistry.summary`): counters as plain
+    numbers, gauge/histogram stat dicts as compact ``k=v`` rows."""
+    if not metrics:
+        return f"{title}: (none recorded — run with a tracer)"
+    lines = [f"{title}:"]
+    for name, value in metrics.items():
+        if isinstance(value, dict):
+            stats = " ".join(
+                f"{k}={_fmt_stat(v)}" for k, v in value.items()
+                if k != "buckets" and v is not None
+            )
+            lines.append(f"  {name:<32s} {stats}")
+        else:
+            lines.append(f"  {name:<32s} {value}")
+    return "\n".join(lines)
+
+
+def _fmt_stat(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.3g}"
+    return str(v)
 
 
 def render_table(headers: Iterable[str],

@@ -1,0 +1,76 @@
+"""Tests for the metrics registry."""
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauge:
+    def test_tracks_last_and_extremes(self):
+        g = MetricsRegistry().gauge("width")
+        for v in (3, 7, 2):
+            g.set(v)
+        assert g.summary() == {"last": 2, "min": 2, "max": 7}
+
+    def test_unset_gauge_summary(self):
+        g = MetricsRegistry().gauge("width")
+        assert g.summary() == {"last": None, "min": None, "max": None}
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        h = MetricsRegistry().histogram("branching")
+        for v in (1, 2, 3, 10):
+            h.record(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["total"] == 16.0
+        assert s["min"] == 1 and s["max"] == 10
+        assert s["mean"] == 4.0
+
+    def test_power_of_two_buckets(self):
+        h = MetricsRegistry().histogram("h")
+        h.record(1)    # bucket 0: v <= 1
+        h.record(2)    # bucket 1: 1 < v <= 2
+        h.record(3)    # bucket 2: 2 < v <= 4
+        h.record(4)    # bucket 2
+        h.record(100)  # bucket 7: 64 < v <= 128
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 7: 1}
+
+    def test_empty_histogram_mean_is_none(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.mean is None
+        assert h.summary()["count"] == 0
+
+
+class TestRegistrySummary:
+    def test_summary_flattens_and_sorts(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.gauge("a.width").set(5)
+        reg.histogram("m.dist").record(1)
+        summary = reg.summary()
+        assert list(summary) == sorted(summary)
+        assert summary["z.count"] == 2
+        assert summary["a.width"]["last"] == 5
+        assert summary["m.dist"]["count"] == 1
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").record(3)
+        json.dumps(reg.summary())

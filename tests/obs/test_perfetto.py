@@ -1,0 +1,72 @@
+"""Tests for the Chrome-trace-event / Perfetto exporter."""
+
+import json
+
+from repro.obs import (
+    RingBufferSink,
+    Tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def recorded_run():
+    sink = RingBufferSink()
+    tracer = Tracer([sink])
+    with tracer.span("explore", category="solver", track="solver",
+                     depth=3):
+        tracer.event("prune", category="solver", track="solver")
+    with tracer.span("step", category="runtime", track="sender"):
+        pass
+    return sink.records
+
+
+class TestExport:
+    def test_document_shape(self):
+        doc = to_chrome_trace(recorded_run())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"]
+
+    def test_spans_become_complete_events(self):
+        doc = to_chrome_trace(recorded_run())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"explore", "step"}
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["pid"] == 1 and e["tid"] >= 1
+
+    def test_instants_become_i_events(self):
+        doc = to_chrome_trace(recorded_run())
+        [instant] = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "prune"
+        assert instant["s"] == "t"
+
+    def test_tracks_become_named_threads(self):
+        doc = to_chrome_trace(recorded_run(), process_name="demo")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"demo", "solver", "sender"} <= names
+        # records on the same track share a tid
+        spans = {e["name"]: e["tid"] for e in doc["traceEvents"]
+                 if e["ph"] in ("X", "i")}
+        assert spans["explore"] == spans["prune"]
+        assert spans["explore"] != spans["step"]
+
+    def test_timestamps_are_microseconds(self):
+        records = recorded_run()
+        doc = to_chrome_trace(records)
+        span = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "explore")
+        source = next(r for r in records
+                      if getattr(r, "name", "") == "explore")
+        assert span["ts"] == source.start_ns / 1000.0
+
+    def test_output_is_json_serializable(self):
+        json.dumps(to_chrome_trace(recorded_run()))
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "run.perfetto.json"
+        count = write_chrome_trace(recorded_run(), str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count > 0

@@ -1,0 +1,170 @@
+"""Tests for the structured tracer and its sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    ConsoleSink,
+    EventRecord,
+    JsonlSink,
+    NullTracer,
+    RingBufferSink,
+    SpanRecord,
+    Tracer,
+)
+
+
+def make_tracer():
+    sink = RingBufferSink()
+    return Tracer([sink]), sink
+
+
+class TestSpans:
+    def test_span_records_name_category_track(self):
+        tracer, sink = make_tracer()
+        with tracer.span("work", category="solver", track="t1", n=3):
+            pass
+        [rec] = sink.records
+        assert isinstance(rec, SpanRecord)
+        assert rec.name == "work"
+        assert rec.category == "solver"
+        assert rec.track == "t1"
+        assert rec.args == {"n": 3}
+
+    def test_span_duration_is_nonnegative_monotonic(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sink.records
+        assert inner.dur_ns >= 0 and outer.dur_ns >= 0
+        assert outer.start_ns <= inner.start_ns
+        assert (outer.start_ns + outer.dur_ns
+                >= inner.start_ns + inner.dur_ns)
+
+    def test_nesting_depth_per_track(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer", track="a"):
+            with tracer.span("inner", track="a"):
+                pass
+            with tracer.span("other-track", track="b"):
+                pass
+        by_name = {r.name: r for r in sink.records}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["other-track"].depth == 0
+
+    def test_annotate_attaches_late_args(self):
+        tracer, sink = make_tracer()
+        with tracer.span("work") as span:
+            span.annotate(result=42)
+        assert sink.records[0].args["result"] == 42
+
+    def test_span_emitted_on_exception(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert sink.records[0].name == "doomed"
+
+    def test_events_are_instants(self):
+        tracer, sink = make_tracer()
+        tracer.event("tick", category="runtime", track="x", k="v")
+        [rec] = sink.records
+        assert isinstance(rec, EventRecord)
+        assert rec.ts_ns >= 0
+        assert rec.args == {"k": "v"}
+
+    def test_timestamps_increase(self):
+        tracer, sink = make_tracer()
+        tracer.event("a")
+        tracer.event("b")
+        a, b = sink.records
+        assert b.ts_ns >= a.ts_ns
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+        assert Tracer().enabled is True
+
+    def test_noop_span_and_event(self):
+        # must not raise, must not record anywhere
+        with NULL_TRACER.span("x", category="c", a=1) as s:
+            s.annotate(b=2)
+        NULL_TRACER.event("y", arg="z")
+
+    def test_null_span_is_shared(self):
+        s1 = NULL_TRACER.span("a")
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2
+
+
+class TestRingBufferSink:
+    def test_capacity_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer([sink])
+        for i in range(10):
+            tracer.event(f"e{i}")
+        assert len(sink) == 3
+        assert [r.name for r in sink] == ["e7", "e8", "e9"]
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        Tracer([sink]).event("e")
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        tracer = Tracer([sink])
+        with tracer.span("s", category="solver", n=1):
+            tracer.event("e", category="runtime", who="me")
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 == sink.count
+        event, span = (json.loads(line) for line in lines)
+        assert event["kind"] == "event" and event["name"] == "e"
+        assert span["kind"] == "span" and span["args"] == {"n": 1}
+
+    def test_nonserializable_args_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        Tracer([sink]).event("e", obj=object())
+        sink.close()
+        rec = json.loads(path.read_text())
+        assert rec["args"]["obj"].startswith("<object object")
+
+    def test_closed_sink_rejects_records(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError):
+            Tracer([sink]).event("late")
+
+
+class TestConsoleSink:
+    def test_pretty_prints_with_indent(self):
+        buffer = io.StringIO()
+        tracer = Tracer([ConsoleSink(stream=buffer)])
+        with tracer.span("outer", track="a"):
+            with tracer.span("inner", track="a", n=1):
+                tracer.event("tick", track="a")
+        out = buffer.getvalue()
+        assert "outer" in out and "inner" in out and "tick" in out
+        assert "n=1" in out
+
+    def test_category_filter(self):
+        buffer = io.StringIO()
+        sink = ConsoleSink(stream=buffer, categories={"solver"})
+        tracer = Tracer([sink])
+        tracer.event("keep", category="solver")
+        tracer.event("skip", category="runtime")
+        out = buffer.getvalue()
+        assert "keep" in out and "skip" not in out

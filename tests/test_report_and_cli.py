@@ -3,6 +3,7 @@
 import pytest
 
 from repro.channels.channel import Channel
+from repro.channels.event import Event
 from repro.core.description import Description, DescriptionSystem, combine
 from repro.core.solver import solve
 from repro.functions.base import chan
@@ -11,6 +12,7 @@ from repro.kahn.agents import dfm_agent, source_agent
 from repro.kahn.scheduler import RandomOracle, run_network
 from repro.report import (
     render_description,
+    render_metrics,
     render_run,
     render_solver_result,
     render_system,
@@ -47,6 +49,28 @@ class TestRenderers:
     def test_render_trace_lazy(self):
         t = Trace.cycle_pairs([(B, 0)])
         assert render_trace(t, max_events=2).endswith("…")
+
+    def test_render_trace_short_lazy_not_marked_truncated(self):
+        # a lazy trace that exhausts before the cap is NOT truncated
+        t = Trace.lazy(iter([Event(B, 0), Event(D, 0)]))
+        assert render_trace(t, max_events=16) == "(b,0)(d,0)"
+
+    def test_render_trace_lazy_exactly_at_cap(self):
+        t = Trace.lazy(iter([Event(B, 0), Event(B, 0)]))
+        assert render_trace(t, max_events=2) == "(b,0)(b,0)"
+
+    def test_render_trace_lazy_one_past_cap(self):
+        t = Trace.lazy(iter([Event(B, 0)] * 3))
+        rendered = render_trace(t, max_events=2)
+        assert rendered == "(b,0)(b,0)…"
+
+    def test_render_trace_empty_lazy(self):
+        t = Trace.lazy(iter([]))
+        assert render_trace(t) == "ε"
+
+    def test_render_trace_finite_exactly_at_cap(self):
+        t = Trace.from_pairs([(B, 0), (B, 2)])
+        assert render_trace(t, max_events=2) == "(b,0)(b,2)"
 
     def test_render_description(self):
         text = render_description(
@@ -99,6 +123,47 @@ class TestRenderers:
         assert len(lines) == 4
         assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
 
+    def test_render_run_shows_failed_agents(self):
+        from repro.kahn.effects import Send
+
+        def crasher():
+            yield Send(B, 0)
+            raise ValueError("kaput")
+
+        result = run_network({"crash": crasher()}, [B],
+                             RandomOracle(0), max_steps=10)
+        text = render_run(result)
+        assert "failed:  crash" in text
+
+    def test_render_solver_result_reflects_fields(self):
+        # round-trip: every headline number appears in the rendering
+        result = solve(dfm(), [B, C, D], max_depth=3)
+        text = render_solver_result(result, max_listed=100)
+        assert str(result.nodes_explored) in text
+        assert str(len(result.finite_solutions)) in text
+        for t in result.finite_solutions:
+            assert render_trace(t) in text
+
+    def test_render_verdict_roundtrips_trace(self):
+        t = Trace.from_pairs([(B, 0), (D, 0)])
+        text = render_verdict(dfm().check(t))
+        assert render_trace(t) in text
+        assert "dfm" in text
+
+    def test_render_metrics_counters_and_stats(self):
+        text = render_metrics({
+            "solver.nodes_expanded": 7,
+            "solver.branching": {"count": 3, "mean": 2.5,
+                                 "min": 1, "max": 4,
+                                 "buckets": {"1": 3}},
+        })
+        assert "solver.nodes_expanded" in text and "7" in text
+        assert "mean=2.5" in text
+        assert "buckets" not in text  # too noisy for the one-liner
+
+    def test_render_metrics_empty(self):
+        assert "none recorded" in render_metrics({})
+
 
 class TestCli:
     @pytest.mark.parametrize(
@@ -122,3 +187,47 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+class TestTraceCli:
+    @pytest.mark.parametrize("example", ["alternating_bit", "dfm"])
+    def test_trace_writes_perfetto_json(self, example, tmp_path,
+                                        capsys):
+        import json
+
+        from repro.__main__ import main
+
+        out = tmp_path / f"{example}.perfetto.json"
+        assert main(["trace", example, "-o", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events
+        cats = {e.get("cat") for e in events}
+        assert "solver" in cats
+        assert "scheduler" in cats
+
+    def test_abp_trace_has_fault_spans_and_jsonl(self, tmp_path,
+                                                 capsys):
+        import json
+
+        from repro.__main__ import main
+
+        out = tmp_path / "abp.perfetto.json"
+        jsonl = tmp_path / "abp.jsonl"
+        assert main(["trace", "alternating_bit", "-o", str(out),
+                     "--jsonl", str(jsonl)]) == 0
+        del capsys  # output checked via files
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"solver", "scheduler", "fault", "runtime"} <= cats
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+    def test_trace_rejects_unknown_example(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["trace", "not_an_example"])
