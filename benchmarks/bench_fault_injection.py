@@ -97,6 +97,50 @@ def test_traced_grid_writes_jsonl():
     assert report.all_conform, report.violations
 
 
+def test_recorder_overhead_within_noise(benchmark):
+    """Flight recording is list appends on the oracle/RNG hot path;
+    its cost must stay within run-to-run noise so ``record=True`` can
+    be the harness default.  Times the same fair-loss campaign with
+    the recorder off and on and asserts a lenient ratio bound (the
+    loose factor absorbs CI timer jitter on a ~10ms workload)."""
+    import time
+
+    spec = service_spec(MESSAGES).combined()
+    plans = {"fair-loss": lambda: fair_loss_plan(seed=11)}
+
+    def campaign(record):
+        return run_conformance(
+            "abp-direct", direct_agents(MESSAGES), FAULTY_CHANNELS,
+            spec, plans, SEEDS, observe={OUT}, max_steps=4000,
+            watchdog_limit=600, record=record,
+        )
+
+    def measure(record, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            report = campaign(record)
+            best = min(best, time.perf_counter() - started)
+            assert report.all_conform, report.violations
+        return best
+
+    campaign(False)  # warm-up
+    off = measure(False)
+    on = measure(True)
+    recorded = benchmark(lambda: campaign(True))
+    decisions = sum(len(c.schedule) for c in recorded.cases)
+    banner("EXT-OBS", "flight-recorder overhead on the fair-loss grid")
+    row("recorder off (ms, best-of-3)", round(off * 1e3, 2))
+    row("recorder on  (ms, best-of-3)", round(on * 1e3, 2))
+    row("overhead ratio", round(on / off, 3))
+    row("decisions recorded", decisions)
+    assert decisions > 0
+    assert on < off * 1.5 + 0.01, (
+        f"recording cost {on / off:.2f}x the unrecorded campaign "
+        f"({off * 1e3:.1f}ms -> {on * 1e3:.1f}ms)"
+    )
+
+
 def test_watchdog_beats_step_budget(benchmark):
     budget = 50_000
 

@@ -9,7 +9,15 @@ Commands:
 * ``zoo``            — one-line membership sample per catalog process;
 * ``trace``          — record an instrumented run of an example and
   write a Chrome-trace-event timeline (open it in
-  https://ui.perfetto.dev) plus, optionally, a JSONL event log.
+  https://ui.perfetto.dev) plus, optionally, a JSONL event log;
+* ``record``         — flight-record a scenario run (every oracle
+  decision and fault RNG draw) into a schedule JSON;
+* ``replay``         — re-execute a recorded schedule bit-for-bit and
+  verify the run digest (exit 0 iff it matches);
+* ``diff``           — first-divergence report between two recorded
+  schedules and their (lenient) replays;
+* ``shrink``         — delta-debug a failing schedule to a locally
+  minimal one that preserves the verdict.
 """
 
 from __future__ import annotations
@@ -20,6 +28,9 @@ import sys
 
 #: Examples the ``trace`` command knows how to record.
 TRACE_EXAMPLES = ("alternating_bit", "dfm")
+
+#: Scenarios the flight-recorder commands know how to (re)build.
+RECORD_SCENARIOS = ("alternating_bit", "dfm")
 
 
 def cmd_summary() -> int:
@@ -238,45 +249,324 @@ def cmd_trace(example: str, out: str | None, jsonl: str | None,
     return 0
 
 
+# -- flight-recorder scenarios ----------------------------------------------
+#
+# A scenario bundles everything needed to *rebuild* a recorded run
+# from its schedule's meta alone: the agents, the channels, the spec
+# and fresh identically-seeded plan factories.  ``record`` stamps the
+# scenario name into ``meta["scenario"]``; ``replay``/``shrink`` read
+# it back, so a schedule JSON is a self-contained repro.
+
+
+def _import_example(name: str):
+    examples = _examples_dir()
+    if not examples.is_dir():
+        raise FileNotFoundError(
+            f"examples directory not found at {examples}")
+    if str(examples) not in sys.path:
+        sys.path.insert(0, str(examples))
+    import importlib
+    return importlib.import_module(name)
+
+
+def _abp_plans(seed: int) -> dict:
+    abp = _import_example("alternating_bit")
+    return {
+        "no-faults": abp.no_faults,
+        "fair-loss": lambda: abp.fair_loss_plan(seed=seed),
+        "heavy-loss": lambda: abp.fair_loss_plan(seed=seed, p=0.5),
+        "loss+dup": lambda: abp.loss_and_duplication_plan(seed=seed),
+        "black-hole": abp.unfair_loss_plan,
+    }
+
+
+def _dfm_network():
+    from repro.channels import Channel
+    from repro.kahn.agents import dfm_agent, source_agent
+
+    b = Channel("b", alphabet={0, 2})
+    c = Channel("c", alphabet={1, 3})
+    d = Channel("d", alphabet={0, 1, 2, 3})
+
+    def make_agents():
+        return {"eb": source_agent(b, [0, 2, 0, 2]),
+                "dfm": dfm_agent(b, c, d)}
+
+    return make_agents, [b, c, d]
+
+
+def _dfm_plan(plan_name: str, seed: int):
+    if plan_name == "none":
+        return None
+    if plan_name == "drop":
+        from repro.faults import DropFault, FaultPlan
+        make_agents, channels = _dfm_network()
+        b = channels[0]
+        return FaultPlan(
+            {b: DropFault(seed=seed, p=0.4,
+                          max_consecutive_drops=2)},
+            name="drop")
+    raise KeyError(f"unknown dfm plan {plan_name!r} "
+                   "(choices: none, drop)")
+
+
+def cmd_record(scenario: str, plan_name: str | None, seed: int,
+               max_steps: int, out: str | None) -> int:
+    """Flight-record one scenario run; write the schedule JSON."""
+    out = out or f"{scenario}.schedule.json"
+    if scenario == "alternating_bit":
+        abp = _import_example("alternating_bit")
+        from repro.faults import run_conformance
+
+        plan_name = plan_name or "fair-loss"
+        plans = _abp_plans(seed)
+        if plan_name not in plans:
+            print(f"unknown plan {plan_name!r} "
+                  f"(choices: {', '.join(sorted(plans))})",
+                  file=sys.stderr)
+            return 2
+        limit = None if plan_name == "black-hole" else 50
+        report = run_conformance(
+            "abp-direct",
+            abp.direct_agents(abp.MESSAGES, retransmit_limit=limit),
+            abp.FAULTY_CHANNELS,
+            abp.service_spec(abp.MESSAGES).combined(),
+            {plan_name: plans[plan_name]}, seeds=[seed],
+            observe={abp.OUT}, max_steps=max_steps,
+            watchdog_limit=600,
+        )
+        case = report.cases[0]
+        schedule = case.schedule
+        schedule.meta["scenario"] = scenario
+        schedule.meta["retransmit_limit"] = limit
+        print(case)
+    elif scenario == "dfm":
+        from repro.kahn.scheduler import RandomOracle, run_network
+
+        plan_name = plan_name or "none"
+        make_agents, channels = _dfm_network()
+        result = run_network(
+            make_agents(), channels, RandomOracle(seed),
+            max_steps=max_steps,
+            fault_plan=_dfm_plan(plan_name, seed), record=True,
+        )
+        schedule = result.schedule
+        schedule.meta.update(scenario=scenario, plan=plan_name,
+                             seed=seed)
+        print(f"dfm × seed {seed} × plan {plan_name}: "
+              f"quiescent={result.quiescent} in {result.steps} steps")
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown scenario {scenario!r}", file=sys.stderr)
+        return 2
+    schedule.save(out)
+    print(f"recorded {len(schedule)} decision(s) "
+          f"(digest {schedule.meta['digest'][:16]}) to {out}")
+    return 0
+
+
+def _replay_schedule(schedule, lenient: bool):
+    """Re-run a schedule per its ``meta['scenario']``.
+
+    Returns ``(outcome, result, recorded_outcome)`` where outcome is
+    None for scenarios without a conformance verdict.
+    """
+    scenario = schedule.meta.get("scenario")
+    fallback = None
+    if lenient:
+        from repro.kahn.scheduler import FirstOracle
+        fallback = FirstOracle()
+    if scenario == "alternating_bit":
+        abp = _import_example("alternating_bit")
+        from repro.faults import replay_conformance_case
+
+        case = replay_conformance_case(
+            schedule,
+            abp.direct_agents(
+                abp.MESSAGES,
+                retransmit_limit=schedule.meta.get(
+                    "retransmit_limit", 50)),
+            abp.FAULTY_CHANNELS,
+            abp.service_spec(abp.MESSAGES).combined(),
+            _abp_plans(int(schedule.meta.get("seed", 11))),
+            observe={abp.OUT}, fallback=fallback,
+        )
+        return case.outcome, case.result, schedule.meta.get("outcome")
+    if scenario == "dfm":
+        from repro.obs.replay import replay_network
+
+        make_agents, channels = _dfm_network()
+        plan = _dfm_plan(schedule.meta.get("plan", "none"),
+                         int(schedule.meta.get("seed", 11)))
+        report = replay_network(
+            schedule, make_agents(), channels, fault_plan=plan,
+            fallback=fallback,
+        )
+        return None, report.result, None
+    raise KeyError(
+        f"schedule has no replayable scenario "
+        f"(meta['scenario'] = {scenario!r})")
+
+
+def cmd_replay(path: str, lenient: bool) -> int:
+    """Replay a schedule JSON; exit 0 iff the run digest matches."""
+    from repro.obs.recorder import Schedule
+    from repro.report import render_schedule
+
+    schedule = Schedule.load(path)
+    print(render_schedule(schedule, max_decisions=4))
+    outcome, result, recorded_outcome = _replay_schedule(
+        schedule, lenient)
+    expected = schedule.meta.get("digest", "")
+    actual = result.digest()
+    ok = actual == expected
+    if outcome is not None:
+        print(f"outcome: {outcome} "
+              f"(recorded: {recorded_outcome})")
+        ok = ok and outcome == recorded_outcome
+    print(f"digest:  {actual[:16]} "
+          f"(recorded: {expected[:16] or '<missing>'})")
+    print("replay " + ("MATCHES the recording"
+                       if ok else "DIVERGED from the recording"))
+    return 0 if ok else 1
+
+
+def cmd_diff(path_a: str, path_b: str) -> int:
+    """First-divergence report for two schedules and their replays."""
+    from repro.obs.diff import diff_runs, diff_schedules
+    from repro.obs.recorder import Schedule
+    from repro.report import render_run_diff, render_schedule_diff
+
+    a, b = Schedule.load(path_a), Schedule.load(path_b)
+    sdiff = diff_schedules(a, b)
+    print(render_schedule_diff(sdiff))
+    try:
+        _, result_a, _ = _replay_schedule(a, lenient=True)
+        _, result_b, _ = _replay_schedule(b, lenient=True)
+    except KeyError as exc:
+        print(f"(replay diff skipped: {exc})")
+        return 0 if sdiff.identical else 1
+    rdiff = diff_runs(result_a, result_b)
+    print(render_run_diff(rdiff))
+    return 0 if sdiff.identical and rdiff.identical else 1
+
+
+def cmd_shrink(path: str, out: str | None) -> int:
+    """ddmin a failing schedule; write the minimal one."""
+    from repro.obs.diff import shrink_schedule
+    from repro.obs.recorder import Schedule
+
+    schedule = Schedule.load(path)
+    recorded_outcome = schedule.meta.get("outcome")
+    recorded_digest = schedule.meta.get("digest")
+
+    def verdict_preserved(candidate) -> bool:
+        try:
+            outcome, result, _ = _replay_schedule(candidate,
+                                                  lenient=True)
+        except Exception:
+            return False
+        if recorded_outcome is not None:
+            return outcome == recorded_outcome
+        return result.digest() == recorded_digest
+
+    small = shrink_schedule(schedule, verdict_preserved)
+    # the shrunk schedule describes a *different* (minimal) run that
+    # reaches the same verdict: stamp that run's own digest so
+    # ``replay --lenient`` of the minimal file verifies cleanly
+    outcome, result, _ = _replay_schedule(small, lenient=True)
+    small.meta["original_digest"] = recorded_digest
+    small.meta["digest"] = result.digest()
+    if outcome is not None:
+        small.meta["outcome"] = outcome
+    out = out or str(pathlib.Path(path).with_suffix(".min.json"))
+    small.save(out)
+    print(f"shrunk {len(schedule)} -> {len(small)} decision(s); "
+          f"verdict {recorded_outcome or 'digest match'} preserved")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="demo runner for the PODC'89 reproduction",
     )
-    parser.add_argument(
-        "command",
-        choices=["summary", "dfm", "anomaly", "fig3", "zoo", "trace"],
-        nargs="?",
-        default="summary",
-    )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command")
+    for name in ("summary", "dfm", "anomaly", "fig3", "zoo"):
+        sub.add_parser(name)
+
+    p_trace = sub.add_parser(
+        "trace", help="record an instrumented run, export Perfetto")
+    p_trace.add_argument(
         "example", nargs="?", choices=TRACE_EXAMPLES,
         default="alternating_bit",
-        help="for `trace`: which example run to record",
+        help="which example run to record",
     )
-    parser.add_argument(
+    p_trace.add_argument(
         "-o", "--out", default=None,
-        help="for `trace`: output path "
-             "(default <example>.perfetto.json)",
+        help="output path (default <example>.perfetto.json)",
     )
-    parser.add_argument(
+    p_trace.add_argument(
         "--jsonl", default=None,
-        help="for `trace`: also write a JSONL event log here",
+        help="also write a JSONL event log here",
     )
-    parser.add_argument("--seed", type=int, default=11,
-                        help="for `trace`: oracle/fault seed")
-    parser.add_argument("--max-steps", type=int, default=4000,
-                        help="for `trace`: runtime step budget")
+    p_trace.add_argument("--seed", type=int, default=11,
+                         help="oracle/fault seed")
+    p_trace.add_argument("--max-steps", type=int, default=4000,
+                         help="runtime step budget")
+
+    p_record = sub.add_parser(
+        "record", help="flight-record a scenario into a schedule JSON")
+    p_record.add_argument("scenario", choices=RECORD_SCENARIOS)
+    p_record.add_argument(
+        "--plan", default=None,
+        help="fault plan name (alternating_bit: no-faults, fair-loss,"
+             " heavy-loss, loss+dup, black-hole; dfm: none, drop)")
+    p_record.add_argument("--seed", type=int, default=11)
+    p_record.add_argument("--max-steps", type=int, default=4000)
+    p_record.add_argument(
+        "-o", "--out", default=None,
+        help="schedule path (default <scenario>.schedule.json)")
+
+    p_replay = sub.add_parser(
+        "replay", help="re-execute a schedule, verify the digest")
+    p_replay.add_argument("schedule", help="schedule JSON path")
+    p_replay.add_argument(
+        "--lenient", action="store_true",
+        help="fall back to a deterministic oracle past divergences")
+
+    p_diff = sub.add_parser(
+        "diff", help="first divergence between two schedules")
+    p_diff.add_argument("schedule_a")
+    p_diff.add_argument("schedule_b")
+
+    p_shrink = sub.add_parser(
+        "shrink", help="ddmin a failing schedule to a minimal one")
+    p_shrink.add_argument("schedule", help="schedule JSON path")
+    p_shrink.add_argument(
+        "-o", "--out", default=None,
+        help="output path (default <schedule>.min.json)")
+
     args = parser.parse_args(argv)
     if args.command == "trace":
         return cmd_trace(args.example, args.out, args.jsonl,
                          args.seed, args.max_steps)
+    if args.command == "record":
+        return cmd_record(args.scenario, args.plan, args.seed,
+                          args.max_steps, args.out)
+    if args.command == "replay":
+        return cmd_replay(args.schedule, args.lenient)
+    if args.command == "diff":
+        return cmd_diff(args.schedule_a, args.schedule_b)
+    if args.command == "shrink":
+        return cmd_shrink(args.schedule, args.out)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,
         "anomaly": cmd_anomaly,
         "fig3": cmd_fig3,
         "zoo": cmd_zoo,
+        None: cmd_summary,
     }
     return dispatch[args.command]()
 

@@ -29,6 +29,8 @@ from repro.channels.channel import Channel
 from repro.channels.event import Event
 from repro.core.description import DEFAULT_DEPTH, Description
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Schedule, stable_digest
+from repro.obs.replay import ReplayDivergence
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.traces.trace import Trace
 
@@ -106,6 +108,30 @@ class SolverResult:
 
     def solution_set(self) -> set[Trace]:
         return set(self.finite_solutions)
+
+    def digest(self) -> str:
+        """Stable content hash of the exploration's outcome.
+
+        Covers the solution/frontier/dead-end sets (order-normalized)
+        and the exploration shape (nodes, depth, truncation) — not
+        metrics or wall-clock.  Two explorations with equal digests
+        found the same portion of the §3.3 tree, so "re-running the
+        solver reproduces the result" is a one-line assertion.
+        """
+        return stable_digest({
+            "finite_solutions": sorted(
+                _trace_key(t) for t in self.finite_solutions),
+            "frontier": sorted(_trace_key(t) for t in self.frontier),
+            "dead_ends": sorted(_trace_key(t) for t in self.dead_ends),
+            "nodes_explored": self.nodes_explored,
+            "depth": self.depth,
+            "truncated": self.truncated,
+        })
+
+
+def _trace_key(t: Trace) -> list:
+    """JSON-ready canonical form of a finite trace."""
+    return [[e.channel.name, repr(e.message)] for e in t]
 
 
 class SmoothSolutionSolver:
@@ -308,6 +334,60 @@ class SmoothSolutionSolver:
         result.truncation_reason = reason
         result.frontier.extend(unvisited)
         result.frontier.extend(next_level)
+
+    # -- witness paths (flight-recorder view of §3.3) -----------------------
+
+    def witness_schedule(self, trace: Trace) -> Schedule:
+        """Encode a finite trace as a witness path of the §3.3 tree.
+
+        A node of the tree *is* its path from ``⊥`` — the decision
+        sequence of the search, exactly as an operational run is its
+        oracle decision sequence.  The returned
+        :class:`~repro.obs.recorder.Schedule` stores that path in its
+        ``path`` stream; :meth:`replay_witness` re-walks it, checking
+        each extension's admissibility, so a solver result can ship
+        machine-checkable evidence for every solution it claims.
+        """
+        schedule = Schedule()
+        schedule.path = [[e.channel.name, repr(e.message)]
+                         for e in trace]
+        schedule.meta["kind"] = "solver-path"
+        schedule.meta["description"] = getattr(
+            self.description, "name", "")
+        schedule.meta["limit_holds"] = bool(
+            self.description.limit_holds(trace, self.limit_depth))
+        return schedule
+
+    def replay_witness(self, schedule: Schedule) -> Trace:
+        """Re-walk a witness path, verifying every step is a tree edge.
+
+        Each recorded event must be an admissible one-step extension
+        (``f(v) ⊑ g(u)``) of the trace built so far; the first
+        recorded event with no matching admissible extension raises
+        :class:`~repro.obs.replay.ReplayDivergence` with the path
+        index and the live candidate set.  Returns the reconstructed
+        node (whose membership in the tree is thereby witnessed).
+        """
+        u = Trace.empty()
+        for index, (channel_name, message_repr) in enumerate(
+                schedule.path):
+            matched = None
+            live = []
+            for v in self.children(u):
+                last = v.item(v.length() - 1)
+                key = [last.channel.name, repr(last.message)]
+                live.append(key)
+                if key == [channel_name, message_repr]:
+                    matched = v
+                    break
+            if matched is None:
+                raise ReplayDivergence(
+                    "path", index,
+                    "recorded event is not an admissible extension",
+                    recorded=[channel_name, message_repr],
+                    actual=live)
+            u = matched
+        return u
 
     def iter_paths(self, max_depth: int) -> Iterator[Trace]:
         """Depth-first enumeration of all maximal-at-bound tree paths."""

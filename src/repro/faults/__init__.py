@@ -14,6 +14,7 @@ from repro.faults.harness import (
     ConformanceCase,
     ConformanceReport,
     no_faults,
+    replay_conformance_case,
     run_conformance,
 )
 from repro.faults.inject import InjectedCrash, crash_at_step, stall_at_step
@@ -51,6 +52,7 @@ __all__ = [
     "SupervisedRuntime",
     "crash_at_step",
     "no_faults",
+    "replay_conformance_case",
     "run_conformance",
     "run_supervised",
     "stall_at_step",

@@ -34,6 +34,12 @@ from repro.faults.supervision import (
 )
 from repro.kahn.runtime import AgentFactory
 from repro.kahn.scheduler import RandomOracle
+from repro.obs.recorder import (
+    RecordingOracle,
+    Schedule,
+    record_fault_rng,
+)
+from repro.obs.replay import ReplayOracle, replay_fault_rng
 from repro.obs.tracer import NULL_TRACER
 
 #: A no-fault grid cell (the control column of every grid).
@@ -56,6 +62,16 @@ class ConformanceCase:
     #: the run's metrics summary (populated when the grid is traced),
     #: so a failing cell ships its own explanation
     metrics: dict = field(default_factory=dict)
+    #: the cell's recorded :class:`~repro.obs.recorder.Schedule`
+    #: (populated when the grid runs with ``record=True``, the
+    #: default) — a failing cell ships its own repro; feed it to
+    #: :func:`replay_conformance_case`
+    schedule: Optional[Schedule] = None
+
+    @property
+    def failed(self) -> bool:
+        """Anything but ``conforms`` is a failure to diagnose."""
+        return self.outcome != "conforms"
 
     def __str__(self) -> str:
         tail = f" ({self.detail})" if self.detail else ""
@@ -115,7 +131,8 @@ def run_conformance(network: str,
                     policy: Optional[RestartPolicy] = RestartPolicy(),
                     watchdog_limit: Optional[int] = 500,
                     depth: int = DEFAULT_DEPTH,
-                    tracer=None) -> ConformanceReport:
+                    tracer=None,
+                    record: bool = True) -> ConformanceReport:
     """Run ``agents`` under every ``plan × seed`` cell and check every
     quiescent trace against ``spec``.
 
@@ -125,6 +142,12 @@ def run_conformance(network: str,
     spec-visible channels first (e.g. just the delivery channel of a
     protocol); plans are *factories* because fault models are stateful
     and each run needs a fresh, identically-seeded instance.
+
+    With ``record=True`` (the default — recording is list appends, so
+    leave it on) every cell's oracle decisions and fault RNG draws
+    are captured and attached as ``case.schedule``: a grid failure
+    ships its own repro, re-executable bit-for-bit with
+    :func:`replay_conformance_case`.
     """
     channel_list = list(channels)
     observed = set(observe) if observe is not None else None
@@ -139,10 +162,23 @@ def run_conformance(network: str,
                 with tracer.span("harness.cell", category="harness",
                                  track="harness", plan=plan_name,
                                  seed=seed) as cell_span:
+                    plan = make_plan()
+                    oracle: object = RandomOracle(seed)
+                    schedule = None
+                    if record:
+                        recording = RecordingOracle(oracle)
+                        schedule = recording.schedule
+                        schedule.meta.update(
+                            network=network, plan=plan_name,
+                            seed=seed, max_steps=max_steps,
+                            watchdog_limit=watchdog_limit,
+                        )
+                        if plan is not None:
+                            record_fault_rng(plan, schedule)
+                        oracle = recording
                     result = run_supervised(
-                        dict(agents), channel_list,
-                        RandomOracle(seed),
-                        max_steps=max_steps, fault_plan=make_plan(),
+                        dict(agents), channel_list, oracle,
+                        max_steps=max_steps, fault_plan=plan,
                         policy=policy,
                         watchdog_limit=watchdog_limit,
                         tracer=tracer,
@@ -150,11 +186,60 @@ def run_conformance(network: str,
                     case = _classify(
                         plan_name, seed, result, spec, observed,
                         depth)
+                    if schedule is not None:
+                        schedule.meta["outcome"] = case.outcome
+                        schedule.meta["digest"] = result.digest()
+                        case.schedule = schedule
                     cell_span.annotate(outcome=case.outcome)
                 case.elapsed_s = time.monotonic() - started
                 case.metrics = result.metrics
                 report.cases.append(case)
     return report
+
+
+def replay_conformance_case(schedule: Schedule,
+                            agents: Mapping[str, AgentFactory],
+                            channels: Iterable[Channel],
+                            spec,
+                            plans: Mapping[str, PlanFactory],
+                            observe: Optional[Iterable[Channel]] = None,
+                            policy: Optional[RestartPolicy] = RestartPolicy(),
+                            depth: int = DEFAULT_DEPTH,
+                            tracer=None,
+                            fallback=None) -> ConformanceCase:
+    """Re-execute one recorded grid cell and re-classify its outcome.
+
+    ``schedule`` is a ``case.schedule`` from a recorded grid (or the
+    same JSON reloaded); ``plans`` must contain the recorded plan name
+    so a fresh, identically-seeded plan can be rebuilt — its RNG draws
+    are then replayed from the schedule, so even a drifted plan
+    factory is caught as a divergence.  Strict unless ``fallback`` is
+    given.  The round-trip guarantee: the returned case has the same
+    ``outcome`` and its ``result.digest()`` equals the recorded
+    ``schedule.meta["digest"]``.
+    """
+    plan_name = schedule.meta["plan"]
+    if plan_name not in plans:
+        raise KeyError(
+            f"recorded plan {plan_name!r} is not in the given plan "
+            f"factories ({sorted(plans)})"
+        )
+    plan = plans[plan_name]()
+    if plan is not None:
+        replay_fault_rng(plan, schedule, strict=fallback is None)
+    oracle = ReplayOracle(schedule, fallback=fallback)
+    observed = set(observe) if observe is not None else None
+    result = run_supervised(
+        dict(agents), list(channels), oracle,
+        max_steps=int(schedule.meta.get("max_steps", 10_000)),
+        fault_plan=plan, policy=policy,
+        watchdog_limit=schedule.meta.get("watchdog_limit", 500),
+        tracer=tracer,
+    )
+    case = _classify(plan_name, schedule.meta.get("seed", -1),
+                     result, spec, observed, depth)
+    case.schedule = schedule
+    return case
 
 
 def _classify(plan_name: str, seed: int,

@@ -34,6 +34,7 @@ from repro.kahn.runtime import (
     RunResult,
     Runtime,
 )
+from repro.obs.recorder import RecordingOracle, record_fault_rng
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,12 @@ class SupervisedRunResult(RunResult):
     watchdog_fired: bool = False
     #: human-readable post-mortem when the watchdog fired
     diagnosis: str = ""
+
+    def _digest_payload(self) -> dict:
+        payload = super()._digest_payload()
+        payload["watchdog_fired"] = self.watchdog_fired
+        payload["restarts"] = sorted(self.restarts.items())
+        return payload
 
 
 class SupervisedRuntime(Runtime):
@@ -245,10 +252,34 @@ def run_supervised(factories: Dict[str, AgentFactory],
                    fault_plan: Optional[FaultPlan] = None,
                    policy: Optional[RestartPolicy] = RestartPolicy(),
                    watchdog_limit: Optional[int] = 500,
-                   tracer=None) -> SupervisedRunResult:
-    """One-call supervised run (mirrors ``run_network``)."""
+                   tracer=None,
+                   record: bool = False) -> SupervisedRunResult:
+    """One-call supervised run (mirrors ``run_network``).
+
+    ``record=True`` attaches the flight-recorder
+    :class:`~repro.obs.recorder.Schedule` to ``result.schedule``; see
+    :func:`repro.obs.replay.replay_supervised` for the bit-for-bit
+    re-execution.
+    """
+    schedule = None
+    if record:
+        recording = RecordingOracle(oracle)
+        schedule = recording.schedule
+        schedule.meta["max_steps"] = max_steps
+        schedule.meta["watchdog_limit"] = watchdog_limit
+        if fault_plan is not None:
+            record_fault_rng(fault_plan, schedule)
+            schedule.meta["fault_plan"] = fault_plan.describe()
+        oracle = recording
     runtime = SupervisedRuntime(
         factories, channels, fault_plan=fault_plan,
         policy=policy, watchdog_limit=watchdog_limit, tracer=tracer,
     )
-    return runtime.run(oracle, max_steps)
+    result = runtime.run(oracle, max_steps)
+    if schedule is not None:
+        schedule.meta["steps"] = result.steps
+        schedule.meta["quiescent"] = result.quiescent
+        schedule.meta["watchdog_fired"] = result.watchdog_fired
+        schedule.meta["digest"] = result.digest()
+        result.schedule = schedule
+    return result

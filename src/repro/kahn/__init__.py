@@ -30,6 +30,7 @@ from repro.kahn.scheduler import (
     run_network,
     sample_runs,
 )
+from repro.obs.recorder import ScheduleExhausted
 from repro.kahn.explore import (
     ExplorationResult,
     exhaustive_quiescent_traces,
@@ -60,6 +61,7 @@ __all__ = [
     "RoundRobinOracle",
     "RunResult",
     "Runtime",
+    "ScheduleExhausted",
     "ScriptedOracle",
     "Send",
     "TraceSample",

@@ -47,6 +47,7 @@ from repro.kahn.effects import (
     Send,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import stable_digest
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.traces.trace import Trace
 
@@ -118,9 +119,40 @@ class RunResult:
     #: per-run metrics summary (steps/sends/blocks per agent and
     #: channel, fault actions, …) when the run was traced; else empty
     metrics: dict = field(default_factory=dict)
+    #: the recorded :class:`~repro.obs.recorder.Schedule` when the run
+    #: was made with ``record=True``; else ``None``
+    schedule: Optional[Any] = None
 
     def events(self) -> list[Event]:
         return list(self.trace)
+
+    def digest(self) -> str:
+        """Stable content hash of the run's observable outcome.
+
+        Covers the event history and the terminal shape of the network
+        (quiescence, step count, agent states, residual channel
+        contents) — everything a replay must reproduce — and excludes
+        wall-clock artifacts (metrics, tracebacks).  Two runs with
+        equal digests are the same computation; "replay equals
+        original" is the assertion ``replayed.digest() == original
+        .digest()``.
+        """
+        return stable_digest(self._digest_payload())
+
+    def _digest_payload(self) -> dict:
+        return {
+            "trace": [[e.channel.name, repr(e.message)]
+                      for e in self.trace],
+            "quiescent": self.quiescent,
+            "steps": self.steps,
+            "halted": sorted(self.halted_agents),
+            "blocked": sorted(self.blocked_agents),
+            "failed": sorted(self.failed_agents),
+            "undelivered": {
+                name: [repr(m) for m in messages]
+                for name, messages in sorted(self.undelivered.items())
+            },
+        }
 
 
 class Oracle:

@@ -13,6 +13,12 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.kahn.runtime import Agent, AgentBody, Oracle, RunResult, Runtime
 from repro.channels.channel import Channel
+from repro.obs.recorder import (
+    RecordingOracle,
+    Schedule,
+    ScheduleExhausted,
+    record_fault_rng,
+)
 
 
 class FirstOracle(Oracle):
@@ -56,16 +62,25 @@ class RandomOracle(Oracle):
 
 
 class ScriptedOracle(Oracle):
-    """Replay a fixed script of indices (then fall back to 0).
+    """Replay a fixed script of indices.
 
     Lets tests steer a network into one specific computation — e.g. the
     two computations of §2.3 that produce the sequences ``x`` and ``y``.
+    After the script runs out a non-strict oracle falls back to index
+    0; with ``strict=True`` exhaustion raises
+    :class:`~repro.obs.recorder.ScheduleExhausted` (carrying the
+    decision index and kind) instead of silently changing behaviour —
+    the mode replay-style tests want.  For checked, by-name replay of
+    a recorded run see :class:`repro.obs.replay.ReplayOracle`, which
+    generalizes this class.
     """
 
     def __init__(self, agent_picks: Sequence[int] = (),
-                 choice_picks: Sequence[int] = ()):
+                 choice_picks: Sequence[int] = (),
+                 strict: bool = False):
         self._agents = list(agent_picks)
         self._choices = list(choice_picks)
+        self._strict = strict
         self._ai = 0
         self._ci = 0
 
@@ -74,6 +89,10 @@ class ScriptedOracle(Oracle):
             value = self._agents[self._ai]
             self._ai += 1
             return value
+        if self._strict:
+            raise ScheduleExhausted(
+                "agent", self._ai,
+                detail=f"scripted {len(self._agents)} agent pick(s)")
         return 0
 
     def pick_choice(self, agent: Agent, arity: int) -> int:
@@ -82,6 +101,10 @@ class ScriptedOracle(Oracle):
             value = self._choices[self._ci]
             self._ci += 1
             return value
+        if self._strict:
+            raise ScheduleExhausted(
+                "choice", self._ci,
+                detail=f"scripted {len(self._choices)} choice pick(s)")
         return 0
 
 
@@ -90,16 +113,43 @@ def run_network(agents: dict[str, AgentBody],
                 oracle: Oracle,
                 max_steps: int = 10_000,
                 fault_plan=None,
-                tracer=None) -> RunResult:
+                tracer=None,
+                record: bool = False) -> RunResult:
     """Build a runtime and run it to quiescence or the step bound.
 
     ``fault_plan`` (a :class:`repro.faults.plan.FaultPlan`) perturbs
     channel deliveries and may inject agent crashes/stalls.
     ``tracer`` (a :class:`repro.obs.Tracer`) records the run as spans
     and events — agent steps, oracle picks, sends/receives, faults.
+    ``record=True`` turns on the flight recorder: every oracle
+    decision and fault RNG draw is captured into a
+    :class:`~repro.obs.recorder.Schedule` attached as
+    ``result.schedule``, whose meta carries the run's digest so
+    :func:`repro.obs.replay.replay_network` can re-execute and verify
+    it bit-for-bit.
     """
-    return Runtime(agents, channels, fault_plan=fault_plan,
-                   tracer=tracer).run(oracle, max_steps)
+    schedule = None
+    if record:
+        recording = RecordingOracle(oracle)
+        schedule = recording.schedule
+        schedule.meta["max_steps"] = max_steps
+        if fault_plan is not None:
+            record_fault_rng(fault_plan, schedule)
+            schedule.meta["fault_plan"] = fault_plan.describe()
+        oracle = recording
+    result = Runtime(agents, channels, fault_plan=fault_plan,
+                     tracer=tracer).run(oracle, max_steps)
+    if schedule is not None:
+        _seal_schedule(schedule, result)
+        result.schedule = schedule
+    return result
+
+
+def _seal_schedule(schedule: Schedule, result: RunResult) -> None:
+    """Stamp the recorded run's outcome into the schedule's meta."""
+    schedule.meta["steps"] = result.steps
+    schedule.meta["quiescent"] = result.quiescent
+    schedule.meta["digest"] = result.digest()
 
 
 def sample_runs(make_agents, channels: Iterable[Channel],

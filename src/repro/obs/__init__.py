@@ -16,7 +16,14 @@ package makes the execution structure itself observable:
   buffer, JSONL file, console pretty-printer;
 * :mod:`~repro.obs.perfetto` — a Chrome-trace-event exporter whose
   output loads directly in Perfetto (https://ui.perfetto.dev) as a
-  per-agent timeline of the run.
+  per-agent timeline of the run;
+* :mod:`~repro.obs.recorder` — the flight recorder: a
+  :class:`Schedule` capturing every oracle decision and fault RNG
+  draw of a run, JSON-serializable and content-addressed;
+* :mod:`~repro.obs.replay` — bit-for-bit re-execution of a recorded
+  :class:`Schedule` with precise divergence detection;
+* :mod:`~repro.obs.diff` — first-divergence diffing of two runs or
+  two schedules, and delta-debugging shrinking of a failing schedule.
 
 Instrumented layers: :mod:`repro.core.solver` (category ``solver``),
 :mod:`repro.kahn.runtime` + :mod:`repro.kahn.scheduler` (categories
@@ -24,11 +31,37 @@ Instrumented layers: :mod:`repro.core.solver` (category ``solver``),
 ``fault``/``supervision``/``harness``).
 """
 
+from repro.obs.diff import (
+    RunDiff,
+    ScheduleDiff,
+    StreamDivergence,
+    diff_runs,
+    diff_schedules,
+    shrink_schedule,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.recorder import (
+    RecordingOracle,
+    RecordingRandom,
+    Schedule,
+    ScheduleExhausted,
+    iter_fault_rngs,
+    record_fault_rng,
+    stable_digest,
+)
+from repro.obs.replay import (
+    ReplayDivergence,
+    ReplayOracle,
+    ReplayRandom,
+    ReplayReport,
+    replay_fault_rng,
+    replay_network,
+    replay_supervised,
 )
 from repro.obs.sinks import (
     ConsoleSink,
@@ -55,10 +88,30 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RecordingOracle",
+    "RecordingRandom",
+    "ReplayDivergence",
+    "ReplayOracle",
+    "ReplayRandom",
+    "ReplayReport",
     "RingBufferSink",
+    "RunDiff",
+    "Schedule",
+    "ScheduleDiff",
+    "ScheduleExhausted",
     "Sink",
     "SpanRecord",
+    "StreamDivergence",
     "Tracer",
+    "diff_runs",
+    "diff_schedules",
+    "iter_fault_rngs",
+    "record_fault_rng",
+    "replay_fault_rng",
+    "replay_network",
+    "replay_supervised",
+    "shrink_schedule",
+    "stable_digest",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

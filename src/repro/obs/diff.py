@@ -1,0 +1,241 @@
+"""Divergence diffing and delta-debugging shrink for recorded runs.
+
+Two runs of the same network that disagree — a failure that
+reproduces on one machine but not another, a verdict that changed
+after a refactor — differ at some *first* decision or event.
+:func:`diff_runs` aligns two runs' event streams and reports that
+first divergence with surrounding context; :func:`diff_schedules`
+does the same for the recorded decision streams, which localizes the
+divergence even earlier (a scheduling decision diverges before its
+consequences reach a channel).
+
+:func:`shrink_schedule` is the post-mortem companion: given a failing
+:class:`~repro.obs.recorder.Schedule` and a predicate "does the
+failure still happen?", it delta-debugs (Zeller's ddmin) each decision
+stream down to a locally minimal schedule that still fails — replayed
+leniently, so removed decisions hand control to a deterministic
+fallback oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.recorder import Schedule
+
+
+@dataclass
+class StreamDivergence:
+    """First point where one aligned stream differs between two runs."""
+
+    stream: str               # "events" | "agent_picks" | ...
+    index: int                # first differing position
+    a: Any                    # entry in run/schedule A (None: missing)
+    b: Any                    # entry in run/schedule B (None: missing)
+    context_a: list = field(default_factory=list)
+    context_b: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.a is None:
+            return (f"{self.stream}[{self.index}]: A ended, "
+                    f"B continues with {self.b!r}")
+        if self.b is None:
+            return (f"{self.stream}[{self.index}]: B ended, "
+                    f"A continues with {self.a!r}")
+        return (f"{self.stream}[{self.index}]: "
+                f"A has {self.a!r}, B has {self.b!r}")
+
+
+@dataclass
+class RunDiff:
+    """Alignment of two runs: event-stream and outcome differences."""
+
+    divergence: Optional[StreamDivergence] = None
+    #: outcome fields that differ: name → (value_a, value_b)
+    outcome: dict = field(default_factory=dict)
+    digest_a: str = ""
+    digest_b: str = ""
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None and not self.outcome
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"runs identical (digest {self.digest_a[:16]})"
+        parts = []
+        if self.divergence is not None:
+            parts.append(self.divergence.describe())
+        for name, (a, b) in sorted(self.outcome.items()):
+            parts.append(f"{name}: {a!r} vs {b!r}")
+        return "; ".join(parts)
+
+
+@dataclass
+class ScheduleDiff:
+    """First divergent decision between two schedules, per stream."""
+
+    divergences: List[StreamDivergence] = field(default_factory=list)
+    digest_a: str = ""
+    digest_b: str = ""
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first(self) -> Optional[StreamDivergence]:
+        return self.divergences[0] if self.divergences else None
+
+
+def _first_mismatch(a: Sequence, b: Sequence) -> Optional[int]:
+    for i in range(min(len(a), len(b))):
+        if a[i] != b[i]:
+            return i
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def _window(items: Sequence, index: int, context: int) -> list:
+    lo = max(0, index - context)
+    return list(items[lo:index + context + 1])
+
+
+def _stream_divergence(stream: str, a: Sequence, b: Sequence,
+                       context: int) -> Optional[StreamDivergence]:
+    index = _first_mismatch(a, b)
+    if index is None:
+        return None
+    return StreamDivergence(
+        stream=stream, index=index,
+        a=a[index] if index < len(a) else None,
+        b=b[index] if index < len(b) else None,
+        context_a=_window(a, index, context),
+        context_b=_window(b, index, context),
+    )
+
+
+#: RunResult fields compared (beyond the event stream) by diff_runs.
+_OUTCOME_FIELDS = ("quiescent", "steps", "halted_agents",
+                   "blocked_agents", "failed_agents", "undelivered",
+                   "watchdog_fired", "restarts")
+
+
+def diff_runs(a: Any, b: Any, context: int = 3) -> RunDiff:
+    """Align two ``RunResult``s; report the first divergent event.
+
+    Events are compared as ``(channel_name, message)`` pairs; the
+    divergence carries ``context`` events either side so the report
+    shows the lead-up.  Outcome fields (quiescence, steps, agent
+    states, undelivered, supervision telemetry when present) that
+    differ are reported as well — two runs can share a history yet end
+    differently (e.g. one watchdogged, one exhausted its budget).
+    """
+    events_a = [(e.channel.name, e.message) for e in a.trace]
+    events_b = [(e.channel.name, e.message) for e in b.trace]
+    diff = RunDiff(
+        divergence=_stream_divergence("events", events_a, events_b,
+                                      context),
+        digest_a=a.digest(),
+        digest_b=b.digest(),
+    )
+    for name in _OUTCOME_FIELDS:
+        if not hasattr(a, name) or not hasattr(b, name):
+            continue
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            diff.outcome[name] = (va, vb)
+    return diff
+
+
+def diff_schedules(a: Schedule, b: Schedule,
+                   context: int = 3) -> ScheduleDiff:
+    """First divergent decision of each stream between two schedules.
+
+    The earliest divergent *decision* usually precedes the earliest
+    divergent *event* — a different ``pick_agent`` is the cause, the
+    channel history the symptom — so this is the sharper localizer
+    when both runs were recorded.
+    """
+    out = ScheduleDiff(digest_a=a.digest(), digest_b=b.digest())
+    for stream in ("agent_picks", "choice_picks", "rng_draws",
+                   "path"):
+        div = _stream_divergence(stream, getattr(a, stream),
+                                 getattr(b, stream), context)
+        if div is not None:
+            out.divergences.append(div)
+    return out
+
+
+# -- delta debugging ---------------------------------------------------------
+
+def _ddmin(items: List[Any],
+           test: Callable[[List[Any]], bool]) -> List[Any]:
+    """Zeller's ddmin: a locally minimal sublist still failing ``test``.
+
+    ``test(sub)`` returns True iff the failure reproduces with ``sub``.
+    Assumes ``test(items)`` is True (the caller checks).
+    """
+    granularity = 2
+    while len(items) >= 2:
+        size = len(items) // granularity
+        reduced = False
+        for start in range(0, len(items), max(size, 1)):
+            complement = items[:start] + items[start + max(size, 1):]
+            if len(complement) < len(items) and test(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    if len(items) == 1 and test([]):
+        return []
+    return items
+
+
+def shrink_schedule(schedule: Schedule,
+                    predicate: Callable[[Schedule], bool],
+                    streams: Tuple[str, ...] = (
+                        "agent_picks", "choice_picks", "rng_draws"),
+                    ) -> Schedule:
+    """Delta-debug a failing schedule to a locally minimal one.
+
+    ``predicate(candidate)`` must re-run the network under the
+    candidate schedule — **leniently** (pass a ``fallback`` oracle to
+    :class:`~repro.obs.replay.ReplayOracle` / ``strict=False`` to
+    :func:`~repro.obs.replay.replay_fault_rng`), since shrunken
+    schedules intentionally run out — and report whether the original
+    verdict still holds.  Each stream is ddmin-reduced in turn, and
+    the whole cycle repeats until no stream shrinks further.
+
+    Raises ``ValueError`` if the unshrunk schedule does not satisfy
+    the predicate (nothing to preserve).
+    """
+    if not predicate(schedule.copy()):
+        raise ValueError(
+            "shrink_schedule: the original schedule does not "
+            "reproduce the failure under the given predicate"
+        )
+    current = schedule.copy()
+    changed = True
+    while changed:
+        changed = False
+        for stream in streams:
+            items = list(getattr(current, stream))
+            if not items:
+                continue
+
+            def test(sub: List[Any], _stream: str = stream) -> bool:
+                return predicate(current.copy(**{_stream: list(sub)}))
+
+            reduced = _ddmin(items, test)
+            if len(reduced) < len(items):
+                current = current.copy(**{stream: reduced})
+                changed = True
+    current.meta["shrunk_from"] = len(schedule)
+    return current

@@ -1,0 +1,325 @@
+"""Replay a recorded :class:`~repro.obs.recorder.Schedule` bit-for-bit.
+
+A :class:`ReplayOracle` feeds a schedule's decisions back into the
+runtime; :func:`replay_fault_rng` feeds its recorded RNG draws back
+into a fresh fault plan.  Replay is *checked*: every recorded decision
+is validated against the live run (is the chosen agent still ready?
+does the choice arity match? is this the fault we recorded drawing?),
+and the first mismatch raises :class:`ReplayDivergence` with the
+precise decision index and reason — the recorded run and the live one
+are different computations from that point on.
+
+Two modes:
+
+* **strict** (the default) — divergence and exhaustion raise
+  (:class:`ReplayDivergence` / :class:`ScheduleExhausted`).  This is
+  the reproduction mode: "replay equals original" is then the one-line
+  assertion ``replayed.digest() == original.digest()``.
+* **lenient** (``fallback=`` an oracle) — on the first inapplicable or
+  exhausted decision the replayer notes the divergence and delegates
+  everything thereafter to the fallback oracle (and, for RNG draws,
+  to the fault's own seeded RNG).  This is the shrinking mode: a
+  delta-debugged sub-schedule steers the run as far as it can and the
+  fallback finishes it deterministically.
+
+Like :mod:`repro.obs.recorder`, this module imports nothing from
+:mod:`repro.kahn`/:mod:`repro.faults` at module level; the convenience
+runners import lazily inside the functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.obs.recorder import (
+    Schedule,
+    ScheduleExhausted,
+    iter_fault_rngs,
+)
+
+
+class ReplayDivergence(RuntimeError):
+    """A recorded decision is no longer applicable to the live run.
+
+    Attributes:
+        kind: which stream diverged — ``"agent"``, ``"choice"``,
+            ``"rng"`` or ``"path"``.
+        index: the 0-based decision index within that stream.
+        reason: human-readable explanation.
+        recorded: the schedule entry that failed to apply.
+        actual: the live state it was checked against.
+    """
+
+    def __init__(self, kind: str, index: int, reason: str,
+                 recorded: Any = None, actual: Any = None):
+        self.kind = kind
+        self.index = index
+        self.reason = reason
+        self.recorded = recorded
+        self.actual = actual
+        super().__init__(
+            f"replay diverged at {kind} decision {index}: {reason} "
+            f"(recorded {recorded!r}, live {actual!r})"
+        )
+
+
+class ReplayOracle:
+    """Re-run the oracle decisions of a :class:`Schedule`.
+
+    This generalizes :class:`repro.kahn.scheduler.ScriptedOracle`:
+    agent picks are replayed *by name* (robust to ready-list index
+    shifts) and every decision is checked against its recorded
+    context.  ``fallback`` switches to lenient mode (see module
+    docstring); the first divergence is kept in ``self.divergence``
+    either way.
+    """
+
+    def __init__(self, schedule: Schedule,
+                 fallback: Optional[Any] = None):
+        self.schedule = schedule
+        self.fallback = fallback
+        self.divergence: Optional[ReplayDivergence] = None
+        self._ai = 0
+        self._ci = 0
+
+    @property
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
+    def _fail(self, error: ReplayDivergence) -> None:
+        if self.divergence is None:
+            self.divergence = error
+        if self.fallback is None:
+            raise error
+
+    def pick_agent(self, ready: list) -> int:
+        if self.diverged:
+            return self.fallback.pick_agent(ready)
+        names = [a.name for a in ready]
+        if self._ai >= len(self.schedule.agent_picks):
+            if self.fallback is None:
+                raise ScheduleExhausted(
+                    "agent", self._ai,
+                    detail=f"live ready set {names}")
+            self._fail(ReplayDivergence(
+                "agent", self._ai, "schedule exhausted",
+                recorded=None, actual=names))
+            return self.fallback.pick_agent(ready)
+        chosen, recorded_ready = self.schedule.agent_picks[self._ai]
+        if chosen not in names:
+            self._fail(ReplayDivergence(
+                "agent", self._ai,
+                f"recorded agent {chosen!r} is not ready",
+                recorded=[chosen, recorded_ready], actual=names))
+            return self.fallback.pick_agent(ready)
+        self._ai += 1
+        return names.index(chosen)
+
+    def pick_choice(self, agent: Any, arity: int) -> int:
+        if self.diverged:
+            return self.fallback.pick_choice(agent, arity)
+        agent_name = getattr(agent, "name", "?")
+        if self._ci >= len(self.schedule.choice_picks):
+            if self.fallback is None:
+                raise ScheduleExhausted(
+                    "choice", self._ci,
+                    detail=f"live choice by {agent_name!r} "
+                           f"(arity {arity})")
+            self._fail(ReplayDivergence(
+                "choice", self._ci, "schedule exhausted",
+                recorded=None, actual=[agent_name, arity]))
+            return self.fallback.pick_choice(agent, arity)
+        value, recorded_arity, recorded_agent = \
+            self.schedule.choice_picks[self._ci]
+        if recorded_arity != arity or recorded_agent != agent_name:
+            self._fail(ReplayDivergence(
+                "choice", self._ci,
+                "recorded choice context does not match",
+                recorded=[value, recorded_arity, recorded_agent],
+                actual=[agent_name, arity]))
+            return self.fallback.pick_choice(agent, arity)
+        self._ci += 1
+        return value
+
+
+class _RngCursor:
+    """Shared position over a schedule's global RNG draw stream."""
+
+    __slots__ = ("draws", "pos", "diverged")
+
+    def __init__(self, draws: List[list]):
+        self.draws = draws
+        self.pos = 0
+        self.diverged = False
+
+
+class ReplayRandom:
+    """Replay one fault model's recorded draws from the shared cursor.
+
+    Draw order is global across the plan: the next recorded draw must
+    belong to *this* fault and be the same kind of draw, otherwise the
+    fault interleaving changed — a divergence.  In lenient mode the
+    fault falls back to its own (still pristine, identically seeded)
+    base RNG once the stream diverges or runs out.
+    """
+
+    _MISS = object()
+
+    def __init__(self, cursor: _RngCursor, label: str, base: Any,
+                 strict: bool = True):
+        self._cursor = cursor
+        self._label = label
+        self._base = base
+        self._strict = strict
+
+    def _next(self, method: str) -> Any:
+        cursor = self._cursor
+        if cursor.diverged:
+            return self._MISS
+        if cursor.pos >= len(cursor.draws):
+            if self._strict:
+                raise ScheduleExhausted(
+                    "rng", cursor.pos,
+                    detail=f"live draw {method} by {self._label}")
+            cursor.diverged = True
+            return self._MISS
+        label, recorded_method, value = cursor.draws[cursor.pos]
+        if label != self._label or recorded_method != method:
+            error = ReplayDivergence(
+                "rng", cursor.pos,
+                "recorded draw does not match the live one",
+                recorded=[label, recorded_method],
+                actual=[self._label, method])
+            if self._strict:
+                raise error
+            cursor.diverged = True
+            return self._MISS
+        cursor.pos += 1
+        return value
+
+    def random(self) -> float:
+        value = self._next("random")
+        return self._base.random() if value is self._MISS else value
+
+    def randint(self, a: int, b: int) -> int:
+        value = self._next(f"randint({a},{b})")
+        return self._base.randint(a, b) if value is self._MISS \
+            else value
+
+    def randrange(self, *args: int) -> int:
+        method = "randrange(" + ",".join(map(str, args)) + ")"
+        value = self._next(method)
+        return self._base.randrange(*args) if value is self._MISS \
+            else value
+
+    def choice(self, seq: Any) -> Any:
+        index = self._next(f"choice[{len(seq)}]")
+        if index is self._MISS:
+            return seq[self._base.randrange(len(seq))]
+        return seq[index]
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+
+def replay_fault_rng(plan: Any, schedule: Schedule,
+                     strict: bool = True) -> _RngCursor:
+    """Swap a fresh plan's fault RNGs for replaying proxies.
+
+    Returns the shared cursor (its ``pos``/``diverged`` fields are the
+    post-run diagnosis of how much of the draw stream was consumed).
+    """
+    cursor = _RngCursor(schedule.rng_draws)
+    for label, fault in iter_fault_rngs(plan):
+        fault.rng = ReplayRandom(cursor, label, fault.rng,
+                                 strict=strict)
+    return cursor
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a checked replay: the result plus verdict fields."""
+
+    result: Any                      # RunResult / SupervisedRunResult
+    digest: str
+    expected_digest: Optional[str]
+    divergence: Optional[ReplayDivergence] = None
+
+    @property
+    def matches(self) -> bool:
+        """True iff the replay reproduced the recorded run exactly."""
+        return (self.divergence is None
+                and (self.expected_digest is None
+                     or self.digest == self.expected_digest))
+
+
+def replay_network(schedule: Schedule, agents: dict, channels: Any,
+                   max_steps: Optional[int] = None,
+                   fault_plan: Any = None,
+                   tracer: Any = None,
+                   fallback: Optional[Any] = None) -> ReplayReport:
+    """Re-execute a run recorded by ``run_network(..., record=True)``.
+
+    ``agents`` must be *fresh* bodies of the same network (generators
+    are single-use) and ``fault_plan`` a fresh plan built exactly as
+    the recorded one (same factory, same seeds) — its RNG draws are
+    then replayed from the schedule, so even a drifted factory seed
+    is caught as a divergence.  Strict unless ``fallback`` is given.
+    """
+    from repro.kahn.scheduler import run_network
+
+    if fault_plan is not None:
+        replay_fault_rng(fault_plan, schedule,
+                         strict=fallback is None)
+    oracle = ReplayOracle(schedule, fallback=fallback)
+    if max_steps is None:
+        max_steps = int(schedule.meta.get("max_steps", 10_000))
+    result = run_network(agents, channels, oracle,
+                         max_steps=max_steps,
+                         fault_plan=fault_plan, tracer=tracer)
+    return ReplayReport(
+        result=result,
+        digest=result.digest(),
+        expected_digest=schedule.meta.get("digest"),
+        divergence=oracle.divergence,
+    )
+
+
+def replay_supervised(schedule: Schedule, factories: dict,
+                      channels: Any,
+                      max_steps: Optional[int] = None,
+                      fault_plan: Any = None,
+                      policy: Any = "default",
+                      watchdog_limit: Optional[int] = "from-schedule",
+                      tracer: Any = None,
+                      fallback: Optional[Any] = None) -> ReplayReport:
+    """Re-execute a run recorded by ``run_supervised(..., record=True)``.
+
+    ``policy`` defaults to the stock :class:`RestartPolicy` (pass
+    ``None`` to disable restarts, matching whatever the recording
+    used); ``watchdog_limit`` defaults to the recorded one.
+    """
+    from repro.faults.supervision import RestartPolicy, run_supervised
+
+    if policy == "default":
+        policy = RestartPolicy()
+    if watchdog_limit == "from-schedule":
+        watchdog_limit = schedule.meta.get("watchdog_limit", 500)
+    if fault_plan is not None:
+        replay_fault_rng(fault_plan, schedule,
+                         strict=fallback is None)
+    oracle = ReplayOracle(schedule, fallback=fallback)
+    if max_steps is None:
+        max_steps = int(schedule.meta.get("max_steps", 10_000))
+    result = run_supervised(factories, channels, oracle,
+                            max_steps=max_steps,
+                            fault_plan=fault_plan, policy=policy,
+                            watchdog_limit=watchdog_limit,
+                            tracer=tracer)
+    return ReplayReport(
+        result=result,
+        digest=result.digest(),
+        expected_digest=schedule.meta.get("digest"),
+        divergence=oracle.divergence,
+    )

@@ -131,10 +131,10 @@ def render_metrics(metrics: dict, title: str = "metrics") -> str:
     if not metrics:
         return f"{title}: (none recorded — run with a tracer)"
     lines = [f"{title}:"]
-    for name, value in metrics.items():
+    for name, value in sorted(metrics.items()):
         if isinstance(value, dict):
             stats = " ".join(
-                f"{k}={_fmt_stat(v)}" for k, v in value.items()
+                f"{k}={_fmt_stat(v)}" for k, v in sorted(value.items())
                 if k != "buckets" and v is not None
             )
             lines.append(f"  {name:<32s} {stats}")
@@ -147,6 +147,64 @@ def _fmt_stat(v: object) -> str:
     if isinstance(v, float):
         return f"{v:.3g}"
     return str(v)
+
+
+def render_schedule(schedule, max_decisions: int = 8) -> str:
+    """Render a flight-recorder :class:`~repro.obs.recorder.Schedule`.
+
+    Meta keys are emitted in sorted order and each decision stream
+    shows its head up to ``max_decisions`` entries — deterministic
+    output, suitable for golden tests and diff-friendly logs.
+    """
+    lines = [f"schedule ({len(schedule)} decisions, "
+             f"digest {schedule.digest()[:12]})"]
+    for key, value in sorted(schedule.meta.items()):
+        lines.append(f"  meta {key:<18s} {value}")
+    streams = [
+        ("agent_picks", schedule.agent_picks,
+         lambda d: f"{d[0]}  (ready: {', '.join(d[1])})"),
+        ("choice_picks", schedule.choice_picks,
+         lambda d: f"branch {d[0]}/{d[1]} in {d[2]}"),
+        ("rng_draws", schedule.rng_draws,
+         lambda d: f"{d[0]} {d[1]} -> {d[2]!r}"),
+        ("path", schedule.path,
+         lambda d: f"({d[0]}, {d[1]})"),
+    ]
+    for name, stream, fmt in streams:
+        if not stream:
+            continue
+        lines.append(f"  {name} ({len(stream)}):")
+        for i, decision in enumerate(stream[:max_decisions]):
+            lines.append(f"    [{i}] {fmt(decision)}")
+        if len(stream) > max_decisions:
+            lines.append(f"    … {len(stream) - max_decisions} more")
+    return "\n".join(lines)
+
+
+def render_run_diff(diff) -> str:
+    """Render a :class:`~repro.obs.diff.RunDiff` (see
+    :func:`~repro.obs.diff.diff_runs`)."""
+    lines = [diff.summary()]
+    if diff.divergence is not None:
+        lines.append("  " + diff.divergence.describe())
+    for name, (a, b) in sorted(diff.outcome.items()):
+        lines.append(f"  outcome {name}: {a!r} != {b!r}")
+    if diff.digest_a != diff.digest_b:
+        lines.append(f"  digest a: {diff.digest_a}")
+        lines.append(f"  digest b: {diff.digest_b}")
+    return "\n".join(lines)
+
+
+def render_schedule_diff(diff) -> str:
+    """Render a :class:`~repro.obs.diff.ScheduleDiff` (see
+    :func:`~repro.obs.diff.diff_schedules`)."""
+    if not diff.divergences:
+        return "schedules identical"
+    lines = [f"{len(diff.divergences)} divergent stream(s); "
+             f"first: {diff.first.stream}[{diff.first.index}]"]
+    for d in diff.divergences:
+        lines.append("  " + d.describe())
+    return "\n".join(lines)
 
 
 def render_table(headers: Iterable[str],

@@ -1,0 +1,258 @@
+"""Divergence diffing and delta-debugging shrink of recorded runs."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.core import Description, DescriptionSystem
+from repro.faults import (
+    DropFault,
+    FaultPlan,
+    replay_conformance_case,
+    run_conformance,
+)
+from repro.functions import chan
+from repro.functions.base import const_seq
+from repro.kahn.agents import dfm_agent, source_agent
+from repro.kahn.effects import Poll, Recv, Send
+from repro.kahn.scheduler import FirstOracle, RandomOracle, run_network
+from repro.obs import (
+    Schedule,
+    diff_runs,
+    diff_schedules,
+    shrink_schedule,
+)
+from repro.obs.diff import _ddmin
+from repro.seq import FiniteSeq
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+
+def dfm_agents():
+    return {"eb": source_agent(B, [0, 2, 0, 2]),
+            "dfm": dfm_agent(B, C, D)}
+
+
+# -- black-hole livelock fixture (the shrink showcase) -----------------------
+
+PAYLOAD = ["a", "b"]
+OUT = Channel("out", alphabet=frozenset(PAYLOAD))
+DATA = Channel("data",
+               alphabet=frozenset((b, m) for b in (0, 1)
+                                  for m in PAYLOAD))
+ACK = Channel("ack", alphabet=frozenset({0, 1}))
+PROTO_CHANNELS = [OUT, DATA, ACK]
+
+
+def _sender(messages, retransmit_limit):
+    bit = 0
+    for m in messages:
+        yield Send(DATA, (bit, m))
+        attempts = 0
+        while True:
+            if (yield Poll(ACK)):
+                if (yield Recv(ACK)) == bit:
+                    break
+                continue
+            attempts += 1
+            if retransmit_limit is not None \
+                    and attempts > retransmit_limit:
+                return
+            yield Send(DATA, (bit, m))
+        bit ^= 1
+
+
+def _receiver():
+    expected = 0
+    while True:
+        bit, message = yield Recv(DATA)
+        yield Send(ACK, bit)
+        if bit == expected:
+            yield Send(OUT, message)
+            expected ^= 1
+
+
+def proto_agents(retransmit_limit=None):
+    return {"sender": lambda: _sender(PAYLOAD, retransmit_limit),
+            "receiver": _receiver}
+
+
+def proto_spec() -> DescriptionSystem:
+    return DescriptionSystem(
+        [Description(chan(OUT), const_seq(FiniteSeq(PAYLOAD)),
+                     name="out ⟵ payload")],
+        channels=[OUT], name="service",
+    )
+
+
+def black_hole():
+    """Unbounded certain loss on the data wire: a retransmission
+    livelock for a sender that never gives up."""
+    return FaultPlan(
+        {DATA: DropFault(seed=0, p=1.0, max_consecutive_drops=None)},
+        name="black-hole")
+
+
+BLACK_HOLE_PLANS = {"black-hole": black_hole}
+
+
+def record_livelock():
+    report = run_conformance(
+        "proto-blackhole", proto_agents(), PROTO_CHANNELS,
+        proto_spec(), BLACK_HOLE_PLANS, seeds=[0], observe={OUT},
+        max_steps=2000, watchdog_limit=200,
+    )
+    case = report.cases[0]
+    assert case.outcome == "livelock"
+    return case
+
+
+class TestFailingCellRoundTrip:
+    def test_livelock_cell_replays_to_same_verdict_and_digest(self):
+        # the acceptance criterion end-to-end: a failing grid cell's
+        # auto-attached schedule, strictly replayed, reproduces both
+        # the verdict and the run digest bit-for-bit
+        case = record_livelock()
+        assert case.failed
+        replayed = replay_conformance_case(
+            case.schedule, proto_agents(), PROTO_CHANNELS,
+            proto_spec(), BLACK_HOLE_PLANS, observe={OUT},
+        )
+        assert replayed.outcome == case.outcome == "livelock"
+        assert replayed.result.digest() == \
+            case.schedule.meta["digest"] == case.result.digest()
+        assert replayed.result.watchdog_fired
+
+
+class TestDiffRuns:
+    def test_identical_runs(self):
+        a = run_network(dfm_agents(), [B, C, D], RandomOracle(7))
+        b = run_network(dfm_agents(), [B, C, D], RandomOracle(7))
+        d = diff_runs(a, b)
+        assert d.identical
+        assert "identical" in d.summary()
+
+    def test_different_seeds_diverge(self):
+        plan_a = FaultPlan({B: DropFault(seed=1, p=0.5)}, name="p")
+        plan_b = FaultPlan({B: DropFault(seed=2, p=0.5)}, name="p")
+        a = run_network(dfm_agents(), [B, C, D], RandomOracle(7),
+                        fault_plan=plan_a)
+        b = run_network(dfm_agents(), [B, C, D], RandomOracle(7),
+                        fault_plan=plan_b)
+        d = diff_runs(a, b)
+        assert not d.identical
+        if d.divergence is not None:
+            assert d.divergence.stream == "events"
+            assert d.divergence.context_a or d.divergence.context_b
+
+    def test_outcome_fields_compared(self):
+        a = run_network(dfm_agents(), [B, C, D], RandomOracle(7))
+        b = run_network(dfm_agents(), [B, C, D], RandomOracle(7),
+                        max_steps=3)
+        d = diff_runs(a, b)
+        assert "quiescent" in d.outcome or "steps" in d.outcome
+
+
+class TestDiffSchedules:
+    def test_identical(self):
+        r = run_network(dfm_agents(), [B, C, D], RandomOracle(7),
+                        record=True)
+        d = diff_schedules(r.schedule, r.schedule.copy())
+        assert d.identical
+        assert d.first is None
+
+    def test_first_divergent_decision(self):
+        a = run_network(dfm_agents(), [B, C, D], RandomOracle(7),
+                        record=True).schedule
+        b = a.copy()
+        b.agent_picks[2] = ["other", ["other"]]
+        d = diff_schedules(a, b)
+        assert not d.identical
+        assert d.first.stream == "agent_picks"
+        assert d.first.index == 2
+        assert "agent_picks[2]" in d.first.describe()
+
+    def test_length_mismatch_reported(self):
+        a = Schedule(agent_picks=[["x", ["x"]], ["y", ["y"]]])
+        b = Schedule(agent_picks=[["x", ["x"]]])
+        d = diff_schedules(a, b)
+        assert d.first.index == 1
+        assert d.first.b is None
+        assert "B ended" in d.first.describe()
+
+
+class TestDdmin:
+    def test_minimizes_to_single_culprit(self):
+        items = list(range(20))
+        result = _ddmin(items, lambda sub: 13 in sub)
+        assert result == [13]
+
+    def test_minimizes_pair(self):
+        items = list(range(16))
+        result = _ddmin(items,
+                        lambda sub: 3 in sub and 12 in sub)
+        assert sorted(result) == [3, 12]
+
+    def test_empty_when_anything_fails(self):
+        assert _ddmin(list(range(8)), lambda sub: True) == []
+
+
+class TestShrinkSchedule:
+    def test_rejects_non_failing_schedule(self):
+        r = run_network(dfm_agents(), [B, C, D], RandomOracle(7),
+                        record=True)
+        with pytest.raises(ValueError):
+            shrink_schedule(r.schedule, lambda s: False)
+
+    def test_shrinks_livelock_to_minimum(self):
+        case = record_livelock()
+        schedule = case.schedule
+        recorded_outcome = case.outcome
+
+        def still_livelocks(candidate):
+            replayed = replay_conformance_case(
+                candidate, proto_agents(), PROTO_CHANNELS,
+                proto_spec(), BLACK_HOLE_PLANS, observe={OUT},
+                fallback=FirstOracle(),
+            )
+            return replayed.outcome == recorded_outcome
+
+        small = shrink_schedule(schedule, still_livelocks)
+        assert len(small) < len(schedule)
+        assert small.meta["shrunk_from"] == len(schedule)
+        assert still_livelocks(small)
+        # the black hole livelocks under *any* schedule, and the
+        # shrinker proves it: no recorded decision is needed
+        assert len(small) == 0
+
+    def test_shrink_preserves_named_decision(self):
+        # a synthetic predicate that needs one specific agent pick:
+        # the shrinker must keep exactly that entry
+        schedule = Schedule(
+            agent_picks=[[f"a{i}", [f"a{i}"]] for i in range(12)])
+
+        def needs_a7(candidate):
+            return any(pick[0] == "a7"
+                       for pick in candidate.agent_picks)
+
+        small = shrink_schedule(schedule, needs_a7)
+        assert small.agent_picks == [["a7", ["a7"]]]
+
+    def test_shrunk_schedule_replays_leniently(self):
+        case = record_livelock()
+
+        def still_livelocks(candidate):
+            return replay_conformance_case(
+                candidate, proto_agents(), PROTO_CHANNELS,
+                proto_spec(), BLACK_HOLE_PLANS, observe={OUT},
+                fallback=FirstOracle(),
+            ).outcome == "livelock"
+
+        small = shrink_schedule(case.schedule, still_livelocks)
+        replayed = replay_conformance_case(
+            small, proto_agents(), PROTO_CHANNELS, proto_spec(),
+            BLACK_HOLE_PLANS, observe={OUT}, fallback=FirstOracle(),
+        )
+        assert replayed.outcome == "livelock"
+        assert replayed.result.watchdog_fired

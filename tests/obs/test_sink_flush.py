@@ -1,0 +1,83 @@
+"""JsonlSink flush policy: a killed writer leaves a parseable prefix."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.obs import JsonlSink, Tracer
+
+
+def test_flush_every_validates():
+    with pytest.raises(ValueError):
+        JsonlSink(os.devnull, flush_every=0)
+
+
+def test_default_flushes_each_record(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(str(path))
+    tracer = Tracer([sink])
+    tracer.event("one", category="test", track="t")
+    tracer.event("two", category="test", track="t")
+    # NOT closed: the default flush_every=1 already pushed both lines
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line) for line in lines)
+
+
+def test_batched_flush_holds_back_partial_batch(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(str(path), flush_every=5)
+    tracer = Tracer([sink])
+    for i in range(7):
+        tracer.event(f"e{i}", category="test", track="t")
+    # 7 records, batch of 5: exactly one flush so far
+    assert len(path.read_text().splitlines()) == 5
+    sink.close()
+    assert len(path.read_text().splitlines()) == 7
+
+
+_WRITER = textwrap.dedent("""
+    import os
+    from repro.obs import JsonlSink, Tracer
+
+    sink = JsonlSink({path!r}, flush_every={flush_every})
+    tracer = Tracer([sink])
+    for i in range({records}):
+        tracer.event(f"e{{i}}", category="test", track="t")
+    os._exit(1)   # die without closing: no atexit, no __del__
+""")
+
+
+def _run_writer(path, flush_every, records):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         _WRITER.format(path=str(path), flush_every=flush_every,
+                        records=records)],
+        env=env, capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 1, proc.stderr
+
+
+def test_killed_writer_leaves_parseable_prefix(tmp_path):
+    path = tmp_path / "crash.jsonl"
+    _run_writer(path, flush_every=1, records=9)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 9  # every record survived the kill
+    names = [json.loads(line)["name"] for line in lines]
+    assert names == [f"e{i}" for i in range(9)]
+
+
+def test_killed_writer_batched_loses_only_the_tail(tmp_path):
+    path = tmp_path / "crash.jsonl"
+    _run_writer(path, flush_every=5, records=7)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 5  # the unflushed tail (2 records) is lost
+    for line in lines:
+        json.loads(line)  # the prefix is valid JSONL throughout

@@ -1,0 +1,111 @@
+"""Determinism properties backing the flight recorder's guarantees.
+
+The recorder's value rests on two facts: (1) a seeded run is a pure
+function of its seeds — re-running it yields the identical digest —
+and (2) nothing about the digest or the decision stream depends on
+the Python process (hash randomization, dict iteration quirks).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.faults import DropFault, FaultPlan
+from repro.kahn.agents import dfm_agent, source_agent
+from repro.kahn.scheduler import RandomOracle, run_network
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+
+def agents():
+    return {"eb": source_agent(B, [0, 2, 0, 2]),
+            "dfm": dfm_agent(B, C, D)}
+
+
+def plan(seed):
+    return FaultPlan(
+        {B: DropFault(seed=seed, p=0.4, max_consecutive_drops=2)},
+        name="drop")
+
+
+class TestSameSeedSameDigest:
+    @pytest.mark.parametrize("seed", [0, 7, 11, 42])
+    def test_without_faults(self, seed):
+        a = run_network(agents(), [B, C, D], RandomOracle(seed))
+        b = run_network(agents(), [B, C, D], RandomOracle(seed))
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize("seed", [0, 7, 11, 42])
+    def test_with_faults(self, seed):
+        a = run_network(agents(), [B, C, D], RandomOracle(seed),
+                        fault_plan=plan(seed))
+        b = run_network(agents(), [B, C, D], RandomOracle(seed),
+                        fault_plan=plan(seed))
+        assert a.digest() == b.digest()
+
+    def test_recording_does_not_perturb_the_run(self):
+        plain = run_network(agents(), [B, C, D], RandomOracle(7),
+                            fault_plan=plan(7))
+        recorded = run_network(agents(), [B, C, D], RandomOracle(7),
+                               fault_plan=plan(7), record=True)
+        assert plain.digest() == recorded.digest()
+
+    def test_different_seeds_usually_differ(self):
+        digests = {
+            run_network(agents(), [B, C, D], RandomOracle(seed),
+                        fault_plan=plan(seed)).digest()
+            for seed in range(8)
+        }
+        assert len(digests) > 1
+
+
+_PROBE = textwrap.dedent("""
+    from repro.channels.channel import Channel
+    from repro.faults import DropFault, FaultPlan
+    from repro.kahn.agents import dfm_agent, source_agent
+    from repro.kahn.scheduler import RandomOracle, run_network
+
+    b = Channel("b", alphabet={0, 2})
+    c = Channel("c", alphabet={1, 3})
+    d = Channel("d", alphabet={0, 1, 2, 3})
+    plan = FaultPlan(
+        {b: DropFault(seed=5, p=0.4, max_consecutive_drops=2)},
+        name="drop")
+    result = run_network(
+        {"eb": source_agent(b, [0, 2, 0, 2]),
+         "dfm": dfm_agent(b, c, d)},
+        [b, c, d], RandomOracle(7), fault_plan=plan, record=True)
+    print(result.digest())
+    print(result.schedule.digest())
+""")
+
+
+def _probe(hash_seed: str) -> list[str]:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE], env=env,
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.split()
+
+
+class TestCrossProcessStability:
+    def test_digests_stable_across_hash_seeds(self):
+        # PYTHONHASHSEED changes str/bytes hashing (and therefore set
+        # iteration order); neither the run digest nor the recorded
+        # decision stream may depend on it
+        first = _probe("1")
+        second = _probe("4242")
+        in_process = _probe("random")
+        assert first == second == in_process
+        assert len(first) == 2 and all(len(h) == 64 for h in first)

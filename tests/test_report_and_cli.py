@@ -14,6 +14,9 @@ from repro.report import (
     render_description,
     render_metrics,
     render_run,
+    render_run_diff,
+    render_schedule,
+    render_schedule_diff,
     render_solver_result,
     render_system,
     render_table,
@@ -164,6 +167,67 @@ class TestRenderers:
     def test_render_metrics_empty(self):
         assert "none recorded" in render_metrics({})
 
+    def test_render_metrics_golden_sorted(self):
+        # keys arrive in insertion order; output must be sorted, so
+        # two runs of the same network render identically
+        text = render_metrics({"z.last": 1, "a.first": 2},
+                              title="m")
+        assert text == ("m:\n"
+                        "  a.first                          2\n"
+                        "  z.last                           1")
+
+    def test_render_schedule_golden(self):
+        from repro.obs import Schedule
+
+        s = Schedule(
+            agent_picks=[["snd", ["snd", "rcv"]],
+                         ["rcv", ["rcv"]]],
+            choice_picks=[[1, 2, "snd"]],
+            rng_draws=[["data:DropFault", "random", 0.25]],
+            meta={"seed": 3, "plan": "drop"},
+        )
+        text = render_schedule(s)
+        assert text == (
+            f"schedule (4 decisions, digest {s.digest()[:12]})\n"
+            "  meta plan               drop\n"
+            "  meta seed               3\n"
+            "  agent_picks (2):\n"
+            "    [0] snd  (ready: snd, rcv)\n"
+            "    [1] rcv  (ready: rcv)\n"
+            "  choice_picks (1):\n"
+            "    [0] branch 1/2 in snd\n"
+            "  rng_draws (1):\n"
+            "    [0] data:DropFault random -> 0.25"
+        )
+
+    def test_render_schedule_truncates(self):
+        from repro.obs import Schedule
+
+        s = Schedule(agent_picks=[["a", ["a"]]] * 10)
+        text = render_schedule(s, max_decisions=3)
+        assert "… 7 more" in text
+
+    def test_render_schedule_diff(self):
+        from repro.obs import Schedule, diff_schedules
+
+        a = Schedule(agent_picks=[["x", ["x", "y"]]])
+        b = Schedule(agent_picks=[["y", ["x", "y"]]])
+        text = render_schedule_diff(diff_schedules(a, b))
+        assert "agent_picks[0]" in text
+        assert render_schedule_diff(diff_schedules(a, a.copy())) \
+            == "schedules identical"
+
+    def test_render_run_diff(self):
+        a = run_network(
+            {"eb": source_agent(B, [0, 2]), "dfm": dfm_agent(B, C, D)},
+            [B, C, D], RandomOracle(7))
+        b = run_network(
+            {"eb": source_agent(B, [0, 2]), "dfm": dfm_agent(B, C, D)},
+            [B, C, D], RandomOracle(7))
+        from repro.obs import diff_runs
+
+        assert "identical" in render_run_diff(diff_runs(a, b))
+
 
 class TestCli:
     @pytest.mark.parametrize(
@@ -231,3 +295,85 @@ class TestTraceCli:
 
         with pytest.raises(SystemExit):
             main(["trace", "not_an_example"])
+
+
+class TestRecorderCli:
+    def _record(self, tmp_path, *extra):
+        from repro.__main__ import main
+
+        out = tmp_path / "run.schedule.json"
+        assert main(["record", "dfm", "--plan", "drop",
+                     "--seed", "11", "-o", str(out), *extra]) == 0
+        return out
+
+    def test_record_writes_schedule_json(self, tmp_path, capsys):
+        import json
+
+        out = self._record(tmp_path)
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+        assert doc["meta"]["scenario"] == "dfm"
+        assert doc["agent_picks"]
+        assert "recorded" in capsys.readouterr().out
+
+    def test_replay_matches_exit_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = self._record(tmp_path)
+        assert main(["replay", str(out)]) == 0
+        assert "MATCHES" in capsys.readouterr().out
+
+    def test_replay_tampered_exit_nonzero(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        out = self._record(tmp_path)
+        doc = json.loads(out.read_text())
+        doc["meta"]["digest"] = "0" * 64
+        out.write_text(json.dumps(doc))
+        assert main(["replay", str(out), "--lenient"]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_diff_identical_and_divergent(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        a = tmp_path / "a.schedule.json"
+        b = tmp_path / "b.schedule.json"
+        assert main(["record", "dfm", "--plan", "drop",
+                     "--seed", "11", "-o", str(a)]) == 0
+        assert main(["record", "dfm", "--plan", "drop",
+                     "--seed", "12", "-o", str(b)]) == 0
+        assert main(["diff", str(a), str(a)]) == 0
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "identical" in capsys.readouterr().out
+
+    def test_record_abp_and_shrink(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "abp.schedule.json"
+        assert main(["record", "alternating_bit",
+                     "--plan", "black-hole", "--seed", "0",
+                     "--max-steps", "2000", "-o", str(out)]) == 0
+        assert "livelock" in capsys.readouterr().out
+        small = tmp_path / "abp.min.json"
+        assert main(["shrink", str(out), "-o", str(small)]) == 0
+        assert "shrunk" in capsys.readouterr().out
+        # the minimal schedule still replays (leniently) to the
+        # recorded verdict
+        assert main(["replay", str(small), "--lenient"]) == 0
+        assert "livelock" in capsys.readouterr().out
+
+    def test_record_rejects_unknown_scenario(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["record", "not_a_scenario"])
+
+    def test_record_rejects_unknown_plan(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "x.json"
+        assert main(["record", "alternating_bit", "--plan", "bogus",
+                     "-o", str(out)]) == 2
+        assert "unknown plan" in capsys.readouterr().err
