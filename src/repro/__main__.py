@@ -17,7 +17,10 @@ Commands:
 * ``diff``           — first-divergence report between two recorded
   schedules and their (lenient) replays;
 * ``shrink``         — delta-debug a failing schedule to a locally
-  minimal one that preserves the verdict.
+  minimal one that preserves the verdict;
+* ``grid``           — run a registered conformance scenario's full
+  ``plans × seeds`` grid, optionally farmed over worker processes
+  (``--workers N``); exits 0 iff every cell conforms.
 """
 
 from __future__ import annotations
@@ -486,6 +489,48 @@ def cmd_shrink(path: str, out: str | None) -> int:
     return 0
 
 
+def cmd_grid(scenario: str, workers: int, seeds: int,
+             plan_names: list[str] | None, max_steps: int | None,
+             no_record: bool) -> int:
+    """Run a registered scenario's conformance grid, maybe in parallel.
+
+    The scenario comes from the :mod:`repro.par` registry (the same
+    registry the worker processes rebuild cells from), so the grid is
+    parallelizable by construction.  Exit status is 0 iff every cell
+    conforms — livelocks and exhausted budgets count as failures here
+    because the built-in scenarios all use fair fault plans.
+    """
+    from repro import par
+    from repro.report import render_conformance_report
+
+    try:
+        sc = par.get_scenario(scenario)
+    except KeyError:
+        print(f"unknown scenario {scenario!r} "
+              f"(choices: {', '.join(par.scenario_names())})",
+              file=sys.stderr)
+        return 2
+    plans = None
+    if plan_names:
+        missing = [p for p in plan_names if p not in sc.plans]
+        if missing:
+            print(f"unknown plan(s) {', '.join(missing)} "
+                  f"(choices: {', '.join(sorted(sc.plans))})",
+                  file=sys.stderr)
+            return 2
+        plans = {name: sc.plans[name] for name in plan_names}
+    report = par.run_conformance_parallel(
+        scenario, seeds=range(seeds), plans=plans,
+        max_steps=max_steps, workers=workers,
+        record=not no_record,
+    )
+    print(render_conformance_report(report))
+    cells = len(report.cases)
+    print(f"{cells} cells × workers={workers}: "
+          f"{report.wall_clock_s:.3f}s wall")
+    return 0 if report.all_conform else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -547,6 +592,30 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--out", default=None,
         help="output path (default <schedule>.min.json)")
 
+    p_grid = sub.add_parser(
+        "grid", help="run a scenario's conformance grid "
+                     "(parallel with --workers N)")
+    p_grid.add_argument(
+        "scenario", nargs="?", default="dfm",
+        help="registered scenario name (e.g. dfm, alternating_bit)")
+    p_grid.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to farm cells over (default 1: serial)")
+    p_grid.add_argument(
+        "--seeds", type=int, default=4,
+        help="number of oracle seeds, 0..N-1 (default 4)")
+    p_grid.add_argument(
+        "--plan", action="append", default=None, dest="plan_names",
+        metavar="PLAN",
+        help="restrict to this fault plan (repeatable; "
+             "default: all of the scenario's plans)")
+    p_grid.add_argument(
+        "--max-steps", type=int, default=None,
+        help="override the scenario's runtime step budget")
+    p_grid.add_argument(
+        "--no-record", action="store_true",
+        help="skip flight-recording each cell's schedule")
+
     args = parser.parse_args(argv)
     if args.command == "trace":
         return cmd_trace(args.example, args.out, args.jsonl,
@@ -560,6 +629,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_diff(args.schedule_a, args.schedule_b)
     if args.command == "shrink":
         return cmd_shrink(args.schedule, args.out)
+    if args.command == "grid":
+        return cmd_grid(args.scenario, args.workers, args.seeds,
+                        args.plan_names, args.max_steps,
+                        args.no_record)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

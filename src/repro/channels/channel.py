@@ -37,6 +37,13 @@ class Channel:
     def __setattr__(self, *_: Any) -> None:  # pragma: no cover
         raise AttributeError("Channel is immutable")
 
+    def __reduce__(self):
+        # slots + the immutability guard defeat default pickling
+        # (unpickling would call the guarded ``__setattr__``); rebuild
+        # through ``__init__`` instead so channels cross process
+        # boundaries (parallel conformance grids) intact.
+        return (Channel, (self.name, self.alphabet, self.auxiliary))
+
     def admits(self, message: Any) -> bool:
         """Return ``True`` iff ``message`` is in this channel's alphabet."""
         return self.alphabet is None or message in self.alphabet

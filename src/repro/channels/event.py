@@ -27,6 +27,11 @@ class Event:
     def __setattr__(self, *_: Any) -> None:  # pragma: no cover
         raise AttributeError("Event is immutable")
 
+    def __reduce__(self):
+        # see Channel.__reduce__: immutable slots need an explicit
+        # pickle path; messages must themselves be picklable.
+        return (Event, (self.channel, self.message))
+
     def on(self, channels: Any) -> bool:
         """Return ``True`` iff this event's channel is in ``channels``."""
         return self.channel in channels

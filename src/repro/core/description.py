@@ -68,7 +68,9 @@ class Description:
     # -- the two defining conditions ---------------------------------------
 
     def limit_report(self, t: Trace,
-                     depth: int = DEFAULT_DEPTH) -> LimitReport:
+                     depth: int = DEFAULT_DEPTH,
+                     lhs_value: Any = None,
+                     rhs_value: Any = None) -> LimitReport:
         """Check ``f(t) = g(t)``.
 
         Finite traces are checked by direct (bounded-only-if-the-values-
@@ -79,10 +81,19 @@ class Description:
         horizons: positions below ``depth`` must agree wherever both
         limits are determined, and a side whose chain has stopped
         growing while the other is ahead is conclusively unequal.
+
+        ``lhs_value``/``rhs_value`` let a caller that has *already*
+        evaluated ``f(t)``/``g(t)`` (the §3.3 solver computes both per
+        node for the admissibility tests) pass them in instead of
+        re-evaluating; they are only honoured for known-finite ``t``,
+        where "apply the side to the trace" is exactly the value the
+        caller holds.
         """
         if t.is_known_finite():
-            fv = self.lhs.apply(t)
-            gv = self.rhs.apply(t)
+            fv = (self.lhs.apply(t) if lhs_value is None
+                  else lhs_value)
+            gv = (self.rhs.apply(t) if rhs_value is None
+                  else rhs_value)
             holds = self.codomain.eq_upto(fv, gv, depth)
             exact = _value_is_finite(fv) and _value_is_finite(gv)
             return LimitReport(holds=holds, exact=exact, lhs_value=fv,

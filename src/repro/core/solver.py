@@ -159,19 +159,22 @@ class SmoothSolutionSolver:
 
     def children(self, u: Trace) -> Iterator[Trace]:
         """Admissible one-step extensions: ``v`` with ``f(v) ⊑ g(u)``."""
-        f, g = self.description.lhs, self.description.rhs
-        gu = g.apply(u)
-        try:
-            events = list(self.candidates(u))
-        except CandidateError:
-            raise
-        except Exception as exc:
-            raise CandidateError(u, exc) from exc
-        for event in events:
+        f = self.description.lhs
+        gu = self.description.rhs.apply(u)
+        for event in self._candidate_events(u):
             v = u.append(event)
             fv = f.apply(v)
             if self.description._leq(fv, gu, self.limit_depth):
                 yield v
+
+    def _candidate_events(self, u: Trace) -> list[Event]:
+        """Run the candidate generator, wrapping its failures."""
+        try:
+            return list(self.candidates(u))
+        except CandidateError:
+            raise
+        except Exception as exc:
+            raise CandidateError(u, exc) from exc
 
     def is_node(self, u: Trace) -> bool:
         """Is the finite trace ``u`` a node of the tree?
@@ -204,6 +207,15 @@ class SmoothSolutionSolver:
         With a tracer attached the exploration additionally emits
         ``solver.*`` spans/events (per-level spans, prune / accept /
         dead-end / truncate events) and fills ``result.metrics``.
+
+        Hot-path discipline: per node ``u`` the right side ``g(u)`` is
+        evaluated exactly once (shared between the limit condition and
+        every candidate's admissibility test), the left side ``f(u)``
+        is carried over from the parent's admissibility scan (each node
+        was once a candidate), and the limit condition is checked
+        exactly once.  The frontier-extendability probe at the depth
+        bound short-circuits at the first admissible candidate instead
+        of re-running the full scan.
         """
         deadline = (None if budget_seconds is None
                     else time.monotonic() + budget_seconds)
@@ -211,7 +223,12 @@ class SmoothSolutionSolver:
         tracing = tracer.enabled
         metrics = MetricsRegistry() if tracing else None
         result = SolverResult(depth=max_depth)
-        level: list[Trace] = [Trace.empty()]
+        root_trace = Trace.empty()
+        # level entries are ``(u, f(u))``: f was computed when u was a
+        # candidate of its parent, so it rides along instead of being
+        # recomputed per node
+        level: list[tuple[Trace, object]] = [
+            (root_trace, self.description.lhs.apply(root_trace))]
         explored = 0
         with tracer.span("solver.explore", category="solver",
                          track="solver", depth=max_depth,
@@ -221,8 +238,8 @@ class SmoothSolutionSolver:
                 with tracer.span("solver.level", category="solver",
                                  track="solver", depth=depth,
                                  width=len(level)):
-                    next_level: list[Trace] = []
-                    for i, u in enumerate(level):
+                    next_level: list[tuple[Trace, object]] = []
+                    for i, (u, fu) in enumerate(level):
                         reason = ""
                         if explored >= max_nodes:
                             reason = (f"node budget ({max_nodes}) "
@@ -243,14 +260,15 @@ class SmoothSolutionSolver:
                                     parked=len(result.frontier))
                             break
                         explored += 1
+                        gu = self.description.rhs.apply(u)
+                        limit = self.description.limit_report(
+                            u, self.limit_depth,
+                            lhs_value=fu, rhs_value=gu).holds
                         if depth < max_depth:
-                            kids = (self._expand_traced(u, metrics)
-                                    if tracing
-                                    else list(self.children(u)))
+                            kids = self._expand(u, gu, metrics)
                         else:
                             kids = None
-                        if self.description.limit_holds(
-                                u, self.limit_depth):
+                        if limit:
                             result.finite_solutions.append(u)
                             if tracing:
                                 tracer.event(
@@ -259,14 +277,12 @@ class SmoothSolutionSolver:
                                     node=repr(u), depth=depth)
                         if kids is None:
                             # at the bound: frontier if extendable
-                            if any(True for _ in self.children(u)):
+                            if self._extendable(u, gu):
                                 result.frontier.append(u)
-                            elif not self.description.limit_holds(
-                                    u, self.limit_depth):
+                            elif not limit:
                                 result.dead_ends.append(u)
                             continue
-                        if not kids and not self.description.limit_holds(
-                                u, self.limit_depth):
+                        if not kids and not limit:
                             result.dead_ends.append(u)
                             if tracing:
                                 tracer.event(
@@ -295,45 +311,60 @@ class SmoothSolutionSolver:
                               truncated=result.truncated)
         return result
 
-    def _expand_traced(self, u: Trace,
-                       metrics: MetricsRegistry) -> list[Trace]:
-        """The :meth:`children` computation, narrated: one
-        ``solver.prune`` event per inadmissible candidate, branching
-        and prune counts into ``metrics``."""
-        f, g = self.description.lhs, self.description.rhs
-        gu = g.apply(u)
-        try:
-            events = list(self.candidates(u))
-        except CandidateError:
-            raise
-        except Exception as exc:
-            raise CandidateError(u, exc) from exc
-        kids: list[Trace] = []
+    def _expand(self, u: Trace, gu: object,
+                metrics: Optional[MetricsRegistry]
+                ) -> list[tuple[Trace, object]]:
+        """The :meth:`children` computation against a precomputed
+        ``g(u)``, returning ``(v, f(v))`` pairs so each child's left
+        side is evaluated once and reused when the child is explored.
+        With ``metrics`` attached, also narrated: one ``solver.prune``
+        event per inadmissible candidate, branching and prune counts
+        into ``metrics``."""
+        f = self.description.lhs
+        events = self._candidate_events(u)
+        kids: list[tuple[Trace, object]] = []
         pruned = 0
         for event in events:
             v = u.append(event)
             fv = f.apply(v)
             if self.description._leq(fv, gu, self.limit_depth):
-                kids.append(v)
+                kids.append((v, fv))
             else:
                 pruned += 1
-                self.tracer.event(
-                    "solver.prune", category="solver", track="solver",
-                    node=repr(u), candidate=repr(event),
-                    reason="f(v) ⋢ g(u)")
-        metrics.counter("solver.candidates_proposed").inc(len(events))
-        metrics.counter("solver.candidates_pruned").inc(pruned)
-        metrics.histogram("solver.branching").record(len(kids))
+                if metrics is not None:
+                    self.tracer.event(
+                        "solver.prune", category="solver",
+                        track="solver", node=repr(u),
+                        candidate=repr(event), reason="f(v) ⋢ g(u)")
+        if metrics is not None:
+            metrics.counter("solver.candidates_proposed").inc(
+                len(events))
+            metrics.counter("solver.candidates_pruned").inc(pruned)
+            metrics.histogram("solver.branching").record(len(kids))
         return kids
 
+    def _extendable(self, u: Trace, gu: object) -> bool:
+        """Does ``u`` have at least one admissible extension?  The
+        frontier probe: short-circuits at the first hit and reuses the
+        caller's ``g(u)``."""
+        f = self.description.lhs
+        for event in self._candidate_events(u):
+            v = u.append(event)
+            if self.description._leq(f.apply(v), gu,
+                                     self.limit_depth):
+                return True
+        return False
+
     @staticmethod
-    def _truncate(result: SolverResult, unvisited: list[Trace],
-                  next_level: list[Trace], reason: str) -> None:
+    def _truncate(result: SolverResult,
+                  unvisited: list[tuple[Trace, object]],
+                  next_level: list[tuple[Trace, object]],
+                  reason: str) -> None:
         """Mark ``result`` partial; park unexpanded nodes as frontier."""
         result.truncated = True
         result.truncation_reason = reason
-        result.frontier.extend(unvisited)
-        result.frontier.extend(next_level)
+        result.frontier.extend(u for u, _ in unvisited)
+        result.frontier.extend(v for v, _ in next_level)
 
     # -- witness paths (flight-recorder view of §3.3) -----------------------
 

@@ -70,6 +70,32 @@ def to_chrome_trace(records: Iterable[Any],
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
+def rebase_records(records: Iterable[Any], offset_ns: int = 0,
+                   track_suffix: str = "") -> List[Any]:
+    """Shift records onto another tracer's timeline.
+
+    Used to merge per-worker trace buffers from a parallel conformance
+    grid back into the parent tracer: ``offset_ns`` is the worker
+    tracer's epoch minus the parent's (both epochs come from the same
+    machine-wide monotonic clock under ``fork``), and ``track_suffix``
+    keeps each cell's rows apart in the merged timeline.  Records are
+    copied, never mutated — the worker buffers stay valid.
+    """
+    from dataclasses import replace
+
+    out: List[Any] = []
+    for rec in records:
+        changes: Dict[str, Any] = {}
+        if track_suffix:
+            changes["track"] = rec.track + track_suffix
+        if rec.kind == "span":
+            changes["start_ns"] = rec.start_ns + offset_ns
+        else:
+            changes["ts_ns"] = rec.ts_ns + offset_ns
+        out.append(replace(rec, **changes) if changes else rec)
+    return out
+
+
 def write_chrome_trace(records: Iterable[Any], path: str,
                        process_name: str = "repro") -> int:
     """Write the Perfetto-loadable JSON file; returns the event count."""

@@ -158,6 +158,18 @@ class Tracer:
             ts_ns=self.now_ns(), args=args,
         ))
 
+    def ingest(self, records: Iterable[Any]) -> None:
+        """Forward already-built records to this tracer's sinks.
+
+        The merge half of per-worker tracing: a parallel grid's worker
+        cells each record into their own buffer, and the parent folds
+        the (rebased — see
+        :func:`repro.obs.perfetto.rebase_records`) records into its
+        own sinks here.
+        """
+        for record in records:
+            self._emit(record)
+
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()

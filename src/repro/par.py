@@ -1,0 +1,366 @@
+"""Process-parallel conformance grids.
+
+Every cell of a ``plans × seeds`` conformance grid is an independent
+computation: the harness builds a *fresh* fault-plan instance and a
+fresh ``RandomOracle(seed)`` per cell, and no state flows between
+cells.  That is exactly the network-of-independent-computations view
+of Abramsky's generalized Kahn principle (see PAPERS.md): the grid is
+an abstract asynchronous network whose nodes may run anywhere, in any
+order, with the same result.  This module cashes that in — cells farm
+out over ``multiprocessing`` workers and the serial/parallel results
+are *bit-for-bit equal*, an equality the flight-recorder digests
+(:meth:`~repro.kahn.runtime.RunResult.digest`) assert mechanically.
+
+The one obstacle is that grid inputs are closures: agent factories,
+plan factories and specs cannot (and should not) cross a process
+boundary.  The solution is a **scenario registry**: a scenario is a
+named builder that reconstructs the whole grid input set from nothing,
+so the only thing shipped to a worker is a :class:`CellTask` — a
+scenario *name*, a plan *name*, a seed and budgets, all picklable
+scalars.  Results come back as ordinary
+:class:`~repro.faults.harness.ConformanceCase` values with their
+schedules, metrics and digests intact (the channel/event/sequence
+types carry explicit pickle support for exactly this trip).
+
+Workers are forked, so scenarios registered by the calling process —
+including test-local ones — are visible in the workers without any
+import gymnastics; on platforms without ``fork`` the grid falls back
+to the serial executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.core.description import DEFAULT_DEPTH
+from repro.faults.harness import ConformanceCase, ConformanceReport
+from repro.faults.supervision import RestartPolicy
+
+#: Rebuilds one scenario's full grid inputs from nothing (no captured
+#: process state — workers call it after a fork or a fresh import).
+ScenarioBuilder = Callable[[], "Scenario"]
+
+_SCENARIOS: Dict[str, ScenarioBuilder] = {}
+
+
+@dataclass
+class Scenario:
+    """Everything a worker needs to run one grid cell.
+
+    ``agents``/``plans`` are factory mappings exactly as
+    :func:`~repro.faults.harness.run_conformance` takes them; the
+    remaining fields are that function's keyword arguments with the
+    scenario's canonical values.
+    """
+
+    name: str
+    agents: Mapping[str, Callable]
+    channels: list
+    spec: Any
+    plans: Mapping[str, Callable]
+    observe: Optional[Iterable] = None
+    max_steps: int = 10_000
+    policy: Optional[RestartPolicy] = field(
+        default_factory=RestartPolicy)
+    watchdog_limit: Optional[int] = 500
+    depth: int = DEFAULT_DEPTH
+
+
+def register_scenario(name: str,
+                      builder: Optional[ScenarioBuilder] = None):
+    """Register a scenario builder under ``name`` (decorator-friendly).
+
+    Builders must be self-contained: a worker process calls them after
+    a fork (or after importing this module), so they may import
+    example modules and close over nothing from the caller.
+    """
+    if builder is None:
+        def deco(fn: ScenarioBuilder) -> ScenarioBuilder:
+            _SCENARIOS[name] = fn
+            return fn
+        return deco
+    _SCENARIOS[name] = builder
+    return builder
+
+
+def get_scenario(name: str) -> Scenario:
+    """Build a fresh :class:`Scenario` for ``name``."""
+    try:
+        builder = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r} "
+            f"(registered: {', '.join(sorted(_SCENARIOS)) or 'none'})"
+        ) from None
+    return builder()
+
+
+def scenario_names() -> list[str]:
+    return sorted(_SCENARIOS)
+
+
+def has_scenario(name: Optional[str]) -> bool:
+    return name is not None and name in _SCENARIOS
+
+
+def parallelizable(scenario: Optional[str],
+                   plans: Optional[Mapping[str, Any]] = None) -> bool:
+    """Can this grid take the process-parallel path?
+
+    Requires a registry-addressable scenario (so nothing unpicklable
+    must cross the process boundary), ``fork`` (so caller-registered
+    scenarios are inherited by the workers), and — when the caller
+    supplies a plan mapping — that every plan name is one the scenario
+    can rebuild.
+    """
+    if not has_scenario(scenario):
+        return False
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    if plans is not None:
+        known = set(get_scenario(scenario).plans)
+        if not set(plans) <= known:
+            return False
+    return True
+
+
+# -- the cell task ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One grid cell, by name: everything here pickles as scalars."""
+
+    scenario: str
+    plan: str
+    seed: int
+    max_steps: int
+    record: bool = True
+    traced: bool = False
+
+
+def run_cell(task: CellTask) -> ConformanceCase:
+    """Run one cell through the serial harness (fresh scenario, fresh
+    plan, fresh oracle) — the parallel executor's unit of work, and by
+    construction the same computation the serial grid performs."""
+    case, _records, _epoch = _cell_worker(task)
+    return case
+
+
+def _cell_worker(task: CellTask):
+    """Worker-side cell execution.
+
+    Returns ``(case, trace_records, trace_epoch_ns)``: the classified
+    case plus, when ``task.traced``, the cell's raw tracer records and
+    the worker tracer's epoch (``time.perf_counter_ns`` is machine-wide
+    monotonic on the platforms that offer ``fork``, so the parent can
+    rebase worker timestamps onto its own timeline).
+    """
+    from repro.faults.harness import run_conformance
+
+    scenario = get_scenario(task.scenario)
+    tracer = None
+    ring = None
+    epoch_ns = 0
+    if task.traced:
+        from repro.obs.sinks import RingBufferSink
+        from repro.obs.tracer import Tracer
+
+        ring = RingBufferSink()
+        tracer = Tracer([ring])
+        epoch_ns = tracer._epoch_ns
+    report = run_conformance(
+        scenario.name, scenario.agents, scenario.channels,
+        scenario.spec, {task.plan: scenario.plans[task.plan]},
+        seeds=[task.seed], observe=scenario.observe,
+        max_steps=task.max_steps, policy=scenario.policy,
+        watchdog_limit=scenario.watchdog_limit, depth=scenario.depth,
+        tracer=tracer, record=task.record,
+    )
+    [case] = report.cases
+    return case, (list(ring) if ring is not None else None), epoch_ns
+
+
+# -- the parallel grid ------------------------------------------------------
+
+
+def run_conformance_parallel(scenario: str,
+                             seeds: Iterable[int],
+                             plans: Optional[Iterable[str]] = None,
+                             max_steps: Optional[int] = None,
+                             workers: Optional[int] = None,
+                             record: bool = True,
+                             tracer=None) -> ConformanceReport:
+    """Run a registered scenario's ``plans × seeds`` grid over
+    ``workers`` processes.
+
+    ``plans`` selects plan *names* (default: all the scenario's
+    plans); workers rebuild the actual factories from the registry, so
+    nothing unpicklable crosses the process boundary in either
+    direction except the results themselves.  Cells stream back in
+    grid order and the report is indistinguishable from the serial
+    one — same outcomes, same ``Schedule`` digests — except that
+    ``wall_clock_s`` is what an observer actually waited, not the
+    summed per-cell compute (see
+    :meth:`~repro.faults.harness.ConformanceReport.total_elapsed_s`).
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=1``, a
+    single-cell grid, or a platform without ``fork`` all take the
+    serial path, which is also the semantics-defining reference.
+
+    With a ``tracer`` attached, each cell runs under its own in-worker
+    tracer and the records are merged back onto the caller's timeline
+    (per-cell track suffixes keep the Perfetto rows apart).
+    """
+    started = time.monotonic()
+    built = get_scenario(scenario)
+    plan_names = list(plans) if plans is not None else list(built.plans)
+    unknown = [p for p in plan_names if p not in built.plans]
+    if unknown:
+        raise KeyError(
+            f"scenario {scenario!r} has no plan(s) {unknown!r} "
+            f"(available: {sorted(built.plans)})")
+    seed_list = list(seeds)
+    steps = built.max_steps if max_steps is None else max_steps
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    traced = tracer is not None and getattr(tracer, "enabled", False)
+    tasks = [
+        CellTask(scenario=scenario, plan=plan, seed=seed,
+                 max_steps=steps, record=record, traced=traced)
+        for plan in plan_names for seed in seed_list
+    ]
+    workers = max(1, min(int(workers), len(tasks) or 1))
+    if workers == 1 or len(tasks) < 2 or \
+            "fork" not in multiprocessing.get_all_start_methods():
+        from repro.faults.harness import run_conformance
+
+        report = run_conformance(
+            built.name, built.agents, built.channels, built.spec,
+            {p: built.plans[p] for p in plan_names}, seed_list,
+            observe=built.observe, max_steps=steps,
+            policy=built.policy, watchdog_limit=built.watchdog_limit,
+            depth=built.depth, tracer=tracer, record=record,
+        )
+        report.wall_clock_s = time.monotonic() - started
+        return report
+
+    report = ConformanceReport(network=built.name)
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=workers) as pool:
+        for task, (case, records, epoch_ns) in zip(
+                tasks, pool.imap(_cell_worker, tasks, chunksize=1)):
+            report.cases.append(case)
+            if traced and records:
+                _merge_cell_trace(tracer, task, records, epoch_ns)
+    report.wall_clock_s = time.monotonic() - started
+    return report
+
+
+def _merge_cell_trace(tracer, task: CellTask, records: List[Any],
+                      epoch_ns: int) -> None:
+    """Fold one worker cell's trace records into the parent tracer.
+
+    Timestamps are rebased from the worker tracer's epoch onto the
+    parent's (both count from ``perf_counter_ns``, which is a single
+    machine-wide monotonic clock under ``fork``), and every track gets
+    a per-cell suffix so the merged timeline shows one row group per
+    cell instead of interleaving unrelated cells on one row.
+    """
+    from repro.obs.perfetto import rebase_records
+
+    offset = epoch_ns - getattr(tracer, "_epoch_ns", epoch_ns)
+    tracer.ingest(rebase_records(
+        records, offset_ns=offset,
+        track_suffix=f"@{task.plan}×{task.seed}"))
+
+
+# -- built-in scenarios ------------------------------------------------------
+
+
+def _examples_dir():
+    import pathlib
+
+    return pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _import_example(name: str):
+    import importlib
+    import sys
+
+    examples = _examples_dir()
+    if not examples.is_dir():
+        raise FileNotFoundError(
+            f"examples directory not found at {examples}")
+    if str(examples) not in sys.path:
+        sys.path.insert(0, str(examples))
+    return importlib.import_module(name)
+
+
+@register_scenario("dfm")
+def _build_dfm() -> Scenario:
+    """The §2.2 discriminated fair merge under drop faults.
+
+    Sized so one cell is real work (a long source stream checked
+    against the combined description to the default depth): the grid
+    is what the parallel executor should visibly accelerate.
+    """
+    from repro.channels.channel import Channel
+    from repro.core.description import Description, combine
+    from repro.faults.models import DropFault
+    from repro.faults.plan import FaultPlan
+    from repro.functions import chan, even_of, odd_of
+    from repro.kahn.agents import dfm_agent, source_agent
+
+    b = Channel("b", alphabet={0, 2})
+    c = Channel("c", alphabet={1, 3})
+    d = Channel("d", alphabet={0, 1, 2, 3})
+    spec = combine([
+        Description(even_of(chan(d)), chan(b)),
+        Description(odd_of(chan(d)), chan(c)),
+    ], name="dfm")
+    feed = [0, 2] * 40
+
+    def drop(seed: int = 1, p: float = 0.4):
+        return FaultPlan(
+            {b: DropFault(seed=seed, p=p, max_consecutive_drops=2)},
+            name="drop")
+
+    return Scenario(
+        name="dfm",
+        agents={"eb": lambda: source_agent(b, feed),
+                "dfm": lambda: dfm_agent(b, c, d)},
+        channels=[b, c, d],
+        spec=spec,
+        plans={"none": lambda: None,
+               "drop": drop,
+               "heavy-drop": lambda: drop(seed=3, p=0.7)},
+        max_steps=2000,
+        depth=192,
+    )
+
+
+@register_scenario("alternating_bit")
+def _build_alternating_bit() -> Scenario:
+    """The fault-injected ABP grid from ``examples/alternating_bit.py``
+    (fair plans only — every cell should conform)."""
+    abp = _import_example("alternating_bit")
+
+    return Scenario(
+        name="abp-direct",
+        agents=abp.direct_agents(abp.MESSAGES),
+        channels=abp.FAULTY_CHANNELS,
+        spec=abp.service_spec(abp.MESSAGES).combined(),
+        plans={
+            "no-faults": abp.no_faults,
+            "fair-loss": lambda: abp.fair_loss_plan(seed=11),
+            "heavy-loss": lambda: abp.fair_loss_plan(seed=23, p=0.5),
+            "loss+dup": lambda: abp.loss_and_duplication_plan(seed=5),
+        },
+        observe={abp.OUT},
+        max_steps=4000,
+        watchdog_limit=600,
+    )

@@ -8,7 +8,7 @@ formatting — no semantics.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 from repro.core.description import Description, DescriptionSystem
 from repro.core.solution import SolutionVerdict
@@ -204,6 +204,40 @@ def render_schedule_diff(diff) -> str:
              f"first: {diff.first.stream}[{diff.first.index}]"]
     for d in diff.divergences:
         lines.append("  " + d.describe())
+    return "\n".join(lines)
+
+
+def render_conformance_report(report, max_failures: int = 5) -> str:
+    """Render a :class:`~repro.faults.harness.ConformanceReport`.
+
+    Shows both clocks: ``wall_clock_s`` (what an observer waited for
+    the whole grid) and ``total_elapsed_s()`` (summed per-cell
+    compute).  Under a parallel executor the cells overlap, so the
+    compute sum exceeds the wall clock; the ``overlap`` factor is
+    their ratio — an effective-parallelism estimate.
+    """
+    lines = [report.summary()]
+    wall = report.wall_clock_s
+    compute = report.total_elapsed_s()
+    timing = (f"wall-clock {wall:.3f}s, "
+              f"per-cell compute {compute:.3f}s")
+    if wall > 0 and compute > wall:
+        timing += f"  (overlap ×{compute / wall:.1f})"
+    lines.append(timing)
+    plans: Dict[str, Dict[str, int]] = {}
+    for case in report.cases:
+        per = plans.setdefault(case.plan, {})
+        per[case.outcome] = per.get(case.outcome, 0) + 1
+    for plan in sorted(plans):
+        counts = ", ".join(f"{k}: {v}"
+                           for k, v in sorted(plans[plan].items()))
+        lines.append(f"  {plan:<16s} {counts}")
+    failures = [c for c in report.cases if c.failed]
+    for case in failures[:max_failures]:
+        lines.append(f"  FAIL {case}")
+    if len(failures) > max_failures:
+        lines.append(f"  … {len(failures) - max_failures} more "
+                     "failing cells")
     return "\n".join(lines)
 
 

@@ -71,6 +71,12 @@ class FiniteSeq(Seq):
     def __setattr__(self, *_: Any) -> None:  # pragma: no cover
         raise AttributeError("FiniteSeq is immutable")
 
+    def __reduce__(self):
+        # immutable slots defeat default pickling; rebuild through
+        # ``__init__`` so finite sequences (and the traces wrapping
+        # them) survive process boundaries.
+        return (type(self), (self.items,))
+
     # -- Seq interface ---------------------------------------------------
 
     def item(self, i: int) -> Any:
