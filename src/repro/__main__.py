@@ -20,7 +20,13 @@ Commands:
   minimal one that preserves the verdict;
 * ``grid``           — run a registered conformance scenario's full
   ``plans × seeds`` grid, optionally farmed over worker processes
-  (``--workers N``); exits 0 iff every cell conforms.
+  (``--workers N``) and optionally backed by the persistent result
+  cache (``--cache`` / ``--cache-dir``); exits 0 iff every cell
+  conforms;
+* ``solve``          — run the §3.3 solver on a scenario's
+  specification, optionally resuming a truncated exploration from a
+  checkpoint JSON (``--resume``) and/or writing one
+  (``--checkpoint-out``); exits 0 iff the exploration completed.
 """
 
 from __future__ import annotations
@@ -157,8 +163,22 @@ def _examples_dir() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
+def _make_cache(enabled: bool, cache_dir: str | None):
+    """A :class:`repro.cache.CacheStore`, or ``None`` when disabled.
+
+    Caching is opt-in on every command (``--cache``): a demo runner
+    should not silently grow a dot-directory in the working tree.
+    """
+    if not enabled:
+        return None
+    from repro.cache import DEFAULT_CACHE_DIR, CacheStore
+
+    return CacheStore(cache_dir or DEFAULT_CACHE_DIR)
+
+
 def cmd_trace(example: str, out: str | None, jsonl: str | None,
-              seed: int, max_steps: int) -> int:
+              seed: int, max_steps: int, use_cache: bool = False,
+              cache_dir: str | None = None) -> int:
     """Record an instrumented run and export its Perfetto timeline.
 
     ``alternating_bit`` exercises all three instrumented layers: a
@@ -176,6 +196,7 @@ def cmd_trace(example: str, out: str | None, jsonl: str | None,
     if jsonl:
         sinks.append(JsonlSink(jsonl))
     tracer = Tracer(sinks)
+    store = _make_cache(use_cache, cache_dir)
 
     if example == "alternating_bit":
         examples = _examples_dir()
@@ -200,12 +221,12 @@ def cmd_trace(example: str, out: str | None, jsonl: str | None,
             "abp-direct", direct_agents(MESSAGES), FAULTY_CHANNELS,
             spec, {"fair-loss": lambda: fair_loss_plan(seed=seed)},
             seeds=[seed], observe={OUT}, max_steps=max_steps,
-            watchdog_limit=600, tracer=tracer,
+            watchdog_limit=600, tracer=tracer, cache=store,
         )
         case = report.cases[0]
         print(f"{case}  [{case.elapsed_s * 1e3:.1f}ms]")
         solver = SmoothSolutionSolver.over_channels(
-            spec, [OUT], tracer=tracer)
+            spec, [OUT], tracer=tracer, cache=store)
         result = solver.explore(len(MESSAGES) + 1)
         print(f"solver: {result.nodes_explored} nodes, "
               f"{len(result.finite_solutions)} finite solution(s)")
@@ -226,7 +247,7 @@ def cmd_trace(example: str, out: str | None, jsonl: str | None,
             Description(odd_of(chan(d)), chan(c)),
         ], name="dfm")
         solver = SmoothSolutionSolver.over_channels(
-            dfm, [b, c, d], tracer=tracer)
+            dfm, [b, c, d], tracer=tracer, cache=store)
         result = solver.explore(4)
         print(f"solver: {result.nodes_explored} nodes, "
               f"{len(result.finite_solutions)} finite solution(s)")
@@ -249,6 +270,10 @@ def cmd_trace(example: str, out: str | None, jsonl: str | None,
     print(f"wrote {n} trace events to {out}"
           + (f" (+ JSONL log at {jsonl})" if jsonl else ""))
     print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    if store is not None:
+        counts = store.counters()
+        print("cache: " + ", ".join(f"{k} {v}"
+                                    for k, v in counts.items()))
     return 0
 
 
@@ -491,14 +516,21 @@ def cmd_shrink(path: str, out: str | None) -> int:
 
 def cmd_grid(scenario: str, workers: int, seeds: int,
              plan_names: list[str] | None, max_steps: int | None,
-             no_record: bool) -> int:
+             no_record: bool, use_cache: bool = False,
+             cache_dir: str | None = None,
+             cache_stats: bool = False) -> int:
     """Run a registered scenario's conformance grid, maybe in parallel.
 
     The scenario comes from the :mod:`repro.par` registry (the same
     registry the worker processes rebuild cells from), so the grid is
     parallelizable by construction.  Exit status is 0 iff every cell
     conforms — livelocks and exhausted budgets count as failures here
-    because the built-in scenarios all use fair fault plans.
+    because the built-in scenarios all use fair fault plans; an empty
+    grid (``--seeds 0``) conforms vacuously.
+
+    With ``--cache``, cells already in the persistent store are served
+    from disk instead of re-run — a warm rerun of the same grid prints
+    the same report digest with every cell marked cached.
     """
     from repro import par
     from repro.report import render_conformance_report
@@ -519,16 +551,111 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
                   file=sys.stderr)
             return 2
         plans = {name: sc.plans[name] for name in plan_names}
+    store = _make_cache(use_cache, cache_dir)
     report = par.run_conformance_parallel(
         scenario, seeds=range(seeds), plans=plans,
         max_steps=max_steps, workers=workers,
-        record=not no_record,
+        record=not no_record, cache=store,
     )
     print(render_conformance_report(report))
     cells = len(report.cases)
-    print(f"{cells} cells × workers={workers}: "
-          f"{report.wall_clock_s:.3f}s wall")
+    line = (f"{cells} cells × workers={workers}: "
+            f"{report.wall_clock_s:.3f}s wall")
+    if store is not None:
+        line += f"  ({len(report.cached_cases)} cached)"
+    print(line)
+    print(f"report digest {report.digest()}")
+    if store is not None and cache_stats:
+        import json
+
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
     return 0 if report.all_conform else 1
+
+
+#: Scenarios the ``solve`` command can build a specification for.
+SOLVE_SCENARIOS = ("dfm", "alternating_bit")
+
+
+def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
+              budget_seconds: float | None, resume: str | None,
+              checkpoint_out: str | None, use_cache: bool,
+              cache_dir: str | None) -> int:
+    """Run the §3.3 solver on a scenario's specification.
+
+    A truncated exploration (node or wall-clock budget) exits 1 and —
+    with ``--checkpoint-out`` — leaves a pure-JSON checkpoint behind;
+    rerunning with ``--resume <ckpt.json>`` continues the Kleene
+    chain from the parked nodes and, once nothing is left unvisited,
+    the result digest equals the straight run's.
+    """
+    from repro.core import SmoothSolutionSolver
+    from repro.report import render_solver_result
+
+    if scenario == "dfm":
+        from repro.channels import Channel
+        from repro.core import Description, combine
+        from repro.functions import chan, even_of, odd_of
+
+        b = Channel("b", alphabet={0, 2})
+        c = Channel("c", alphabet={1, 3})
+        d = Channel("d", alphabet={0, 1, 2, 3})
+        spec = combine([
+            Description(even_of(chan(d)), chan(b)),
+            Description(odd_of(chan(d)), chan(c)),
+        ], name="dfm")
+        channels = [b, c, d]
+        depth = 4 if depth is None else depth
+    elif scenario == "alternating_bit":
+        abp = _import_example("alternating_bit")
+        spec = abp.service_spec(abp.MESSAGES).combined()
+        channels = [abp.OUT]
+        depth = len(abp.MESSAGES) + 1 if depth is None else depth
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown scenario {scenario!r}", file=sys.stderr)
+        return 2
+    store = _make_cache(use_cache, cache_dir)
+    solver = SmoothSolutionSolver.over_channels(
+        spec, channels, cache=store)
+    resume_from = None
+    if resume:
+        from repro.cache import SolverCheckpoint
+
+        try:
+            resume_from = SolverCheckpoint.load(resume)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load checkpoint {resume!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"resuming from {resume}: "
+              f"{len(resume_from.unvisited)} unvisited node(s), "
+              f"{resume_from.nodes_explored} already explored")
+    result = solver.explore(depth, max_nodes=max_nodes,
+                            budget_seconds=budget_seconds,
+                            resume_from=resume_from)
+    print(render_solver_result(result))
+    print(f"result digest {result.digest()}")
+    if checkpoint_out:
+        ckpt = result.checkpoint()
+        ckpt.save(checkpoint_out)
+        print(f"wrote checkpoint to {checkpoint_out} "
+              f"({len(ckpt.unvisited)} unvisited)")
+    if store is not None:
+        counts = store.counters()
+        print("cache: " + ", ".join(f"{k} {v}"
+                                    for k, v in counts.items()))
+    return 1 if result.truncated else 0
+
+
+def _add_cache_options(sub_parser) -> None:
+    """``--cache/--no-cache`` (default off) and ``--cache-dir``."""
+    sub_parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="consult/populate the persistent result store "
+             "(default: off)")
+    sub_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="store location (default .repro-cache/)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -559,6 +686,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="oracle/fault seed")
     p_trace.add_argument("--max-steps", type=int, default=4000,
                          help="runtime step budget")
+    _add_cache_options(p_trace)
 
     p_record = sub.add_parser(
         "record", help="flight-record a scenario into a schedule JSON")
@@ -615,11 +743,39 @@ def main(argv: list[str] | None = None) -> int:
     p_grid.add_argument(
         "--no-record", action="store_true",
         help="skip flight-recording each cell's schedule")
+    _add_cache_options(p_grid)
+    p_grid.add_argument(
+        "--cache-stats", action="store_true",
+        help="print the store's stats JSON after the grid")
+
+    p_solve = sub.add_parser(
+        "solve", help="run the §3.3 solver on a scenario's spec "
+                      "(resume with --resume <ckpt.json>)")
+    p_solve.add_argument(
+        "scenario", nargs="?", choices=SOLVE_SCENARIOS,
+        default="dfm", help="which specification to explore")
+    p_solve.add_argument(
+        "--depth", type=int, default=None,
+        help="depth bound (default: scenario-specific)")
+    p_solve.add_argument(
+        "--max-nodes", type=int, default=200_000,
+        help="node budget per call (a resumed run gets a fresh one)")
+    p_solve.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="wall-clock budget (wall-truncated runs are not cached)")
+    p_solve.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="checkpoint JSON to continue from")
+    p_solve.add_argument(
+        "--checkpoint-out", default=None, metavar="PATH",
+        help="write the (possibly exhausted) checkpoint JSON here")
+    _add_cache_options(p_solve)
 
     args = parser.parse_args(argv)
     if args.command == "trace":
         return cmd_trace(args.example, args.out, args.jsonl,
-                         args.seed, args.max_steps)
+                         args.seed, args.max_steps,
+                         args.cache, args.cache_dir)
     if args.command == "record":
         return cmd_record(args.scenario, args.plan, args.seed,
                           args.max_steps, args.out)
@@ -632,7 +788,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "grid":
         return cmd_grid(args.scenario, args.workers, args.seeds,
                         args.plan_names, args.max_steps,
-                        args.no_record)
+                        args.no_record, args.cache, args.cache_dir,
+                        args.cache_stats)
+    if args.command == "solve":
+        return cmd_solve(args.scenario, args.depth, args.max_nodes,
+                         args.budget_seconds, args.resume,
+                         args.checkpoint_out, args.cache,
+                         args.cache_dir)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

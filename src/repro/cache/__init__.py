@@ -1,0 +1,53 @@
+"""Persistent caching and resumable checkpoints (PR 5).
+
+Two related capabilities, both operational readings of §3.3:
+
+* **Checkpoints** — a truncated solver exploration is a set of
+  Kleene-iteration prefixes (the unvisited nodes of the tree);
+  :class:`SolverCheckpoint` serializes exactly that set as pure JSON
+  and :meth:`~repro.core.solver.SmoothSolutionSolver.explore`
+  (``resume_from=...``) continues the chain, with the invariant that
+  *truncate-then-resume digest-equals the straight run*.
+* **The store** — :class:`CacheStore`, a persistent content-addressed
+  result cache (default ``.repro-cache/``).  Cells of a conformance
+  grid and whole solver explorations are independent computations
+  whose input digests fully determine their results (the generalized
+  Kahn principle, see PAPERS.md), so they are sound to memoize across
+  processes and CI runs.  Entries are version-stamped, written
+  atomically (tmp + rename), and corrupt or stale entries are treated
+  as misses.
+
+Key construction lives in :mod:`repro.cache.keys`; everything is keyed
+through :func:`repro.obs.recorder.stable_digest`, so keys are stable
+across processes and hash seeds.
+"""
+
+from repro.cache.checkpoint import (
+    CHECKPOINT_VERSION,
+    SolverCheckpoint,
+)
+from repro.cache.keys import (
+    candidate_identity,
+    cell_cache_key,
+    description_digest,
+    grid_facets,
+    solver_cache_key,
+)
+from repro.cache.store import (
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    CacheStore,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CHECKPOINT_VERSION",
+    "CacheStore",
+    "DEFAULT_CACHE_DIR",
+    "SolverCheckpoint",
+    "candidate_identity",
+    "cell_cache_key",
+    "description_digest",
+    "grid_facets",
+    "solver_cache_key",
+]

@@ -1,0 +1,160 @@
+"""Solver checkpoints: a truncated exploration as pure JSON.
+
+A §3.3 exploration that hits a resource guard is not a dead end — the
+nodes it never visited are a set of Kleene-iteration *prefixes*, and
+continuing the chain from them reproduces exactly the straight run.  A
+:class:`SolverCheckpoint` captures everything that continuation needs:
+
+* the already-classified sets (finite solutions, frontier, dead ends)
+  as JSON trace keys — ``[[channel_name, message_repr], ...]`` per
+  trace, the same canonical form the solver's digests and witness
+  schedules use;
+* the ``unvisited`` nodes (the parked BFS residue, at one or two
+  adjacent depths — their depths are their trace lengths);
+* the exploration shape: depth bound, limit depth, nodes explored,
+  the description's name and the truncation reason.
+
+Checkpoints deliberately contain **no pickled objects**: resuming
+reconstructs every carried trace by replaying its key as a witness
+path through the live description (re-deriving the ``f(u)`` values
+the BFS carries), so a checkpoint is as portable and as auditable as
+a flight-recorder schedule — and a corrupted checkpoint is caught by
+the replay, not silently trusted.
+
+The loader is strict in the style of
+:meth:`repro.obs.recorder.Schedule.from_dict`: a missing ``version``
+field raises ``ValueError`` naming the keys that are present, because
+truncated or hand-edited files should fail at load time, not as a
+confusing divergence later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.obs.recorder import stable_digest
+
+#: Format version stamped into serialized checkpoints.
+CHECKPOINT_VERSION = 1
+
+#: JSON trace key: ``[[channel_name, message_repr], ...]``.
+TraceKey = List[list]
+
+
+@dataclass
+class SolverCheckpoint:
+    """A resumable snapshot of one bounded §3.3 exploration."""
+
+    description: str = ""
+    depth: int = 0
+    limit_depth: int = 0
+    nodes_explored: int = 0
+    truncation_reason: str = ""
+    finite_solutions: List[TraceKey] = field(default_factory=list)
+    frontier: List[TraceKey] = field(default_factory=list)
+    dead_ends: List[TraceKey] = field(default_factory=list)
+    unvisited: List[TraceKey] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        """Number of carried traces (all four buckets)."""
+        return (len(self.finite_solutions) + len(self.frontier)
+                + len(self.dead_ends) + len(self.unvisited))
+
+    @property
+    def exhausted(self) -> bool:
+        """Nothing left to resume — the checkpoint is of a complete
+        (or fully resumed) exploration."""
+        return not self.unvisited
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "kind": "solver-checkpoint",
+            "description": self.description,
+            "depth": self.depth,
+            "limit_depth": self.limit_depth,
+            "nodes_explored": self.nodes_explored,
+            "truncation_reason": self.truncation_reason,
+            "finite_solutions": [list(map(list, t))
+                                 for t in self.finite_solutions],
+            "frontier": [list(map(list, t)) for t in self.frontier],
+            "dead_ends": [list(map(list, t)) for t in self.dead_ends],
+            "unvisited": [list(map(list, t)) for t in self.unvisited],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SolverCheckpoint":
+        """Strict loader: requires the version stamp.
+
+        ``to_dict``/``save`` always write ``version``, so a dict
+        without it is a truncated or hand-edited file — refuse it with
+        a ``ValueError`` naming the keys that were found instead of
+        guessing.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                "checkpoint is not an object: "
+                f"{type(data).__name__}")
+        if "version" not in data:
+            raise ValueError(
+                "checkpoint missing required 'version' field "
+                f"(found keys: {sorted(data)}); the file may be "
+                "truncated or hand-edited")
+        version = data["version"]
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})")
+        return cls(
+            description=str(data.get("description", "")),
+            depth=int(data.get("depth", 0)),
+            limit_depth=int(data.get("limit_depth", 0)),
+            nodes_explored=int(data.get("nodes_explored", 0)),
+            truncation_reason=str(data.get("truncation_reason", "")),
+            finite_solutions=[[list(e) for e in t]
+                              for t in data.get("finite_solutions",
+                                                [])],
+            frontier=[[list(e) for e in t]
+                      for t in data.get("frontier", [])],
+            dead_ends=[[list(e) for e in t]
+                       for t in data.get("dead_ends", [])],
+            unvisited=[[list(e) for e in t]
+                       for t in data.get("unvisited", [])],
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolverCheckpoint":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SolverCheckpoint":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def digest(self) -> str:
+        """Content hash of the carried sets and exploration shape."""
+        payload = self.to_dict()
+        payload.pop("meta")
+        return stable_digest(payload)
+
+    def __repr__(self) -> str:
+        return (f"SolverCheckpoint({self.description!r}, "
+                f"depth={self.depth}, "
+                f"explored={self.nodes_explored}, "
+                f"unvisited={len(self.unvisited)})")

@@ -1,0 +1,238 @@
+"""Persistent content-addressed result store.
+
+Layout: ``<root>/<kind>/<digest>.json``, one JSON entry per cached
+result, where ``digest`` is the :func:`~repro.obs.recorder.stable_digest`
+of the key payload.  Entries are written atomically (``tmp`` +
+``os.replace``) so a killed writer can never leave a half-entry that a
+later reader trusts, and every entry is stamped with the cache format
+version and the library version.
+
+The read contract is *miss-biased*: a missing file, unparsable JSON,
+a version mismatch, a kind mismatch or a key-digest mismatch are all
+just misses (stale/corrupt entries are additionally evicted), because
+a cache must never turn disk state into a wrong answer.  The entry
+parser itself (:meth:`CacheStore.parse_entry`) is strict in the style
+of :meth:`repro.obs.recorder.Schedule.from_dict` — a missing
+``version`` field raises ``ValueError`` naming the keys that *are*
+present — and ``get`` maps that strictness to a miss.
+
+Observability: every store carries a
+:class:`~repro.obs.metrics.MetricsRegistry` counting
+``cache.hit`` / ``cache.miss`` / ``cache.write`` / ``cache.evict``,
+and, with a tracer attached, emits matching ``cache.*`` events so a
+Perfetto timeline shows which work was skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import stable_digest
+from repro.obs.tracer import NULL_TRACER
+
+#: Format version stamped into every store entry.  Bump on any change
+#: to entry layout or to the semantics of cached payloads; old entries
+#: then read as stale (= misses) instead of as wrong answers.
+CACHE_VERSION = 1
+
+#: Default store location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class CacheStore:
+    """A persistent content-addressed cache of computed results.
+
+    ``kind`` partitions the namespace (``"solver"`` for exploration
+    results, ``"cell"`` for conformance cells, …); the key payload is
+    any JSON-serializable value whose stable digest names the entry.
+    """
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Any = None):
+        self.root = Path(root)
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _count(self, what: str, kind: str, digest: str) -> None:
+        self.metrics.counter(f"cache.{what}").inc()
+        if getattr(self.tracer, "enabled", False):
+            self.tracer.event(f"cache.{what}", category="cache",
+                              track="cache", kind=kind,
+                              key=digest[:16])
+
+    def key_digest(self, key: Any) -> str:
+        return stable_digest(key)
+
+    def path_for(self, kind: str, key: Any) -> Path:
+        return self.root / kind / f"{self.key_digest(key)}.json"
+
+    # -- strict entry parsing ------------------------------------------------
+
+    @staticmethod
+    def parse_entry(data: Any) -> Dict[str, Any]:
+        """Validate a decoded store entry; strict about the stamp.
+
+        Raises ``ValueError`` (naming the keys actually present) for a
+        non-dict, a missing ``version`` or a missing ``value`` — the
+        same refuse-to-guess stance as
+        :meth:`repro.obs.recorder.Schedule.from_dict`, because a
+        truncated entry that silently loads fails later in a far more
+        confusing place.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"cache entry is not an object: {type(data).__name__}")
+        if "version" not in data:
+            raise ValueError(
+                "cache entry missing required 'version' field "
+                f"(found keys: {sorted(data)}); the entry may be "
+                "truncated or hand-edited")
+        if "value" not in data:
+            raise ValueError(
+                "cache entry missing required 'value' field "
+                f"(found keys: {sorted(data)})")
+        return data
+
+    # -- the store API -------------------------------------------------------
+
+    def get(self, kind: str, key: Any) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` on any miss.
+
+        Misses include: no entry, unreadable/unparsable entry, format
+        or library version mismatch, and entries whose recorded kind
+        or key digest disagree with the request (a hash collision or a
+        renamed file).  Stale and corrupt entries are evicted so they
+        are not re-parsed on every lookup.
+        """
+        digest = self.key_digest(key)
+        path = self.root / kind / f"{digest}.json"
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            self._count("miss", kind, digest)
+            return None
+        try:
+            entry = self.parse_entry(json.loads(text))
+        except (json.JSONDecodeError, ValueError):
+            self._evict(path, kind, digest)
+            self._count("miss", kind, digest)
+            return None
+        from repro import __version__
+
+        stale = (entry.get("version") != CACHE_VERSION
+                 or entry.get("repro_version") != __version__
+                 or entry.get("kind") != kind
+                 or entry.get("key_digest") != digest)
+        if stale:
+            self._evict(path, kind, digest)
+            self._count("miss", kind, digest)
+            return None
+        self._count("hit", kind, digest)
+        return entry["value"]
+
+    def put(self, kind: str, key: Any, value: Any) -> Path:
+        """Store ``value`` under ``key`` atomically; returns the path.
+
+        ``value`` must be JSON-serializable.  The entry is written to
+        a temporary file in the destination directory and renamed into
+        place, so concurrent writers (grid workers, parallel CI jobs)
+        race benignly — last complete write wins, and readers never
+        observe a partial entry.
+        """
+        from repro import __version__
+
+        digest = self.key_digest(key)
+        path = self.root / kind / f"{digest}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "repro_version": __version__,
+            "kind": kind,
+            "key_digest": digest,
+            "key": key,
+            "value": value,
+        }
+        text = json.dumps(entry, sort_keys=True, indent=None,
+                          separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(prefix=f".{digest[:12]}.",
+                                   suffix=".tmp",
+                                   dir=str(path.parent))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._count("write", kind, digest)
+        return path
+
+    def _evict(self, path: Path, kind: str, digest: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self._count("evict", kind, digest)
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Drop every entry (of ``kind``, or all kinds); returns the
+        number of entries removed."""
+        removed = 0
+        roots = [self.root / kind] if kind is not None else (
+            [p for p in self.root.iterdir() if p.is_dir()]
+            if self.root.is_dir() else [])
+        for sub in roots:
+            if not sub.is_dir():
+                continue
+            for entry in sub.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        self.metrics.counter("cache.evict").inc(removed)
+        return removed
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """This session's hit/miss/write/evict counts."""
+        return {name: self.metrics.counter(f"cache.{name}").value
+                for name in ("hit", "miss", "write", "evict")}
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus the on-disk entry census."""
+        entries: Dict[str, int] = {}
+        total_bytes = 0
+        if self.root.is_dir():
+            for sub in sorted(self.root.iterdir()):
+                if not sub.is_dir():
+                    continue
+                files = list(sub.glob("*.json"))
+                if files:
+                    entries[sub.name] = len(files)
+                    total_bytes += sum(f.stat().st_size
+                                       for f in files)
+        return {
+            "root": str(self.root),
+            "version": CACHE_VERSION,
+            "counters": self.counters(),
+            "entries": entries,
+            "total_entries": sum(entries.values()),
+            "total_bytes": total_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return f"CacheStore({str(self.root)!r})"

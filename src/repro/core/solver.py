@@ -70,6 +70,12 @@ def alphabet_candidates(channels: Iterable[Channel]) -> CandidateFn:
         del u
         return events
 
+    # content identity for the persistent result cache: the generator
+    # is fully determined by its event alphabet
+    candidates.cache_key = {
+        "kind": "alphabet",
+        "events": [[e.channel.name, repr(e.message)] for e in events],
+    }
     return candidates
 
 
@@ -86,13 +92,24 @@ class SolverResult:
         dead_ends: nodes with no admissible extension and a failing
             limit condition — communication histories after which the
             description is stuck but not quiescent.
-        nodes_explored: total tree nodes visited.
+        unvisited: nodes parked by a truncation guard before they were
+            ever examined — their limit condition was never checked and
+            they may or may not have admissible extensions, so they are
+            deliberately *not* on ``frontier`` (which promises
+            admissible extensions).  They are exactly the seeds a
+            resumed exploration continues from; see :meth:`checkpoint`.
+        nodes_explored: total tree nodes visited (cumulative across a
+            checkpoint/resume chain).
         depth: the exploration bound used.
         truncated: the exploration hit a resource guard (node budget or
             wall-clock budget) before covering the tree to ``depth``;
             the result is a sound but partial under-approximation, and
-            unvisited nodes are parked on the frontier.
+            unexamined nodes are parked on ``unvisited``.
         truncation_reason: which guard fired, for diagnostics.
+        limit_depth: the limit-check depth the exploration used
+            (carried for checkpointing; not part of the digest).
+        description_name: the explored description's name (carried for
+            checkpointing; not part of the digest).
         metrics: per-run metrics summary (nodes, branching, prunes, …)
             when the solver ran with tracing enabled; empty otherwise.
     """
@@ -105,6 +122,9 @@ class SolverResult:
     truncated: bool = False
     truncation_reason: str = ""
     metrics: dict = field(default_factory=dict)
+    unvisited: list[Trace] = field(default_factory=list)
+    limit_depth: int = 0
+    description_name: str = ""
 
     def solution_set(self) -> set[Trace]:
         return set(self.finite_solutions)
@@ -112,21 +132,69 @@ class SolverResult:
     def digest(self) -> str:
         """Stable content hash of the exploration's outcome.
 
-        Covers the solution/frontier/dead-end sets (order-normalized)
-        and the exploration shape (nodes, depth, truncation) — not
-        metrics or wall-clock.  Two explorations with equal digests
-        found the same portion of the §3.3 tree, so "re-running the
-        solver reproduces the result" is a one-line assertion.
+        Covers the solution/frontier/dead-end/unvisited sets
+        (order-normalized) and the exploration shape (nodes, depth,
+        truncation) — not metrics or wall-clock.  Two explorations
+        with equal digests found the same portion of the §3.3 tree, so
+        "re-running the solver reproduces the result" is a one-line
+        assertion.  Truncation-parked nodes hash under their own
+        ``unvisited`` key, *not* under ``frontier``: the frontier
+        invariant (admissible extensions exist) was never established
+        for them, and resume correctness depends on the distinction.
         """
         return stable_digest({
             "finite_solutions": sorted(
                 _trace_key(t) for t in self.finite_solutions),
             "frontier": sorted(_trace_key(t) for t in self.frontier),
             "dead_ends": sorted(_trace_key(t) for t in self.dead_ends),
+            "unvisited": sorted(_trace_key(t) for t in self.unvisited),
             "nodes_explored": self.nodes_explored,
             "depth": self.depth,
             "truncated": self.truncated,
         })
+
+    def checkpoint(self) -> "SolverCheckpoint":
+        """Serialize this (typically truncated) result as a resumable
+        pure-JSON checkpoint.
+
+        The checkpoint carries every classified set plus the unvisited
+        seeds as canonical trace keys, and the exploration shape
+        (depth, limit depth, node count, description name).  Feed it
+        to :meth:`SmoothSolutionSolver.explore` as ``resume_from=`` to
+        continue the Kleene chain; a truncate-then-resume pair is
+        digest-equal to the straight run.
+        """
+        from repro.cache.checkpoint import SolverCheckpoint
+
+        return SolverCheckpoint(
+            description=self.description_name,
+            depth=self.depth,
+            limit_depth=self.limit_depth,
+            nodes_explored=self.nodes_explored,
+            truncation_reason=self.truncation_reason,
+            finite_solutions=[_trace_key(t)
+                              for t in self.finite_solutions],
+            frontier=[_trace_key(t) for t in self.frontier],
+            dead_ends=[_trace_key(t) for t in self.dead_ends],
+            unvisited=[_trace_key(t) for t in self.unvisited],
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-ready form for the persistent result cache."""
+        return {
+            "finite_solutions": [_trace_key(t)
+                                 for t in self.finite_solutions],
+            "frontier": [_trace_key(t) for t in self.frontier],
+            "dead_ends": [_trace_key(t) for t in self.dead_ends],
+            "unvisited": [_trace_key(t) for t in self.unvisited],
+            "nodes_explored": self.nodes_explored,
+            "depth": self.depth,
+            "truncated": self.truncated,
+            "truncation_reason": self.truncation_reason,
+            "limit_depth": self.limit_depth,
+            "description_name": self.description_name,
+            "digest": self.digest(),
+        }
 
 
 def _trace_key(t: Trace) -> list:
@@ -140,20 +208,27 @@ class SmoothSolutionSolver:
     def __init__(self, description: Description,
                  candidates: CandidateFn,
                  limit_depth: int = DEFAULT_DEPTH,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 cache: Optional[object] = None):
         self.description = description
         self.candidates = candidates
         self.limit_depth = limit_depth
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: a :class:`repro.cache.CacheStore` (or None); when set,
+        #: :meth:`explore` consults it before searching and stores
+        #: completed results after
+        self.cache = cache
 
     @classmethod
     def over_channels(cls, description: Description,
                       channels: Iterable[Channel],
                       limit_depth: int = DEFAULT_DEPTH,
-                      tracer: Optional[Tracer] = None
+                      tracer: Optional[Tracer] = None,
+                      cache: Optional[object] = None
                       ) -> "SmoothSolutionSolver":
         return cls(description, alphabet_candidates(channels),
-                   limit_depth=limit_depth, tracer=tracer)
+                   limit_depth=limit_depth, tracer=tracer,
+                   cache=cache)
 
     # -- tree structure ------------------------------------------------------
 
@@ -190,23 +265,45 @@ class SmoothSolutionSolver:
 
     def explore(self, max_depth: int,
                 max_nodes: int = 200_000,
-                budget_seconds: Optional[float] = None) -> SolverResult:
+                budget_seconds: Optional[float] = None,
+                resume_from: Optional[object] = None) -> SolverResult:
         """Breadth-first exploration to ``max_depth``.
 
         Resource guards keep runaway alphabets and hostile candidate
         generators from running unbounded: at most ``max_nodes`` nodes
-        are expanded, and an optional ``budget_seconds`` wall-clock
-        budget caps the search in time.  When a guard fires the partial
-        result is returned with ``truncated=True`` (unvisited nodes are
-        parked on the frontier) instead of raising — a degraded answer
-        beats no answer for diagnosis.
+        are expanded *per call* (so a resumed run gets a fresh
+        budget), and an optional ``budget_seconds`` wall-clock budget
+        caps the search in time.  When a guard fires the partial
+        result is returned with ``truncated=True`` — never-examined
+        nodes are parked on ``result.unvisited`` (not the frontier,
+        whose invariant they were never checked against) — instead of
+        raising; a degraded answer beats no answer for diagnosis.
+
+        ``resume_from`` continues a truncated exploration: pass a
+        :class:`~repro.cache.checkpoint.SolverCheckpoint` (or its dict
+        / a path to its JSON) produced by
+        :meth:`SolverResult.checkpoint`.  Every carried trace is
+        replayed as a witness path through the live description (so
+        checkpoints stay pure JSON and corrupted ones are caught, and
+        the carried ``f(u)`` values are recomputed), then the BFS is
+        re-seeded from the unvisited nodes at their recorded depths.
+        Invariant: truncate-then-resume is digest-equal to the
+        straight run.
 
         A candidate generator that raises aborts the search with a
         :class:`CandidateError` naming the trace it choked on.
 
+        With a ``cache`` store attached (and no ``resume_from``), the
+        exploration first consults the persistent result cache and
+        returns the rebuilt result on a hit; completed (and
+        deterministically node-budget-truncated) results are stored
+        back.  Wall-clock-truncated results are never cached — where
+        the clock fires is not a function of the inputs.
+
         With a tracer attached the exploration additionally emits
         ``solver.*`` spans/events (per-level spans, prune / accept /
-        dead-end / truncate events) and fills ``result.metrics``.
+        dead-end / truncate events, ``cache.hit``/``cache.miss``) and
+        fills ``result.metrics``.
 
         Hot-path discipline: per node ``u`` the right side ``g(u)`` is
         evaluated exactly once (shared between the limit condition and
@@ -221,27 +318,70 @@ class SmoothSolutionSolver:
                     else time.monotonic() + budget_seconds)
         tracer = self.tracer
         tracing = tracer.enabled
+        cache_key = None
+        if self.cache is not None and resume_from is None:
+            from repro.cache.keys import solver_cache_key
+
+            cache_key = solver_cache_key(
+                self.description, self.candidates, max_depth,
+                self.limit_depth, max_nodes, budget_seconds)
+            hit = self.cache.get("solver", cache_key)
+            if hit is not None:
+                rebuilt = self._result_from_payload(hit)
+                if rebuilt is not None:
+                    if tracing:
+                        tracer.event(
+                            "cache.hit", category="cache",
+                            track="solver",
+                            key=self.cache.key_digest(cache_key)[:16],
+                            nodes_skipped=rebuilt.nodes_explored)
+                    return rebuilt
+            if tracing:
+                tracer.event(
+                    "cache.miss", category="cache", track="solver",
+                    key=self.cache.key_digest(cache_key)[:16])
         metrics = MetricsRegistry() if tracing else None
-        result = SolverResult(depth=max_depth)
-        root_trace = Trace.empty()
+        result = SolverResult(
+            depth=max_depth, limit_depth=self.limit_depth,
+            description_name=getattr(self.description, "name", ""))
         # level entries are ``(u, f(u))``: f was computed when u was a
-        # candidate of its parent, so it rides along instead of being
-        # recomputed per node
-        level: list[tuple[Trace, object]] = [
-            (root_trace, self.description.lhs.apply(root_trace))]
+        # candidate of its parent (or re-derived from the checkpoint),
+        # so it rides along instead of being recomputed per node
+        pending: dict[int, list[tuple[Trace, object]]] = {}
         explored = 0
+        if resume_from is None:
+            root_trace = Trace.empty()
+            start_depth = 0
+            level: list[tuple[Trace, object]] = [
+                (root_trace, self.description.lhs.apply(root_trace))]
+        else:
+            checkpoint = self._coerce_checkpoint(resume_from)
+            self._validate_checkpoint(checkpoint, max_depth)
+            pending = self._resume_seeds(checkpoint, result)
+            explored = checkpoint.nodes_explored
+            if not pending:
+                # checkpoint of a complete exploration: nothing left
+                result.nodes_explored = explored
+                return result
+            start_depth = min(pending)
+            level = pending.pop(start_depth)
+        session_explored = 0
         with tracer.span("solver.explore", category="solver",
                          track="solver", depth=max_depth,
                          max_nodes=max_nodes,
+                         resumed=resume_from is not None,
                          limit_depth=self.limit_depth) as root:
-            for depth in range(max_depth + 1):
+            for depth in range(start_depth, max_depth + 1):
                 with tracer.span("solver.level", category="solver",
                                  track="solver", depth=depth,
                                  width=len(level)):
-                    next_level: list[tuple[Trace, object]] = []
+                    # children of already-explored nodes carried over
+                    # by a checkpoint come first, preserving BFS order
+                    next_level: list[tuple[Trace, object]] = \
+                        pending.pop(depth + 1, [])
                     for i, (u, fu) in enumerate(level):
                         reason = ""
-                        if explored >= max_nodes:
+                        if session_explored >= max_nodes:
                             reason = (f"node budget ({max_nodes}) "
                                       f"exhausted at depth {depth}")
                         elif deadline is not None and \
@@ -257,9 +397,10 @@ class SmoothSolutionSolver:
                                     "solver.truncate",
                                     category="solver", track="solver",
                                     reason=reason,
-                                    parked=len(result.frontier))
+                                    parked=len(result.unvisited))
                             break
                         explored += 1
+                        session_explored += 1
                         gu = self.description.rhs.apply(u)
                         limit = self.description.limit_report(
                             u, self.limit_depth,
@@ -298,7 +439,8 @@ class SmoothSolutionSolver:
                     break
             result.nodes_explored = explored
             if tracing:
-                metrics.counter("solver.nodes_expanded").inc(explored)
+                metrics.counter("solver.nodes_expanded").inc(
+                    session_explored)
                 metrics.counter("solver.finite_solutions").inc(
                     len(result.finite_solutions))
                 metrics.counter("solver.dead_ends").inc(
@@ -309,7 +451,22 @@ class SmoothSolutionSolver:
                 root.annotate(nodes=explored,
                               solutions=len(result.finite_solutions),
                               truncated=result.truncated)
+        if cache_key is not None and self._cacheable(result):
+            self.cache.put("solver", cache_key, result.to_payload())
+            if tracing:
+                tracer.event(
+                    "cache.write", category="cache", track="solver",
+                    key=self.cache.key_digest(cache_key)[:16])
         return result
+
+    @staticmethod
+    def _cacheable(result: SolverResult) -> bool:
+        """Is this result a pure function of the cache key?  Complete
+        and node-budget-truncated explorations are (the traversal is
+        deterministic); wall-clock truncations are not — where the
+        clock fires depends on the machine, not the inputs."""
+        return not (result.truncated
+                    and "wall-clock" in result.truncation_reason)
 
     def _expand(self, u: Trace, gu: object,
                 metrics: Optional[MetricsRegistry]
@@ -360,11 +517,141 @@ class SmoothSolutionSolver:
                   unvisited: list[tuple[Trace, object]],
                   next_level: list[tuple[Trace, object]],
                   reason: str) -> None:
-        """Mark ``result`` partial; park unexpanded nodes as frontier."""
+        """Mark ``result`` partial; park unexamined nodes.
+
+        Parked nodes go on ``result.unvisited``, never the frontier:
+        the frontier's documented invariant is "still has admissible
+        extensions", which was never checked for these nodes (nor was
+        their limit condition).  Keeping the buckets apart is what
+        makes resume sound — unvisited nodes are re-seeded and fully
+        classified, frontier nodes are carried over as-is.
+        """
         result.truncated = True
         result.truncation_reason = reason
-        result.frontier.extend(u for u, _ in unvisited)
-        result.frontier.extend(v for v, _ in next_level)
+        result.unvisited.extend(u for u, _ in unvisited)
+        result.unvisited.extend(v for v, _ in next_level)
+
+    # -- checkpoint / resume --------------------------------------------------
+
+    @staticmethod
+    def _coerce_checkpoint(resume_from: object):
+        """Accept a SolverCheckpoint, its dict form, or a JSON path."""
+        from repro.cache.checkpoint import SolverCheckpoint
+
+        if isinstance(resume_from, SolverCheckpoint):
+            return resume_from
+        if isinstance(resume_from, dict):
+            return SolverCheckpoint.from_dict(resume_from)
+        if isinstance(resume_from, (str, bytes)) or hasattr(
+                resume_from, "__fspath__"):
+            return SolverCheckpoint.load(str(resume_from))
+        raise TypeError(
+            "resume_from must be a SolverCheckpoint, its dict form, "
+            f"or a path to its JSON (got {type(resume_from).__name__})")
+
+    def _validate_checkpoint(self, checkpoint, max_depth: int) -> None:
+        """A checkpoint only resumes the exploration it snapshot."""
+        if checkpoint.depth != max_depth:
+            raise ValueError(
+                f"checkpoint was taken at depth {checkpoint.depth}, "
+                f"cannot resume at depth {max_depth}")
+        if checkpoint.limit_depth != self.limit_depth:
+            raise ValueError(
+                f"checkpoint used limit_depth "
+                f"{checkpoint.limit_depth}, this solver uses "
+                f"{self.limit_depth}")
+        mine = getattr(self.description, "name", "")
+        if checkpoint.description and mine and \
+                checkpoint.description != mine:
+            raise ValueError(
+                f"checkpoint is of description "
+                f"{checkpoint.description!r}, this solver explores "
+                f"{mine!r}")
+
+    def _resume_seeds(self, checkpoint, result: SolverResult
+                      ) -> dict[int, list[tuple[Trace, object]]]:
+        """Rebuild a checkpoint's carried traces into ``result`` and
+        return the BFS seeds.
+
+        Every trace key is replayed as a witness path (each step must
+        be an admissible extension), so a checkpoint that does not
+        describe this description's §3.3 tree raises
+        :class:`~repro.obs.replay.ReplayDivergence` instead of
+        silently seeding garbage.  For the unvisited seeds the carried
+        ``f(u)`` values are recomputed — the price of keeping
+        checkpoints pure JSON — and the seeds are grouped by depth
+        (= trace length) for re-entry into the level loop.
+        """
+        result.finite_solutions.extend(
+            self._walk_path(key) for key in checkpoint.finite_solutions)
+        result.frontier.extend(
+            self._walk_path(key) for key in checkpoint.frontier)
+        result.dead_ends.extend(
+            self._walk_path(key) for key in checkpoint.dead_ends)
+        f = self.description.lhs
+        seeds: dict[int, list[tuple[Trace, object]]] = {}
+        for key in checkpoint.unvisited:
+            u = self._walk_path(key)
+            seeds.setdefault(u.length(), []).append((u, f.apply(u)))
+        return seeds
+
+    def _result_from_payload(self, payload: dict
+                             ) -> Optional[SolverResult]:
+        """Rebuild a cached :class:`SolverResult`, or ``None`` when
+        the payload cannot be resolved against the live candidate
+        generator (then the caller treats the entry as a miss).
+
+        Rebuilding matches each stored event key against the candidate
+        events by ``(channel name, message repr)`` — no admissibility
+        re-checks (that would re-run the work the cache is skipping) —
+        and then verifies the rebuilt result's digest against the
+        stored one, so a drifted generator or an ambiguous ``repr``
+        degrades to a miss, never to a wrong answer.
+        """
+        try:
+            result = SolverResult(
+                finite_solutions=[
+                    self._rebuild_trace(k)
+                    for k in payload["finite_solutions"]],
+                frontier=[self._rebuild_trace(k)
+                          for k in payload["frontier"]],
+                dead_ends=[self._rebuild_trace(k)
+                           for k in payload["dead_ends"]],
+                unvisited=[self._rebuild_trace(k)
+                           for k in payload.get("unvisited", [])],
+                nodes_explored=int(payload["nodes_explored"]),
+                depth=int(payload["depth"]),
+                truncated=bool(payload["truncated"]),
+                truncation_reason=str(
+                    payload.get("truncation_reason", "")),
+                limit_depth=int(payload.get("limit_depth", 0)),
+                description_name=str(
+                    payload.get("description_name", "")),
+            )
+        except (KeyError, TypeError, ValueError, LookupError):
+            return None
+        if result.digest() != payload.get("digest"):
+            return None
+        return result
+
+    def _rebuild_trace(self, key: list) -> Trace:
+        """A stored trace key back into a live :class:`Trace` by
+        matching candidate events (no admissibility checks); raises
+        ``LookupError`` when some step has no matching candidate."""
+        u = Trace.empty()
+        for channel_name, message_repr in key:
+            matched = None
+            for event in self._candidate_events(u):
+                if event.channel.name == channel_name and \
+                        repr(event.message) == message_repr:
+                    matched = event
+                    break
+            if matched is None:
+                raise LookupError(
+                    f"no candidate event matches "
+                    f"({channel_name}, {message_repr}) at {u!r}")
+            u = u.append(matched)
+        return u
 
     # -- witness paths (flight-recorder view of §3.3) -----------------------
 
@@ -399,9 +686,14 @@ class SmoothSolutionSolver:
         index and the live candidate set.  Returns the reconstructed
         node (whose membership in the tree is thereby witnessed).
         """
+        return self._walk_path(schedule.path)
+
+    def _walk_path(self, path: list) -> Trace:
+        """Re-walk a raw JSON path (``[[channel, message_repr], …]``),
+        verifying every step is a tree edge — the engine behind both
+        :meth:`replay_witness` and checkpoint resume."""
         u = Trace.empty()
-        for index, (channel_name, message_repr) in enumerate(
-                schedule.path):
+        for index, (channel_name, message_repr) in enumerate(path):
             matched = None
             live = []
             for v in self.children(u):
@@ -440,10 +732,19 @@ class SmoothSolutionSolver:
 def solve(description: Description, channels: Iterable[Channel],
           max_depth: int,
           limit_depth: int = DEFAULT_DEPTH,
-          tracer: Optional[Tracer] = None) -> SolverResult:
-    """One-call convenience: explore over the channels' alphabets."""
+          tracer: Optional[Tracer] = None,
+          cache: Optional[object] = None) -> SolverResult:
+    """One-call convenience: explore over the channels' alphabets.
+
+    With ``cache`` (a :class:`repro.cache.CacheStore`), the
+    exploration consults the persistent result store first and stores
+    its result back — a repeated ``solve`` of the same description /
+    alphabet / budgets is a disk read, digest-identical to the
+    computed one.
+    """
     solver = SmoothSolutionSolver.over_channels(
-        description, channels, limit_depth=limit_depth, tracer=tracer
+        description, channels, limit_depth=limit_depth, tracer=tracer,
+        cache=cache
     )
     return solver.explore(max_depth)
 
@@ -472,6 +773,12 @@ def rhs_guided_candidates(channels: Iterable[Channel],
                 if c.admits(m):
                     yield Event(c, m)
 
+    candidates.cache_key = {
+        "kind": "rhs-guided",
+        "channels": [c.name for c in channel_list],
+        "probe_depth": probe_depth,
+        "description": getattr(description, "name", ""),
+    }
     return candidates
 
 

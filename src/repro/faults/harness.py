@@ -54,7 +54,10 @@ class ConformanceCase:
     plan: str
     seed: int
     outcome: str            # conforms | violation | livelock | exhausted
-    result: SupervisedRunResult
+    #: the live run result — ``None`` for a cache-served cell, whose
+    #: run was skipped entirely (its digest survives in
+    #: ``schedule.meta['digest']`` / :meth:`run_digest`)
+    result: Optional[SupervisedRunResult]
     detail: str = ""
     #: wall-clock seconds for this cell (``time.monotonic`` based,
     #: matching the solver's monotonic deadlines)
@@ -67,15 +70,66 @@ class ConformanceCase:
     #: default) — a failing cell ships its own repro; feed it to
     #: :func:`replay_conformance_case`
     schedule: Optional[Schedule] = None
+    #: this cell was served from a persistent cache store instead of
+    #: being executed (outcome/detail/schedule are the original run's)
+    cached: bool = False
 
     @property
     def failed(self) -> bool:
         """Anything but ``conforms`` is a failure to diagnose."""
         return self.outcome != "conforms"
 
+    def run_digest(self) -> Optional[str]:
+        """The underlying run's content digest — live or cached."""
+        if self.result is not None:
+            return self.result.digest()
+        if self.schedule is not None:
+            return self.schedule.meta.get("digest")
+        return None
+
     def __str__(self) -> str:
         tail = f" ({self.detail})" if self.detail else ""
-        return f"[{self.plan} × seed {self.seed}] {self.outcome}{tail}"
+        mark = " [cached]" if self.cached else ""
+        return (f"[{self.plan} × seed {self.seed}] "
+                f"{self.outcome}{tail}{mark}")
+
+    # -- cache round-trip ----------------------------------------------------
+
+    def to_cache_payload(self) -> dict:
+        """The JSON-ready slice of this case a warm grid run needs to
+        be bit-for-bit equal to the cold one: outcome, detail and the
+        recorded schedule (whose digest *is* the per-cell digest), plus
+        the original compute time for reporting."""
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "elapsed_s": self.elapsed_s,
+            "run_digest": self.run_digest(),
+            "schedule": (self.schedule.to_dict()
+                         if self.schedule is not None else None),
+        }
+
+    @classmethod
+    def from_cache_payload(cls, payload: dict) -> "ConformanceCase":
+        """Rebuild a cache-served case (``cached=True``, no live
+        result).  ``elapsed_s`` is zeroed — the warm cell cost nothing;
+        the original compute time rides in the payload for reporting.
+        Raises ``ValueError``/``KeyError`` on malformed payloads (the
+        store's caller maps that to a miss)."""
+        schedule = payload.get("schedule")
+        return cls(
+            plan=str(payload["plan"]),
+            seed=int(payload["seed"]),
+            outcome=str(payload["outcome"]),
+            result=None,
+            detail=str(payload.get("detail", "")),
+            elapsed_s=0.0,
+            schedule=(Schedule.from_dict(schedule)
+                      if schedule is not None else None),
+            cached=True,
+        )
 
 
 @dataclass
@@ -111,7 +165,27 @@ class ConformanceReport:
 
     @property
     def all_conform(self) -> bool:
+        """Every cell conforms — vacuously true for an empty grid
+        (zero cells: nothing ran, nothing failed, exit 0)."""
         return all(c.outcome == "conforms" for c in self.cases)
+
+    @property
+    def cached_cases(self) -> list[ConformanceCase]:
+        return [c for c in self.cases if c.cached]
+
+    def digest(self) -> str:
+        """Stable content hash of the grid's outcome: per cell (in
+        grid order) the coordinate, the classified outcome and the
+        schedule digest.  A warm, cache-served rerun of the same grid
+        digests identically to the cold run — the bit-for-bit claim
+        the cache smoke tests assert."""
+        from repro.obs.recorder import stable_digest
+
+        return stable_digest([
+            [c.plan, c.seed, c.outcome,
+             c.schedule.digest() if c.schedule is not None else None]
+            for c in self.cases
+        ])
 
     def total_elapsed_s(self) -> float:
         """Total per-cell *compute*: the sum of per-cell monotonic
@@ -142,7 +216,8 @@ def run_conformance(network: str,
                     tracer=None,
                     record: bool = True,
                     workers: int = 1,
-                    scenario: Optional[str] = None
+                    scenario: Optional[str] = None,
+                    cache=None
                     ) -> ConformanceReport:
     """Run ``agents`` under every ``plan × seed`` cell and check every
     quiescent trace against ``spec``.
@@ -169,6 +244,15 @@ def run_conformance(network: str,
     serial path below; per-cell outcomes and schedule digests are
     identical either way (each cell is a fresh plan instance plus a
     fresh ``RandomOracle(seed)`` in both executors).
+
+    ``cache`` (a :class:`repro.cache.CacheStore`) skips cells whose
+    cached case exists: a hit appends the recorded case with
+    ``cached=True`` (same outcome, same schedule digest — the warm
+    report digests identically to the cold one) without running the
+    cell; misses run normally and are stored back.  Cells are keyed by
+    the grid facets (network, channel alphabets, observation set,
+    budgets, policy) plus ``(plan, seed, record)`` — see
+    :mod:`repro.cache.keys`.
     """
     if workers > 1:
         from repro import par
@@ -177,17 +261,43 @@ def run_conformance(network: str,
             return par.run_conformance_parallel(
                 scenario, plans=plans, seeds=seeds,
                 max_steps=max_steps, workers=workers,
-                record=record, tracer=tracer)
+                record=record, tracer=tracer, cache=cache)
     grid_started = time.monotonic()
     channel_list = list(channels)
     observed = set(observe) if observe is not None else None
     report = ConformanceReport(network=network)
     tracer = tracer if tracer is not None else NULL_TRACER
+    facets = None
+    if cache is not None:
+        from repro.cache.keys import cell_cache_key, grid_facets
+
+        facets = grid_facets(network, channel_list, observed,
+                             max_steps, policy, watchdog_limit, depth)
     with tracer.span("harness.grid", category="harness",
                      track="harness", network=network,
                      plans=sorted(plans)):
         for plan_name, make_plan in plans.items():
             for seed in seeds:
+                cell_key = None
+                if facets is not None:
+                    cell_key = cell_cache_key(facets, plan_name,
+                                              seed, record)
+                    hit = cache.get("cell", cell_key)
+                    if hit is not None:
+                        case = _case_from_cache(hit, plan_name, seed)
+                        if case is not None:
+                            if tracer.enabled:
+                                tracer.event(
+                                    "cache.hit", category="cache",
+                                    track="harness", plan=plan_name,
+                                    seed=seed, outcome=case.outcome)
+                            report.cases.append(case)
+                            continue
+                    if tracer.enabled:
+                        tracer.event(
+                            "cache.miss", category="cache",
+                            track="harness", plan=plan_name,
+                            seed=seed)
                 started = time.monotonic()
                 with tracer.span("harness.cell", category="harness",
                                  track="harness", plan=plan_name,
@@ -224,8 +334,25 @@ def run_conformance(network: str,
                 case.elapsed_s = time.monotonic() - started
                 case.metrics = result.metrics
                 report.cases.append(case)
+                if cell_key is not None:
+                    cache.put("cell", cell_key,
+                              case.to_cache_payload())
     report.wall_clock_s = time.monotonic() - grid_started
     return report
+
+
+def _case_from_cache(payload, plan_name: str,
+                     seed: int) -> Optional[ConformanceCase]:
+    """Rebuild a cached cell, treating any malformed payload (or one
+    whose coordinate disagrees with the requested cell — a hash
+    collision) as a miss."""
+    try:
+        case = ConformanceCase.from_cache_payload(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if case.plan != plan_name or case.seed != seed:
+        return None
+    return case
 
 
 def replay_conformance_case(schedule: Schedule,

@@ -137,7 +137,23 @@ class Schedule:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Schedule":
-        version = data.get("version", SCHEDULE_VERSION)
+        """Strict loader: requires the ``version`` stamp.
+
+        ``to_dict``/``save`` always write ``version``, so a dict
+        without it is a truncated or hand-edited file — refuse it with
+        a ``ValueError`` naming the keys that *are* present instead of
+        defaulting to the current version and diverging confusingly
+        mid-replay.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"schedule is not an object: {type(data).__name__}")
+        if "version" not in data:
+            raise ValueError(
+                "schedule missing required 'version' field "
+                f"(found keys: {sorted(data)}); the file may be "
+                "truncated or hand-edited")
+        version = data["version"]
         if version != SCHEDULE_VERSION:
             raise ValueError(
                 f"unsupported schedule version {version!r} "

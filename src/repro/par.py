@@ -31,6 +31,7 @@ to the serial executor.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
@@ -193,7 +194,8 @@ def run_conformance_parallel(scenario: str,
                              max_steps: Optional[int] = None,
                              workers: Optional[int] = None,
                              record: bool = True,
-                             tracer=None) -> ConformanceReport:
+                             tracer=None,
+                             cache=None) -> ConformanceReport:
     """Run a registered scenario's ``plans × seeds`` grid over
     ``workers`` processes.
 
@@ -207,9 +209,19 @@ def run_conformance_parallel(scenario: str,
     summed per-cell compute (see
     :meth:`~repro.faults.harness.ConformanceReport.total_elapsed_s`).
 
-    ``workers=None`` uses ``os.cpu_count()``; ``workers=1``, a
-    single-cell grid, or a platform without ``fork`` all take the
-    serial path, which is also the semantics-defining reference.
+    ``workers=None`` uses ``os.process_cpu_count()`` — the CPUs this
+    process may actually use (affinity masks, container quotas) — not
+    the machine-wide count, falling back to ``os.cpu_count()`` on
+    interpreters without it.  ``workers=1``, a single-cell grid, or a
+    platform without ``fork`` all take the serial path, which is also
+    the semantics-defining reference.  An empty grid (no seeds, or no
+    selected plans) returns an empty — and therefore conforming —
+    report without spinning up a pool.
+
+    ``cache`` (a :class:`repro.cache.CacheStore`) is consulted in the
+    parent *before* dispatch: cached cells never reach the pool, and
+    fresh results are stored back as they stream in.  All cache I/O
+    and counters stay in the calling process.
 
     With a ``tracer`` attached, each cell runs under its own in-worker
     tracer and the records are merged back onto the caller's timeline
@@ -226,38 +238,84 @@ def run_conformance_parallel(scenario: str,
     seed_list = list(seeds)
     steps = built.max_steps if max_steps is None else max_steps
     if workers is None:
-        workers = multiprocessing.cpu_count()
+        workers = getattr(os, "process_cpu_count",
+                          os.cpu_count)() or 1
     traced = tracer is not None and getattr(tracer, "enabled", False)
     tasks = [
         CellTask(scenario=scenario, plan=plan, seed=seed,
                  max_steps=steps, record=record, traced=traced)
         for plan in plan_names for seed in seed_list
     ]
-    workers = max(1, min(int(workers), len(tasks) or 1))
+    if not tasks:
+        report = ConformanceReport(network=built.name)
+        report.wall_clock_s = time.monotonic() - started
+        return report
+    workers = max(1, min(int(workers), len(tasks)))
     if workers == 1 or len(tasks) < 2 or \
             "fork" not in multiprocessing.get_all_start_methods():
         from repro.faults.harness import run_conformance
 
+        # serial reference path; the harness does its own cache
+        # consult/store with the same keys, so hand it the store and
+        # the full grid
         report = run_conformance(
             built.name, built.agents, built.channels, built.spec,
             {p: built.plans[p] for p in plan_names}, seed_list,
             observe=built.observe, max_steps=steps,
             policy=built.policy, watchdog_limit=built.watchdog_limit,
             depth=built.depth, tracer=tracer, record=record,
+            cache=cache,
         )
         report.wall_clock_s = time.monotonic() - started
         return report
 
-    report = ConformanceReport(network=built.name)
+    # pool path: consult the cache in the parent, dispatch only the
+    # misses, store fresh results back as they stream in
+    cell_keys: Dict[int, Any] = {}
+    cases: Dict[int, ConformanceCase] = {}
+    if cache is not None:
+        from repro.cache.keys import cell_cache_key, grid_facets
+        from repro.faults.harness import _case_from_cache
+
+        observed = (set(built.observe)
+                    if built.observe is not None else None)
+        facets = grid_facets(
+            built.name, list(built.channels), observed, steps,
+            built.policy, built.watchdog_limit, built.depth)
+        for i, task in enumerate(tasks):
+            key = cell_cache_key(facets, task.plan, task.seed,
+                                 task.record)
+            hit = cache.get("cell", key)
+            case = (_case_from_cache(hit, task.plan, task.seed)
+                    if hit is not None else None)
+            if case is not None:
+                cases[i] = case
+            else:
+                cell_keys[i] = key
+    pending = [(i, t) for i, t in enumerate(tasks) if i not in cases]
+
+    def finish():
+        report = ConformanceReport(network=built.name)
+        report.cases = [cases[i] for i in range(len(tasks))]
+        report.wall_clock_s = time.monotonic() - started
+        return report
+
+    if not pending:
+        return finish()
+    pool_workers = min(workers, len(pending))
     ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(processes=workers) as pool:
-        for task, (case, records, epoch_ns) in zip(
-                tasks, pool.imap(_cell_worker, tasks, chunksize=1)):
-            report.cases.append(case)
+    with ctx.Pool(processes=pool_workers) as pool:
+        for (i, task), (case, records, epoch_ns) in zip(
+                pending,
+                pool.imap(_cell_worker, [t for _, t in pending],
+                          chunksize=1)):
+            cases[i] = case
+            if i in cell_keys:
+                cache.put("cell", cell_keys[i],
+                          case.to_cache_payload())
             if traced and records:
                 _merge_cell_trace(tracer, task, records, epoch_ns)
-    report.wall_clock_s = time.monotonic() - started
-    return report
+    return finish()
 
 
 def _merge_cell_trace(tracer, task: CellTask, records: List[Any],

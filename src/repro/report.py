@@ -106,6 +106,13 @@ def render_solver_result(result: SolverResult,
         )
     if result.dead_ends:
         lines.append(f"dead ends: {len(result.dead_ends)}")
+    if result.truncated:
+        lines.append(f"TRUNCATED: {result.truncation_reason}")
+    if result.unvisited:
+        lines.append(
+            f"unvisited nodes parked by the guard: "
+            f"{len(result.unvisited)} (resume with a checkpoint)"
+        )
     return "\n".join(lines)
 
 
@@ -216,7 +223,14 @@ def render_conformance_report(report, max_failures: int = 5) -> str:
     compute sum exceeds the wall clock; the ``overlap`` factor is
     their ratio — an effective-parallelism estimate.
     """
+    if not report.cases:
+        return (f"conformance[{report.network}] 0 cells — "
+                "empty grid, vacuously conforming")
     lines = [report.summary()]
+    cached = report.cached_cases
+    if cached:
+        lines.append(f"  {len(cached)}/{len(report.cases)} cells "
+                     "served from cache")
     wall = report.wall_clock_s
     compute = report.total_elapsed_s()
     timing = (f"wall-clock {wall:.3f}s, "

@@ -1,0 +1,81 @@
+"""Unit tests for checkpoint (de)serialization and strictness."""
+
+import json
+
+import pytest
+
+from repro.cache.checkpoint import CHECKPOINT_VERSION, SolverCheckpoint
+
+
+def sample() -> SolverCheckpoint:
+    return SolverCheckpoint(
+        description="dfm", depth=4, limit_depth=64,
+        nodes_explored=50,
+        truncation_reason="node budget (50) exhausted at depth 3",
+        finite_solutions=[[]],
+        frontier=[[["b", "0"]]],
+        unvisited=[[["b", "0"], ["d", "0"]], [["c", "1"]]],
+        meta={"note": "test"},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        ckpt = sample()
+        back = SolverCheckpoint.from_json(ckpt.to_json())
+        assert back == ckpt
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = sample()
+        ckpt.save(str(path))
+        assert SolverCheckpoint.load(str(path)) == ckpt
+
+    def test_digest_ignores_meta(self):
+        a = sample()
+        b = sample()
+        b.meta["extra"] = "noise"
+        assert a.digest() == b.digest()
+
+    def test_digest_covers_buckets(self):
+        a = sample()
+        b = sample()
+        b.unvisited = b.unvisited[:1]
+        assert a.digest() != b.digest()
+
+    def test_len_and_exhausted(self):
+        ckpt = sample()
+        assert len(ckpt) == 4
+        assert not ckpt.exhausted
+        ckpt.unvisited = []
+        assert ckpt.exhausted
+
+
+class TestStrictLoader:
+    def test_missing_version_names_present_keys(self):
+        data = sample().to_dict()
+        del data["version"]
+        with pytest.raises(ValueError) as info:
+            SolverCheckpoint.from_dict(data)
+        msg = str(info.value)
+        assert "version" in msg
+        assert "depth" in msg  # names what IS there
+
+    def test_unsupported_version_rejected(self):
+        data = sample().to_dict()
+        data["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported"):
+            SolverCheckpoint.from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="not an object"):
+            SolverCheckpoint.from_dict([1, 2])
+
+    def test_truncated_file_rejected_at_load(self, tmp_path):
+        # simulate a write cut short: valid JSON prefix of the entry
+        path = tmp_path / "ck.json"
+        full = sample().to_dict()
+        partial = {k: full[k] for k in ("depth", "frontier")}
+        path.write_text(json.dumps(partial), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            SolverCheckpoint.load(str(path))

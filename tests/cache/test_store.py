@@ -1,0 +1,157 @@
+"""Unit tests for the persistent content-addressed store."""
+
+import json
+
+import pytest
+
+from repro.cache.store import CACHE_VERSION, CacheStore
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("solver", {"k": 1}, {"answer": 42})
+        assert store.get("solver", {"k": 1}) == {"answer": 42}
+        assert store.counters() == {"hit": 1, "miss": 0,
+                                    "write": 1, "evict": 0}
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.get("solver", {"k": 1}) is None
+        assert store.counters()["miss"] == 1
+
+    def test_key_is_content_addressed(self, tmp_path):
+        # dict ordering must not matter: same content, same entry
+        store = CacheStore(tmp_path)
+        store.put("cell", {"a": 1, "b": 2}, "v")
+        assert store.get("cell", {"b": 2, "a": 1}) == "v"
+
+    def test_kinds_partition_the_namespace(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("solver", {"k": 1}, "solver-value")
+        assert store.get("cell", {"k": 1}) is None
+
+    def test_persists_across_store_instances(self, tmp_path):
+        CacheStore(tmp_path).put("cell", [1, 2], "v")
+        assert CacheStore(tmp_path).get("cell", [1, 2]) == "v"
+
+    def test_overwrite_wins(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", "k", "old")
+        store.put("cell", "k", "new")
+        assert store.get("cell", "k") == "new"
+
+
+class TestCorruptAndStale:
+    def test_corrupt_json_is_a_miss_and_evicted(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("cell", "k", "v")
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get("cell", "k") is None
+        assert not path.exists()
+        assert store.counters()["evict"] == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        # strict parse (missing 'version') must surface as a miss,
+        # never as an exception or a wrong answer
+        store = CacheStore(tmp_path)
+        path = store.put("cell", "k", "v")
+        entry = json.loads(path.read_text())
+        del entry["version"]
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.get("cell", "k") is None
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("cell", "k", "v")
+        entry = json.loads(path.read_text())
+        entry["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.get("cell", "k") is None
+        assert not path.exists()
+
+    def test_stale_library_version_is_a_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("cell", "k", "v")
+        entry = json.loads(path.read_text())
+        entry["repro_version"] = "0.0.0-older"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.get("cell", "k") is None
+
+    def test_renamed_entry_is_a_miss(self, tmp_path):
+        # a file moved under another key's digest disagrees with its
+        # recorded key_digest — treat as a collision, not an answer
+        store = CacheStore(tmp_path)
+        src = store.put("cell", "k1", "v1")
+        dst = store.path_for("cell", "k2")
+        src.rename(dst)
+        assert store.get("cell", "k2") is None
+
+    def test_no_tmp_droppings_after_put(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", "k", "v")
+        leftovers = [p for p in (tmp_path / "cell").iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
+
+class TestStrictParse:
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="not an object"):
+            CacheStore.parse_entry([1, 2, 3])
+
+    def test_missing_version_names_present_keys(self):
+        with pytest.raises(ValueError) as info:
+            CacheStore.parse_entry({"value": 1, "kind": "cell"})
+        assert "version" in str(info.value)
+        assert "kind" in str(info.value)
+        assert "value" in str(info.value)
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ValueError, match="'value'"):
+            CacheStore.parse_entry({"version": CACHE_VERSION})
+
+
+class TestMaintenance:
+    def test_clear_kind(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", "a", 1)
+        store.put("cell", "b", 2)
+        store.put("solver", "c", 3)
+        assert store.clear("cell") == 2
+        assert store.get("solver", "c") == 3
+
+    def test_clear_all(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", "a", 1)
+        store.put("solver", "c", 3)
+        assert store.clear() == 2
+        assert store.stats()["total_entries"] == 0
+
+    def test_clear_empty_store(self, tmp_path):
+        assert CacheStore(tmp_path / "nonexistent").clear() == 0
+
+    def test_stats_census(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", "a", 1)
+        store.put("cell", "b", 2)
+        store.put("solver", "c", 3)
+        stats = store.stats()
+        assert stats["entries"] == {"cell": 2, "solver": 1}
+        assert stats["total_entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["version"] == CACHE_VERSION
+
+    def test_tracer_events_emitted(self, tmp_path):
+        from repro.obs.sinks import RingBufferSink
+        from repro.obs.tracer import Tracer
+
+        ring = RingBufferSink()
+        store = CacheStore(tmp_path, tracer=Tracer([ring]))
+        store.put("cell", "k", "v")
+        store.get("cell", "k")
+        store.get("cell", "other")
+        names = [r.name for r in ring if r.category == "cache"]
+        assert "cache.write" in names
+        assert "cache.hit" in names
+        assert "cache.miss" in names

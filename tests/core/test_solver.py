@@ -133,8 +133,11 @@ class TestExploration:
         assert result.truncated
         assert "node budget" in result.truncation_reason
         assert result.nodes_explored <= 20
-        # unexpanded nodes are parked on the frontier, not lost
-        assert result.frontier
+        # unexamined nodes are parked on the unvisited bucket, not
+        # lost — and NOT on the frontier, whose invariant (admissible
+        # extensions exist) was never checked for them
+        assert result.unvisited
+        assert not result.frontier
 
     def test_wall_clock_budget_yields_truncated_result(self):
         k = const_seq(fseq())

@@ -155,6 +155,77 @@ class TestDigestUnchanged:
             map(repr, slow.finite_solutions))
 
 
+class TestResumeEvaluationCounts:
+    """The resume path must not re-do classified work.
+
+    Witness replay (checkpoint loading) re-checks admissibility but
+    never the limit condition, so across a truncated run plus its
+    resumed continuation every node's limit condition is still checked
+    *exactly once* — the same total as the straight run.
+    """
+
+    def test_limit_checked_once_per_node_across_resume(self):
+        straight_desc = counting_dfm()
+        straight = SmoothSolutionSolver.over_channels(
+            straight_desc, [B, C, D]).explore(4)
+
+        desc1 = counting_dfm()
+        partial = SmoothSolutionSolver.over_channels(
+            desc1, [B, C, D]).explore(4, max_nodes=40)
+        assert partial.truncated
+        desc2 = counting_dfm()
+        resumed = SmoothSolutionSolver.over_channels(
+            desc2, [B, C, D]).explore(
+                4, resume_from=partial.checkpoint())
+
+        assert resumed.digest() == straight.digest()
+        total = desc1.limit_calls + desc2.limit_calls
+        assert total == straight_desc.limit_calls
+        assert total == straight.nodes_explored
+
+    def test_rhs_evaluated_once_per_freshly_explored_node(self):
+        # the resumed session evaluates g(u) once per node it actually
+        # explores, plus once per carried classified trace it replays
+        # as a witness path — never per (node × pass)
+        partial_desc = counting_dfm()
+        partial = SmoothSolutionSolver.over_channels(
+            partial_desc, [B, C, D]).explore(4, max_nodes=40)
+        desc = counting_dfm()
+        resumed = SmoothSolutionSolver.over_channels(
+            desc, [B, C, D]).explore(
+                4, resume_from=partial.checkpoint())
+        fresh_nodes = resumed.nodes_explored - partial.nodes_explored
+        carried = (len(partial.finite_solutions)
+                   + len(partial.frontier) + len(partial.dead_ends)
+                   + len(partial.unvisited))
+        replay_steps = sum(
+            t.length() for bucket in (
+                partial.finite_solutions, partial.frontier,
+                partial.dead_ends, partial.unvisited)
+            for t in bucket)
+        # witness replay applies g once per step of each carried trace
+        # (admissibility re-check) and f per proposed candidate; the
+        # exploration itself then applies g once per fresh node
+        assert desc.rhs.calls <= fresh_nodes + replay_steps + carried
+        assert desc.limit_calls == fresh_nodes
+
+    def test_cache_hit_skips_all_evaluation(self, tmp_path):
+        from repro.cache.store import CacheStore
+
+        store = CacheStore(tmp_path)
+        warm_desc = counting_dfm()
+        cold = SmoothSolutionSolver.over_channels(
+            counting_dfm(), [B, C, D], cache=store).explore(4)
+        warm = SmoothSolutionSolver.over_channels(
+            warm_desc, [B, C, D],
+            cache=CacheStore(tmp_path)).explore(4)
+        assert warm.digest() == cold.digest()
+        # serving from the store rebuilds traces by candidate
+        # matching — no side evaluations, no limit checks
+        assert warm_desc.limit_calls == 0
+        assert warm_desc.rhs.calls == 0
+
+
 class TestLimitReportPrecomputed:
     def test_precomputed_values_match_fresh_evaluation(self):
         desc = counting_dfm()

@@ -154,6 +154,22 @@ class TestScheduleContainer:
         with pytest.raises(ValueError):
             Schedule.from_dict(bad)
 
+    def test_missing_version_rejected(self):
+        # a dict without the stamp is a truncated or hand-edited file;
+        # the loader must refuse (naming the keys present) rather than
+        # silently assume the current version
+        bad = Schedule(agent_picks=[["a", ["a"]]]).to_dict()
+        del bad["version"]
+        with pytest.raises(ValueError) as info:
+            Schedule.from_dict(bad)
+        msg = str(info.value)
+        assert "version" in msg
+        assert "agent_picks" in msg  # names what IS there
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="not an object"):
+            Schedule.from_dict(["not", "a", "schedule"])
+
     def test_save_load(self, tmp_path):
         s = Schedule(agent_picks=[["a", ["a"]]], meta={"k": 1})
         p = tmp_path / "s.json"

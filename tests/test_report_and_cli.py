@@ -377,3 +377,101 @@ class TestRecorderCli:
         assert main(["record", "alternating_bit", "--plan", "bogus",
                      "-o", str(out)]) == 2
         assert "unknown plan" in capsys.readouterr().err
+
+
+class TestSolveCli:
+    def test_complete_run_exits_zero(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["solve", "dfm", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "finite smooth solutions" in out
+        assert "result digest" in out
+
+    def test_truncated_run_exits_one_and_checkpoints(self, tmp_path,
+                                                     capsys):
+        from repro.__main__ import main
+
+        ck = tmp_path / "ck.json"
+        assert main(["solve", "dfm", "--depth", "4",
+                     "--max-nodes", "25",
+                     "--checkpoint-out", str(ck)]) == 1
+        assert "TRUNCATED" in capsys.readouterr().out
+        assert ck.exists()
+
+    def test_resume_reaches_straight_run_digest(self, tmp_path,
+                                                capsys):
+        from repro.__main__ import main
+
+        assert main(["solve", "dfm", "--depth", "4"]) == 0
+        straight = capsys.readouterr().out
+        ck = tmp_path / "ck.json"
+        assert main(["solve", "dfm", "--depth", "4",
+                     "--max-nodes", "25",
+                     "--checkpoint-out", str(ck)]) == 1
+        capsys.readouterr()
+        assert main(["solve", "dfm", "--depth", "4",
+                     "--resume", str(ck)]) == 0
+        resumed = capsys.readouterr().out
+        digest = [line for line in straight.splitlines()
+                  if line.startswith("result digest")]
+        assert digest and digest[0] in resumed
+
+    def test_bad_checkpoint_exits_two(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"depth": 4}', encoding="utf-8")
+        assert main(["solve", "dfm", "--resume", str(bad)]) == 2
+        assert "version" in capsys.readouterr().err
+
+    def test_solver_cache_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        args = ["solve", "dfm", "--depth", "3", "--cache",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "miss 1, write 1" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "hit 1" in capsys.readouterr().out
+
+
+class TestGridCacheCli:
+    def _grid(self, tmp_path, *extra):
+        return ["grid", "dfm", "--seeds", "1", "--plan", "none",
+                "--cache", "--cache-dir", str(tmp_path), *extra]
+
+    def test_warm_rerun_same_digest_all_cached(self, tmp_path,
+                                               capsys):
+        from repro.__main__ import main
+
+        assert main(self._grid(tmp_path)) == 0
+        cold = capsys.readouterr().out
+        assert main(self._grid(tmp_path)) == 0
+        warm = capsys.readouterr().out
+
+        def digest_line(text):
+            return [line for line in text.splitlines()
+                    if line.startswith("report digest")][0]
+
+        assert digest_line(cold) == digest_line(warm)
+        assert "(1 cached)" in warm
+        assert "served from cache" in warm
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(self._grid(tmp_path, "--cache-stats")) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        stats = json.loads(out[start:])
+        assert stats["entries"] == {"cell": 1}
+        assert stats["counters"]["write"] == 1
+
+    def test_empty_grid_exits_zero(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["grid", "dfm", "--seeds", "0"]) == 0
+        assert "0 cells" in capsys.readouterr().out
