@@ -13,16 +13,22 @@ Commands:
 * ``record``         — flight-record a scenario run (every oracle
   decision and fault RNG draw) into a schedule JSON;
 * ``replay``         — re-execute a recorded schedule bit-for-bit and
-  verify the run digest (exit 0 iff it matches);
+  verify the run digest (exit 0 iff it matches); also replays a
+  fleet quarantine bundle (a directory or its ``cell.json``),
+  checking the recorded infrastructure failure reproduces;
 * ``diff``           — first-divergence report between two recorded
   schedules and their (lenient) replays;
 * ``shrink``         — delta-debug a failing schedule to a locally
   minimal one that preserves the verdict;
 * ``grid``           — run a registered conformance scenario's full
-  ``plans × seeds`` grid, optionally farmed over worker processes
-  (``--workers N``) and optionally backed by the persistent result
-  cache (``--cache`` / ``--cache-dir``); exits 0 iff every cell
-  conforms;
+  ``plans × seeds`` grid, optionally farmed over supervised worker
+  processes (``--workers N``, with per-cell deadlines
+  ``--cell-timeout``, bounded ``--retries``, ``--quarantine-dir``
+  bundles for poison cells and a ``--chaos kill-worker:p``
+  self-test) and optionally backed by the persistent result cache
+  (``--cache`` / ``--cache-dir``); exit status reflects *genuine*
+  non-conformance only — infrastructure losses degrade the report
+  instead;
 * ``solve``          — run the §3.3 solver on a scenario's
   specification, optionally resuming a truncated exploration from a
   checkpoint JSON (``--resume``) and/or writing one
@@ -163,7 +169,8 @@ def _examples_dir() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
-def _make_cache(enabled: bool, cache_dir: str | None):
+def _make_cache(enabled: bool, cache_dir: str | None,
+                fsync: bool = False):
     """A :class:`repro.cache.CacheStore`, or ``None`` when disabled.
 
     Caching is opt-in on every command (``--cache``): a demo runner
@@ -173,7 +180,7 @@ def _make_cache(enabled: bool, cache_dir: str | None):
         return None
     from repro.cache import DEFAULT_CACHE_DIR, CacheStore
 
-    return CacheStore(cache_dir or DEFAULT_CACHE_DIR)
+    return CacheStore(cache_dir or DEFAULT_CACHE_DIR, fsync=fsync)
 
 
 def cmd_trace(example: str, out: str | None, jsonl: str | None,
@@ -435,10 +442,42 @@ def _replay_schedule(schedule, lenient: bool):
         f"(meta['scenario'] = {scenario!r})")
 
 
+def _replay_bundle(path: pathlib.Path) -> int:
+    """Replay a fleet quarantine bundle; exit 0 iff the recorded
+    infrastructure failure reproduces under the recorded policy."""
+    from repro.par import replay_quarantined_cell
+
+    case, recorded, reproduced = replay_quarantined_cell(path)
+    print(f"quarantined cell: {case.plan} × seed {case.seed}")
+    print(f"recorded failure: {recorded.get('failure')} "
+          f"({recorded.get('outcome')})")
+    print(f"replayed outcome: {case.outcome} "
+          f"after {case.attempts} attempt(s)")
+    if case.detail:
+        print(f"  {case.detail.splitlines()[0]}")
+    print("replay " + ("REPRODUCES the recorded failure" if reproduced
+                       else "DID NOT reproduce the recorded failure "
+                            "(infrastructure issue gone?)"))
+    return 0 if reproduced else 1
+
+
 def cmd_replay(path: str, lenient: bool) -> int:
-    """Replay a schedule JSON; exit 0 iff the run digest matches."""
+    """Replay a schedule JSON (exit 0 iff the run digest matches) or
+    a quarantine bundle (exit 0 iff the failure reproduces)."""
     from repro.obs.recorder import Schedule
     from repro.report import render_schedule
+
+    target = pathlib.Path(path)
+    probe = target / "cell.json" if target.is_dir() else target
+    try:
+        import json
+
+        head = json.loads(probe.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        head = None
+    if isinstance(head, dict) and head.get("kind") == \
+            "quarantined-cell":
+        return _replay_bundle(probe)
 
     schedule = Schedule.load(path)
     print(render_schedule(schedule, max_decisions=4))
@@ -518,15 +557,22 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
              plan_names: list[str] | None, max_steps: int | None,
              no_record: bool, use_cache: bool = False,
              cache_dir: str | None = None,
-             cache_stats: bool = False) -> int:
+             cache_stats: bool = False,
+             cell_timeout: float | None = None,
+             retries: int | None = None,
+             quarantine_dir: str | None = None,
+             chaos: str | None = None,
+             chaos_seed: int = 0) -> int:
     """Run a registered scenario's conformance grid, maybe in parallel.
 
     The scenario comes from the :mod:`repro.par` registry (the same
     registry the worker processes rebuild cells from), so the grid is
     parallelizable by construction.  Exit status is 0 iff every cell
-    conforms — livelocks and exhausted budgets count as failures here
-    because the built-in scenarios all use fair fault plans; an empty
-    grid (``--seeds 0``) conforms vacuously.
+    that *ran* conforms — livelocks and exhausted budgets count as
+    failures here because the built-in scenarios all use fair fault
+    plans; an empty grid (``--seeds 0``) conforms vacuously, and
+    cells lost to the machinery (timeout / crash / quarantine under
+    ``--chaos``) degrade the report without failing the exit status.
 
     With ``--cache``, cells already in the persistent store are served
     from disk instead of re-run — a warm rerun of the same grid prints
@@ -551,11 +597,28 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
                   file=sys.stderr)
             return 2
         plans = {name: sc.plans[name] for name in plan_names}
+    fleet = None
+    if (cell_timeout is not None or retries is not None
+            or quarantine_dir is not None or chaos is not None):
+        chaos_spec = None
+        if chaos is not None:
+            try:
+                chaos_spec = par.ChaosSpec.parse(chaos,
+                                                 seed=chaos_seed)
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        fleet = par.FleetPolicy(
+            cell_timeout_s=cell_timeout,
+            retries=retries if retries is not None else 2,
+            quarantine_dir=quarantine_dir,
+            chaos=chaos_spec,
+        )
     store = _make_cache(use_cache, cache_dir)
     report = par.run_conformance_parallel(
         scenario, seeds=range(seeds), plans=plans,
         max_steps=max_steps, workers=workers,
-        record=not no_record, cache=store,
+        record=not no_record, cache=store, fleet=fleet,
     )
     print(render_conformance_report(report))
     cells = len(report.cases)
@@ -565,11 +628,13 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
         line += f"  ({len(report.cached_cases)} cached)"
     print(line)
     print(f"report digest {report.digest()}")
+    if report.degraded:
+        print(f"surviving digest {report.surviving_digest()}")
     if store is not None and cache_stats:
         import json
 
         print(json.dumps(store.stats(), indent=2, sort_keys=True))
-    return 0 if report.all_conform else 1
+    return 0 if not report.genuine_failures else 1
 
 
 #: Scenarios the ``solve`` command can build a specification for.
@@ -579,7 +644,7 @@ SOLVE_SCENARIOS = ("dfm", "alternating_bit")
 def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
               budget_seconds: float | None, resume: str | None,
               checkpoint_out: str | None, use_cache: bool,
-              cache_dir: str | None) -> int:
+              cache_dir: str | None, fsync: bool = False) -> int:
     """Run the §3.3 solver on a scenario's specification.
 
     A truncated exploration (node or wall-clock budget) exits 1 and —
@@ -613,7 +678,7 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown scenario {scenario!r}", file=sys.stderr)
         return 2
-    store = _make_cache(use_cache, cache_dir)
+    store = _make_cache(use_cache, cache_dir, fsync=fsync)
     solver = SmoothSolutionSolver.over_channels(
         spec, channels, cache=store)
     resume_from = None
@@ -636,7 +701,7 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
     print(f"result digest {result.digest()}")
     if checkpoint_out:
         ckpt = result.checkpoint()
-        ckpt.save(checkpoint_out)
+        ckpt.save(checkpoint_out, fsync=fsync)
         print(f"wrote checkpoint to {checkpoint_out} "
               f"({len(ckpt.unvisited)} unvisited)")
     if store is not None:
@@ -743,6 +808,26 @@ def main(argv: list[str] | None = None) -> int:
     p_grid.add_argument(
         "--no-record", action="store_true",
         help="skip flight-recording each cell's schedule")
+    p_grid.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-cell wall-clock deadline in seconds: a cell past "
+             "it has its worker killed and the attempt retried")
+    p_grid.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-attempts per failed cell before quarantine "
+             "(default 2 when the fleet is engaged)")
+    p_grid.add_argument(
+        "--quarantine-dir", default=None, metavar="PATH",
+        help="write poison cells' re-executable bundles here "
+             "(replay with: python -m repro replay <bundle>)")
+    p_grid.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fleet self-test fault injection, e.g. kill-worker:0.3 "
+             "(workers randomly SIGKILL themselves; deterministic "
+             "per --chaos-seed)")
+    p_grid.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the chaos kill pattern (default 0)")
     _add_cache_options(p_grid)
     p_grid.add_argument(
         "--cache-stats", action="store_true",
@@ -769,6 +854,10 @@ def main(argv: list[str] | None = None) -> int:
     p_solve.add_argument(
         "--checkpoint-out", default=None, metavar="PATH",
         help="write the (possibly exhausted) checkpoint JSON here")
+    p_solve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync checkpoint and cache writes (survive a machine "
+             "crash, not just a killed process)")
     _add_cache_options(p_solve)
 
     args = parser.parse_args(argv)
@@ -789,12 +878,14 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_grid(args.scenario, args.workers, args.seeds,
                         args.plan_names, args.max_steps,
                         args.no_record, args.cache, args.cache_dir,
-                        args.cache_stats)
+                        args.cache_stats, args.cell_timeout,
+                        args.retries, args.quarantine_dir,
+                        args.chaos, args.chaos_seed)
     if args.command == "solve":
         return cmd_solve(args.scenario, args.depth, args.max_nodes,
                          args.budget_seconds, args.resume,
                          args.checkpoint_out, args.cache,
-                         args.cache_dir)
+                         args.cache_dir, args.fsync)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

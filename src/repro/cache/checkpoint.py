@@ -137,10 +137,38 @@ class SolverCheckpoint:
     def from_json(cls, text: str) -> "SolverCheckpoint":
         return cls.from_dict(json.loads(text))
 
-    def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
-            fh.write("\n")
+    def save(self, path: str, fsync: bool = False) -> None:
+        """Atomically write the checkpoint (tmp + ``os.replace``): a
+        killed writer leaves the previous checkpoint intact, never a
+        half-written one a resume would refuse.  ``fsync=True`` also
+        fsyncs the file and its directory before returning, so even a
+        machine crash cannot roll the rename back to an empty file.
+        """
+        import os
+        import tempfile
+
+        from repro.cache.store import fsync_directory
+
+        target = os.fspath(path)
+        parent = os.path.dirname(target) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".checkpoint.",
+                                   suffix=".tmp", dir=parent)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(self.to_json())
+                fh.write("\n")
+                if fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if fsync:
+            fsync_directory(parent)
 
     @classmethod
     def load(cls, path: str) -> "SolverCheckpoint":

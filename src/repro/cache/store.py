@@ -21,6 +21,15 @@ Observability: every store carries a
 ``cache.hit`` / ``cache.miss`` / ``cache.write`` / ``cache.evict``,
 and, with a tracer attached, emits matching ``cache.*`` events so a
 Perfetto timeline shows which work was skipped.
+
+Crash consistency: a store that cannot write (read-only directory,
+disk full, quota) **degrades** instead of aborting the run — one
+``RuntimeWarning``, then writes land in a process-local in-memory
+overlay so repeated lookups within the session still hit warm
+(:attr:`CacheStore.degraded`).  ``fsync=True`` additionally fsyncs
+every entry (and its directory) on write, so a machine crash right
+after a checkpoint cannot leave an empty-but-renamed entry that a
+resume would have to evict.
 """
 
 from __future__ import annotations
@@ -28,8 +37,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import stable_digest
@@ -44,6 +54,25 @@ CACHE_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def fsync_directory(path: str | os.PathLike) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    Directory fds are not writable/fsync-able on every platform;
+    failure here means weaker durability, never a wrong result, so
+    errors are swallowed.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class CacheStore:
     """A persistent content-addressed cache of computed results.
 
@@ -54,11 +83,40 @@ class CacheStore:
 
     def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Any = None):
+                 tracer: Any = None,
+                 fsync: bool = False):
         self.root = Path(root)
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: fsync every written entry and its directory (checkpoint
+        #: durability: survive a machine crash, not just a killed
+        #: process — ``os.replace`` alone already guarantees the
+        #: latter)
+        self.fsync = fsync
+        #: in-memory overlay, populated once disk writes start failing
+        self._memory: Dict[Tuple[str, str], Any] = {}
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """Disk writes have failed; entries written since then live in
+        a process-local in-memory overlay (warm hits only)."""
+        return self._degraded
+
+    def _degrade(self, exc: OSError) -> None:
+        if self._degraded:
+            return
+        self._degraded = True
+        self.metrics.counter("cache.degraded").inc()
+        if getattr(self.tracer, "enabled", False):
+            self.tracer.event("cache.degraded", category="cache",
+                              track="cache", error=str(exc))
+        warnings.warn(
+            f"cache store {self.root} is not writable ({exc}); "
+            "degrading to in-memory mode — results stay correct, "
+            "cached entries will not persist beyond this process",
+            RuntimeWarning, stacklevel=4)
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -114,6 +172,9 @@ class CacheStore:
         are not re-parsed on every lookup.
         """
         digest = self.key_digest(key)
+        if (kind, digest) in self._memory:
+            self._count("hit", kind, digest)
+            return self._memory[(kind, digest)]
         path = self.root / kind / f"{digest}.json"
         try:
             text = path.read_text(encoding="utf-8")
@@ -147,12 +208,18 @@ class CacheStore:
         place, so concurrent writers (grid workers, parallel CI jobs)
         race benignly — last complete write wins, and readers never
         observe a partial entry.
+
+        A failing *disk* (read-only directory, ``ENOSPC``, quota)
+        degrades the store to in-memory mode instead of raising: the
+        value still lands in the overlay (so this session's lookups
+        hit warm), a single ``RuntimeWarning`` is emitted, and the
+        returned path is where the entry *would* have lived.
+        Serialization errors (the caller's bug) still raise.
         """
         from repro import __version__
 
         digest = self.key_digest(key)
         path = self.root / kind / f"{digest}.json"
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "version": CACHE_VERSION,
             "repro_version": __version__,
@@ -163,12 +230,30 @@ class CacheStore:
         }
         text = json.dumps(entry, sort_keys=True, indent=None,
                           separators=(",", ":"))
-        fd, tmp = tempfile.mkstemp(prefix=f".{digest[:12]}.",
+        if not self._degraded:
+            try:
+                self._write_entry(path, text)
+                self._count("write", kind, digest)
+                return path
+            except OSError as exc:
+                self._degrade(exc)
+        self._memory[(kind, digest)] = value
+        self._count("write", kind, digest)
+        return path
+
+    def _write_entry(self, path: Path, text: str) -> None:
+        """tmp + fsync? + rename (+ directory fsync) — the atomic,
+        optionally durable write every entry goes through."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=f".{path.stem[:12]}.",
                                    suffix=".tmp",
                                    dir=str(path.parent))
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(text)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -176,8 +261,8 @@ class CacheStore:
             except OSError:
                 pass
             raise
-        self._count("write", kind, digest)
-        return path
+        if self.fsync:
+            fsync_directory(path.parent)
 
     def _evict(self, path: Path, kind: str, digest: str) -> None:
         try:
@@ -232,6 +317,8 @@ class CacheStore:
             "entries": entries,
             "total_entries": sum(entries.values()),
             "total_bytes": total_bytes,
+            "degraded": self._degraded,
+            "memory_entries": len(self._memory),
         }
 
     def __repr__(self) -> str:

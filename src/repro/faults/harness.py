@@ -47,13 +47,24 @@ def no_faults() -> Optional[FaultPlan]:
     return None
 
 
+#: Outcomes produced by the *execution substrate*, not the semantics:
+#: the cell never ran to classification (worker killed, deadline hit,
+#: attempts exhausted).  They mark the report ``degraded`` but are not
+#: conformance verdicts — exit-status logic and serial≡parallel digest
+#: claims apply to the surviving (non-infra) cells.
+INFRA_OUTCOMES = frozenset({"timeout", "crashed", "quarantined"})
+
+
 @dataclass
 class ConformanceCase:
     """One grid cell: a plan, a seed, and the classified outcome."""
 
     plan: str
     seed: int
-    outcome: str            # conforms | violation | livelock | exhausted
+    #: conforms | violation | livelock | exhausted — or, from the
+    #: supervised fleet, an infrastructure outcome (INFRA_OUTCOMES):
+    #: timeout | crashed | quarantined
+    outcome: str
     #: the live run result — ``None`` for a cache-served cell, whose
     #: run was skipped entirely (its digest survives in
     #: ``schedule.meta['digest']`` / :meth:`run_digest`)
@@ -73,11 +84,20 @@ class ConformanceCase:
     #: this cell was served from a persistent cache store instead of
     #: being executed (outcome/detail/schedule are the original run's)
     cached: bool = False
+    #: execution attempts the fleet spent on this cell (1 on the
+    #: serial path and for first-try parallel successes)
+    attempts: int = 1
 
     @property
     def failed(self) -> bool:
         """Anything but ``conforms`` is a failure to diagnose."""
         return self.outcome != "conforms"
+
+    @property
+    def infra_failure(self) -> bool:
+        """The execution substrate failed this cell (timeout, worker
+        crash, quarantine) — the semantics never classified it."""
+        return self.outcome in INFRA_OUTCOMES
 
     def run_digest(self) -> Optional[str]:
         """The underlying run's content digest — live or cached."""
@@ -90,6 +110,8 @@ class ConformanceCase:
     def __str__(self) -> str:
         tail = f" ({self.detail})" if self.detail else ""
         mark = " [cached]" if self.cached else ""
+        if self.attempts > 1:
+            mark += f" [{self.attempts} attempts]"
         return (f"[{self.plan} × seed {self.seed}] "
                 f"{self.outcome}{tail}{mark}")
 
@@ -142,6 +164,10 @@ class ConformanceReport:
     #: (under a parallel executor this is what an observer waits, and
     #: is strictly less than the summed per-cell compute)
     wall_clock_s: float = 0.0
+    #: fleet telemetry from the supervised parallel executor
+    #: (spawns/retries/timeouts/quarantines — see
+    #: :func:`repro.par.fleet.run_fleet`); ``None`` on the serial path
+    fleet_stats: Optional[dict] = None
 
     def outcomes(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -173,6 +199,28 @@ class ConformanceReport:
     def cached_cases(self) -> list[ConformanceCase]:
         return [c for c in self.cases if c.cached]
 
+    @property
+    def degraded(self) -> bool:
+        """The execution substrate lost cells (timeouts, crashes,
+        quarantines): the grid's verdicts are incomplete — trust the
+        surviving cells, rerun or replay the rest."""
+        return any(c.infra_failure for c in self.cases)
+
+    @property
+    def surviving_cases(self) -> list[ConformanceCase]:
+        """Cells the semantics actually classified (everything except
+        infrastructure failures) — the domain of the serial ≡ parallel
+        digest-equality claim on a degraded grid."""
+        return [c for c in self.cases if not c.infra_failure]
+
+    @property
+    def genuine_failures(self) -> list[ConformanceCase]:
+        """Failures of the *system under test* (violation / livelock /
+        exhausted) as opposed to failures of the machinery running the
+        grid — the set that should drive exit status."""
+        return [c for c in self.cases
+                if c.failed and not c.infra_failure]
+
     def digest(self) -> str:
         """Stable content hash of the grid's outcome: per cell (in
         grid order) the coordinate, the classified outcome and the
@@ -187,6 +235,18 @@ class ConformanceReport:
             for c in self.cases
         ])
 
+    def surviving_digest(self) -> str:
+        """:meth:`digest` restricted to the surviving cells — on a
+        degraded grid this is the digest that must equal a serial
+        run's digest over the same cells."""
+        from repro.obs.recorder import stable_digest
+
+        return stable_digest([
+            [c.plan, c.seed, c.outcome,
+             c.schedule.digest() if c.schedule is not None else None]
+            for c in self.surviving_cases
+        ])
+
     def total_elapsed_s(self) -> float:
         """Total per-cell *compute*: the sum of per-cell monotonic
         timings.  This is CPU-side work, not grid wall-clock — under a
@@ -198,8 +258,11 @@ class ConformanceReport:
     def summary(self) -> str:
         counts = ", ".join(f"{k}: {v}"
                            for k, v in sorted(self.outcomes().items()))
-        return (f"conformance[{self.network}] "
+        text = (f"conformance[{self.network}] "
                 f"{len(self.cases)} runs — {counts}")
+        if self.degraded:
+            text += "  [DEGRADED]"
+        return text
 
 
 def run_conformance(network: str,

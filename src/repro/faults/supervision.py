@@ -45,18 +45,61 @@ class RestartPolicy:
     ``backoff_initial * backoff_factor**(n-1)`` runtime steps — an
     exponential step-budget backoff, so a crash-looping agent consumes
     a geometrically shrinking share of the schedule.
+
+    The same policy doubles as the fleet coordinator's retry shape
+    (:mod:`repro.par.fleet`): ``backoff_cap`` saturates the exponential
+    (``None`` leaves it unbounded — the in-runtime default, which keeps
+    every existing digest), and ``jitter`` adds a *seeded* random
+    spread via :meth:`jittered_delay` — deterministic per
+    ``(seed, salt)``, so a retry schedule replays exactly.
     """
 
     max_restarts: int = 3
     backoff_initial: int = 8
     backoff_factor: int = 2
+    #: saturate the exponential at this delay (``None``: unbounded)
+    backoff_cap: Optional[int] = None
+    #: jitter fraction for :meth:`jittered_delay` — the delay is
+    #: stretched by a seeded factor in ``[1, 1 + jitter]``
+    jitter: float = 0.0
 
     def delay(self, restart_index: int) -> int:
-        """Backoff before the ``restart_index``-th restart (1-based)."""
+        """Backoff before the ``restart_index``-th restart (1-based),
+        saturated at ``backoff_cap`` when one is set."""
         if restart_index < 1:
             raise ValueError("restart_index is 1-based")
-        return self.backoff_initial * self.backoff_factor ** (
+        base = self.backoff_initial * self.backoff_factor ** (
             restart_index - 1)
+        if self.backoff_cap is not None:
+            base = min(base, self.backoff_cap)
+        return base
+
+    def jittered_delay(self, restart_index: int, seed: int = 0,
+                       salt: str = "") -> float:
+        """:meth:`delay` stretched by seeded jitter.
+
+        The jitter draw is a pure function of ``(seed, salt,
+        restart_index)`` — string-keyed ``random.Random``, stable
+        across processes and ``PYTHONHASHSEED`` — so the whole retry
+        schedule is deterministic and replayable.  ``salt``
+        discriminates independent retry chains (e.g. one grid cell
+        each) under one seed, de-synchronizing their retries.
+        """
+        base = float(self.delay(restart_index))
+        if self.jitter <= 0.0:
+            return base
+        import random
+
+        u = random.Random(
+            f"{seed}|{salt}|{restart_index}").random()
+        return base * (1.0 + self.jitter * u)
+
+    def retry_schedule(self, attempts: int, seed: int = 0,
+                       salt: str = "") -> list[float]:
+        """The full deterministic backoff sequence for ``attempts``
+        retries — what a supervisor will actually wait, in order."""
+        return [self.jittered_delay(i, seed=seed, salt=salt)
+                for i in range(1, attempts + 1)]
 
 
 @dataclass

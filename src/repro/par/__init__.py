@@ -26,6 +26,12 @@ Workers are forked, so scenarios registered by the calling process —
 including test-local ones — are visible in the workers without any
 import gymnastics; on platforms without ``fork`` the grid falls back
 to the serial executor.
+
+Execution is supervised: the cells run on the :mod:`repro.par.fleet`
+coordinator (per-cell deadlines, bounded retries with seeded-jitter
+backoff, worker respawn on crash, poison-cell quarantine), so a single
+wedged or dying worker degrades the report instead of aborting the
+grid — see :class:`~repro.par.fleet.FleetPolicy`.
 """
 
 from __future__ import annotations
@@ -37,8 +43,18 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.core.description import DEFAULT_DEPTH
-from repro.faults.harness import ConformanceCase, ConformanceReport
+from repro.faults.harness import (
+    INFRA_OUTCOMES,
+    ConformanceCase,
+    ConformanceReport,
+)
 from repro.faults.supervision import RestartPolicy
+from repro.par.fleet import (  # noqa: F401  (re-exported API)
+    ChaosSpec,
+    FleetPolicy,
+    replay_quarantined_cell,
+    run_fleet,
+)
 
 #: Rebuilds one scenario's full grid inputs from nothing (no captured
 #: process state — workers call it after a fork or a fresh import).
@@ -195,7 +211,9 @@ def run_conformance_parallel(scenario: str,
                              workers: Optional[int] = None,
                              record: bool = True,
                              tracer=None,
-                             cache=None) -> ConformanceReport:
+                             cache=None,
+                             fleet: Optional[FleetPolicy] = None
+                             ) -> ConformanceReport:
     """Run a registered scenario's ``plans × seeds`` grid over
     ``workers`` processes.
 
@@ -226,6 +244,14 @@ def run_conformance_parallel(scenario: str,
     With a ``tracer`` attached, each cell runs under its own in-worker
     tracer and the records are merged back onto the caller's timeline
     (per-cell track suffixes keep the Perfetto rows apart).
+
+    ``fleet`` (a :class:`~repro.par.fleet.FleetPolicy`) configures the
+    supervised executor: per-cell deadlines, retry/backoff, chaos
+    injection and quarantine.  A policy that *requires* its own worker
+    processes (deadline, chaos or quarantine set) overrides the serial
+    fallback even for one-worker or one-cell grids — those features
+    need a separate, killable process.  Without ``fork`` the grid is
+    always serial and such policies cannot be honoured.
     """
     started = time.monotonic()
     built = get_scenario(scenario)
@@ -251,8 +277,10 @@ def run_conformance_parallel(scenario: str,
         report.wall_clock_s = time.monotonic() - started
         return report
     workers = max(1, min(int(workers), len(tasks)))
-    if workers == 1 or len(tasks) < 2 or \
-            "fork" not in multiprocessing.get_all_start_methods():
+    fork_ok = "fork" in multiprocessing.get_all_start_methods()
+    force_fleet = fleet is not None and fleet.needs_fleet and fork_ok
+    if (workers == 1 or len(tasks) < 2 or not fork_ok) \
+            and not force_fleet:
         from repro.faults.harness import run_conformance
 
         # serial reference path; the harness does its own cache
@@ -269,7 +297,7 @@ def run_conformance_parallel(scenario: str,
         report.wall_clock_s = time.monotonic() - started
         return report
 
-    # pool path: consult the cache in the parent, dispatch only the
+    # fleet path: consult the cache in the parent, dispatch only the
     # misses, store fresh results back as they stream in
     cell_keys: Dict[int, Any] = {}
     cases: Dict[int, ConformanceCase] = {}
@@ -302,20 +330,26 @@ def run_conformance_parallel(scenario: str,
 
     if not pending:
         return finish()
-    pool_workers = min(workers, len(pending))
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(processes=pool_workers) as pool:
-        for (i, task), (case, records, epoch_ns) in zip(
-                pending,
-                pool.imap(_cell_worker, [t for _, t in pending],
-                          chunksize=1)):
-            cases[i] = case
-            if i in cell_keys:
-                cache.put("cell", cell_keys[i],
-                          case.to_cache_payload())
-            if traced and records:
-                _merge_cell_trace(tracer, task, records, epoch_ns)
-    return finish()
+    policy = fleet if fleet is not None else FleetPolicy()
+
+    def on_case(i: int, task: CellTask, case: ConformanceCase,
+                records, epoch_ns: int) -> None:
+        # fires per cell in completion order — completed results are
+        # retained here even if later workers die mid-grid
+        cases[i] = case
+        if i in cell_keys and case.outcome not in INFRA_OUTCOMES:
+            cache.put("cell", cell_keys[i], case.to_cache_payload())
+        if traced and records:
+            _merge_cell_trace(tracer, task, records, epoch_ns)
+
+    fleet_cases, fleet_stats = run_fleet(
+        pending, workers=workers, policy=policy, tracer=tracer,
+        on_case=on_case)
+    for i, case in fleet_cases.items():
+        cases.setdefault(i, case)
+    report = finish()
+    report.fleet_stats = fleet_stats
+    return report
 
 
 def _merge_cell_trace(tracer, task: CellTask, records: List[Any],
@@ -342,7 +376,7 @@ def _merge_cell_trace(tracer, task: CellTask, records: List[Any],
 def _examples_dir():
     import pathlib
 
-    return pathlib.Path(__file__).resolve().parents[2] / "examples"
+    return pathlib.Path(__file__).resolve().parents[3] / "examples"
 
 
 def _import_example(name: str):

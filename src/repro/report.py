@@ -227,6 +227,25 @@ def render_conformance_report(report, max_failures: int = 5) -> str:
         return (f"conformance[{report.network}] 0 cells — "
                 "empty grid, vacuously conforming")
     lines = [report.summary()]
+    if report.degraded:
+        infra = [c for c in report.cases if c.infra_failure]
+        lines.append(
+            f"  DEGRADED: {len(infra)}/{len(report.cases)} cells "
+            "lost to infrastructure (timeout/crash/quarantine) — "
+            f"verdicts below cover the {len(report.surviving_cases)} "
+            "surviving cells")
+        for case in infra:
+            lines.append(f"  LOST {case}")
+    stats = getattr(report, "fleet_stats", None)
+    if stats:
+        fleet_bits = [f"workers: {stats.get('workers', 0)}"]
+        for key in ("respawns", "retries", "timeouts", "crashes",
+                    "errors", "quarantined"):
+            if stats.get(key):
+                fleet_bits.append(f"{key}: {stats[key]}")
+        if stats.get("chaos"):
+            fleet_bits.append(f"chaos: {stats['chaos']}")
+        lines.append("  fleet " + ", ".join(fleet_bits))
     cached = report.cached_cases
     if cached:
         lines.append(f"  {len(cached)}/{len(report.cases)} cells "
@@ -246,7 +265,9 @@ def render_conformance_report(report, max_failures: int = 5) -> str:
         counts = ", ".join(f"{k}: {v}"
                            for k, v in sorted(plans[plan].items()))
         lines.append(f"  {plan:<16s} {counts}")
-    failures = [c for c in report.cases if c.failed]
+    # infra losses were already listed under DEGRADED; FAIL lines are
+    # genuine verdicts of the system under test
+    failures = report.genuine_failures
     for case in failures[:max_failures]:
         lines.append(f"  FAIL {case}")
     if len(failures) > max_failures:

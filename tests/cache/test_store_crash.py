@@ -1,0 +1,228 @@
+"""Crash-consistency tests for the persistent store.
+
+Three adversaries: concurrent multi-process writers on one key (the
+``os.replace`` atomicity claim), a corruptor racing the evict path,
+and a disk that stops cooperating (read-only directory, ``ENOSPC``) —
+the store must degrade to warm-miss in-memory mode with a single
+warning, never crash, and never serve a torn or wrong entry.
+"""
+
+import errno
+import json
+import multiprocessing
+import os
+import warnings
+
+import pytest
+
+from repro.cache.checkpoint import SolverCheckpoint
+from repro.cache.store import CacheStore
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+KEY = {"grid": "dfm", "cell": [1, 2, 3]}
+
+
+def _hammer(root, value, rounds):
+    store = CacheStore(root)
+    for _ in range(rounds):
+        store.put("cell", KEY, value)
+
+
+def _corrupt(path, rounds):
+    # a hostile/crashed writer scribbling NON-atomically at the entry
+    for _ in range(rounds):
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write('{"version": 1, "value"')  # torn JSON
+        except FileNotFoundError:
+            pass
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE,
+                    reason="multi-process stress requires fork")
+class TestConcurrentWriters:
+    def test_two_writers_same_key_never_torn(self, tmp_path):
+        """Satellite: two processes hammering one key — every read
+        observes either writer's complete, bit-identical entry."""
+        value_a = {"writer": "a", "payload": list(range(50))}
+        value_b = {"writer": "b", "payload": list(range(50, 100))}
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_hammer,
+                        args=(tmp_path, value_a, 300)),
+            ctx.Process(target=_hammer,
+                        args=(tmp_path, value_b, 300)),
+        ]
+        for w in workers:
+            w.start()
+        reader = CacheStore(tmp_path)
+        path = reader.path_for("cell", KEY)
+        observed = set()
+        while any(w.is_alive() for w in workers):
+            # raw read: with os.replace the file is always one
+            # writer's complete entry, never a mix or a prefix
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                continue
+            assert entry["value"] in (value_a, value_b)
+            observed.add(entry["value"]["writer"])
+            got = reader.get("cell", KEY)
+            assert got in (value_a, value_b, None)
+        for w in workers:
+            w.join()
+            assert w.exitcode == 0
+        assert observed, "reader never saw a completed write"
+        assert reader.get("cell", KEY) in (value_a, value_b)
+        # no temp-file litter from either writer
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_evict_vs_write_race_never_serves_corrupt(self, tmp_path):
+        """A corruptor scribbling torn JSON at the entry while a
+        writer keeps re-putting: ``get`` yields the good value or a
+        miss, never an exception, never a partial entry."""
+        value = {"writer": "good", "n": 7}
+        store = CacheStore(tmp_path)
+        store.put("cell", KEY, value)
+        path = store.path_for("cell", KEY)
+        ctx = multiprocessing.get_context("fork")
+        corruptor = ctx.Process(target=_corrupt, args=(path, 500))
+        writer = ctx.Process(target=_hammer,
+                             args=(tmp_path, value, 500))
+        corruptor.start()
+        writer.start()
+        while corruptor.is_alive() or writer.is_alive():
+            got = store.get("cell", KEY)
+            assert got == value or got is None
+        corruptor.join()
+        writer.join()
+        # whatever the final interleaving, the store self-heals: a
+        # torn survivor is evicted (miss), then a fresh put restores
+        store.put("cell", KEY, value)
+        assert store.get("cell", KEY) == value
+
+
+class TestKilledWriterResidue:
+    def test_stale_tmp_files_are_inert(self, tmp_path):
+        """The residue a SIGKILLed writer can actually leave — an
+        orphaned ``.tmp`` — must neither corrupt reads nor block
+        writes."""
+        store = CacheStore(tmp_path)
+        store.put("cell", KEY, "good")
+        parent = store.path_for("cell", KEY).parent
+        (parent / ".deadbeef.tmp").write_text('{"version": 1, "val')
+        assert store.get("cell", KEY) == "good"
+        store.put("cell", KEY, "newer")
+        assert store.get("cell", KEY) == "newer"
+
+    def test_truncated_entry_evicted_not_trusted(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", KEY, "good")
+        path = store.path_for("cell", KEY)
+        path.write_text(path.read_text()[:25])  # simulate torn rename
+        assert store.get("cell", KEY) is None
+        assert not path.exists()  # evicted
+        assert store.counters()["evict"] == 1
+
+
+class TestDegradedMode:
+    def test_read_only_dir_degrades_with_single_warning(
+            self, tmp_path, monkeypatch):
+        store = CacheStore(tmp_path / "cache")
+
+        import pathlib
+
+        def deny_mkdir(self, *a, **k):
+            raise PermissionError(errno.EACCES, "read-only", str(self))
+
+        monkeypatch.setattr(pathlib.Path, "mkdir", deny_mkdir)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.put("cell", KEY, "v1")
+            store.put("cell", {"k": 2}, "v2")
+            store.put("solver", KEY, "v3")
+        warned = [w for w in caught
+                  if issubclass(w.category, RuntimeWarning)]
+        assert len(warned) == 1  # one warning, not one per put
+        assert "in-memory" in str(warned[0].message)
+        assert store.degraded
+        # warm-miss mode: everything written since degrading hits
+        assert store.get("cell", KEY) == "v1"
+        assert store.get("cell", {"k": 2}) == "v2"
+        assert store.get("solver", KEY) == "v3"
+        stats = store.stats()
+        assert stats["degraded"] is True
+        assert stats["memory_entries"] == 3
+
+    def test_disk_full_degrades(self, tmp_path, monkeypatch):
+        import repro.cache.store as store_mod
+
+        store = CacheStore(tmp_path)
+        store.put("cell", {"k": "pre"}, "on-disk")
+
+        def no_space(*a, **k):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        monkeypatch.setattr(store_mod.tempfile, "mkstemp", no_space)
+        with pytest.warns(RuntimeWarning, match="in-memory"):
+            store.put("cell", KEY, "overflow")
+        assert store.degraded
+        assert store.get("cell", KEY) == "overflow"
+        # entries that made it to disk before the disk filled still
+        # serve (degradation only disables *writes*)
+        assert store.get("cell", {"k": "pre"}) == "on-disk"
+        # and nothing new lands on disk
+        assert not store.path_for("cell", KEY).exists()
+
+    def test_serialization_errors_still_raise(self, tmp_path):
+        store = CacheStore(tmp_path)
+        with pytest.raises(TypeError):
+            store.put("cell", KEY, object())  # caller bug, not disk
+        assert not store.degraded
+
+    def test_healthy_store_not_degraded(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("cell", KEY, "v")
+        assert not store.degraded
+        assert store.stats()["degraded"] is False
+        assert store.stats()["memory_entries"] == 0
+
+
+class TestFsync:
+    def test_fsync_store_round_trips(self, tmp_path):
+        store = CacheStore(tmp_path, fsync=True)
+        store.put("cell", KEY, {"durable": True})
+        assert store.get("cell", KEY) == {"durable": True}
+        assert CacheStore(tmp_path).get("cell", KEY) == \
+            {"durable": True}
+
+    def test_checkpoint_save_is_atomic(self, tmp_path, monkeypatch):
+        ckpt = SolverCheckpoint(description="d", depth=3,
+                                unvisited=[[["b", "0"]]])
+        path = tmp_path / "ckpt.json"
+        ckpt.save(str(path))
+        original = path.read_text()
+
+        # a save that dies before the rename leaves the old file
+        # intact and no temp litter behind
+        def boom(*a, **k):
+            raise OSError(errno.ENOSPC, "no space")
+
+        monkeypatch.setattr(os, "replace", boom)
+        bigger = SolverCheckpoint(description="d", depth=4,
+                                  unvisited=[[["b", "0"]], []])
+        with pytest.raises(OSError):
+            bigger.save(str(path))
+        monkeypatch.undo()
+        assert path.read_text() == original
+        assert list(tmp_path.glob("*.tmp")) == []
+        loaded = SolverCheckpoint.load(str(path))
+        assert loaded.digest() == ckpt.digest()
+
+    def test_checkpoint_save_fsync(self, tmp_path):
+        ckpt = SolverCheckpoint(description="d", depth=2)
+        path = tmp_path / "ckpt.json"
+        ckpt.save(str(path), fsync=True)
+        assert SolverCheckpoint.load(str(path)).digest() == \
+            ckpt.digest()

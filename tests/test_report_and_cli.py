@@ -475,3 +475,85 @@ class TestGridCacheCli:
 
         assert main(["grid", "dfm", "--seeds", "0"]) == 0
         assert "0 cells" in capsys.readouterr().out
+
+
+class TestFleetCli:
+    """The supervised-grid CLI surface: chaos self-test, quarantine
+    bundles, exit-status semantics, bundle replay."""
+
+    FORK = "fork" in __import__(
+        "multiprocessing").get_all_start_methods()
+
+    @pytest.fixture
+    def chaos_run(self, tmp_path, capsys):
+        if not self.FORK:
+            pytest.skip("fleet executor requires fork")
+        from repro.__main__ import main
+
+        qdir = tmp_path / "quarantine"
+        code = main(["grid", "dfm", "--workers", "2", "--seeds", "1",
+                     "--plan", "none", "--retries", "1",
+                     "--chaos", "kill-worker:1.0",
+                     "--quarantine-dir", str(qdir)])
+        return code, capsys.readouterr().out, qdir
+
+    def test_chaos_kills_degrade_but_exit_zero(self, chaos_run):
+        # infrastructure kills are not non-conformance: exit 0
+        code, out, _ = chaos_run
+        assert code == 0
+        assert "DEGRADED" in out
+        assert "quarantined" in out
+        assert "chaos: kill-worker:1.0" in out
+        assert "surviving digest" in out
+
+    def test_bundle_replay_reproduces(self, chaos_run, capsys):
+        from repro.__main__ import main
+
+        _, _, qdir = chaos_run
+        [bundle] = sorted(qdir.iterdir())
+        assert main(["replay", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCES" in out
+        assert "crashed" in out
+
+    def test_genuine_failure_still_exits_one(self, capsys):
+        if not self.FORK:
+            pytest.skip("fleet executor requires fork")
+        from repro.__main__ import main
+
+        # black-box: a too-small step budget exhausts cells, which IS
+        # a genuine (non-infra) failure and must fail the exit status
+        code = main(["grid", "dfm", "--workers", "2", "--seeds", "1",
+                     "--max-steps", "3", "--cell-timeout", "60"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "exhausted" in out
+        assert "DEGRADED" not in out
+
+    def test_bad_chaos_spec_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["grid", "dfm", "--chaos", "eat-disk:0.5"]) == 2
+        assert "unknown chaos" in capsys.readouterr().err
+
+    def test_schedule_replay_still_works(self, tmp_path, capsys):
+        # the replay command sniffs bundles without breaking its
+        # original contract: schedule JSONs replay as before
+        from repro.__main__ import main
+
+        out_path = tmp_path / "s.json"
+        assert main(["record", "dfm", "--seed", "3",
+                     "-o", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(out_path)]) == 0
+        assert "MATCHES" in capsys.readouterr().out
+
+    def test_solve_fsync_checkpoint(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        ck = tmp_path / "ck.json"
+        assert main(["solve", "dfm", "--depth", "3", "--fsync",
+                     "--cache", "--cache-dir", str(tmp_path / "c"),
+                     "--checkpoint-out", str(ck)]) == 0
+        assert ck.exists()
+        assert "wrote checkpoint" in capsys.readouterr().out
