@@ -32,7 +32,18 @@ Commands:
 * ``solve``          — run the §3.3 solver on a scenario's
   specification, optionally resuming a truncated exploration from a
   checkpoint JSON (``--resume``) and/or writing one
-  (``--checkpoint-out``); exits 0 iff the exploration completed.
+  (``--checkpoint-out``); exits 0 iff the exploration completed;
+* ``top``            — run a grid with live telemetry streaming and a
+  refreshing TTY scoreboard (cells done, retries, quarantines, cache
+  hit-rate, ETA), then the final report; optionally writes the HTML
+  flight-deck artifact;
+* ``bench-append``   — extract the tracked rows from a
+  ``BENCH_core.json`` snapshot and append a git-SHA-keyed entry to
+  the ``BENCH_history.jsonl`` trajectory;
+* ``bench-check``    — gate a fresh snapshot against the committed
+  trajectory: exits 1 when a tracked row (solver depth-6 memoization,
+  warm-grid speedup, fleet overhead, recorder overhead) regresses
+  beyond its per-row tolerance.
 """
 
 from __future__ import annotations
@@ -553,6 +564,72 @@ def cmd_shrink(path: str, out: str | None) -> int:
     return 0
 
 
+def _build_fleet_policy(cell_timeout: float | None,
+                        retries: int | None,
+                        quarantine_dir: str | None,
+                        chaos: str | None, chaos_seed: int):
+    """Shared ``grid``/``top`` fleet-option parsing.
+
+    Returns a :class:`~repro.par.FleetPolicy` (or ``None`` when no
+    fleet option was given); raises ``ValueError`` on a bad chaos
+    spec so callers can turn it into exit status 2.
+    """
+    from repro import par
+
+    if (cell_timeout is None and retries is None
+            and quarantine_dir is None and chaos is None):
+        return None
+    chaos_spec = None
+    if chaos is not None:
+        chaos_spec = par.ChaosSpec.parse(chaos, seed=chaos_seed)
+    return par.FleetPolicy(
+        cell_timeout_s=cell_timeout,
+        retries=retries if retries is not None else 2,
+        quarantine_dir=quarantine_dir,
+        chaos=chaos_spec,
+    )
+
+
+def _write_grid_artifacts(report, tracer, ring,
+                          html_report: str | None,
+                          metrics_out: str | None,
+                          metrics_json: str | None,
+                          trace_out: str | None,
+                          scenario: str,
+                          status=None) -> None:
+    """Write the flight-deck artifacts a grid run was asked for."""
+    from repro.obs.telemetry import grid_metrics_summary
+
+    meta = {"scenario": scenario, "digest": report.digest()}
+    if getattr(report, "degraded", False):
+        meta["surviving_digest"] = report.surviving_digest()
+    summary = grid_metrics_summary(report)
+    if trace_out and ring is not None:
+        from repro.obs import write_chrome_trace
+
+        n = write_chrome_trace(ring.records, trace_out,
+                               process_name=f"repro-grid:{scenario}")
+        print(f"wrote {n} trace events to {trace_out}")
+    if metrics_out:
+        from repro.obs import write_prometheus_text
+
+        write_prometheus_text(summary, metrics_out)
+        print(f"wrote Prometheus metrics to {metrics_out}")
+    if metrics_json:
+        from repro.obs import write_json_exposition
+
+        write_json_exposition(summary, metrics_json, meta=meta)
+        print(f"wrote JSON metrics to {metrics_json}")
+    if html_report:
+        from repro.obs.htmlreport import write_html_report
+
+        snap = status.snapshot() if status is not None else None
+        write_html_report(report, html_report,
+                          metrics_summary=summary, status=snap,
+                          meta=meta)
+        print(f"wrote HTML flight-deck report to {html_report}")
+
+
 def cmd_grid(scenario: str, workers: int, seeds: int,
              plan_names: list[str] | None, max_steps: int | None,
              no_record: bool, use_cache: bool = False,
@@ -562,7 +639,11 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
              retries: int | None = None,
              quarantine_dir: str | None = None,
              chaos: str | None = None,
-             chaos_seed: int = 0) -> int:
+             chaos_seed: int = 0,
+             html_report: str | None = None,
+             metrics_out: str | None = None,
+             metrics_json: str | None = None,
+             trace_out: str | None = None) -> int:
     """Run a registered scenario's conformance grid, maybe in parallel.
 
     The scenario comes from the :mod:`repro.par` registry (the same
@@ -577,6 +658,11 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
     With ``--cache``, cells already in the persistent store are served
     from disk instead of re-run — a warm rerun of the same grid prints
     the same report digest with every cell marked cached.
+
+    ``--html-report`` / ``--metrics-out`` / ``--metrics-json`` /
+    ``--trace`` write the flight-deck artifacts; asking for any of
+    them attaches a tracer, so cells stream their telemetry live and
+    the artifacts carry the merged per-cell metrics.
     """
     from repro import par
     from repro.report import render_conformance_report
@@ -597,28 +683,29 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
                   file=sys.stderr)
             return 2
         plans = {name: sc.plans[name] for name in plan_names}
-    fleet = None
-    if (cell_timeout is not None or retries is not None
-            or quarantine_dir is not None or chaos is not None):
-        chaos_spec = None
-        if chaos is not None:
-            try:
-                chaos_spec = par.ChaosSpec.parse(chaos,
-                                                 seed=chaos_seed)
-            except ValueError as exc:
-                print(str(exc), file=sys.stderr)
-                return 2
-        fleet = par.FleetPolicy(
-            cell_timeout_s=cell_timeout,
-            retries=retries if retries is not None else 2,
-            quarantine_dir=quarantine_dir,
-            chaos=chaos_spec,
-        )
+    try:
+        fleet = _build_fleet_policy(cell_timeout, retries,
+                                    quarantine_dir, chaos, chaos_seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    artifacts = bool(html_report or metrics_out or metrics_json
+                     or trace_out)
+    tracer = None
+    ring = None
+    status = None
+    if artifacts:
+        from repro.obs import FleetStatus, RingBufferSink, Tracer
+
+        ring = RingBufferSink(capacity=500_000)
+        tracer = Tracer([ring])
+        status = FleetStatus()
     store = _make_cache(use_cache, cache_dir)
     report = par.run_conformance_parallel(
         scenario, seeds=range(seeds), plans=plans,
         max_steps=max_steps, workers=workers,
         record=not no_record, cache=store, fleet=fleet,
+        tracer=tracer, status=status,
     )
     print(render_conformance_report(report))
     cells = len(report.cases)
@@ -630,11 +717,173 @@ def cmd_grid(scenario: str, workers: int, seeds: int,
     print(f"report digest {report.digest()}")
     if report.degraded:
         print(f"surviving digest {report.surviving_digest()}")
+    if artifacts:
+        _write_grid_artifacts(report, tracer, ring, html_report,
+                              metrics_out, metrics_json, trace_out,
+                              scenario, status=status)
     if store is not None and cache_stats:
         import json
 
         print(json.dumps(store.stats(), indent=2, sort_keys=True))
     return 0 if not report.genuine_failures else 1
+
+
+def cmd_top(scenario: str, workers: int, seeds: int,
+            plan_names: list[str] | None, max_steps: int | None,
+            interval: float, use_cache: bool, cache_dir: str | None,
+            cell_timeout: float | None, retries: int | None,
+            quarantine_dir: str | None, chaos: str | None,
+            chaos_seed: int, html_report: str | None) -> int:
+    """Run a grid with the live flight-deck scoreboard.
+
+    The grid runs in a worker thread with a tracer attached (so cells
+    stream records and metric deltas back as they execute) and a
+    shared :class:`~repro.obs.telemetry.FleetStatus`; the main thread
+    refreshes the scoreboard every ``interval`` seconds — in place on
+    a TTY, as periodic status blocks otherwise — until the grid
+    settles, then prints the final report and digest.
+    """
+    import threading
+
+    from repro import par
+    from repro.obs import FleetStatus, RingBufferSink, Tracer
+    from repro.report import (
+        render_conformance_report,
+        render_fleet_status,
+    )
+
+    try:
+        sc = par.get_scenario(scenario)
+    except KeyError:
+        print(f"unknown scenario {scenario!r} "
+              f"(choices: {', '.join(par.scenario_names())})",
+              file=sys.stderr)
+        return 2
+    plans = None
+    if plan_names:
+        missing = [p for p in plan_names if p not in sc.plans]
+        if missing:
+            print(f"unknown plan(s) {', '.join(missing)} "
+                  f"(choices: {', '.join(sorted(sc.plans))})",
+                  file=sys.stderr)
+            return 2
+        plans = {name: sc.plans[name] for name in plan_names}
+    try:
+        fleet = _build_fleet_policy(cell_timeout, retries,
+                                    quarantine_dir, chaos, chaos_seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store = _make_cache(use_cache, cache_dir)
+    status = FleetStatus()
+    ring = RingBufferSink(capacity=500_000)
+    tracer = Tracer([ring])
+    box: dict = {}
+
+    def run_grid() -> None:
+        try:
+            box["report"] = par.run_conformance_parallel(
+                scenario, seeds=range(seeds), plans=plans,
+                max_steps=max_steps, workers=workers, cache=store,
+                fleet=fleet, tracer=tracer, status=status)
+        except BaseException as exc:  # surface in the main thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=run_grid, name="repro-top-grid",
+                              daemon=True)
+    thread.start()
+    is_tty = sys.stdout.isatty()
+    frame_lines = 0
+    try:
+        while True:
+            text = render_fleet_status(status.snapshot())
+            if is_tty and frame_lines:
+                # redraw in place: cursor up over the previous frame
+                sys.stdout.write(f"\x1b[{frame_lines}F\x1b[J")
+            print(text, flush=True)
+            frame_lines = text.count("\n") + 1
+            if not thread.is_alive():
+                break
+            thread.join(timeout=max(0.05, interval))
+    except KeyboardInterrupt:
+        print("\ninterrupted — abandoning the grid", file=sys.stderr)
+        return 130
+    thread.join()
+    if "error" in box:
+        print(f"grid failed: {box['error']}", file=sys.stderr)
+        return 1
+    report = box["report"]
+    print()
+    print(render_conformance_report(report))
+    print(f"report digest {report.digest()}")
+    if report.degraded:
+        print(f"surviving digest {report.surviving_digest()}")
+    if html_report:
+        _write_grid_artifacts(report, tracer, ring, html_report,
+                              None, None, None, scenario,
+                              status=status)
+    return 0 if not report.genuine_failures else 1
+
+
+def _git_sha() -> str:
+    """Best-effort commit SHA for trajectory entries."""
+    import os
+    import subprocess
+
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parents[2])
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def cmd_bench_append(core: str, history: str,
+                     sha: str | None) -> int:
+    """Append a ``BENCH_core.json`` snapshot's tracked rows to the
+    trajectory."""
+    from repro.obs.bench import append_history, load_core
+
+    try:
+        payload = load_core(core)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {core!r}: {exc}", file=sys.stderr)
+        return 2
+    entry = append_history(payload, history,
+                           sha=sha or _git_sha())
+    rows = entry["rows"]
+    print(f"appended {len(rows)} tracked row(s) for "
+          f"{entry['sha'][:12]} to {history}")
+    for key in sorted(rows):
+        print(f"  {key} = {rows[key]:g}")
+    if not rows:
+        print("  (no tracked rows found — did the bench session "
+              "include the tracked experiments?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_check(core: str, history: str, strict: bool,
+                    window: int) -> int:
+    """Gate a fresh snapshot against the committed trajectory."""
+    from repro.obs.bench import check, load_core, load_history
+
+    try:
+        payload = load_core(core)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {core!r}: {exc}", file=sys.stderr)
+        return 2
+    result = check(payload, load_history(history), strict=strict,
+                   window=window)
+    print(result.describe())
+    return 0 if result.ok else 1
 
 
 #: Scenarios the ``solve`` command can build a specification for.
@@ -832,6 +1081,97 @@ def main(argv: list[str] | None = None) -> int:
     p_grid.add_argument(
         "--cache-stats", action="store_true",
         help="print the store's stats JSON after the grid")
+    p_grid.add_argument(
+        "--html-report", default=None, metavar="PATH",
+        help="write a self-contained HTML flight-deck report here")
+    p_grid.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the merged metrics in Prometheus text format")
+    p_grid.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the merged metrics as a JSON exposition")
+    p_grid.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_out",
+        help="write the merged fleet timeline as a Chrome-trace/"
+             "Perfetto JSON")
+
+    p_top = sub.add_parser(
+        "top", help="run a grid with a live fleet scoreboard "
+                    "(streamed telemetry, ETA, cache hit-rate)")
+    p_top.add_argument(
+        "scenario", nargs="?", default="dfm",
+        help="registered scenario name (e.g. dfm, alternating_bit)")
+    p_top.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes to farm cells over (default 2)")
+    p_top.add_argument(
+        "--seeds", type=int, default=4,
+        help="number of oracle seeds, 0..N-1 (default 4)")
+    p_top.add_argument(
+        "--plan", action="append", default=None, dest="plan_names",
+        metavar="PLAN",
+        help="restrict to this fault plan (repeatable)")
+    p_top.add_argument(
+        "--max-steps", type=int, default=None,
+        help="override the scenario's runtime step budget")
+    p_top.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="scoreboard refresh period in seconds (default 0.5)")
+    p_top.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-cell wall-clock deadline in seconds")
+    p_top.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-attempts per failed cell before quarantine")
+    p_top.add_argument(
+        "--quarantine-dir", default=None, metavar="PATH",
+        help="write poison cells' re-executable bundles here")
+    p_top.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fleet self-test fault injection, e.g. kill-worker:0.3")
+    p_top.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the chaos kill pattern (default 0)")
+    _add_cache_options(p_top)
+    p_top.add_argument(
+        "--html-report", default=None, metavar="PATH",
+        help="also write the HTML flight-deck report here")
+
+    p_bappend = sub.add_parser(
+        "bench-append",
+        help="append BENCH_core.json's tracked rows to the "
+             "benchmark trajectory")
+    p_bappend.add_argument(
+        "--core", default="BENCH_core.json", metavar="PATH",
+        help="bench snapshot to read (default BENCH_core.json)")
+    p_bappend.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH",
+        help="trajectory JSONL to append to "
+             "(default BENCH_history.jsonl)")
+    p_bappend.add_argument(
+        "--sha", default=None,
+        help="commit SHA for the entry (default: $GITHUB_SHA, then "
+             "git rev-parse HEAD)")
+
+    p_bcheck = sub.add_parser(
+        "bench-check",
+        help="gate a fresh BENCH_core.json against the committed "
+             "trajectory (exit 1 on regression)")
+    p_bcheck.add_argument(
+        "--core", default="BENCH_core.json", metavar="PATH",
+        help="bench snapshot to check (default BENCH_core.json)")
+    p_bcheck.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH",
+        help="trajectory to compare against "
+             "(default BENCH_history.jsonl)")
+    p_bcheck.add_argument(
+        "--strict", action="store_true",
+        help="also fail when a tracked row is missing from the "
+             "snapshot")
+    p_bcheck.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="history entries forming the baseline median "
+             "(default 5)")
 
     p_solve = sub.add_parser(
         "solve", help="run the §3.3 solver on a scenario's spec "
@@ -880,7 +1220,21 @@ def main(argv: list[str] | None = None) -> int:
                         args.no_record, args.cache, args.cache_dir,
                         args.cache_stats, args.cell_timeout,
                         args.retries, args.quarantine_dir,
-                        args.chaos, args.chaos_seed)
+                        args.chaos, args.chaos_seed,
+                        args.html_report, args.metrics_out,
+                        args.metrics_json, args.trace_out)
+    if args.command == "top":
+        return cmd_top(args.scenario, args.workers, args.seeds,
+                       args.plan_names, args.max_steps,
+                       args.interval, args.cache, args.cache_dir,
+                       args.cell_timeout, args.retries,
+                       args.quarantine_dir, args.chaos,
+                       args.chaos_seed, args.html_report)
+    if args.command == "bench-append":
+        return cmd_bench_append(args.core, args.history, args.sha)
+    if args.command == "bench-check":
+        return cmd_bench_check(args.core, args.history, args.strict,
+                               args.window)
     if args.command == "solve":
         return cmd_solve(args.scenario, args.depth, args.max_nodes,
                          args.budget_seconds, args.resume,

@@ -23,7 +23,17 @@ package makes the execution structure itself observable:
 * :mod:`~repro.obs.replay` — bit-for-bit re-execution of a recorded
   :class:`Schedule` with precise divergence detection;
 * :mod:`~repro.obs.diff` — first-divergence diffing of two runs or
-  two schedules, and delta-debugging shrinking of a failing schedule.
+  two schedules, and delta-debugging shrinking of a failing schedule;
+* :mod:`~repro.obs.telemetry` — live fleet telemetry: streaming
+  trace-batch shipping (:class:`StreamingSink`), idempotent
+  coordinator-side ingest (:class:`TelemetryMerger`) and the
+  :class:`FleetStatus` scoreboard behind ``python -m repro top``;
+* :mod:`~repro.obs.exposition` — Prometheus-text and JSON exporters
+  for metrics summaries;
+* :mod:`~repro.obs.htmlreport` — the self-contained static HTML
+  flight-deck report written per grid run;
+* :mod:`~repro.obs.bench` — the benchmark trajectory
+  (``BENCH_history.jsonl``) appender and regression gate.
 
 Instrumented layers: :mod:`repro.core.solver` (category ``solver``),
 :mod:`repro.kahn.runtime` + :mod:`repro.kahn.scheduler` (categories
@@ -39,11 +49,25 @@ from repro.obs.diff import (
     diff_schedules,
     shrink_schedule,
 )
+from repro.obs.exposition import (
+    to_json_exposition,
+    to_prometheus_text,
+    write_json_exposition,
+    write_prometheus_text,
+)
 from repro.obs.metrics import (
+    QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_registries,
+    snapshot_delta,
+)
+from repro.obs.telemetry import (
+    FleetStatus,
+    StreamingSink,
+    TelemetryMerger,
 )
 from repro.obs.recorder import (
     RecordingOracle,
@@ -82,12 +106,14 @@ __all__ = [
     "ConsoleSink",
     "Counter",
     "EventRecord",
+    "FleetStatus",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QUANTILES",
     "RecordingOracle",
     "RecordingRandom",
     "ReplayDivergence",
@@ -102,16 +128,24 @@ __all__ = [
     "Sink",
     "SpanRecord",
     "StreamDivergence",
+    "StreamingSink",
+    "TelemetryMerger",
     "Tracer",
     "diff_runs",
     "diff_schedules",
     "iter_fault_rngs",
+    "merge_registries",
     "record_fault_rng",
     "replay_fault_rng",
     "replay_network",
     "replay_supervised",
     "shrink_schedule",
+    "snapshot_delta",
     "stable_digest",
     "to_chrome_trace",
+    "to_json_exposition",
+    "to_prometheus_text",
     "write_chrome_trace",
+    "write_json_exposition",
+    "write_prometheus_text",
 ]

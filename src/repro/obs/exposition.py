@@ -1,0 +1,171 @@
+"""Metrics exposition: Prometheus text format and JSON.
+
+Turns a :meth:`~repro.obs.metrics.MetricsRegistry.summary` (the flat
+dict that rides on results and conformance cells) into the two wire
+formats a flight deck needs:
+
+* :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le="..."}`` rows derived
+  from the power-of-two histograms, ``_sum``/``_count``, and
+  ``quantile``-labelled estimate rows).  Every number is copied, not
+  recomputed, so the exposition always sums consistently with the
+  registry it was taken from: the ``+Inf`` bucket equals ``_count``
+  equals the summary's ``count``.
+* :func:`to_json_exposition` — the same content as one JSON object,
+  for dashboards that would rather not parse the text format.
+
+Both are pure functions of the summary dict — they can run on a live
+registry mid-grid or on a summary that rode in from a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import QUANTILES
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING = re.compile(r"^[^a-zA-Z_:]")
+
+
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """Sanitize an instrument name into a legal Prometheus metric
+    name: dots and other punctuation collapse to underscores, and the
+    ``namespace`` prefix keeps the flat names collision-free."""
+    flat = _NAME_OK.sub("_", name)
+    if _LEADING.match(flat):
+        flat = "_" + flat
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _is_gauge(value: Dict[str, Any]) -> bool:
+    return "last" in value and "buckets" not in value
+
+
+def _is_histogram(value: Dict[str, Any]) -> bool:
+    return "buckets" in value
+
+
+def _fmt(v: Any) -> str:
+    if v is None:
+        return "NaN"
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, float) and v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def _bucket_upper(k: int) -> float:
+    return 1.0 if k <= 0 else float(2 ** k)
+
+
+def to_prometheus_text(summary: Dict[str, Any],
+                       namespace: str = "repro",
+                       extra_labels: Optional[Dict[str, str]] = None
+                       ) -> str:
+    """Render a metrics summary in the Prometheus text format.
+
+    Counters become ``counter`` samples, gauges become ``gauge``
+    samples (plus ``_min``/``_max`` companions when observed), and
+    histograms become classic ``histogram`` families — cumulative
+    ``_bucket`` rows over the power-of-two bounds, ``_sum`` and
+    ``_count`` — followed by ``quantile``-labelled gauge rows carrying
+    the p50/p90/p99 bucket-bound estimates.  Families are emitted in
+    sorted name order; output ends with a newline, as scrapers expect.
+    """
+    labels = ""
+    if extra_labels:
+        inner = ",".join(f'{k}="{v}"'
+                         for k, v in sorted(extra_labels.items()))
+        labels = "{" + inner + "}"
+
+    def labelled(extra: str) -> str:
+        if not extra:
+            return labels
+        if not labels:
+            return "{" + extra + "}"
+        return labels[:-1] + "," + extra + "}"
+
+    lines: List[str] = []
+    for name in sorted(summary):
+        value = summary[name]
+        pname = prometheus_name(name, namespace)
+        if isinstance(value, dict) and _is_histogram(value):
+            lines.append(f"# TYPE {pname} histogram")
+            buckets = {int(k): int(v)
+                       for k, v in (value.get("buckets") or {}).items()}
+            cumulative = 0
+            for k in sorted(buckets):
+                cumulative += buckets[k]
+                le = labelled('le="%s"' % _fmt(_bucket_upper(k)))
+                lines.append(f"{pname}_bucket{le} {cumulative}")
+            inf = labelled('le="+Inf"')
+            lines.append(f"{pname}_bucket{inf} "
+                         f"{_fmt(value.get('count', 0))}")
+            lines.append(f"{pname}_sum{labels} "
+                         f"{_fmt(value.get('total', 0.0))}")
+            lines.append(f"{pname}_count{labels} "
+                         f"{_fmt(value.get('count', 0))}")
+            for qname, q in QUANTILES:
+                est = value.get(qname)
+                if est is None:
+                    continue
+                qlab = labelled('quantile="%s"' % q)
+                lines.append(f"{pname}{qlab} {_fmt(est)}")
+        elif isinstance(value, dict) and _is_gauge(value):
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname}{labels} {_fmt(value.get('last'))}")
+            for bound in ("min", "max"):
+                v = value.get(bound)
+                if v is not None:
+                    lines.append(f"{pname}_{bound}{labels} {_fmt(v)}")
+        else:
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname}{labels} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json_exposition(summary: Dict[str, Any],
+                       meta: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
+    """The exposition as one JSON object: instruments classified by
+    kind, every number copied verbatim from the summary."""
+    out: Dict[str, Any] = {"counters": {}, "gauges": {},
+                           "histograms": {}}
+    for name in sorted(summary):
+        value = summary[name]
+        if isinstance(value, dict) and _is_histogram(value):
+            out["histograms"][name] = dict(value)
+        elif isinstance(value, dict) and _is_gauge(value):
+            out["gauges"][name] = dict(value)
+        else:
+            out["counters"][name] = value
+    if meta:
+        out["meta"] = dict(meta)
+    return out
+
+
+def write_prometheus_text(summary: Dict[str, Any], path: str,
+                          namespace: str = "repro",
+                          extra_labels: Optional[Dict[str, str]] = None
+                          ) -> str:
+    """Write :func:`to_prometheus_text` to ``path``; returns the text."""
+    text = to_prometheus_text(summary, namespace=namespace,
+                              extra_labels=extra_labels)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text
+
+
+def write_json_exposition(summary: Dict[str, Any], path: str,
+                          meta: Optional[Dict[str, Any]] = None
+                          ) -> Dict[str, Any]:
+    """Write :func:`to_json_exposition` to ``path``; returns the doc."""
+    doc = to_json_exposition(summary, meta=meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -167,7 +167,7 @@ def run_cell(task: CellTask) -> ConformanceCase:
     return case
 
 
-def _cell_worker(task: CellTask):
+def _cell_worker(task: CellTask, ship=None):
     """Worker-side cell execution.
 
     Returns ``(case, trace_records, trace_epoch_ns)``: the classified
@@ -175,6 +175,14 @@ def _cell_worker(task: CellTask):
     the worker tracer's epoch (``time.perf_counter_ns`` is machine-wide
     monotonic on the platforms that offer ``fork``, so the parent can
     rebase worker timestamps onto its own timeline).
+
+    With a ``ship`` callback the records are *streamed* instead of
+    buffered: a :class:`~repro.obs.telemetry.StreamingSink` sends
+    bounded, sequence-numbered batches through ``ship`` while the cell
+    runs (in the fleet: over the worker's result pipe), the final
+    partial batch is flushed before the case is returned, and the
+    records slot of the return value is ``None`` — the coordinator's
+    :class:`~repro.obs.telemetry.TelemetryMerger` already has them.
     """
     from repro.faults.harness import run_conformance
 
@@ -183,11 +191,19 @@ def _cell_worker(task: CellTask):
     ring = None
     epoch_ns = 0
     if task.traced:
-        from repro.obs.sinks import RingBufferSink
         from repro.obs.tracer import Tracer
 
-        ring = RingBufferSink()
-        tracer = Tracer([ring])
+        if ship is not None:
+            from repro.obs.telemetry import StreamingSink
+
+            sink = StreamingSink(ship)
+            tracer = Tracer([sink])
+            sink.epoch_ns = tracer._epoch_ns
+        else:
+            from repro.obs.sinks import RingBufferSink
+
+            ring = RingBufferSink()
+            tracer = Tracer([ring])
         epoch_ns = tracer._epoch_ns
     report = run_conformance(
         scenario.name, scenario.agents, scenario.channels,
@@ -198,6 +214,8 @@ def _cell_worker(task: CellTask):
         tracer=tracer, record=task.record,
     )
     [case] = report.cases
+    if tracer is not None:
+        tracer.close()      # streaming: flush the final partial batch
     return case, (list(ring) if ring is not None else None), epoch_ns
 
 
@@ -212,7 +230,8 @@ def run_conformance_parallel(scenario: str,
                              record: bool = True,
                              tracer=None,
                              cache=None,
-                             fleet: Optional[FleetPolicy] = None
+                             fleet: Optional[FleetPolicy] = None,
+                             status=None
                              ) -> ConformanceReport:
     """Run a registered scenario's ``plans × seeds`` grid over
     ``workers`` processes.
@@ -252,6 +271,12 @@ def run_conformance_parallel(scenario: str,
     fallback even for one-worker or one-cell grids — those features
     need a separate, killable process.  Without ``fork`` the grid is
     always serial and such policies cannot be honoured.
+
+    ``status`` (a :class:`~repro.obs.telemetry.FleetStatus`) receives
+    live scoreboard updates — grid size, cache hits, per-cell
+    completions, retries, streamed-record counts — for the
+    ``python -m repro top`` view.  It is written in place; a display
+    thread may snapshot it concurrently.
     """
     started = time.monotonic()
     built = get_scenario(scenario)
@@ -272,9 +297,14 @@ def run_conformance_parallel(scenario: str,
                  max_steps=steps, record=record, traced=traced)
         for plan in plan_names for seed in seed_list
     ]
+    if status is not None:
+        status.scenario = built.name
+        status.total = len(tasks)
     if not tasks:
         report = ConformanceReport(network=built.name)
         report.wall_clock_s = time.monotonic() - started
+        if status is not None:
+            status.finished = True
         return report
     workers = max(1, min(int(workers), len(tasks)))
     fork_ok = "fork" in multiprocessing.get_all_start_methods()
@@ -295,6 +325,13 @@ def run_conformance_parallel(scenario: str,
             cache=cache,
         )
         report.wall_clock_s = time.monotonic() - started
+        if status is not None:
+            # serial reference path: fold the finished grid into the
+            # scoreboard in one go
+            status.workers = 1
+            for case in report.cases:
+                status.on_complete(case.outcome, case.elapsed_s)
+            status.finished = True
         return report
 
     # fleet path: consult the cache in the parent, dispatch only the
@@ -318,14 +355,21 @@ def run_conformance_parallel(scenario: str,
                     if hit is not None else None)
             if case is not None:
                 cases[i] = case
+                if status is not None:
+                    status.on_complete(case.outcome, 0.0, cached=True)
             else:
                 cell_keys[i] = key
     pending = [(i, t) for i, t in enumerate(tasks) if i not in cases]
+    if status is not None:
+        status.cache_misses = len(cell_keys)
+        status.workers = min(workers, max(1, len(pending)))
 
     def finish():
         report = ConformanceReport(network=built.name)
         report.cases = [cases[i] for i in range(len(tasks))]
         report.wall_clock_s = time.monotonic() - started
+        if status is not None:
+            status.finished = True
         return report
 
     if not pending:
@@ -344,7 +388,7 @@ def run_conformance_parallel(scenario: str,
 
     fleet_cases, fleet_stats = run_fleet(
         pending, workers=workers, policy=policy, tracer=tracer,
-        on_case=on_case)
+        on_case=on_case, status=status)
     for i, case in fleet_cases.items():
         cases.setdefault(i, case)
     report = finish()

@@ -237,8 +237,20 @@ def _worker_main(conn, chaos: Optional[ChaosSpec],
                   f"×{task.seed} attempt {attempt}",
                   file=sys.stderr, flush=True)
             os.kill(os.getpid(), signal.SIGKILL)
+        # traced cells stream their records over the result pipe in
+        # bounded batches ("tel" messages) instead of buffering them
+        # for the final "ok" — the pipe's own blocking send is the
+        # backpressure, and FIFO ordering guarantees every batch lands
+        # before the result message that commits them
+        ship = None
+        if task.traced:
+            def ship(batch, _conn=conn):
+                try:
+                    _conn.send(("tel", batch))
+                except (BrokenPipeError, OSError):
+                    pass        # coordinator gone; the run is over
         try:
-            case, records, epoch_ns = _cell_worker(task)
+            case, records, epoch_ns = _cell_worker(task, ship=ship)
         except Exception:
             conn.send(("err", traceback.format_exc(limit=30)))
             continue
@@ -273,7 +285,8 @@ def run_fleet(pending: List[Tuple[int, Any]],
               workers: int,
               policy: Optional[FleetPolicy] = None,
               tracer: Any = None,
-              on_case: Optional[Callable[..., None]] = None
+              on_case: Optional[Callable[..., None]] = None,
+              status: Any = None
               ) -> Tuple[Dict[int, ConformanceCase], Dict[str, Any]]:
     """Run ``pending`` cells (``(index, CellTask)`` pairs) over a
     supervised worker fleet.
@@ -291,11 +304,27 @@ def run_fleet(pending: List[Tuple[int, Any]],
     cache stores and trace merging.  Already-completed results are
     retained no matter what later workers do: a dying pool can no
     longer discard the grid.
+
+    With a live ``tracer``, traced cells *stream* their records over
+    the worker pipes in bounded batches; a
+    :class:`~repro.obs.telemetry.TelemetryMerger` ingests them
+    idempotently and commits an attempt's spans and metric deltas onto
+    the parent timeline only when that attempt's result is accepted —
+    failed attempts are abandoned wholesale, so retries never
+    double-count (the ``records`` argument of ``on_case`` is ``None``
+    for streamed cells).  ``status`` (a
+    :class:`~repro.obs.telemetry.FleetStatus`) receives live
+    scoreboard updates for the ``top`` view.
     """
     policy = policy if policy is not None else FleetPolicy()
     traced = tracer is not None and getattr(tracer, "enabled", False)
     total = len(pending)
     metrics = MetricsRegistry()
+    merger = None
+    if traced:
+        from repro.obs.telemetry import TelemetryMerger
+
+        merger = TelemetryMerger(tracer)
     stats: Dict[str, Any] = {
         "workers": 0, "spawns": 0, "respawns": 0, "dispatches": 0,
         "retries": 0, "timeouts": 0, "crashes": 0, "errors": 0,
@@ -375,6 +404,8 @@ def run_fleet(pending: List[Tuple[int, Any]],
             except OSError:
                 w.stderr_offset = 0
         stats["dispatches"] += 1
+        if status is not None:
+            status.on_dispatch()
         fleet_event("fleet.dispatch", track=f"fleet.w{w.wid}",
                     worker=w.wid, plan=task.plan, seed=task.seed,
                     attempt=attempt)
@@ -392,6 +423,14 @@ def run_fleet(pending: List[Tuple[int, Any]],
         cases[i] = case
         stats["completed"] += 1
         metrics.histogram("fleet.attempts").record(attempt)
+        if merger is not None:
+            merger.commit(
+                cell_salt(task), attempt,
+                track_suffix=f"@{task.plan}×{task.seed}",
+                epoch_ns=epoch_ns)
+        if status is not None:
+            status.on_settled()
+            status.on_complete(case.outcome, case.elapsed_s)
         if on_case is not None:
             on_case(i, task, case, records, epoch_ns)
 
@@ -408,6 +447,13 @@ def run_fleet(pending: List[Tuple[int, Any]],
                    "error": "errors"}[kind]
         stats[counter] += 1
         metrics.counter(f"fleet.{counter}").inc()
+        if merger is not None:
+            # retract the failed attempt's streamed telemetry: its
+            # partial spans and metric deltas never reach the parent
+            merger.abandon(cell_salt(task), attempt)
+        if status is not None:
+            status.on_settled()
+            status.on_attempt_failed(kind)
         fleet_event(f"fleet.{kind if kind != 'error' else 'crash'}",
                     track=f"fleet.w{w.wid}" if w is not None
                     else "fleet",
@@ -418,6 +464,8 @@ def run_fleet(pending: List[Tuple[int, Any]],
             return
         delay = policy.backoff_s(attempt, salt=cell_salt(task))
         stats["retries"] += 1
+        if status is not None:
+            status.on_retry()
         metrics.counter("fleet.retries").inc()
         metrics.histogram("fleet.backoff_ms").record(delay * 1000.0)
         fleet_event("fleet.retry", plan=task.plan, seed=task.seed,
@@ -446,6 +494,8 @@ def run_fleet(pending: List[Tuple[int, Any]],
             attempts=len(log))
         cases[i] = case
         stats["quarantined"] += 1
+        if status is not None:
+            status.on_complete(outcome, case.elapsed_s)
         metrics.counter("fleet.quarantined").inc()
         fleet_event("fleet.quarantine", plan=task.plan,
                     seed=task.seed, attempts=len(log), failure=kind,
@@ -525,7 +575,26 @@ def run_fleet(pending: List[Tuple[int, Any]],
                     except (EOFError, OSError):
                         worker_died(w, "result pipe broke")
                         continue
-                    if msg[0] == "ok":
+                    if msg[0] == "tel":
+                        i, task, attempt, _log = w.assigned
+                        batch = msg[1]
+                        n = len(batch.get("records") or [])
+                        stats["stream_batches"] = \
+                            stats.get("stream_batches", 0) + 1
+                        stats["stream_records"] = \
+                            stats.get("stream_records", 0) + n
+                        if merger is not None:
+                            merger.ingest(cell_salt(task), attempt,
+                                          batch)
+                        if status is not None:
+                            status.on_stream(n)
+                        # a streaming worker keeps its pipe ready, so
+                        # the elif deadline check below would starve —
+                        # enforce it here as well
+                        if w.deadline is not None \
+                                and now >= w.deadline:
+                            worker_timed_out(w)
+                    elif msg[0] == "ok":
                         complete(w, msg[1], msg[2], msg[3])
                     else:
                         item = w.assigned
@@ -553,6 +622,8 @@ def run_fleet(pending: List[Tuple[int, Any]],
         stats["metrics"] = summary
     if policy.chaos is not None:
         stats["chaos"] = policy.chaos.describe()
+    if merger is not None:
+        stats["telemetry"] = merger.stats()
     return cases, stats
 
 

@@ -156,6 +156,41 @@ def _fmt_stat(v: object) -> str:
     return str(v)
 
 
+def render_fleet_status(snap: dict, width: int = 40) -> str:
+    """Render a :meth:`~repro.obs.telemetry.FleetStatus.snapshot` as
+    the ``python -m repro top`` scoreboard: progress bar, worker
+    occupancy, outcome counts, cache hit-rate, streamed telemetry and
+    ETA.  Pure function of the snapshot dict — deterministic output
+    for golden tests."""
+    total = snap.get("total") or 0
+    done = snap.get("done") or 0
+    frac = (done / total) if total else 0.0
+    filled = int(round(width * min(1.0, frac)))
+    bar = "█" * filled + "·" * (width - filled)
+    eta = snap.get("eta_s")
+    eta_text = "—" if eta is None else f"{eta:.1f}s"
+    hit = snap.get("cache_hit_rate")
+    hit_text = "—" if hit is None else f"{hit * 100:.0f}%"
+    state = "done" if snap.get("finished") else "running"
+    lines = [
+        f"repro top — grid {snap.get('scenario') or '?'} [{state}]",
+        f"  [{bar}] {done}/{total} cells ({frac * 100:.0f}%)",
+        f"  workers {snap.get('workers', 0)}  "
+        f"busy {snap.get('busy', 0)}  "
+        f"elapsed {snap.get('elapsed_s', 0.0):.1f}s  eta {eta_text}",
+        f"  conforming {snap.get('conforming', 0)}  "
+        f"failures {snap.get('genuine_failures', 0)}  "
+        f"quarantined {snap.get('quarantined', 0)}",
+        f"  retries {snap.get('retries', 0)}  "
+        f"timeouts {snap.get('timeouts', 0)}  "
+        f"crashes {snap.get('crashes', 0)}",
+        f"  cache hits {snap.get('cached', 0)} ({hit_text})  "
+        f"streamed {snap.get('records_streamed', 0)} records in "
+        f"{snap.get('batches_streamed', 0)} batches",
+    ]
+    return "\n".join(lines)
+
+
 def render_schedule(schedule, max_decisions: int = 8) -> str:
     """Render a flight-recorder :class:`~repro.obs.recorder.Schedule`.
 

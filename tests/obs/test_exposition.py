@@ -1,0 +1,141 @@
+"""Tests for repro.obs.exposition — Prometheus text and JSON formats.
+
+The exposition's one hard promise: every number is copied from the
+summary, never recomputed, so the text always sums consistently with
+the registry it was scraped from (``+Inf`` bucket == ``_count`` ==
+``count``).
+"""
+
+from repro.obs import MetricsRegistry
+from repro.obs.exposition import (
+    prometheus_name,
+    to_json_exposition,
+    to_prometheus_text,
+    write_json_exposition,
+    write_prometheus_text,
+)
+
+
+def _sample_summary():
+    reg = MetricsRegistry()
+    reg.counter("solver.nodes_expanded").inc(7)
+    reg.gauge("queue.depth").set(3)
+    reg.gauge("queue.depth").set(9)
+    h = reg.histogram("solver.branching")
+    for v in (1, 2, 3, 10):
+        h.record(v)
+    return reg.summary()
+
+
+class TestPrometheusName:
+    def test_dots_collapse_to_underscores(self):
+        assert prometheus_name("solver.nodes") == \
+            "repro_solver_nodes"
+
+    def test_namespace_optional(self):
+        assert prometheus_name("a.b", namespace="") == "a_b"
+
+    def test_illegal_leading_char_guarded(self):
+        name = prometheus_name("0weird", namespace="")
+        assert name[0] not in "0123456789"
+
+
+class TestPrometheusText:
+    def test_counter_family(self):
+        text = to_prometheus_text({"hits": 5})
+        assert "# TYPE repro_hits counter" in text
+        assert "repro_hits 5" in text
+
+    def test_gauge_family_with_extremes(self):
+        text = to_prometheus_text(_sample_summary())
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 9" in text
+        assert "repro_queue_depth_min 3" in text
+        assert "repro_queue_depth_max 9" in text
+
+    def test_histogram_buckets_cumulative_and_consistent(self):
+        summary = _sample_summary()
+        text = to_prometheus_text(summary)
+        lines = text.splitlines()
+        buckets = [l for l in lines
+                   if l.startswith("repro_solver_branching_bucket")]
+        # samples 1,2,3,10 land in 2^k buckets 0,1,2,4 (cumulative)
+        assert buckets == [
+            'repro_solver_branching_bucket{le="1"} 1',
+            'repro_solver_branching_bucket{le="2"} 2',
+            'repro_solver_branching_bucket{le="4"} 3',
+            'repro_solver_branching_bucket{le="16"} 4',
+            'repro_solver_branching_bucket{le="+Inf"} 4',
+        ]
+        # +Inf == _count == summary count: copied, not recomputed
+        count = summary["solver.branching"]["count"]
+        assert f"repro_solver_branching_count {count}" in lines
+        assert buckets[-1].endswith(f" {count}")
+        assert "repro_solver_branching_sum 16" in lines
+
+    def test_histogram_quantile_rows(self):
+        text = to_prometheus_text(_sample_summary())
+        assert 'repro_solver_branching{quantile="0.5"} 2' in text
+        assert 'repro_solver_branching{quantile="0.9"} 10' in text
+        assert 'repro_solver_branching{quantile="0.99"} 10' in text
+
+    def test_families_sorted_and_newline_terminated(self):
+        text = to_prometheus_text(_sample_summary())
+        assert text.endswith("\n")
+        type_lines = [l for l in text.splitlines()
+                      if l.startswith("# TYPE")]
+        assert type_lines == sorted(type_lines)
+
+    def test_extra_labels_on_every_sample(self):
+        text = to_prometheus_text({"hits": 5},
+                                  extra_labels={"grid": "dfm"})
+        assert 'repro_hits{grid="dfm"} 5' in text
+
+    def test_extra_labels_compose_with_le(self):
+        summary = _sample_summary()
+        text = to_prometheus_text(summary,
+                                  extra_labels={"grid": "dfm"})
+        assert ('repro_solver_branching_bucket'
+                '{grid="dfm",le="1"} 1') in text
+
+    def test_golden_counter_only(self):
+        text = to_prometheus_text({"b": 2, "a": 1})
+        assert text == ("# TYPE repro_a counter\n"
+                        "repro_a 1\n"
+                        "# TYPE repro_b counter\n"
+                        "repro_b 2\n")
+
+
+class TestJsonExposition:
+    def test_classifies_by_shape(self):
+        doc = to_json_exposition(_sample_summary())
+        assert doc["counters"]["solver.nodes_expanded"] == 7
+        assert doc["gauges"]["queue.depth"]["last"] == 9
+        hist = doc["histograms"]["solver.branching"]
+        assert hist["count"] == 4
+        assert hist["p50"] == 2 and hist["p99"] == 10
+
+    def test_meta_rides_along(self):
+        doc = to_json_exposition({}, meta={"scenario": "dfm"})
+        assert doc["meta"] == {"scenario": "dfm"}
+
+    def test_numbers_copied_verbatim(self):
+        summary = _sample_summary()
+        doc = to_json_exposition(summary)
+        assert doc["histograms"]["solver.branching"] == \
+            summary["solver.branching"]
+
+
+class TestWriters:
+    def test_write_prometheus_text(self, tmp_path):
+        path = tmp_path / "m.prom"
+        text = write_prometheus_text({"hits": 1}, str(path))
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_write_json_exposition(self, tmp_path):
+        import json
+
+        path = tmp_path / "m.json"
+        doc = write_json_exposition(_sample_summary(), str(path),
+                                    meta={"digest": "abc"})
+        assert json.loads(path.read_text(encoding="utf-8")) == doc
