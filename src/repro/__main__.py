@@ -410,11 +410,13 @@ def cmd_record(scenario: str, plan_name: str | None, seed: int,
     return 0
 
 
-def _replay_schedule(schedule, lenient: bool):
+def _replay_schedule(schedule, lenient: bool, tracer=None):
     """Re-run a schedule per its ``meta['scenario']``.
 
     Returns ``(outcome, result, recorded_outcome)`` where outcome is
-    None for scenarios without a conformance verdict.
+    None for scenarios without a conformance verdict.  ``tracer``
+    instruments the replayed run — ``diff --explain`` and ``why``
+    rebuild the happens-before graph from its event stream.
     """
     scenario = schedule.meta.get("scenario")
     fallback = None
@@ -434,7 +436,7 @@ def _replay_schedule(schedule, lenient: bool):
             abp.FAULTY_CHANNELS,
             abp.service_spec(abp.MESSAGES).combined(),
             _abp_plans(int(schedule.meta.get("seed", 11))),
-            observe={abp.OUT}, fallback=fallback,
+            observe={abp.OUT}, tracer=tracer, fallback=fallback,
         )
         return case.outcome, case.result, schedule.meta.get("outcome")
     if scenario == "dfm":
@@ -445,7 +447,7 @@ def _replay_schedule(schedule, lenient: bool):
                          int(schedule.meta.get("seed", 11)))
         report = replay_network(
             schedule, make_agents(), channels, fault_plan=plan,
-            fallback=fallback,
+            tracer=tracer, fallback=fallback,
         )
         return None, report.result, None
     raise KeyError(
@@ -508,8 +510,25 @@ def cmd_replay(path: str, lenient: bool) -> int:
     return 0 if ok else 1
 
 
-def cmd_diff(path_a: str, path_b: str) -> int:
-    """First-divergence report for two schedules and their replays."""
+def _traced_replay_records(schedule) -> list:
+    """Replay a schedule leniently under a fresh tracer; return the
+    recorded event stream (the input to the happens-before graph)."""
+    from repro.obs import RingBufferSink, Tracer
+
+    ring = RingBufferSink(capacity=500_000)
+    _replay_schedule(schedule, lenient=True,
+                     tracer=Tracer([ring]))
+    return list(ring.records)
+
+
+def cmd_diff(path_a: str, path_b: str, explain: bool = False) -> int:
+    """First-divergence report for two schedules and their replays.
+
+    ``--explain`` additionally replays both schedules under a tracer,
+    rebuilds their happens-before graphs, and walks back from the
+    first divergent observable event to the earliest decision node
+    that explains it (see :mod:`repro.obs.causality`).
+    """
     from repro.obs.diff import diff_runs, diff_schedules
     from repro.obs.recorder import Schedule
     from repro.report import render_run_diff, render_schedule_diff
@@ -525,7 +544,69 @@ def cmd_diff(path_a: str, path_b: str) -> int:
         return 0 if sdiff.identical else 1
     rdiff = diff_runs(result_a, result_b)
     print(render_run_diff(rdiff))
+    if explain:
+        from repro.obs import explain_records
+
+        expl = explain_records(_traced_replay_records(a),
+                               _traced_replay_records(b))
+        print()
+        print(expl.describe())
     return 0 if sdiff.identical and rdiff.identical else 1
+
+
+def cmd_why(path_a: str, path_b: str | None, dot_out: str | None,
+            json_out: str | None, trace_out: str | None) -> int:
+    """Causal 'why' for recorded runs.
+
+    With one schedule: rebuild its happens-before graph and print the
+    summary (size, digest, deliveries, critical path).  With two:
+    print the divergence explanation — the minimal causal chain from
+    the first divergent decision to the first divergent delivery.
+    ``--dot`` / ``--json`` export the (first) graph; ``--trace``
+    writes a Perfetto timeline with causal flow arrows layered on.
+    """
+    from repro.obs import CausalGraph, explain_divergence
+    from repro.obs.recorder import Schedule
+    from repro.report import render_causal_summary
+
+    schedule_a = Schedule.load(path_a)
+    try:
+        records_a = _traced_replay_records(schedule_a)
+    except KeyError as exc:
+        print(f"cannot rebuild the run: {exc}", file=sys.stderr)
+        return 2
+    graph_a = CausalGraph.from_records(records_a)
+    print(render_causal_summary(graph_a))
+    exit_code = 0
+    if path_b is not None:
+        records_b = _traced_replay_records(Schedule.load(path_b))
+        graph_b = CausalGraph.from_records(records_b)
+        expl = explain_divergence(graph_a, graph_b)
+        print()
+        print(expl.describe())
+        exit_code = 0 if expl.identical else 1
+    if dot_out:
+        with open(dot_out, "w", encoding="utf-8") as fh:
+            fh.write(graph_a.to_dot(
+                title=schedule_a.meta.get("scenario", "causal")))
+        print(f"wrote causal graph DOT to {dot_out}")
+    if json_out:
+        import json
+
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(graph_a.to_json(), fh, indent=2,
+                      sort_keys=True)
+        print(f"wrote causal graph JSON to {json_out}")
+    if trace_out:
+        from repro.obs import write_chrome_trace
+
+        n = write_chrome_trace(
+            records_a, trace_out,
+            process_name=f"repro-why:{path_a}",
+            flows=graph_a.flow_arrows())
+        print(f"wrote {n} trace events (with flow arrows) "
+              f"to {trace_out}")
+    return exit_code
 
 
 def cmd_shrink(path: str, out: str | None) -> int:
@@ -605,11 +686,31 @@ def _write_grid_artifacts(report, tracer, ring,
         meta["surviving_digest"] = report.surviving_digest()
     summary = grid_metrics_summary(report)
     if trace_out and ring is not None:
-        from repro.obs import write_chrome_trace
+        from repro.obs import (
+            CausalGraph,
+            split_cells,
+            write_chrome_trace,
+        )
 
-        n = write_chrome_trace(ring.records, trace_out,
-                               process_name=f"repro-grid:{scenario}")
-        print(f"wrote {n} trace events to {trace_out}")
+        # per-cell happens-before graphs supply the flow arrows; the
+        # @plan×seed suffix stripped by split_cells is restored so the
+        # arrows anchor to the merged timeline's suffixed tracks
+        records = list(ring.records)
+        flows = []
+        for cell, cell_records in sorted(split_cells(records).items()):
+            if not cell:
+                continue
+            suffix = f"@{cell}"
+            for arrow in CausalGraph.from_records(
+                    cell_records).flow_arrows():
+                arrow["src_track"] += suffix
+                arrow["dst_track"] += suffix
+                flows.append(arrow)
+        n = write_chrome_trace(records, trace_out,
+                               process_name=f"repro-grid:{scenario}",
+                               flows=flows)
+        print(f"wrote {n} trace events ({len(flows)} flow arrows) "
+              f"to {trace_out}")
     if metrics_out:
         from repro.obs import write_prometheus_text
 
@@ -739,9 +840,9 @@ def cmd_top(scenario: str, workers: int, seeds: int,
     The grid runs in a worker thread with a tracer attached (so cells
     stream records and metric deltas back as they execute) and a
     shared :class:`~repro.obs.telemetry.FleetStatus`; the main thread
-    refreshes the scoreboard every ``interval`` seconds — in place on
-    a TTY, as periodic status blocks otherwise — until the grid
-    settles, then prints the final report and digest.
+    refreshes the scoreboard every ``interval`` seconds — redrawn in
+    place on a TTY, one plain line per refresh otherwise (logs, CI) —
+    until the grid settles, then prints the final report and digest.
     """
     import threading
 
@@ -749,6 +850,7 @@ def cmd_top(scenario: str, workers: int, seeds: int,
     from repro.obs import FleetStatus, RingBufferSink, Tracer
     from repro.report import (
         render_conformance_report,
+        render_fleet_line,
         render_fleet_status,
     )
 
@@ -796,12 +898,19 @@ def cmd_top(scenario: str, workers: int, seeds: int,
     frame_lines = 0
     try:
         while True:
-            text = render_fleet_status(status.snapshot())
-            if is_tty and frame_lines:
-                # redraw in place: cursor up over the previous frame
-                sys.stdout.write(f"\x1b[{frame_lines}F\x1b[J")
-            print(text, flush=True)
-            frame_lines = text.count("\n") + 1
+            snap = status.snapshot()
+            if is_tty:
+                text = render_fleet_status(snap)
+                if frame_lines:
+                    # redraw in place: cursor up over the previous
+                    # frame
+                    sys.stdout.write(f"\x1b[{frame_lines}F\x1b[J")
+                print(text, flush=True)
+                frame_lines = text.count("\n") + 1
+            else:
+                # piped/CI output: one plain line per refresh, no
+                # cursor control
+                print(render_fleet_line(snap), flush=True)
             if not thread.is_alive():
                 break
             thread.join(timeout=max(0.05, interval))
@@ -812,6 +921,10 @@ def cmd_top(scenario: str, workers: int, seeds: int,
     if "error" in box:
         print(f"grid failed: {box['error']}", file=sys.stderr)
         return 1
+    if not is_tty:
+        # the loop's last refresh may predate the grid finishing;
+        # close the log with one authoritative line
+        print(render_fleet_line(status.snapshot()), flush=True)
     report = box["report"]
     print()
     print(render_conformance_report(report))
@@ -893,7 +1006,10 @@ SOLVE_SCENARIOS = ("dfm", "alternating_bit")
 def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
               budget_seconds: float | None, resume: str | None,
               checkpoint_out: str | None, use_cache: bool,
-              cache_dir: str | None, fsync: bool = False) -> int:
+              cache_dir: str | None, fsync: bool = False,
+              profile: bool = False,
+              profile_json: str | None = None,
+              profile_folded: str | None = None) -> int:
     """Run the §3.3 solver on a scenario's specification.
 
     A truncated exploration (node or wall-clock budget) exits 1 and —
@@ -901,6 +1017,11 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
     rerunning with ``--resume <ckpt.json>`` continues the Kleene
     chain from the parked nodes and, once nothing is left unvisited,
     the result digest equals the straight run's.
+
+    ``--profile`` attaches a tracer and prints the hot-site table
+    (where ``f``/``g`` evaluation time goes); ``--profile-json``
+    writes the full per-site/per-level profile and
+    ``--profile-folded`` the collapsed stacks speedscope imports.
     """
     from repro.core import SmoothSolutionSolver
     from repro.report import render_solver_result
@@ -928,8 +1049,16 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
         print(f"unknown scenario {scenario!r}", file=sys.stderr)
         return 2
     store = _make_cache(use_cache, cache_dir, fsync=fsync)
+    profiling = bool(profile or profile_json or profile_folded)
+    tracer = None
+    ring = None
+    if profiling:
+        from repro.obs import RingBufferSink, Tracer
+
+        ring = RingBufferSink(capacity=500_000)
+        tracer = Tracer([ring])
     solver = SmoothSolutionSolver.over_channels(
-        spec, channels, cache=store)
+        spec, channels, cache=store, tracer=tracer)
     resume_from = None
     if resume:
         from repro.cache import SolverCheckpoint
@@ -948,6 +1077,22 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
                             resume_from=resume_from)
     print(render_solver_result(result))
     print(f"result digest {result.digest()}")
+    if profiling:
+        from repro.obs import write_collapsed
+        from repro.obs.profile import hotspots
+        from repro.report import render_hotspots
+
+        print(render_hotspots(hotspots(result.profile)))
+        if profile_json:
+            import json
+
+            with open(profile_json, "w", encoding="utf-8") as fh:
+                json.dump(result.profile, fh, indent=2,
+                          sort_keys=True)
+            print(f"wrote solver profile JSON to {profile_json}")
+        if profile_folded:
+            n = write_collapsed(ring.records, profile_folded)
+            print(f"wrote {n} collapsed stack(s) to {profile_folded}")
     if checkpoint_out:
         ckpt = result.checkpoint()
         ckpt.save(checkpoint_out, fsync=fsync)
@@ -1026,6 +1171,30 @@ def main(argv: list[str] | None = None) -> int:
         "diff", help="first divergence between two schedules")
     p_diff.add_argument("schedule_a")
     p_diff.add_argument("schedule_b")
+    p_diff.add_argument(
+        "--explain", action="store_true",
+        help="walk the happens-before graphs back to the earliest "
+             "decision explaining the divergence")
+
+    p_why = sub.add_parser(
+        "why", help="causal view of recorded runs: happens-before "
+                    "graph summary, or (with two schedules) the "
+                    "divergence explanation")
+    p_why.add_argument("schedule_a", help="schedule JSON path")
+    p_why.add_argument(
+        "schedule_b", nargs="?", default=None,
+        help="second schedule: explain why the runs diverge")
+    p_why.add_argument(
+        "--dot", default=None, metavar="PATH", dest="dot_out",
+        help="write the (first) run's causal graph as Graphviz DOT")
+    p_why.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_out",
+        help="write the (first) run's causal graph as JSON "
+             "(nodes, edges, deliveries, digest, critical path)")
+    p_why.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_out",
+        help="write a Perfetto timeline of the (first) run with "
+             "causal flow arrows")
 
     p_shrink = sub.add_parser(
         "shrink", help="ddmin a failing schedule to a minimal one")
@@ -1198,6 +1367,16 @@ def main(argv: list[str] | None = None) -> int:
         "--fsync", action="store_true",
         help="fsync checkpoint and cache writes (survive a machine "
              "crash, not just a killed process)")
+    p_solve.add_argument(
+        "--profile", action="store_true",
+        help="attach a tracer and print the solver hot-site table")
+    p_solve.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="write the per-site/per-level solver profile as JSON")
+    p_solve.add_argument(
+        "--profile-folded", default=None, metavar="PATH",
+        help="write collapsed stacks (speedscope/flamegraph.pl "
+             "importable)")
     _add_cache_options(p_solve)
 
     args = parser.parse_args(argv)
@@ -1211,7 +1390,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "replay":
         return cmd_replay(args.schedule, args.lenient)
     if args.command == "diff":
-        return cmd_diff(args.schedule_a, args.schedule_b)
+        return cmd_diff(args.schedule_a, args.schedule_b,
+                        explain=args.explain)
+    if args.command == "why":
+        return cmd_why(args.schedule_a, args.schedule_b,
+                       args.dot_out, args.json_out, args.trace_out)
     if args.command == "shrink":
         return cmd_shrink(args.schedule, args.out)
     if args.command == "grid":
@@ -1239,7 +1422,9 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_solve(args.scenario, args.depth, args.max_nodes,
                          args.budget_seconds, args.resume,
                          args.checkpoint_out, args.cache,
-                         args.cache_dir, args.fsync)
+                         args.cache_dir, args.fsync,
+                         args.profile, args.profile_json,
+                         args.profile_folded)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

@@ -125,6 +125,12 @@ class SolverResult:
     unvisited: list[Trace] = field(default_factory=list)
     limit_depth: int = 0
     description_name: str = ""
+    #: per-site cost attribution (:class:`repro.obs.profile
+    #: .SolverProfile` summary) when the solver ran with tracing
+    #: enabled; empty otherwise.  Counters are deterministic, the ns
+    #: columns are wall-clock — neither enters the digest or the
+    #: cache payload.
+    profile: dict = field(default_factory=dict)
 
     def solution_set(self) -> set[Trace]:
         return set(self.finite_solutions)
@@ -318,6 +324,11 @@ class SmoothSolutionSolver:
                     else time.monotonic() + budget_seconds)
         tracer = self.tracer
         tracing = tracer.enabled
+        profile = None
+        if tracing:
+            from repro.obs.profile import SolverProfile
+
+            profile = SolverProfile()
         cache_key = None
         if self.cache is not None and resume_from is None:
             from repro.cache.keys import solver_cache_key
@@ -325,7 +336,13 @@ class SmoothSolutionSolver:
             cache_key = solver_cache_key(
                 self.description, self.candidates, max_depth,
                 self.limit_depth, max_nodes, budget_seconds)
-            hit = self.cache.get("solver", cache_key)
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                hit = self.cache.get("solver", cache_key)
+                profile.add("cache.get",
+                            time.perf_counter_ns() - t0)
+            else:
+                hit = self.cache.get("solver", cache_key)
             if hit is not None:
                 rebuilt = self._result_from_payload(hit)
                 if rebuilt is not None:
@@ -335,6 +352,7 @@ class SmoothSolutionSolver:
                             track="solver",
                             key=self.cache.key_digest(cache_key)[:16],
                             nodes_skipped=rebuilt.nodes_explored)
+                        rebuilt.profile = profile.summary()
                     return rebuilt
             if tracing:
                 tracer.event(
@@ -352,8 +370,15 @@ class SmoothSolutionSolver:
         if resume_from is None:
             root_trace = Trace.empty()
             start_depth = 0
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                root_f = self.description.lhs.apply(root_trace)
+                profile.add("lhs.apply.root",
+                            time.perf_counter_ns() - t0)
+            else:
+                root_f = self.description.lhs.apply(root_trace)
             level: list[tuple[Trace, object]] = [
-                (root_trace, self.description.lhs.apply(root_trace))]
+                (root_trace, root_f)]
         else:
             checkpoint = self._coerce_checkpoint(resume_from)
             self._validate_checkpoint(checkpoint, max_depth)
@@ -375,6 +400,11 @@ class SmoothSolutionSolver:
                 with tracer.span("solver.level", category="solver",
                                  track="solver", depth=depth,
                                  width=len(level)):
+                    if profile is not None:
+                        level_t0 = time.perf_counter_ns()
+                        level_explored = session_explored
+                        level_accepted = len(result.finite_solutions)
+                        level_dead = len(result.dead_ends)
                     # children of already-explored nodes carried over
                     # by a checkpoint come first, preserving BFS order
                     next_level: list[tuple[Trace, object]] = \
@@ -401,12 +431,24 @@ class SmoothSolutionSolver:
                             break
                         explored += 1
                         session_explored += 1
-                        gu = self.description.rhs.apply(u)
-                        limit = self.description.limit_report(
-                            u, self.limit_depth,
-                            lhs_value=fu, rhs_value=gu).holds
+                        if profile is not None:
+                            t0 = time.perf_counter_ns()
+                            gu = self.description.rhs.apply(u)
+                            t1 = time.perf_counter_ns()
+                            limit = self.description.limit_report(
+                                u, self.limit_depth,
+                                lhs_value=fu, rhs_value=gu).holds
+                            t2 = time.perf_counter_ns()
+                            profile.add("rhs.apply", t1 - t0)
+                            profile.add("limit_report", t2 - t1)
+                        else:
+                            gu = self.description.rhs.apply(u)
+                            limit = self.description.limit_report(
+                                u, self.limit_depth,
+                                lhs_value=fu, rhs_value=gu).holds
                         if depth < max_depth:
-                            kids = self._expand(u, gu, metrics)
+                            kids = self._expand(u, gu, metrics,
+                                                profile)
                         else:
                             kids = None
                         if limit:
@@ -418,7 +460,7 @@ class SmoothSolutionSolver:
                                     node=repr(u), depth=depth)
                         if kids is None:
                             # at the bound: frontier if extendable
-                            if self._extendable(u, gu):
+                            if self._extendable(u, gu, profile):
                                 result.frontier.append(u)
                             elif not limit:
                                 result.dead_ends.append(u)
@@ -434,6 +476,19 @@ class SmoothSolutionSolver:
                     if tracing:
                         metrics.gauge("solver.level_width").set(
                             len(next_level))
+                        profile.note(
+                            "expanded",
+                            session_explored - level_explored)
+                        profile.note(
+                            "accepted",
+                            len(result.finite_solutions)
+                            - level_accepted)
+                        profile.note(
+                            "dead_ends",
+                            len(result.dead_ends) - level_dead)
+                        profile.end_level(
+                            depth, len(level),
+                            time.perf_counter_ns() - level_t0)
                     level = next_level
                 if result.truncated or not level:
                     break
@@ -447,16 +502,27 @@ class SmoothSolutionSolver:
                     len(result.dead_ends))
                 metrics.gauge("solver.frontier_size").set(
                     len(result.frontier))
-                result.metrics = metrics.summary()
                 root.annotate(nodes=explored,
                               solutions=len(result.finite_solutions),
                               truncated=result.truncated)
         if cache_key is not None and self._cacheable(result):
-            self.cache.put("solver", cache_key, result.to_payload())
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                self.cache.put("solver", cache_key,
+                               result.to_payload())
+                profile.add("cache.put",
+                            time.perf_counter_ns() - t0)
+            else:
+                self.cache.put("solver", cache_key,
+                               result.to_payload())
             if tracing:
                 tracer.event(
                     "cache.write", category="cache", track="solver",
                     key=self.cache.key_digest(cache_key)[:16])
+        if tracing:
+            profile.to_metrics(metrics)
+            result.metrics = metrics.summary()
+            result.profile = profile.summary()
         return result
 
     @staticmethod
@@ -469,15 +535,19 @@ class SmoothSolutionSolver:
                     and "wall-clock" in result.truncation_reason)
 
     def _expand(self, u: Trace, gu: object,
-                metrics: Optional[MetricsRegistry]
+                metrics: Optional[MetricsRegistry],
+                profile: Optional[object] = None
                 ) -> list[tuple[Trace, object]]:
         """The :meth:`children` computation against a precomputed
         ``g(u)``, returning ``(v, f(v))`` pairs so each child's left
         side is evaluated once and reused when the child is explored.
         With ``metrics`` attached, also narrated: one ``solver.prune``
         event per inadmissible candidate, branching and prune counts
-        into ``metrics``."""
+        into ``metrics``; with ``profile`` attached the candidate
+        scan's f-evaluation count and wall time are attributed to the
+        ``lhs.apply.expand`` site."""
         f = self.description.lhs
+        t0 = (time.perf_counter_ns() if profile is not None else 0)
         events = self._candidate_events(u)
         kids: list[tuple[Trace, object]] = []
         pruned = 0
@@ -498,19 +568,35 @@ class SmoothSolutionSolver:
                 len(events))
             metrics.counter("solver.candidates_pruned").inc(pruned)
             metrics.histogram("solver.branching").record(len(kids))
+        if profile is not None:
+            profile.add("lhs.apply.expand",
+                        time.perf_counter_ns() - t0,
+                        calls=len(events))
+            profile.note("proposed", len(events))
+            profile.note("pruned", pruned)
         return kids
 
-    def _extendable(self, u: Trace, gu: object) -> bool:
+    def _extendable(self, u: Trace, gu: object,
+                    profile: Optional[object] = None) -> bool:
         """Does ``u`` have at least one admissible extension?  The
         frontier probe: short-circuits at the first hit and reuses the
-        caller's ``g(u)``."""
+        caller's ``g(u)``.  With ``profile``, the f evaluations spent
+        probing are attributed to ``lhs.apply.probe``."""
         f = self.description.lhs
+        t0 = (time.perf_counter_ns() if profile is not None else 0)
+        tried = 0
+        hit = False
         for event in self._candidate_events(u):
             v = u.append(event)
+            tried += 1
             if self.description._leq(f.apply(v), gu,
                                      self.limit_depth):
-                return True
-        return False
+                hit = True
+                break
+        if profile is not None:
+            profile.add("lhs.apply.probe",
+                        time.perf_counter_ns() - t0, calls=tried)
+        return hit
 
     @staticmethod
     def _truncate(result: SolverResult,

@@ -33,7 +33,13 @@ package makes the execution structure itself observable:
 * :mod:`~repro.obs.htmlreport` — the self-contained static HTML
   flight-deck report written per grid run;
 * :mod:`~repro.obs.bench` — the benchmark trajectory
-  (``BENCH_history.jsonl``) appender and regression gate.
+  (``BENCH_history.jsonl``) appender and regression gate;
+* :mod:`~repro.obs.causality` — happens-before DAG reconstruction
+  from the event stream (Lamport clocks, fault-pipeline provenance,
+  deterministic digest, DOT/JSON/flow-arrow export) and the
+  divergence explainer behind ``diff --explain`` / ``why``;
+* :mod:`~repro.obs.profile` — solver hot-path cost attribution
+  (:class:`SolverProfile`) and collapsed-stack (speedscope) export.
 
 Instrumented layers: :mod:`repro.core.solver` (category ``solver``),
 :mod:`repro.kahn.runtime` + :mod:`repro.kahn.scheduler` (categories
@@ -41,6 +47,14 @@ Instrumented layers: :mod:`repro.core.solver` (category ``solver``),
 ``fault``/``supervision``/``harness``).
 """
 
+from repro.obs.causality import (
+    CausalGraph,
+    CausalNode,
+    DivergenceExplanation,
+    explain_divergence,
+    explain_records,
+    split_cells,
+)
 from repro.obs.diff import (
     RunDiff,
     ScheduleDiff,
@@ -101,10 +115,20 @@ from repro.obs.tracer import (
     Tracer,
 )
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+from repro.obs.profile import (
+    SolverProfile,
+    collapsed_stacks,
+    hotspots,
+    hotspots_from_metrics,
+    write_collapsed,
+)
 
 __all__ = [
+    "CausalGraph",
+    "CausalNode",
     "ConsoleSink",
     "Counter",
+    "DivergenceExplanation",
     "EventRecord",
     "FleetStatus",
     "Gauge",
@@ -126,13 +150,19 @@ __all__ = [
     "ScheduleDiff",
     "ScheduleExhausted",
     "Sink",
+    "SolverProfile",
     "SpanRecord",
     "StreamDivergence",
     "StreamingSink",
     "TelemetryMerger",
     "Tracer",
+    "collapsed_stacks",
     "diff_runs",
     "diff_schedules",
+    "explain_divergence",
+    "explain_records",
+    "hotspots",
+    "hotspots_from_metrics",
     "iter_fault_rngs",
     "merge_registries",
     "record_fault_rng",
@@ -141,6 +171,7 @@ __all__ = [
     "replay_supervised",
     "shrink_schedule",
     "snapshot_delta",
+    "split_cells",
     "stable_digest",
     "to_chrome_trace",
     "to_json_exposition",

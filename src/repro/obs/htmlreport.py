@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import QUANTILES
 from repro.obs.exposition import to_json_exposition
+from repro.obs.profile import hotspots_from_metrics
 
 _CSS = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
@@ -202,6 +203,18 @@ def render_html_report(report: Any,
     parts.append("</table>")
 
     if metrics_summary:
+        hotspot_rows = hotspots_from_metrics(metrics_summary)
+        if hotspot_rows:
+            parts.append("<h2>Solver hotspots</h2><table>")
+            parts.append("<tr><th>site</th><th>calls</th>"
+                         "<th>time</th><th>share</th></tr>")
+            for row in hotspot_rows:
+                parts.append(
+                    f'<tr><td class="mono">{_esc(row["site"])}</td>'
+                    f"<td>{_esc(row['calls'])}</td>"
+                    f"<td>{row['ns'] / 1e6:.3f}ms</td>"
+                    f"<td>{row['share'] * 100:.1f}%</td></tr>")
+            parts.append("</table>")
         histograms = {n: v for n, v in metrics_summary.items()
                       if isinstance(v, dict) and "buckets" in v}
         scalars = {n: v for n, v in metrics_summary.items()
@@ -230,7 +243,10 @@ def render_html_report(report: Any,
             parts.append("</table>")
         exposition = to_json_exposition(metrics_summary, meta=meta)
         blob = json.dumps(exposition, indent=2, sort_keys=True)
-        blob = blob.replace("</", "<\\/")   # keep the script block inert
+        # keep the script block inert: a metric/channel/agent name
+        # containing "</script" or "<!--" must not break out of it;
+        # < parses back to the same string
+        blob = blob.replace("<", "\\u003c")
         parts.append('<script type="application/json" id="metrics">')
         parts.append(blob)
         parts.append("</script>")

@@ -22,8 +22,18 @@ _PID = 1
 
 
 def to_chrome_trace(records: Iterable[Any],
-                    process_name: str = "repro") -> Dict[str, Any]:
-    """Build the Chrome-trace-event JSON object for ``records``."""
+                    process_name: str = "repro",
+                    flows: Iterable[Dict[str, Any]] = ()
+                    ) -> Dict[str, Any]:
+    """Build the Chrome-trace-event JSON object for ``records``.
+
+    ``flows`` layers Perfetto *flow arrows* (causal send→recv /
+    fault-pipeline edges) onto the timeline: each descriptor — as
+    produced by :meth:`repro.obs.causality.CausalGraph.flow_arrows` —
+    carries ``name``/``category`` plus source and destination
+    ``track``/``ts_ns``, and becomes a matched ``"ph": "s"`` /
+    ``"ph": "f"`` pair sharing one flow id.
+    """
     tids: Dict[str, int] = {}
     trace_events: List[Dict[str, Any]] = []
 
@@ -67,6 +77,23 @@ def to_chrome_trace(records: Iterable[Any],
                 "tid": tid,
                 "args": args,
             })
+    for flow_id, flow in enumerate(flows, start=1):
+        common = {
+            "name": flow.get("name", "flow"),
+            "cat": flow.get("category", "causal"),
+            "id": flow_id,
+            "pid": _PID,
+        }
+        trace_events.append({
+            **common, "ph": "s",
+            "ts": flow["src_ts_ns"] / 1000.0,
+            "tid": tid_for(flow["src_track"]),
+        })
+        trace_events.append({
+            **common, "ph": "f", "bp": "e",
+            "ts": flow["dst_ts_ns"] / 1000.0,
+            "tid": tid_for(flow["dst_track"]),
+        })
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -97,9 +124,11 @@ def rebase_records(records: Iterable[Any], offset_ns: int = 0,
 
 
 def write_chrome_trace(records: Iterable[Any], path: str,
-                       process_name: str = "repro") -> int:
+                       process_name: str = "repro",
+                       flows: Iterable[Dict[str, Any]] = ()) -> int:
     """Write the Perfetto-loadable JSON file; returns the event count."""
-    doc = to_chrome_trace(records, process_name=process_name)
+    doc = to_chrome_trace(records, process_name=process_name,
+                          flows=flows)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
     return len(doc["traceEvents"])

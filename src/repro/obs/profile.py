@@ -1,0 +1,197 @@
+"""Deterministic solver cost attribution + collapsed-stack export.
+
+The ROADMAP's "compile the hot path" item needs evidence before anyone
+touches ``f(v) ⊑ g(u)``: *where does ⊑-evaluation time actually go?*
+This module is that evidence, in two halves:
+
+* :class:`SolverProfile` — per-site evaluation counters and wall-time
+  for the solver's hot sites (``rhs.apply``, ``limit_report``, the
+  ``lhs.apply`` expand/probe scans, cache consults) plus a per-level
+  time series (frontier width, expansions, prunes, dead ends).  The
+  *counters* are deterministic — they must agree with the evaluation
+  counts pinned by ``tests/core/test_solver_memo.py`` (one ``g`` and
+  one limit check per node, ``f`` once per candidate) — while the
+  nanosecond columns are wall-clock and never enter any digest.
+  Filled by :meth:`SmoothSolutionSolver.explore` only when a tracer
+  is attached; ``NULL_TRACER`` runs never allocate one.
+
+* :func:`collapsed_stacks` / :func:`write_collapsed` — fold a tracer's
+  span records into Brendan-Gregg collapsed-stack lines
+  (``track;span;span <self-ns>``), the format speedscope and
+  ``flamegraph.pl`` import directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Hot-site display order for reports (unknown sites sort after).
+SITE_ORDER = ("rhs.apply", "lhs.apply.expand", "lhs.apply.probe",
+              "lhs.apply.root", "limit_report", "cache.get",
+              "cache.put")
+
+
+class SolverProfile:
+    """Per-site counters/timers and a per-level series for one
+    exploration.  Mutated on the solver's traced path only."""
+
+    __slots__ = ("sites", "levels", "_pending")
+
+    def __init__(self) -> None:
+        #: site -> [calls, ns]
+        self.sites: Dict[str, List[int]] = {}
+        self.levels: List[Dict[str, int]] = []
+        self._pending: Dict[str, int] = {}
+
+    def add(self, site: str, ns: int, calls: int = 1) -> None:
+        entry = self.sites.get(site)
+        if entry is None:
+            self.sites[site] = [calls, ns]
+        else:
+            entry[0] += calls
+            entry[1] += ns
+
+    def note(self, key: str, n: int = 1) -> None:
+        """Accumulate a per-level counter (folded by :meth:`end_level`)."""
+        self._pending[key] = self._pending.get(key, 0) + n
+
+    def end_level(self, depth: int, width: int, ns: int) -> None:
+        entry = {"depth": depth, "width": width, "ns": ns}
+        entry.update(self._pending)
+        self._pending = {}
+        self.levels.append(entry)
+
+    # -- derived -----------------------------------------------------------
+
+    def calls(self, site: str) -> int:
+        entry = self.sites.get(site)
+        return entry[0] if entry else 0
+
+    def f_evaluations(self) -> int:
+        """Total left-side evaluations across every site."""
+        return (self.calls("lhs.apply.expand")
+                + self.calls("lhs.apply.probe")
+                + self.calls("lhs.apply.root"))
+
+    def g_evaluations(self) -> int:
+        """Total right-side evaluations (exactly one per node)."""
+        return self.calls("rhs.apply")
+
+    def summary(self) -> Dict[str, Any]:
+        total_ns = sum(ns for _, ns in self.sites.values())
+        return {
+            "sites": {name: {"calls": calls, "ns": ns}
+                      for name, (calls, ns) in self.sites.items()},
+            "levels": list(self.levels),
+            "total_ns": total_ns,
+            "f_evaluations": self.f_evaluations(),
+            "g_evaluations": self.g_evaluations(),
+        }
+
+    def to_metrics(self, registry: Any) -> None:
+        """Mirror the counters into a metrics registry so the
+        Prometheus/JSON expositions carry them for free."""
+        for name, (calls, ns) in self.sites.items():
+            registry.counter(f"solver.site.{name}.calls").inc(calls)
+            registry.counter(f"solver.site.{name}.ns").inc(ns)
+
+
+def hotspots(profile_summary: Optional[Dict[str, Any]]
+             ) -> List[Dict[str, Any]]:
+    """Rank a profile summary's sites by time share (descending ns,
+    then the canonical site order so zero-time runs stay stable)."""
+    if not profile_summary:
+        return []
+    sites = profile_summary.get("sites") or {}
+    total = max(1, profile_summary.get("total_ns")
+                or sum(v.get("ns", 0) for v in sites.values()) or 1)
+    rank = {name: i for i, name in enumerate(SITE_ORDER)}
+    rows = [{
+        "site": name,
+        "calls": int(v.get("calls", 0)),
+        "ns": int(v.get("ns", 0)),
+        "share": v.get("ns", 0) / total,
+    } for name, v in sites.items()]
+    rows.sort(key=lambda r: (-r["ns"],
+                             rank.get(r["site"], len(SITE_ORDER)),
+                             r["site"]))
+    return rows
+
+
+def hotspots_from_metrics(summary: Optional[Dict[str, Any]]
+                          ) -> List[Dict[str, Any]]:
+    """Recover the hotspot ranking from an exported metrics summary
+    (the ``solver.site.*`` counters), e.g. inside the HTML report."""
+    if not summary:
+        return []
+    sites: Dict[str, Dict[str, int]] = {}
+    prefix = "solver.site."
+    for name, value in summary.items():
+        if not name.startswith(prefix) or not isinstance(
+                value, (int, float)):
+            continue
+        stem, _, col = name[len(prefix):].rpartition(".")
+        if col not in ("calls", "ns") or not stem:
+            continue
+        sites.setdefault(stem, {})[col] = int(value)
+    if not sites:
+        return []
+    return hotspots({"sites": sites,
+                     "total_ns": sum(v.get("ns", 0)
+                                     for v in sites.values())})
+
+
+# -- collapsed stacks ---------------------------------------------------------
+
+def collapsed_stacks(records: Iterable[Any]) -> Dict[str, int]:
+    """Fold span records into ``track;outer;inner -> self-time (ns)``.
+
+    Span nesting is reconstructed per track from the recorded
+    intervals (records arrive in span-*exit* order, so children
+    precede their parents in the stream; sorting by start time and
+    depth restores the call order).  Self time is a span's duration
+    minus its direct children's — clamped at zero against clock
+    jitter — so the folded weights sum to the roots' total time.
+    """
+    per_track: Dict[str, List[Any]] = {}
+    for rec in records:
+        if getattr(rec, "kind", "") == "span":
+            per_track.setdefault(rec.track, []).append(rec)
+    folded: Dict[str, int] = {}
+
+    def charge(track: str, names: List[str], self_ns: int) -> None:
+        key = ";".join([track] + names)
+        folded[key] = folded.get(key, 0) + max(0, self_ns)
+
+    for track in sorted(per_track):
+        spans = sorted(per_track[track],
+                       key=lambda r: (r.start_ns, r.depth,
+                                      -r.dur_ns))
+        # stack entries: [name, end_ns, dur_ns, children_ns]
+        stack: List[List[Any]] = []
+
+        def pop_one() -> None:
+            name, _, dur, children = stack.pop()
+            charge(track, [s[0] for s in stack] + [name],
+                   dur - children)
+            if stack:
+                stack[-1][3] += dur
+
+        for span in spans:
+            while stack and stack[-1][1] <= span.start_ns:
+                pop_one()
+            stack.append([span.name, span.start_ns + span.dur_ns,
+                          span.dur_ns, 0])
+        while stack:
+            pop_one()
+    return folded
+
+
+def write_collapsed(records: Iterable[Any], path: str) -> int:
+    """Write the collapsed-stack lines (speedscope-importable);
+    returns the number of distinct stacks."""
+    folded = collapsed_stacks(records)
+    with open(path, "w", encoding="utf-8") as fh:
+        for key in sorted(folded):
+            fh.write(f"{key} {folded[key]}\n")
+    return len(folded)

@@ -191,6 +191,107 @@ def render_fleet_status(snap: dict, width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def render_fleet_line(snap: dict) -> str:
+    """One-line fleet status for non-TTY ``python -m repro top``
+    output (logs, CI): no cursor movement, one line per refresh."""
+    total = snap.get("total") or 0
+    done = snap.get("done") or 0
+    frac = (done / total * 100) if total else 0.0
+    eta = snap.get("eta_s")
+    eta_text = "—" if eta is None else f"{eta:.1f}s"
+    state = "done" if snap.get("finished") else "running"
+    return (f"top {snap.get('scenario') or '?'} [{state}] "
+            f"{done}/{total} ({frac:.0f}%) "
+            f"busy {snap.get('busy', 0)}/{snap.get('workers', 0)} "
+            f"ok {snap.get('conforming', 0)} "
+            f"fail {snap.get('genuine_failures', 0)} "
+            f"retry {snap.get('retries', 0)} "
+            f"cached {snap.get('cached', 0)} "
+            f"elapsed {snap.get('elapsed_s', 0.0):.1f}s eta {eta_text}")
+
+
+def render_explanation(expl) -> str:
+    """Render a :class:`~repro.obs.causality.DivergenceExplanation`.
+
+    Output-first: names the first divergent delivery, then the root
+    decision node and the minimal causal chain connecting them.
+    """
+    if expl.identical:
+        return "runs causally identical (same deliveries, same decisions)"
+    lines = []
+    if expl.index is not None:
+        def show(d):
+            if d is None:
+                return "(no delivery — run ends earlier)"
+            return f"{d[1]!r} on {d[0]}"
+        lines.append(f"first divergent delivery at index {expl.index}:")
+        lines.append(f"  run A: {show(expl.delivery_a)}")
+        lines.append(f"  run B: {show(expl.delivery_b)}")
+    else:
+        lines.append("deliveries identical; decision streams differ:")
+    if expl.root is None:
+        lines.append("  no divergent decision found "
+                     "(runs differ only in length)")
+        return "\n".join(lines)
+    lines.append(f"root cause — first divergent decision "
+                 f"(run {expl.root_run}):")
+    lines.append(f"  {expl.root.label()}")
+    if expl.counterpart is not None:
+        other = "A" if expl.root_run == "B" else "B"
+        lines.append(f"  vs run {other}: {expl.counterpart.label()}")
+    else:
+        other = "A" if expl.root_run == "B" else "B"
+        lines.append(f"  (run {other} has no matching decision)")
+    if expl.chain:
+        lines.append("causal chain:")
+        for i, node in enumerate(expl.chain):
+            arrow = "  " if i == 0 else "  → "
+            lines.append(f"{arrow}{node.label()}")
+    if expl.total_deliveries:
+        lines.append(
+            f"impact: {expl.descendant_deliveries}/"
+            f"{expl.total_deliveries} deliveries in run "
+            f"{expl.root_run} causally descend from the root")
+    return "\n".join(lines)
+
+
+def render_hotspots(rows, title: str = "solver hotspots") -> str:
+    """Render :func:`repro.obs.profile.hotspots` rows as a table."""
+    if not rows:
+        return f"{title}: (none recorded — run with a tracer)"
+    table = render_table(
+        ("site", "calls", "ms", "share"),
+        [(r["site"], r["calls"], f"{r['ns'] / 1e6:.3f}",
+          f"{r['share'] * 100:.1f}%") for r in rows])
+    return f"{title}:\n" + "\n".join(
+        "  " + line for line in table.splitlines())
+
+
+def render_causal_summary(graph, max_chain: int = 12) -> str:
+    """Render a :class:`~repro.obs.causality.CausalGraph` overview:
+    size, digest, deliveries, decision count and the critical path."""
+    counts: Dict[str, int] = {}
+    for _, _, label in graph.edges:
+        counts[label] = counts.get(label, 0) + 1
+    edge_text = " ".join(f"{k}={counts[k]}" for k in sorted(counts))
+    lines = [
+        f"causal graph: {len(graph.nodes)} nodes, "
+        f"{len(graph.edges)} edges ({edge_text or 'none'})",
+        f"digest {graph.digest()[:16]}",
+        f"deliveries: {len(graph.deliveries)}  "
+        f"decisions: {len(graph.decisions())}",
+    ]
+    chain = graph.critical_path()
+    if chain:
+        lines.append(f"critical path ({len(chain)} events — the "
+                     "longest dependency chain):")
+        for node in chain[:max_chain]:
+            lines.append(f"  {node.label()}")
+        if len(chain) > max_chain:
+            lines.append(f"  … {len(chain) - max_chain} more")
+    return "\n".join(lines)
+
+
 def render_schedule(schedule, max_decisions: int = 8) -> str:
     """Render a flight-recorder :class:`~repro.obs.recorder.Schedule`.
 

@@ -86,3 +86,60 @@ class TestRenderHtmlReport:
         path = tmp_path / "r.html"
         text = write_html_report(_report(), str(path))
         assert path.read_text(encoding="utf-8") == text
+
+
+class _HostileCase:
+    plan = "<b>bold-plan</b>"
+    seed = 7
+    outcome = "conforms"
+    elapsed_s = 0.001
+    schedule = None
+
+
+class _HostileReport:
+    network = '<script>alert("net")</script>'
+    cases = [_HostileCase()]
+    genuine_failures = []
+    cached_cases = []
+    fleet_stats = {}
+    wall_clock_s = 0.0
+
+
+class TestHostileNames:
+    """Scenario/plan/channel names are user-controlled strings; none
+    of them may reach the page as live markup."""
+
+    def test_names_are_escaped_everywhere(self):
+        html = render_html_report(
+            _HostileReport(),
+            meta={"scenario": "<i>sly</i>"})
+        assert "<b>bold-plan</b>" not in html
+        assert "&lt;b&gt;bold-plan&lt;/b&gt;" in html
+        assert '<script>alert("net")</script>' not in html
+        assert "<i>sly</i>" not in html
+        # the only script element is the (absent) metrics block
+        assert html.count("<script") == 0
+
+    def test_hostile_metric_names_stay_out_of_markup(self):
+        summary = {
+            "chan.<b>wire</b>.depth": 3,
+            "evil</script><b>boom": {"buckets": {"0": 1}, "count": 1,
+                                     "total": 1.0, "min": 1, "max": 1,
+                                     "mean": 1.0},
+        }
+        html = render_html_report(_HostileReport(),
+                                  metrics_summary=summary)
+        assert "<b>wire</b>" not in html
+        assert "<b>boom" not in html
+        # exactly one script element: the inert metrics block
+        assert html.count("<script") == 1
+
+    def test_json_blob_neutralized_but_lossless(self):
+        summary = {"evil</script><b>x": 1}
+        html = render_html_report(_HostileReport(),
+                                  metrics_summary=summary)
+        payload = html.split('id="metrics">')[1].split("</script>")[0]
+        assert "<" not in payload
+        doc = json.loads(payload)
+        # <-escaping round-trips to the exact original name
+        assert doc["counters"]["evil</script><b>x"] == 1

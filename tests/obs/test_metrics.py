@@ -54,6 +54,66 @@ class TestHistogram:
         assert h.summary()["count"] == 0
 
 
+class TestHistogramQuantile:
+    def _h(self):
+        return MetricsRegistry().histogram("h")
+
+    def test_empty_histogram_returns_none(self):
+        h = self._h()
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None
+        assert h.quantile(1.0) is None
+
+    def test_out_of_range_q_raises(self):
+        import pytest
+
+        h = self._h()
+        h.record(1)
+        for bad in (-0.01, 1.01, 2.0):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+        # the endpoints themselves are valid
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 1.0
+
+    def test_single_bucket_collapses_to_observed_range(self):
+        # 5, 6, 7 all land in bucket 3 (4 < v <= 8); the bucket upper
+        # bound (8) is clamped to the observed max, so every quantile
+        # answers 7 — never a value the run did not produce
+        h = self._h()
+        for v in (5, 6, 7):
+            h.record(v)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == 7.0
+
+    def test_p99_exactly_on_bucket_boundary(self):
+        # 99 samples of 1 (bucket 0) + one outlier of 16 (bucket 4):
+        # rank = 0.99 * 100 = 99 lands *exactly* on bucket 0's
+        # cumulative count, and the >= walk must resolve inside it —
+        # the outlier only surfaces strictly above p99
+        h = self._h()
+        for _ in range(99):
+            h.record(1)
+        h.record(16)
+        assert h.quantile(0.99) == 1.0
+        assert h.quantile(0.991) == 16.0
+        assert h.quantile(1.0) == 16.0
+
+    def test_estimate_clamped_to_observed_extremes(self):
+        # a lone 3 sits in bucket 2 (upper bound 4): the estimate is
+        # clamped down to max=3 — never a value above what the run
+        # produced.  With {10, 100} a tiny q answers 10's bucket
+        # upper (16): an over-estimate, but still below the true max
+        h = self._h()
+        h.record(3)
+        assert h.quantile(0.5) == 3.0
+        h2 = self._h()
+        for v in (10, 100):
+            h2.record(v)
+        assert h2.quantile(0.0) == 16.0
+        assert h2.quantile(1.0) == 100.0
+
+
 class TestRegistrySummary:
     def test_summary_flattens_and_sorts(self):
         reg = MetricsRegistry()

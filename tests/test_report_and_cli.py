@@ -731,16 +731,181 @@ class TestBenchCli:
 
 class TestTopCli:
     def test_top_runs_grid_and_prints_scoreboard(self, capsys):
+        # stdout is captured (not a TTY): the scoreboard degrades to
+        # one plain line per refresh — no cursor control, CI-safe
         from repro.__main__ import main
 
         assert main(["top", "dfm", "--seeds", "1", "--workers", "2",
                      "--interval", "0.1"]) == 0
         out = capsys.readouterr().out
-        assert "repro top — grid dfm" in out
+        assert "top dfm [" in out
+        assert "\x1b[" not in out
         assert "report digest" in out
+        # the final refresh reports the finished grid
+        lines = [ln for ln in out.splitlines()
+                 if ln.startswith("top dfm")]
+        assert lines and "[done]" in lines[-1]
 
     def test_top_rejects_unknown_scenario(self, capsys):
         from repro.__main__ import main
 
         assert main(["top", "not-a-scenario"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestFleetLine:
+    def test_plain_line_format(self):
+        from repro.report import render_fleet_line
+
+        snap = {"scenario": "dfm", "total": 8, "done": 4,
+                "busy": 2, "workers": 2, "conforming": 3,
+                "genuine_failures": 1, "retries": 2, "cached": 1,
+                "elapsed_s": 1.25, "eta_s": 1.5, "finished": False}
+        line = render_fleet_line(snap)
+        assert line == ("top dfm [running] 4/8 (50%) busy 2/2 "
+                        "ok 3 fail 1 retry 2 cached 1 "
+                        "elapsed 1.2s eta 1.5s")
+        assert "\n" not in line and "\x1b" not in line
+
+    def test_finished_and_empty_snapshots(self):
+        from repro.report import render_fleet_line
+
+        done = render_fleet_line({"scenario": "dfm", "total": 2,
+                                  "done": 2, "finished": True,
+                                  "elapsed_s": 0.5})
+        assert "[done]" in done and "eta —" in done
+        bare = render_fleet_line({})
+        assert bare.startswith("top ? [running] 0/0 (0%)")
+
+
+class TestWhyCli:
+    def _pair(self, tmp_path):
+        from repro.__main__ import main
+
+        a = tmp_path / "a.schedule.json"
+        b = tmp_path / "b.schedule.json"
+        assert main(["record", "dfm", "--plan", "drop",
+                     "--seed", "11", "-o", str(a)]) == 0
+        assert main(["record", "dfm", "--plan", "drop",
+                     "--seed", "12", "-o", str(b)]) == 0
+        return a, b
+
+    def test_single_schedule_prints_causal_summary(self, tmp_path,
+                                                   capsys):
+        from repro.__main__ import main
+
+        a, _ = self._pair(tmp_path)
+        capsys.readouterr()
+        assert main(["why", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "causal graph:" in out
+        assert "digest" in out
+        assert "critical path" in out
+
+    def test_identical_pair_exits_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        a, _ = self._pair(tmp_path)
+        capsys.readouterr()
+        assert main(["why", str(a), str(a)]) == 0
+        assert "causally identical" in capsys.readouterr().out
+
+    def test_divergent_pair_explains_and_exits_one(self, tmp_path,
+                                                   capsys):
+        from repro.__main__ import main
+
+        a, b = self._pair(tmp_path)
+        capsys.readouterr()
+        assert main(["why", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "root cause" in out
+
+    def test_exports_dot_json_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        a, _ = self._pair(tmp_path)
+        dot = tmp_path / "g.dot"
+        js = tmp_path / "g.json"
+        trace = tmp_path / "g.trace.json"
+        assert main(["why", str(a), "--dot", str(dot),
+                     "--json", str(js), "--trace", str(trace)]) == 0
+        assert dot.read_text().startswith("digraph")
+        doc = json.loads(js.read_text())
+        assert doc["nodes"] and doc["digest"]
+        assert doc["critical_path"]
+        events = json.loads(trace.read_text())["traceEvents"]
+        phases = {e["ph"] for e in events}
+        # flow arrows ride on the timeline as matched s/f pairs
+        assert {"s", "f"} <= phases
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts and {e["id"] for e in starts} == finishes
+
+    def test_graph_json_digest_stable_across_reruns(self, tmp_path,
+                                                    capsys):
+        import json
+
+        from repro.__main__ import main
+
+        a, _ = self._pair(tmp_path)
+        j1 = tmp_path / "g1.json"
+        j2 = tmp_path / "g2.json"
+        assert main(["why", str(a), "--json", str(j1)]) == 0
+        assert main(["why", str(a), "--json", str(j2)]) == 0
+        assert json.loads(j1.read_text())["digest"] == \
+            json.loads(j2.read_text())["digest"]
+
+    def test_diff_explain_names_root_decision(self, tmp_path,
+                                              capsys):
+        from repro.__main__ import main
+
+        a, b = self._pair(tmp_path)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b), "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "root cause" in out
+        assert "causal chain" in out
+
+
+class TestSolveProfileCli:
+    def test_profile_prints_hotspot_table(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["solve", "dfm", "--depth", "3",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "solver hotspots" in out
+        assert "rhs.apply" in out
+        assert "result digest" in out
+
+    def test_profile_exports(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        pj = tmp_path / "prof.json"
+        folded = tmp_path / "prof.folded"
+        assert main(["solve", "dfm", "--depth", "3",
+                     "--profile-json", str(pj),
+                     "--profile-folded", str(folded)]) == 0
+        prof = json.loads(pj.read_text())
+        assert prof["g_evaluations"] > 0
+        assert prof["sites"]["rhs.apply"]["calls"] == \
+            prof["g_evaluations"]
+        lines = folded.read_text().splitlines()
+        assert lines and all(
+            ln.rsplit(" ", 1)[1].isdigit() for ln in lines)
+
+    def test_profile_does_not_change_the_result(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["solve", "dfm", "--depth", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["solve", "dfm", "--depth", "3",
+                     "--profile"]) == 0
+        profiled = capsys.readouterr().out
+        digest = [ln for ln in plain.splitlines()
+                  if ln.startswith("result digest")]
+        assert digest and digest[0] in profiled
