@@ -1,0 +1,166 @@
+"""[EXT] Compiled f(v) ⊑ g(u) hot path vs the memoized reference.
+
+The ROADMAP's "compile the hot path" item, cashed in: interning
+channels/messages to small ints, running the §3.3 BFS over flat
+packed traces, evaluating ``g`` over a whole frontier level in one
+batch, and collapsing the finite-fragment order tests to tuple prefix
+checks (see :mod:`repro.core.compiled`).  Timed cold — table build
+and closure compilation inside the measured region — against the
+PR-4 memoized reference loop at the same depth, with the speedup
+refused unless every observable artifact is bit-identical:
+
+* result digests at every depth up to the benchmark depth,
+* truncation + checkpoint-resume results across engine mixes,
+* the solver cache key (shared entries across engines),
+* conformance-grid schedule fingerprints (the grid conforms against
+  ``is_smooth_solution`` and must not notice the engine at all).
+"""
+
+import gc
+import os
+import time
+
+from conftest import banner, row
+
+from repro.channels.channel import Channel
+from repro.core.description import Description, combine
+from repro.core.solver import SmoothSolutionSolver, alphabet_candidates
+from repro.functions.base import chan
+from repro.functions.seq_fns import even_of, odd_of
+from repro.par import run_conformance_parallel
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+#: ≥10× is the tracked floor; measured ~20-40× on the CI runner.
+MIN_SPEEDUP = float(os.environ.get("COMPILE_MIN_SPEEDUP", "10"))
+
+
+def _dfm():
+    return combine([
+        Description(even_of(chan(D)), chan(B)),
+        Description(odd_of(chan(D)), chan(C)),
+    ], name="dfm")
+
+
+def _solver(compiled):
+    return SmoothSolutionSolver(
+        _dfm(), alphabet_candidates([B, C, D]), compiled=compiled)
+
+
+def _best_of(fn, repeats=5):
+    """Best-of-N wall clock with the collector paused: the speedup
+    row compares algorithms, not allocator luck."""
+    best = float("inf")
+    result = None
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - started)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return result, best
+
+
+def test_compiled_explore_speedup(benchmark):
+    """Cold compiled exploration vs the memoized reference at the
+    same depth: ≥10× on dfm depth 6, digest-identical throughout."""
+    depth = int(os.environ.get("SOLVER_COMPILE_DEPTH", "6"))
+
+    for d in range(depth + 1):
+        assert _solver(True).explore(d).digest() == \
+            _solver(False).explore(d).digest(), f"depth {d}"
+
+    # cold = a fresh solver per run, so interning + closure
+    # compilation are paid inside the measured region
+    ref, ref_s = _best_of(lambda: _solver(False).explore(depth),
+                          repeats=3)
+    com, com_s = _best_of(lambda: _solver(True).explore(depth))
+    result = benchmark(lambda: _solver(True).explore(depth))
+
+    assert com.digest() == ref.digest()
+    assert com.nodes_explored == ref.nodes_explored
+    speedup = ref_s / com_s if com_s > 0 else 0.0
+
+    banner("EXT-COMPILE",
+           "compiled hot path vs memoized reference (§3.3 dfm)")
+    row("depth", depth)
+    row("nodes explored", result.nodes_explored)
+    row("reference explore (ms, best-of-3)", round(ref_s * 1e3, 1))
+    row("compiled explore (ms, best-of-5)", round(com_s * 1e3, 1))
+    row("speedup", round(speedup, 2))
+    row("digests identical", True)
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled explore only {speedup:.1f}x faster than the "
+        f"reference at depth {depth} "
+        f"({ref_s * 1e3:.1f}ms -> {com_s * 1e3:.1f}ms); "
+        f"floor is {MIN_SPEEDUP:.0f}x")
+
+
+def test_compiled_equivalence_artifacts(tmp_path):
+    """The non-negotiables behind the speedup row: truncation,
+    checkpoint resume, cache keys and cache payloads are engine-
+    independent, bit for bit."""
+    from repro.cache.keys import solver_cache_key
+    from repro.cache.store import CacheStore
+
+    full = _solver(False).explore(4)
+
+    # truncate on one engine, resume on the other, both orders
+    mixes = []
+    for first, second in ((False, True), (True, False)):
+        part = _solver(first).explore(4, max_nodes=100)
+        resumed = _solver(second).explore(
+            4, resume_from=part.checkpoint())
+        mixes.append(resumed.digest() == full.digest())
+    assert all(mixes)
+
+    # one cache entry serves both engines
+    key_ref = solver_cache_key(
+        _dfm(), alphabet_candidates([B, C, D]), 4, 64, 200_000, None)
+    key_com = solver_cache_key(
+        _dfm(), alphabet_candidates([B, C, D]), 4, 64, 200_000, None)
+    assert key_ref == key_com
+    cache = CacheStore(tmp_path)
+    warm = _solver(True)
+    warm.cache = cache
+    warm.explore(4)
+    reader = _solver(False)
+    reader.cache = cache
+    assert reader.explore(4).digest() == full.digest()
+    assert cache.counters()["hit"] == 1
+
+    banner("EXT-COMPILE", "compiled/reference artifact equivalence")
+    row("resume digests identical (both mixes)", True)
+    row("cache keys identical", True)
+    row("cross-engine cache hit", True)
+
+
+def test_grid_schedule_digests_engine_independent(monkeypatch):
+    """A serial dfm conformance grid, with compilation available and
+    with it force-disabled: identical schedule digests and outcomes
+    (the grid's conformance check never routes through the engine)."""
+    def fingerprint(report):
+        return [
+            (case.plan, case.seed, case.outcome,
+             case.result.digest(),
+             case.schedule.digest() if case.schedule is not None
+             else None)
+            for case in report.cases
+        ]
+
+    normal = run_conformance_parallel("dfm", seeds=[0, 1], workers=1)
+    import repro.core.compiled as compiled_mod
+
+    monkeypatch.setattr(compiled_mod, "compile_description",
+                        lambda *a, **k: None)
+    forced = run_conformance_parallel("dfm", seeds=[0, 1], workers=1)
+    assert fingerprint(normal) == fingerprint(forced)
+    banner("EXT-COMPILE", "grid schedule digests engine-independent")
+    row("cells", len(normal.cases))
+    row("fingerprints identical", True)

@@ -1009,7 +1009,8 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
               cache_dir: str | None, fsync: bool = False,
               profile: bool = False,
               profile_json: str | None = None,
-              profile_folded: str | None = None) -> int:
+              profile_folded: str | None = None,
+              engine: str = "auto") -> int:
     """Run the §3.3 solver on a scenario's specification.
 
     A truncated exploration (node or wall-clock budget) exits 1 and —
@@ -1022,6 +1023,13 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
     (where ``f``/``g`` evaluation time goes); ``--profile-json``
     writes the full per-site/per-level profile and
     ``--profile-folded`` the collapsed stacks speedscope imports.
+
+    ``--engine`` picks the exploration path: ``auto`` (default)
+    compiles the hot path when the spec is in the compilable fragment,
+    ``reference`` forces the uncompiled loop (the before side of
+    before/after profiles), ``compiled`` demands compilation and
+    fails loudly when it is unavailable.  All three produce the same
+    digests.
     """
     from repro.core import SmoothSolutionSolver
     from repro.report import render_solver_result
@@ -1057,8 +1065,11 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
 
         ring = RingBufferSink(capacity=500_000)
         tracer = Tracer([ring])
+    compiled = {"auto": None, "reference": False,
+                "compiled": True}[engine]
     solver = SmoothSolutionSolver.over_channels(
-        spec, channels, cache=store, tracer=tracer)
+        spec, channels, cache=store, tracer=tracer,
+        compiled=compiled)
     resume_from = None
     if resume:
         from repro.cache import SolverCheckpoint
@@ -1377,6 +1388,12 @@ def main(argv: list[str] | None = None) -> int:
         "--profile-folded", default=None, metavar="PATH",
         help="write collapsed stacks (speedscope/flamegraph.pl "
              "importable)")
+    p_solve.add_argument(
+        "--engine", choices=("auto", "reference", "compiled"),
+        default="auto",
+        help="exploration path: auto-detect (default), force the "
+             "reference loop, or demand the compiled hot path — "
+             "digests are identical either way")
     _add_cache_options(p_solve)
 
     args = parser.parse_args(argv)
@@ -1424,7 +1441,7 @@ def main(argv: list[str] | None = None) -> int:
                          args.checkpoint_out, args.cache,
                          args.cache_dir, args.fsync,
                          args.profile, args.profile_json,
-                         args.profile_folded)
+                         args.profile_folded, args.engine)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

@@ -22,9 +22,16 @@ name.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.obs.recorder import stable_digest
+
+#: description object -> its digest.  A description's visible structure
+#: is immutable after construction, so the digest can be computed once;
+#: weak keys keep the memo from pinning descriptions alive.
+_DESCRIPTION_DIGESTS: "weakref.WeakKeyDictionary[Any, str]" = \
+    weakref.WeakKeyDictionary()
 
 
 def description_digest(description: Any) -> str:
@@ -34,7 +41,17 @@ def description_digest(description: Any) -> str:
     known) their channel supports — the identity under which a solver
     result may be reused.  Duck-typed so it also accepts
     ``DescriptionSystem`` (digests the combined description).
+    Memoized per object: the structure it digests is fixed at
+    construction time, and the solver consults it on every cache
+    lookup.
     """
+    try:
+        cached = _DESCRIPTION_DIGESTS.get(description)
+    except TypeError:  # unhashable / non-weakrefable duck type
+        cached = None
+    if cached is not None:
+        return cached
+    original = description
     combined = getattr(description, "combined", None)
     if combined is not None and not hasattr(description, "lhs"):
         description = combined()
@@ -50,7 +67,12 @@ def description_digest(description: Any) -> str:
         support = None
     if support is not None:
         payload["support"] = sorted(c.name for c in support)
-    return stable_digest(payload)
+    digest = stable_digest(payload)
+    try:
+        _DESCRIPTION_DIGESTS[original] = digest
+    except TypeError:
+        pass
+    return digest
 
 
 def candidate_identity(candidates: Any) -> Any:

@@ -1,0 +1,432 @@
+"""Compiled descriptions: the `f(v) ⊑ g(u)` hot path as closures.
+
+The §3.3 solver spends essentially all of its time evaluating the two
+sides of a description on finite traces and comparing the results
+under the prefix order.  The reference path does this with linked
+``Seq`` objects and lazy combinators — semantically exactly right and
+needlessly slow for the finite fragment the solver actually visits.
+
+This module compiles a :class:`~repro.core.description.Description`
+into closures over a *packed environment* (per-channel message tuples,
+see :mod:`repro.traces.intern`):
+
+* ``ChannelFn b``          →  ``env[cid(b)]`` (a tuple lookup);
+* ``ConstFn`` (finite)     →  the constant's flat tuple;
+* ``OpFn``                 →  the operation's ``tuple_face`` when it
+  has one (:mod:`repro.functions.seq_fns` attaches faces to every
+  paper operation), else a generic box/unbox wrapper;
+* ``TupleFn``              →  a tuple of compiled components;
+* the prefix test          →  :func:`repro.seq.packed.packed_leq`
+  (finite values make ``seq_leq`` a plain tuple-slice comparison);
+* the limit condition      →  ``fu == gu`` (finite values make
+  ``eq_upto`` exact equality at any depth).
+
+Compilation is deliberately *partial*: anything outside this fragment
+— subclassed descriptions (whose overridden hooks must keep firing),
+opaque ``LambdaFn``/``ProjectionFn``/``IdentityFn`` sides, lazy
+constants, non-sequence codomains, per-node candidate generators —
+returns ``None`` and the solver stays on the reference path.  A
+compile-time probe additionally evaluates both paths on the empty
+trace and every single-event trace and refuses to compile on any
+disagreement, so a mis-specified ``tuple_face`` degrades to the slow
+path instead of a wrong answer.  Side-by-side property tests pin the
+equivalence beyond the probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, List, Optional, Tuple
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.core.description import Description
+from repro.functions.base import (
+    ChannelFn,
+    ConstFn,
+    ContinuousFn,
+    OpFn,
+    TupleFn,
+)
+from repro.order.product import ProductCpo
+from repro.seq.finite import FiniteSeq, Seq
+from repro.seq.ordering import SequenceCpo
+from repro.seq.packed import packed_leq
+from repro.traces.intern import InternTable, PackedEnv
+from repro.traces.trace import Trace
+
+
+class CompiledEvalError(Exception):
+    """A compiled closure met a value outside the finite fragment.
+
+    Raised (rarely) when a generic op wrapper produces a value that
+    cannot be flattened back to a tuple.  The solver catches it and
+    restarts the exploration on the reference path.
+    """
+
+
+def _unbox(value: Any) -> tuple:
+    """Flatten an op result back to a plain tuple."""
+    if isinstance(value, FiniteSeq):
+        return value.items
+    if isinstance(value, Seq):
+        n = value.known_length()
+        if n is not None:
+            return value.take(n).items
+    raise CompiledEvalError(
+        f"operation produced a non-finite value: {value!r}"
+    )
+
+
+class CompiledSide:
+    """One side of a description as per-component closures.
+
+    ``evals[i]`` maps a packed environment to the i-th component's
+    value (a flat message tuple); ``reads[i]`` is the set of channel
+    ids that closure actually dereferences — the basis of the
+    incremental re-evaluation below.  ``is_product`` distinguishes a
+    ``TupleFn`` side (value = tuple of component values) from a plain
+    sequence-valued side (value = the single component's tuple).
+    """
+
+    __slots__ = ("evals", "reads", "is_product", "after")
+
+    def __init__(self, evals: Tuple[Callable[[PackedEnv], tuple], ...],
+                 reads: Tuple[FrozenSet[int], ...], is_product: bool):
+        self.evals = evals
+        self.reads = reads
+        self.is_product = is_product
+        #: cid -> specialized ``(env, parent_value) -> value`` closure;
+        #: filled by :meth:`bind` once the channel count is known
+        self.after: Tuple[Callable[[PackedEnv, Any], Any], ...] = ()
+
+    def eval(self, env: PackedEnv) -> Any:
+        """Full evaluation on an environment."""
+        if self.is_product:
+            return tuple(e(env) for e in self.evals)
+        return self.evals[0](env)
+
+    def eval_after(self, env: PackedEnv, parent_value: Any,
+                   cid: int) -> Any:
+        """Evaluation after appending one event on channel ``cid``.
+
+        Components that do not read ``cid`` cannot have changed —
+        each closure is a pure function of the environment slots in
+        its read set — so the parent's component value is reused.
+        On the dfm network this skips both ``f`` components for every
+        extension on an output channel.
+        """
+        if not self.is_product:
+            if cid in self.reads[0]:
+                return self.evals[0](env)
+            return parent_value
+        return tuple(
+            e(env) if cid in r else parent_value[i]
+            for i, (e, r) in enumerate(zip(self.evals, self.reads))
+        )
+
+    def bind(self, n_channels: int) -> None:
+        """Precompute one specialized ``after`` closure per channel.
+
+        The read-set dispatch of :meth:`eval_after` is loop-invariant
+        — which components a channel touches is fixed at compile time
+        — so the per-call membership tests and the genexpr are folded
+        away here: appending on an unread channel becomes an identity,
+        and small products get direct tuple constructors.
+        """
+        self.after = tuple(self._after_for(cid)
+                           for cid in range(n_channels))
+
+    def _after_for(self, cid: int) -> Callable[[PackedEnv, Any], Any]:
+        if not self.is_product:
+            if cid in self.reads[0]:
+                return lambda env, parent, _e=self.evals[0]: _e(env)
+            return lambda env, parent: parent
+        hot = tuple(cid in r for r in self.reads)
+        if not any(hot):
+            return lambda env, parent: parent
+        if len(self.evals) == 2:
+            e0, e1 = self.evals
+            if hot == (True, True):
+                return lambda env, parent: (e0(env), e1(env))
+            if hot == (True, False):
+                return lambda env, parent: (e0(env), parent[1])
+            return lambda env, parent: (parent[0], e1(env))
+        if all(hot):
+            return (lambda env, parent, _ev=self.evals:
+                    tuple(e(env) for e in _ev))
+        parts = tuple(e if h else None
+                      for e, h in zip(self.evals, hot))
+
+        def after(env: PackedEnv, parent: Any,
+                  _parts=parts) -> tuple:
+            return tuple(p(env) if p is not None else parent[i]
+                         for i, p in enumerate(_parts))
+
+        return after
+
+
+class CompiledDescription:
+    """A description compiled against a constant candidate alphabet.
+
+    ``actions`` is the precompiled per-candidate table the solver's
+    inner loop iterates: one ``(pair, cid, event)`` entry per
+    candidate event, in candidate order — the packed event, its
+    channel id, and the original :class:`Event` (used only when
+    tracing or unpacking).
+    """
+
+    __slots__ = ("description", "table", "lhs", "rhs", "actions",
+                 "leq", "root_env")
+
+    def __init__(self, description: Description, table: InternTable,
+                 lhs: CompiledSide, rhs: CompiledSide,
+                 leq: Callable[[Any, Any], bool]):
+        self.description = description
+        self.table = table
+        self.lhs = lhs
+        self.rhs = rhs
+        self.leq = leq
+        self.actions: Tuple[Tuple[Tuple[int, int], int, Event], ...] = \
+            tuple(
+                (table.intern_event(e), table.intern_event(e)[0], e)
+                for e in table.events
+            )
+        self.root_env = table.empty_env
+        lhs.bind(len(table.channels))
+        rhs.bind(len(table.channels))
+
+    # The limit condition f(u) = g(u): with both values finite,
+    # ``eq_upto`` at any depth is exact equality (see
+    # repro.seq.packed.packed_eq_upto), which on packed values is
+    # plain tuple equality.
+    @staticmethod
+    def limit_holds(fu: Any, gu: Any) -> bool:
+        return fu == gu
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+def _compile_fn(fn: ContinuousFn, channel_ids) -> Optional[
+        Tuple[Callable[[PackedEnv], tuple], FrozenSet[int]]]:
+    """Compile one (non-tuple) expression node; ``None`` = can't.
+
+    Exact-type checks throughout: a *subclass* of ``ChannelFn`` or
+    ``OpFn`` may override ``apply`` with instrumentation or different
+    semantics, and must keep going through the reference path.
+    """
+    kind = type(fn)
+    if kind is ChannelFn:
+        cid = channel_ids.get(fn.channel)
+        if cid is None:
+            return None
+        return (lambda env, _c=cid: env[_c]), frozenset((cid,))
+    if kind is ConstFn:
+        if type(fn.value) is not FiniteSeq:
+            return None  # lazy/opaque constants stay on the slow path
+        return (lambda env, _v=fn.value.items: _v), frozenset()
+    if kind is OpFn:
+        compiled = []
+        reads: FrozenSet[int] = frozenset()
+        for arg in fn.args:
+            sub = _compile_fn(arg, channel_ids)
+            if sub is None:
+                return None
+            compiled.append(sub[0])
+            reads |= sub[1]
+        face = getattr(fn.op, "tuple_face", None)
+        if face is not None:
+            if len(compiled) == 1:
+                return (lambda env, _f=face, _a=compiled[0]:
+                        _f(_a(env))), reads
+            args = tuple(compiled)
+            return (lambda env, _f=face, _as=args:
+                    _f(*(a(env) for a in _as))), reads
+        args = tuple(compiled)
+
+        def generic(env: PackedEnv, _op=fn.op, _as=args) -> tuple:
+            return _unbox(
+                _op(*(FiniteSeq.from_tuple(a(env)) for a in _as))
+            )
+
+        return generic, reads
+    # ProjectionFn / IdentityFn / LambdaFn / nested TupleFn / unknown
+    return None
+
+
+def _compile_side(fn: ContinuousFn, channel_ids
+                  ) -> Optional[CompiledSide]:
+    if type(fn) is TupleFn:
+        evals: List[Callable[[PackedEnv], tuple]] = []
+        reads: List[FrozenSet[int]] = []
+        for component in fn.components:
+            sub = _compile_fn(component, channel_ids)
+            if sub is None:
+                return None
+            evals.append(sub[0])
+            reads.append(sub[1])
+        return CompiledSide(tuple(evals), tuple(reads), True)
+    sub = _compile_fn(fn, channel_ids)
+    if sub is None:
+        return None
+    return CompiledSide((sub[0],), (sub[1],), False)
+
+
+def _leaf_channels(fn: ContinuousFn) -> Optional[FrozenSet[Channel]]:
+    """Channels observed by the compilable fragment; ``None`` = out."""
+    kind = type(fn)
+    if kind is ChannelFn:
+        return frozenset((fn.channel,))
+    if kind is ConstFn:
+        return frozenset()
+    if kind is OpFn:
+        out: FrozenSet[Channel] = frozenset()
+        for arg in fn.args:
+            sub = _leaf_channels(arg)
+            if sub is None:
+                return None
+            out |= sub
+        return out
+    if kind is TupleFn:
+        out = frozenset()
+        for component in fn.components:
+            sub = _leaf_channels(component)
+            if sub is None:
+                return None
+            out |= sub
+        return out
+    return None
+
+
+def _codomain_arity(codomain: Any) -> Optional[int]:
+    """Component count of a compilable codomain; ``None`` = can't.
+
+    Only flat shapes compile: a bare sequence cpo (arity 0, meaning
+    "not a product") or a product of sequence cpos.  Trace-valued and
+    flat-domain codomains keep the reference comparison semantics.
+    """
+    if type(codomain) is SequenceCpo:
+        return 0
+    if type(codomain) is ProductCpo:
+        for component in codomain.components:
+            if type(component) is not SequenceCpo:
+                return None
+        return len(codomain.components)
+    return None
+
+
+def _pack_reference_value(value: Any) -> Optional[Any]:
+    """A reference-path value in packed form (for the probe)."""
+    if isinstance(value, tuple):
+        parts = []
+        for v in value:
+            packed = _pack_reference_value(v)
+            if packed is None:
+                return None
+            parts.append(packed)
+        return tuple(parts)
+    if isinstance(value, Seq):
+        n = value.known_length()
+        if n is None:
+            return None
+        return value.take(n).items
+    return None
+
+
+def compile_description(description: Description,
+                        candidates: Any) -> Optional[CompiledDescription]:
+    """Compile ``description`` against a candidate generator.
+
+    Returns ``None`` whenever *any* precondition fails — the caller
+    falls back to the reference path, never to an error:
+
+    * the description must be exactly :class:`Description` (subclasses
+      override hooks the compiled loop would bypass);
+    * the candidate generator must publish a constant alphabet
+      (``constant_events``);
+    * both sides must lie in the compilable expression fragment and
+      agree with the codomain's (product) shape;
+    * a probe run over the empty and all single-event traces must
+      match the reference path bit-for-bit.
+    """
+    if type(description) is not Description:
+        return None
+    events = getattr(candidates, "constant_events", None)
+    if events is None:
+        return None
+    lhs_channels = _leaf_channels(description.lhs)
+    rhs_channels = _leaf_channels(description.rhs)
+    if lhs_channels is None or rhs_channels is None:
+        return None
+    try:
+        table = InternTable(
+            events,
+            extra_channels=sorted(lhs_channels | rhs_channels,
+                                  key=lambda c: c.name),
+        )
+    except TypeError:
+        return None  # unhashable message: cannot intern
+    lhs = _compile_side(description.lhs, table.channel_ids)
+    rhs = _compile_side(description.rhs, table.channel_ids)
+    if lhs is None or rhs is None:
+        return None
+
+    arity = _codomain_arity(description.codomain)
+    if arity is None:
+        return None
+    if arity == 0:
+        if lhs.is_product or rhs.is_product:
+            return None
+        leq = packed_leq
+    else:
+        if not (lhs.is_product and rhs.is_product):
+            return None
+        if not (len(lhs.evals) == len(rhs.evals) == arity):
+            return None
+        if arity == 2:
+            def leq(a: tuple, b: tuple) -> bool:
+                a0, a1 = a
+                b0, b1 = b
+                return (b0[: len(a0)] == a0
+                        and b1[: len(a1)] == a1)
+        else:
+            def leq(a: tuple, b: tuple) -> bool:
+                for x, y in zip(a, b):
+                    if y[: len(x)] != x:
+                        return False
+                return True
+
+    compiled = CompiledDescription(description, table, lhs, rhs, leq)
+    if not _probe_agrees(compiled):
+        return None
+    return compiled
+
+
+def _probe_agrees(compiled: CompiledDescription) -> bool:
+    """Compare compiled vs reference on depth ≤ 1 traces.
+
+    Cheap (the traces have at most one event) and catches the likely
+    failure modes — a wrong ``tuple_face``, an op that secretly
+    inspects laziness, a codomain whose values aren't sequences —
+    before the solver commits to the compiled loop.
+    """
+    description = compiled.description
+    probes = [(Trace.empty(), compiled.root_env)]
+    for pair, _cid, event in compiled.actions:
+        probes.append((
+            Trace.empty().append(event),
+            compiled.table.extend_env(compiled.root_env, pair),
+        ))
+    try:
+        for trace, env in probes:
+            for side, compiled_side in ((description.lhs, compiled.lhs),
+                                        (description.rhs, compiled.rhs)):
+                want = _pack_reference_value(side.apply(trace))
+                if want is None or compiled_side.eval(env) != want:
+                    return False
+    except Exception:
+        # any probe failure at all means "do not compile" — the
+        # reference path is always available and always right
+        return False
+    return True

@@ -76,6 +76,11 @@ def alphabet_candidates(channels: Iterable[Channel]) -> CandidateFn:
         "kind": "alphabet",
         "events": [[e.channel.name, repr(e.message)] for e in events],
     }
+    # the published constant alphabet is what makes the generator
+    # *compilable*: the solver's packed hot path interns exactly these
+    # events (per-node generators have no such attribute and keep the
+    # solver on the reference path)
+    candidates.constant_events = tuple(events)
     return candidates
 
 
@@ -215,7 +220,8 @@ class SmoothSolutionSolver:
                  candidates: CandidateFn,
                  limit_depth: int = DEFAULT_DEPTH,
                  tracer: Optional[Tracer] = None,
-                 cache: Optional[object] = None):
+                 cache: Optional[object] = None,
+                 compiled: Optional[bool] = None):
         self.description = description
         self.candidates = candidates
         self.limit_depth = limit_depth
@@ -224,17 +230,25 @@ class SmoothSolutionSolver:
         #: :meth:`explore` consults it before searching and stores
         #: completed results after
         self.cache = cache
+        #: compiled hot path: ``None`` (default) auto-detects — use
+        #: the packed representation when the description and
+        #: candidate generator compile (see :mod:`repro.core
+        #: .compiled`), else the reference path.  ``False`` forces the
+        #: reference path; ``True`` demands compilation and makes
+        #: :meth:`explore` raise if it is unavailable.
+        self.compiled = compiled
 
     @classmethod
     def over_channels(cls, description: Description,
                       channels: Iterable[Channel],
                       limit_depth: int = DEFAULT_DEPTH,
                       tracer: Optional[Tracer] = None,
-                      cache: Optional[object] = None
+                      cache: Optional[object] = None,
+                      compiled: Optional[bool] = None
                       ) -> "SmoothSolutionSolver":
         return cls(description, alphabet_candidates(channels),
                    limit_depth=limit_depth, tracer=tracer,
-                   cache=cache)
+                   cache=cache, compiled=compiled)
 
     # -- tree structure ------------------------------------------------------
 
@@ -319,6 +333,16 @@ class SmoothSolutionSolver:
         exactly once.  The frontier-extendability probe at the depth
         bound short-circuits at the first admissible candidate instead
         of re-running the full scan.
+
+        When the description and candidate generator lie in the
+        compilable finite fragment (see :mod:`repro.core.compiled`),
+        the same BFS runs over interned channels/messages and flat
+        packed traces with batched per-level ``g`` evaluation — an
+        order of magnitude faster, and bit-identical at this API
+        boundary: results, digests, checkpoints and cache payloads
+        match the reference path exactly (pinned by
+        ``tests/core/test_compiled_solver.py``).  The ``compiled``
+        constructor flag selects the engine explicitly.
         """
         deadline = (None if budget_seconds is None
                     else time.monotonic() + budget_seconds)
@@ -362,6 +386,49 @@ class SmoothSolutionSolver:
         result = SolverResult(
             depth=max_depth, limit_depth=self.limit_depth,
             description_name=getattr(self.description, "name", ""))
+        compiled = None
+        if self.compiled is not False:
+            from repro.core.compiled import compile_description
+
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                compiled = compile_description(
+                    self.description, self.candidates)
+                profile.add("compile.build",
+                            time.perf_counter_ns() - t0)
+            else:
+                compiled = compile_description(
+                    self.description, self.candidates)
+            if compiled is None and self.compiled is True:
+                raise ValueError(
+                    "compiled=True, but this description/candidate "
+                    "pair is outside the compilable fragment (see "
+                    "repro.core.compiled for the preconditions)")
+        if compiled is not None:
+            from repro.core.compiled import CompiledEvalError
+
+            try:
+                return self._explore_compiled(
+                    compiled, result, max_depth, max_nodes,
+                    budget_seconds, deadline, resume_from, metrics,
+                    profile, cache_key)
+            except CompiledEvalError as exc:
+                # a compiled closure left the finite fragment mid-run
+                # (possible only for exotic ops that slipped past the
+                # compile-time probe): restart cleanly on the
+                # always-correct reference path
+                if tracing:
+                    tracer.event(
+                        "solver.compiled_fallback", category="solver",
+                        track="solver", reason=str(exc))
+                fallback = SmoothSolutionSolver(
+                    self.description, self.candidates,
+                    limit_depth=self.limit_depth, tracer=self.tracer,
+                    cache=self.cache, compiled=False)
+                return fallback.explore(
+                    max_depth, max_nodes=max_nodes,
+                    budget_seconds=budget_seconds,
+                    resume_from=resume_from)
         # level entries are ``(u, f(u))``: f was computed when u was a
         # candidate of its parent (or re-derived from the checkpoint),
         # so it rides along instead of being recomputed per node
@@ -617,6 +684,332 @@ class SmoothSolutionSolver:
         result.unvisited.extend(u for u, _ in unvisited)
         result.unvisited.extend(v for v, _ in next_level)
 
+    # -- compiled engine ------------------------------------------------------
+
+    def _explore_compiled(self, compiled, result: SolverResult,
+                          max_depth: int, max_nodes: int,
+                          budget_seconds: Optional[float],
+                          deadline: Optional[float],
+                          resume_from: Optional[object],
+                          metrics: Optional[MetricsRegistry],
+                          profile: Optional[object],
+                          cache_key: Optional[dict]) -> SolverResult:
+        """The :meth:`explore` BFS over the packed representation.
+
+        Same traversal, same truncation points, same tracer events and
+        profile sites as the reference loop — only the representation
+        differs.  A node is ``(packed, env, f(u), parent g(u), last
+        cid)``: the packed trace, its per-channel environment, the
+        left value carried from the parent's scan, and what is needed
+        to re-evaluate ``g`` incrementally.  The right side is
+        evaluated for a whole level in one batch (chunked to the node
+        budget so truncation points stay deterministic; with a
+        wall-clock deadline the evaluation is per-node, as the
+        reference's per-node clock checks are), components whose read
+        set excludes the appended channel reuse the parent's value,
+        and ``f(v) ⊑ g(u)`` is a compiled prefix test on flat tuples.
+        Packed traces are unpacked only at the API boundary — same
+        event objects in the same BFS order as the reference path, so
+        digests, checkpoints and cache payloads are bit-identical.
+        """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        table = compiled.table
+        actions = compiled.actions
+        lhs, rhs, leq = compiled.lhs, compiled.rhs, compiled.leq
+        # loop-invariant lookups hoisted out of the per-node work;
+        # acts carries the raw message so the one-slot environment
+        # surgery below needs no table call per candidate
+        lhs_after = lhs.after
+        rhs_after = rhs.after
+        acts = tuple((pair, pair[0], table.messages[pair[1]], event)
+                     for pair, _cid, event in actions)
+        fin_packed: list[tuple] = []
+        frontier_packed: list[tuple] = []
+        dead_packed: list[tuple] = []
+        parked_packed: list[tuple] = []
+        pending: dict[int, list[tuple]] = {}
+        explored = 0
+        if resume_from is None:
+            start_depth = 0
+            root_env = compiled.root_env
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                root_f = lhs.eval(root_env)
+                profile.add("lhs.apply.root",
+                            time.perf_counter_ns() - t0)
+            else:
+                root_f = lhs.eval(root_env)
+            level: list[tuple] = [((), root_env, root_f, None, -1)]
+        else:
+            checkpoint = self._coerce_checkpoint(resume_from)
+            self._validate_checkpoint(checkpoint, max_depth)
+            pending = self._resume_seeds_packed(
+                checkpoint, result, compiled)
+            explored = checkpoint.nodes_explored
+            if not pending:
+                result.nodes_explored = explored
+                return result
+            start_depth = min(pending)
+            level = pending.pop(start_depth)
+        session_explored = 0
+        with tracer.span("solver.explore", category="solver",
+                         track="solver", depth=max_depth,
+                         max_nodes=max_nodes,
+                         resumed=resume_from is not None,
+                         limit_depth=self.limit_depth) as root:
+            for depth in range(start_depth, max_depth + 1):
+                with tracer.span("solver.level", category="solver",
+                                 track="solver", depth=depth,
+                                 width=len(level)):
+                    if profile is not None:
+                        level_t0 = time.perf_counter_ns()
+                        level_explored = session_explored
+                        level_accepted = len(fin_packed)
+                        level_dead = len(dead_packed)
+                    next_level: list[tuple] = pending.pop(depth + 1, [])
+                    width = len(level)
+                    budget_left = max_nodes - session_explored
+                    n_ready = (width if budget_left >= width
+                               else max(budget_left, 0))
+                    gs = None
+                    if deadline is None and n_ready:
+                        # batched g over the level: one pass instead
+                        # of a per-node call, chunked to the node
+                        # budget so exactly the nodes the reference
+                        # would visit are evaluated
+                        ready = (level if n_ready == width
+                                 else level[:n_ready])
+                        if profile is not None:
+                            t0 = time.perf_counter_ns()
+                            gs = [rhs.eval(env) if pgu is None
+                                  else rhs_after[cid](env, pgu)
+                                  for (_p, env, _f, pgu, cid) in ready]
+                            profile.add("rhs.apply",
+                                        time.perf_counter_ns() - t0,
+                                        calls=n_ready)
+                        else:
+                            gs = [rhs.eval(env) if pgu is None
+                                  else rhs_after[cid](env, pgu)
+                                  for (_p, env, _f, pgu, cid) in ready]
+                    for i in range(width):
+                        reason = ""
+                        if i >= n_ready:
+                            reason = (f"node budget ({max_nodes}) "
+                                      f"exhausted at depth {depth}")
+                        elif deadline is not None and \
+                                time.monotonic() > deadline:
+                            reason = (f"wall-clock budget "
+                                      f"({budget_seconds}s) exhausted "
+                                      f"at depth {depth}")
+                        if reason:
+                            result.truncated = True
+                            result.truncation_reason = reason
+                            parked_packed.extend(
+                                n[0] for n in level[i:])
+                            parked_packed.extend(
+                                n[0] for n in next_level)
+                            if tracing:
+                                tracer.event(
+                                    "solver.truncate",
+                                    category="solver", track="solver",
+                                    reason=reason,
+                                    parked=len(parked_packed))
+                            break
+                        packed, env, fu, pgu, cid = level[i]
+                        explored += 1
+                        session_explored += 1
+                        if gs is not None:
+                            gu = gs[i]
+                        elif profile is not None:
+                            t0 = time.perf_counter_ns()
+                            gu = (rhs.eval(env) if pgu is None
+                                  else rhs_after[cid](env, pgu))
+                            profile.add("rhs.apply",
+                                        time.perf_counter_ns() - t0)
+                        else:
+                            gu = (rhs.eval(env) if pgu is None
+                                  else rhs_after[cid](env, pgu))
+                        if profile is not None:
+                            t0 = time.perf_counter_ns()
+                            limit = fu == gu
+                            profile.add("limit_report",
+                                        time.perf_counter_ns() - t0)
+                        else:
+                            # the limit condition f(u) = g(u): exact
+                            # equality, because both values are finite
+                            limit = fu == gu
+                        u_repr = (repr(table.unpack(packed))
+                                  if tracing else "")
+                        if depth < max_depth:
+                            t0 = (time.perf_counter_ns()
+                                  if profile is not None else 0)
+                            kids: Optional[list[tuple]] = []
+                            pruned = 0
+                            for pair, acid, msg, event in acts:
+                                env_v = (env[:acid]
+                                         + (env[acid] + (msg,),)
+                                         + env[acid + 1:])
+                                fv = lhs_after[acid](env_v, fu)
+                                if leq(fv, gu):
+                                    kids.append(
+                                        (packed + (pair,), env_v, fv,
+                                         gu, acid))
+                                else:
+                                    pruned += 1
+                                    if metrics is not None:
+                                        tracer.event(
+                                            "solver.prune",
+                                            category="solver",
+                                            track="solver",
+                                            node=u_repr,
+                                            candidate=repr(event),
+                                            reason="f(v) ⋢ g(u)")
+                            if metrics is not None:
+                                metrics.counter(
+                                    "solver.candidates_proposed").inc(
+                                        len(actions))
+                                metrics.counter(
+                                    "solver.candidates_pruned").inc(
+                                        pruned)
+                                metrics.histogram(
+                                    "solver.branching").record(
+                                        len(kids))
+                            if profile is not None:
+                                profile.add(
+                                    "lhs.apply.expand",
+                                    time.perf_counter_ns() - t0,
+                                    calls=len(actions))
+                                profile.note("proposed", len(actions))
+                                profile.note("pruned", pruned)
+                        else:
+                            kids = None
+                        if limit:
+                            fin_packed.append(packed)
+                            if tracing:
+                                tracer.event(
+                                    "solver.accept",
+                                    category="solver", track="solver",
+                                    node=u_repr, depth=depth)
+                        if kids is None:
+                            # at the bound: frontier if extendable
+                            # (short-circuit probe, g(u) reused)
+                            t0 = (time.perf_counter_ns()
+                                  if profile is not None else 0)
+                            tried = 0
+                            hit = False
+                            for pair, acid, msg, _event in acts:
+                                env_v = (env[:acid]
+                                         + (env[acid] + (msg,),)
+                                         + env[acid + 1:])
+                                tried += 1
+                                if leq(lhs_after[acid](env_v, fu), gu):
+                                    hit = True
+                                    break
+                            if profile is not None:
+                                profile.add(
+                                    "lhs.apply.probe",
+                                    time.perf_counter_ns() - t0,
+                                    calls=tried)
+                            if hit:
+                                frontier_packed.append(packed)
+                            elif not limit:
+                                dead_packed.append(packed)
+                            continue
+                        if not kids and not limit:
+                            dead_packed.append(packed)
+                            if tracing:
+                                tracer.event(
+                                    "solver.dead_end",
+                                    category="solver", track="solver",
+                                    node=u_repr, depth=depth)
+                        next_level.extend(kids)
+                    if tracing:
+                        metrics.gauge("solver.level_width").set(
+                            len(next_level))
+                        profile.note(
+                            "expanded",
+                            session_explored - level_explored)
+                        profile.note(
+                            "accepted", len(fin_packed) - level_accepted)
+                        profile.note(
+                            "dead_ends", len(dead_packed) - level_dead)
+                        profile.end_level(
+                            depth, len(level),
+                            time.perf_counter_ns() - level_t0)
+                    level = next_level
+                if result.truncated or not level:
+                    break
+            result.nodes_explored = explored
+            # unpack at the API boundary: the same Event objects in
+            # the same BFS order the reference path would append, so
+            # everything downstream is bit-identical
+            unpack = table.unpack
+            result.finite_solutions.extend(
+                unpack(p) for p in fin_packed)
+            result.frontier.extend(unpack(p) for p in frontier_packed)
+            result.dead_ends.extend(unpack(p) for p in dead_packed)
+            result.unvisited.extend(unpack(p) for p in parked_packed)
+            if tracing:
+                metrics.counter("solver.nodes_expanded").inc(
+                    session_explored)
+                metrics.counter("solver.finite_solutions").inc(
+                    len(result.finite_solutions))
+                metrics.counter("solver.dead_ends").inc(
+                    len(result.dead_ends))
+                metrics.gauge("solver.frontier_size").set(
+                    len(result.frontier))
+                root.annotate(nodes=explored,
+                              solutions=len(result.finite_solutions),
+                              truncated=result.truncated)
+        if cache_key is not None and self._cacheable(result):
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                self.cache.put("solver", cache_key,
+                               result.to_payload())
+                profile.add("cache.put",
+                            time.perf_counter_ns() - t0)
+            else:
+                self.cache.put("solver", cache_key,
+                               result.to_payload())
+            if tracing:
+                tracer.event(
+                    "cache.write", category="cache", track="solver",
+                    key=self.cache.key_digest(cache_key)[:16])
+        if tracing:
+            profile.to_metrics(metrics)
+            result.metrics = metrics.summary()
+            result.profile = profile.summary()
+        return result
+
+    def _resume_seeds_packed(self, checkpoint, result: SolverResult,
+                             compiled) -> dict[int, list[tuple]]:
+        """Checkpoint resume for the compiled engine.
+
+        Carried traces are replayed exactly as in
+        :meth:`_resume_seeds` — witness-path validation through the
+        live description, on the reference path, so a corrupt
+        checkpoint is caught identically — and the unvisited seeds
+        are then packed, with their ``f`` values computed by the
+        compiled closures.
+        """
+        result.finite_solutions.extend(
+            self._walk_path(key) for key in checkpoint.finite_solutions)
+        result.frontier.extend(
+            self._walk_path(key) for key in checkpoint.frontier)
+        result.dead_ends.extend(
+            self._walk_path(key) for key in checkpoint.dead_ends)
+        table = compiled.table
+        lhs = compiled.lhs
+        seeds: dict[int, list[tuple]] = {}
+        for key in checkpoint.unvisited:
+            u = self._walk_path(key)
+            packed = table.pack(u)
+            env = table.env_of(packed)
+            seeds.setdefault(len(packed), []).append(
+                (packed, env, lhs.eval(env), None, -1))
+        return seeds
+
     # -- checkpoint / resume --------------------------------------------------
 
     @staticmethod
@@ -819,18 +1212,21 @@ def solve(description: Description, channels: Iterable[Channel],
           max_depth: int,
           limit_depth: int = DEFAULT_DEPTH,
           tracer: Optional[Tracer] = None,
-          cache: Optional[object] = None) -> SolverResult:
+          cache: Optional[object] = None,
+          compiled: Optional[bool] = None) -> SolverResult:
     """One-call convenience: explore over the channels' alphabets.
 
     With ``cache`` (a :class:`repro.cache.CacheStore`), the
     exploration consults the persistent result store first and stores
     its result back — a repeated ``solve`` of the same description /
     alphabet / budgets is a disk read, digest-identical to the
-    computed one.
+    computed one.  ``compiled`` selects the exploration engine (see
+    :class:`SmoothSolutionSolver`): ``None`` auto-detects, ``False``
+    forces the reference path, ``True`` demands the compiled one.
     """
     solver = SmoothSolutionSolver.over_channels(
         description, channels, limit_depth=limit_depth, tracer=tracer,
-        cache=cache
+        cache=cache, compiled=compiled
     )
     return solver.explore(max_depth)
 

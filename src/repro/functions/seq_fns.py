@@ -38,6 +38,23 @@ from repro.seq.combinators import (
 from repro.seq.finite import EMPTY, FiniteSeq, Seq, fseq
 from repro.seq.lazy import LazySeq
 
+
+def _with_face(op, face):
+    """Attach a *tuple face* to a sequence operation.
+
+    A tuple face is the operation restricted to finite sequences
+    represented as plain tuples: it receives one tuple per argument
+    and must return the tuple that ``op`` on the corresponding
+    ``FiniteSeq`` arguments would produce (it must be pure — same
+    tuples in, same tuple out).  The compiled solver path
+    (:mod:`repro.core.compiled`) dispatches to faces to skip the
+    ``Seq`` boxing entirely; operations without a face still compile
+    through a generic box/unbox wrapper, just more slowly.
+    """
+    op.tuple_face = face
+    return op
+
+
 # ---------------------------------------------------------------------------
 # Subsequence filters
 # ---------------------------------------------------------------------------
@@ -195,6 +212,37 @@ def zip_pairs(a: Seq, b: Seq) -> Seq:
 
 
 # ---------------------------------------------------------------------------
+# Tuple faces (compiled finite fragment of the operations above)
+# ---------------------------------------------------------------------------
+
+def _count_ticks_face(t: tuple) -> tuple:
+    count = 0
+    for x in t:
+        if x == "F":
+            return (count,)
+        count += 1
+    return ()
+
+
+def _until_first_f_face(t: tuple) -> tuple:
+    for i, x in enumerate(t):
+        if x == "F":
+            return t[:i]
+    return t
+
+
+_with_face(even_filter, lambda t: tuple(n for n in t if n % 2 == 0))
+_with_face(odd_filter, lambda t: tuple(n for n in t if n % 2 != 0))
+_with_face(true_filter, lambda t: tuple(x for x in t if x == "T"))
+_with_face(false_filter, lambda t: tuple(x for x in t if x == "F"))
+_with_face(until_first_f, _until_first_f_face)
+_with_face(count_ticks, _count_ticks_face)
+_with_face(brock_f, lambda t: (t[0] + 1,) if len(t) >= 2 else ())
+_with_face(untag, lambda t: tuple(p[1] for p in t))
+_with_face(zip_pairs, lambda a, b: tuple(zip(a, b)))
+
+
+# ---------------------------------------------------------------------------
 # Lifts to continuous trace functions
 # ---------------------------------------------------------------------------
 
@@ -217,26 +265,41 @@ def false_of(fn: ContinuousFn) -> OpFn:
 def tagged_of(tag: Any, fn: ContinuousFn) -> OpFn:
     label = "ZERO" if tag == 0 else "ONE" if tag == 1 else f"TAG{tag!r}"
     return OpFn(f"{label}({fn.name})",
-                lambda s: tagged_filter(tag, s), [fn])
+                _with_face(
+                    lambda s: tagged_filter(tag, s),
+                    lambda t: tuple(
+                        p for p in t
+                        if isinstance(p, tuple) and len(p) == 2
+                        and p[0] == tag)),
+                [fn])
 
 
 def scale_of(k: int, fn: ContinuousFn) -> OpFn:
-    return OpFn(f"{k}×{fn.name}", lambda s: scale(k, s), [fn])
+    return OpFn(f"{k}×{fn.name}",
+                _with_face(lambda s: scale(k, s),
+                           lambda t: tuple(k * n for n in t)),
+                [fn])
 
 
 def affine_of(a: int, b: int, fn: ContinuousFn) -> OpFn:
     return OpFn(f"{a}×{fn.name}+{b}",
-                lambda s: affine(a, b, s), [fn])
+                _with_face(lambda s: affine(a, b, s),
+                           lambda t: tuple(a * n + b for n in t)),
+                [fn])
 
 
 def prepend_of(value: Any, fn: ContinuousFn) -> OpFn:
     return OpFn(f"{value!r};{fn.name}",
-                lambda s: prepend_value(value, s), [fn])
+                _with_face(lambda s: prepend_value(value, s),
+                           lambda t: (value,) + t),
+                [fn])
 
 
 def prepend_block_of(values: tuple, fn: ContinuousFn) -> OpFn:
     return OpFn(f"{values!r};{fn.name}",
-                lambda s: prepend_block(values, s), [fn])
+                _with_face(lambda s: prepend_block(values, s),
+                           lambda t: tuple(values) + t),
+                [fn])
 
 
 def until_first_f_of(fn: ContinuousFn) -> OpFn:
@@ -249,7 +312,9 @@ def count_ticks_of(fn: ContinuousFn) -> OpFn:
 
 def tag_of(tag: Any, fn: ContinuousFn) -> OpFn:
     return OpFn(f"t{tag!r}({fn.name})",
-                lambda s: tag_with(tag, s), [fn])
+                _with_face(lambda s: tag_with(tag, s),
+                           lambda t: tuple((tag, n) for n in t)),
+                [fn])
 
 
 def untag_of(fn: ContinuousFn) -> OpFn:
@@ -260,7 +325,10 @@ def select_of(source: ContinuousFn, oracle: ContinuousFn,
               keep: Any) -> OpFn:
     return OpFn(
         f"select[{keep!r}]({source.name},{oracle.name})",
-        lambda s, o: select_by_oracle(s, o, keep),
+        _with_face(
+            lambda s, o: select_by_oracle(s, o, keep),
+            lambda s, o: tuple(x for x, bit in zip(s, o)
+                               if bit == keep)),
         [source, oracle],
     )
 
@@ -276,4 +344,6 @@ def take_of(n: int, fn: ContinuousFn) -> OpFn:
     folklore construction of nondeterministic processes from fair
     merges (see ``tests/integration/test_folklore_universality.py``).
     """
-    return OpFn(f"take{n}({fn.name})", lambda s: s.take(n), [fn])
+    return OpFn(f"take{n}({fn.name})",
+                _with_face(lambda s: s.take(n), lambda t: t[:n]),
+                [fn])

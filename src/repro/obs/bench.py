@@ -84,6 +84,12 @@ TRACKED_ROWS: Tuple[TrackedRow, ...] = (
     # means NULL_TRACER runs started paying for the observatory
     TrackedRow("EXT-CAUSAL", "disabled-path profile entries",
                "equal"),
+    # compiled hot path: node count is a correctness invariant (the
+    # engines must visit the same tree), the speedup a wide-tolerance
+    # trajectory (its floor is asserted in the bench itself)
+    TrackedRow("EXT-COMPILE", "depth"),
+    TrackedRow("EXT-COMPILE", "nodes explored", "equal"),
+    TrackedRow("EXT-COMPILE", "speedup", "higher", rel_tol=0.45),
 )
 
 

@@ -26,9 +26,9 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 #: Hot-site display order for reports (unknown sites sort after).
-SITE_ORDER = ("rhs.apply", "lhs.apply.expand", "lhs.apply.probe",
-              "lhs.apply.root", "limit_report", "cache.get",
-              "cache.put")
+SITE_ORDER = ("compile.build", "rhs.apply", "lhs.apply.expand",
+              "lhs.apply.probe", "lhs.apply.root", "limit_report",
+              "cache.get", "cache.put")
 
 
 class SolverProfile:

@@ -63,10 +63,26 @@ class Seq(ABC):
 class FiniteSeq(Seq):
     """An immutable finite sequence of messages."""
 
-    __slots__ = ("items",)
+    __slots__ = ("items", "_hash")
 
     def __init__(self, items: Iterable[Any] = ()):
         object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "_hash", None)
+
+    @classmethod
+    def from_tuple(cls, items: tuple) -> "FiniteSeq":
+        """Wrap an already-built tuple without re-copying it.
+
+        The fast constructor for the compiled solver path, which keeps
+        sequence values as plain tuples and only boxes them at module
+        boundaries.  The caller must not hold other references that
+        mutate ``items`` — but tuples are immutable, so any tuple is
+        safe to share.
+        """
+        seq = cls.__new__(cls)
+        object.__setattr__(seq, "items", items)
+        object.__setattr__(seq, "_hash", None)
+        return seq
 
     def __setattr__(self, *_: Any) -> None:  # pragma: no cover
         raise AttributeError("FiniteSeq is immutable")
@@ -74,7 +90,9 @@ class FiniteSeq(Seq):
     def __reduce__(self):
         # immutable slots defeat default pickling; rebuild through
         # ``__init__`` so finite sequences (and the traces wrapping
-        # them) survive process boundaries.
+        # them) survive process boundaries.  The cached hash is
+        # deliberately not shipped: it is recomputed lazily on the
+        # other side (hash values are per-process under PYTHONHASHSEED).
         return (type(self), (self.items,))
 
     # -- Seq interface ---------------------------------------------------
@@ -114,7 +132,15 @@ class FiniteSeq(Seq):
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(("FiniteSeq", self.items))
+        # The solver memo and CacheStore key paths hash the same
+        # sequences thousands of times; recomputing the O(n) tuple
+        # hash each call showed up in profiles.  Cache it lazily —
+        # ``object.__setattr__`` because ``__setattr__`` is guarded.
+        h = self._hash
+        if h is None:
+            h = hash(("FiniteSeq", self.items))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         if not self.items:

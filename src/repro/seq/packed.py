@@ -1,0 +1,74 @@
+"""Flat-tuple faces of the sequence order (the compiled hot path).
+
+The compiled solver keeps sequence-domain values as plain Python
+tuples instead of :class:`~repro.seq.finite.FiniteSeq` objects: a
+tuple *is* the finite sequence, with no wrapper allocation, no
+``take`` copies and no method dispatch on the `f(v) ⊑ g(u)` check.
+
+These functions are the order operations of :mod:`repro.seq.ordering`
+restricted to that finite fragment.  The restriction collapses the
+decidability machinery:
+
+* every tuple is known finite, so ``seq_leq`` never raises and is a
+  plain prefix test;
+* ``seq_leq_upto(a, b, depth)`` on finite operands equals the prefix
+  test of ``a`` truncated to ``depth``;
+* ``seq_eq_upto(a, b, depth)`` on finite operands is exact equality
+  regardless of depth (both lengths are known, so agreement "up to
+  depth" plus equal length *is* equality).
+
+``tests/properties/test_compiled_equivalence.py`` pins these faces
+against the reference implementations bit-for-bit at every depth ≤ 8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+PackedSeq = Tuple[Any, ...]
+
+
+def packed_leq(a: PackedSeq, b: PackedSeq) -> bool:
+    """Prefix order ``a ⊑ b`` on flat tuples.
+
+    The finite face of :func:`repro.seq.ordering.seq_leq` — total
+    (never raises) because every tuple is known finite.
+    """
+    return b[: len(a)] == a
+
+
+def packed_leq_upto(a: PackedSeq, b: PackedSeq, depth: int) -> bool:
+    """Bounded prefix order, the finite face of ``seq_leq_upto``.
+
+    On finite operands the reference semantics — "``a.take(depth) ⊑
+    b``, exact when ``a`` fits in the depth" — reduces to a prefix
+    test of ``a`` truncated to ``depth``.
+    """
+    if len(a) > depth:
+        a = a[:depth]
+    return b[: len(a)] == a
+
+
+def packed_eq_upto(a: PackedSeq, b: PackedSeq, depth: int) -> bool:
+    """Bounded equality, the finite face of ``seq_eq_upto``.
+
+    With both lengths known, ``seq_eq_upto`` demands prefix agreement
+    *and* equal lengths — which on finite values is exact equality,
+    independent of ``depth``.  The depth parameter is kept for
+    signature parity with the reference and to let the property tests
+    sweep it.
+    """
+    del depth
+    return a == b
+
+
+def pack_seq(seq: Any) -> PackedSeq:
+    """The flat tuple carried by a finite :class:`Seq` (or tuple)."""
+    if isinstance(seq, tuple):
+        return seq
+    n = seq.known_length()
+    if n is None:
+        raise ValueError(
+            f"cannot pack a sequence of unknown length: {seq!r}"
+        )
+    return seq.take(n).items

@@ -33,11 +33,19 @@ from repro.seq.lazy import LazySeq
 class Trace:
     """A finite or lazy sequence of events."""
 
-    __slots__ = ("events", "name")
+    __slots__ = ("events", "name", "_hash")
 
     def __init__(self, events: Seq, name: str = ""):
         self.events = events
         self.name = name
+        self._hash = None
+
+    def __reduce__(self):
+        # rebuild through ``__init__`` so the cached hash is never
+        # shipped across process boundaries: hash values differ per
+        # process under hash randomization, so a pickled ``_hash``
+        # would be silently wrong on the other side.
+        return (type(self), (self.events, self.name))
 
     # -- constructors ------------------------------------------------------
 
@@ -198,13 +206,34 @@ class Trace:
         return frozenset(e.channel for e in self)
 
     def messages_on(self, channel: Channel) -> FiniteSeq:
-        """Finite-trace shortcut for :meth:`sequence_on`."""
+        """Finite-trace shortcut for :meth:`sequence_on`.
+
+        Raises ``ValueError`` when the trace is not known finite: the
+        shortcut would otherwise try to force the whole (possibly
+        infinite) event stream.  Lazy traces must go through the
+        prefix-safe :meth:`sequence_on` instead.
+        """
+        if self.known_length() is None:
+            raise ValueError(
+                f"messages_on requires a known-finite trace; "
+                f"{self.name!r} is lazy — use sequence_on() instead"
+            )
         return FiniteSeq(
             e.message for e in self if e.channel == channel
         )
 
     def count_on(self, channel: Channel) -> int:
-        """Number of events on ``channel`` in a finite trace."""
+        """Number of events on ``channel`` in a finite trace.
+
+        Like :meth:`messages_on`, refuses lazy traces — counting over
+        an unproven-finite trace would force it without bound; use
+        ``sequence_on(channel).take(n)`` for a bounded count.
+        """
+        if self.known_length() is None:
+            raise ValueError(
+                f"count_on requires a known-finite trace; "
+                f"{self.name!r} is lazy — use sequence_on() instead"
+            )
         return sum(1 for e in self if e.channel == channel)
 
     # -- identity ----------------------------------------------------------
@@ -221,10 +250,18 @@ class Trace:
         return self.events.take(a) == other.events.take(b)
 
     def __hash__(self) -> int:
+        # Solution sets, memo tables and cache keys hash the same
+        # trace objects repeatedly; cache the hash after the first
+        # computation (lazy traces stay unhashable).
+        h = self._hash
+        if h is not None:
+            return h
         n = self.events.known_length()
         if n is None:
             raise ValueError("only finite traces are hashable")
-        return hash(("Trace", self.events.take(n)))
+        h = hash(("Trace", self.events.take(n)))
+        self._hash = h
+        return h
 
     def __repr__(self) -> str:
         n = self.events.known_length()

@@ -1,0 +1,159 @@
+"""Property tests pinning the compiled hot path to the reference.
+
+Two layers of randomized evidence back the engine swap in
+:mod:`repro.core.compiled`:
+
+* the *representation* is lossless — random finite traces survive a
+  pack/unpack round trip with equal events, equal hashes and equal
+  canonical keys;
+* the *order theory* collapses correctly — on finite sequences the
+  packed prefix tests agree bit-for-bit with ``seq_leq`` /
+  ``seq_leq_upto`` / ``seq_eq_upto`` at every depth ≤ 8.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.channel import Channel
+from repro.channels.event import Event
+from repro.seq.finite import FiniteSeq
+from repro.seq.ordering import seq_eq_upto, seq_leq, seq_leq_upto
+from repro.seq.packed import (
+    pack_seq,
+    packed_eq_upto,
+    packed_leq,
+    packed_leq_upto,
+)
+from repro.traces.intern import InternTable
+from repro.traces.trace import Trace
+
+B = Channel("b", alphabet={0, 2})
+C = Channel("c", alphabet={1, 3})
+D = Channel("d", alphabet={0, 1, 2, 3})
+
+EVENTS = [Event(B, 0), Event(B, 2), Event(C, 1), Event(C, 3),
+          Event(D, 0), Event(D, 1), Event(D, 2), Event(D, 3)]
+
+traces = st.lists(st.sampled_from(EVENTS), max_size=7).map(Trace.finite)
+
+messages = st.one_of(st.integers(-3, 3), st.sampled_from(["T", "F"]))
+seqs = st.lists(messages, max_size=8).map(tuple)
+
+
+def table() -> InternTable:
+    return InternTable(EVENTS)
+
+
+class TestPackedRoundTrip:
+    @given(traces)
+    def test_round_trip_is_lossless(self, t):
+        tab = table()
+        packed = tab.pack(t)
+        assert len(packed) == t.length()
+        back = tab.unpack(packed)
+        assert back == t
+        assert hash(back) == hash(t)
+        assert list(back) == list(t)
+
+    @given(traces)
+    def test_round_trip_reuses_canonical_events(self, t):
+        # the unpacked trace is built from the table's own Event
+        # objects — the identity that keeps digests and cache
+        # payloads bit-identical downstream
+        tab = table()
+        for e in tab.unpack(tab.pack(t)):
+            assert e is tab.event_for(tab.intern_event(e))
+
+    @given(traces)
+    def test_env_matches_per_channel_projections(self, t):
+        tab = table()
+        env = tab.env_of(tab.pack(t))
+        for ch in (B, C, D):
+            cid = tab.channel_ids[ch]
+            assert env[cid] == pack_seq(t.sequence_on(ch))
+
+    @given(traces, st.sampled_from(EVENTS))
+    def test_extend_env_is_one_step_append(self, t, e):
+        tab = table()
+        packed = tab.pack(t)
+        pair = tab.intern_event(e)
+        extended = tab.extend_env(tab.env_of(packed), pair)
+        assert extended == tab.env_of(packed + (pair,))
+
+
+class TestPackedOrderCollapse:
+    @given(seqs, seqs)
+    def test_leq_agrees_with_seq_leq(self, a, b):
+        assert packed_leq(a, b) == \
+            seq_leq(FiniteSeq(a), FiniteSeq(b))
+
+    @given(seqs, seqs, st.integers(0, 8))
+    def test_leq_upto_agrees_at_every_depth(self, a, b, depth):
+        assert packed_leq_upto(a, b, depth) == \
+            seq_leq_upto(FiniteSeq(a), FiniteSeq(b), depth)
+
+    @given(seqs, seqs, st.integers(0, 8))
+    def test_eq_upto_collapses_to_equality(self, a, b, depth):
+        # both-finite ``=_depth`` is exact equality regardless of
+        # depth — the collapse that turns the solver's limit check
+        # into a tuple compare
+        assert packed_eq_upto(a, b, depth) == \
+            seq_eq_upto(FiniteSeq(a), FiniteSeq(b), depth)
+        assert packed_eq_upto(a, b, depth) == (a == b)
+
+    @given(seqs)
+    def test_pack_seq_round_trip(self, a):
+        assert pack_seq(FiniteSeq(a)) == a
+        assert pack_seq(a) == a
+        assert FiniteSeq.from_tuple(pack_seq(FiniteSeq(a))) == \
+            FiniteSeq(a)
+
+
+class TestCompiledFaceAgreement:
+    """Every tuple face equals its operation on random finite input."""
+
+    @given(st.lists(st.integers(-4, 9), max_size=8).map(tuple))
+    def test_numeric_faces(self, t):
+        from repro.functions.seq_fns import (
+            brock_f,
+            even_filter,
+            odd_filter,
+        )
+
+        for op in (even_filter, odd_filter, brock_f):
+            assert op.tuple_face(t) == pack_seq(op(FiniteSeq(t)))
+
+    @given(st.lists(st.sampled_from(["T", "F"]), max_size=8)
+           .map(tuple))
+    def test_boolean_faces(self, t):
+        from repro.functions.seq_fns import (
+            count_ticks,
+            false_filter,
+            true_filter,
+            until_first_f,
+        )
+
+        for op in (true_filter, false_filter, until_first_f,
+                   count_ticks):
+            assert op.tuple_face(t) == pack_seq(op(FiniteSeq(t)))
+
+    @given(st.lists(st.integers(-4, 9), max_size=8).map(tuple))
+    @settings(max_examples=40)
+    def test_parameterized_faces(self, t):
+        from repro.functions.seq_fns import (
+            affine_of,
+            prepend_block_of,
+            prepend_of,
+            scale_of,
+            tag_of,
+            take_of,
+        )
+        from repro.functions.base import chan
+
+        fns = [scale_of(3, chan(D)), affine_of(2, 1, chan(D)),
+               prepend_of(7, chan(D)),
+               prepend_block_of((1, 2), chan(D)),
+               tag_of(0, chan(D)), take_of(2, chan(D))]
+        for fn in fns:
+            face = fn.op.tuple_face
+            assert face(t) == pack_seq(fn.op(FiniteSeq(t)))

@@ -138,6 +138,18 @@ class TestChannelStructure:
         t = t_of((B, 0), (B, 2), (C, 1))
         assert t.count_on(B) == 2
 
+    def test_messages_on_refuses_lazy_traces(self):
+        t = Trace.cycle_pairs([(B, 0), (C, 1)])
+        with pytest.raises(ValueError, match="sequence_on"):
+            t.messages_on(B)
+        # the prefix-safe route still works on the same trace
+        assert t.sequence_on(B).take(2) == fseq(0, 0)
+
+    def test_count_on_refuses_lazy_traces(self):
+        t = Trace.cycle_pairs([(B, 0), (C, 1)])
+        with pytest.raises(ValueError, match="sequence_on"):
+            t.count_on(B)
+
     def test_channels_used(self):
         assert t_of((B, 0)).channels_used() == frozenset({B})
 
