@@ -455,6 +455,39 @@ def _replay_schedule(schedule, lenient: bool, tracer=None):
         f"(meta['scenario'] = {scenario!r})")
 
 
+def _replay_witness_schedule(schedule) -> int:
+    """Replay a solver witness path (``kind == "solver-path"``).
+
+    Re-walks the recorded path through the scenario's §3.3 tree,
+    checking each step's admissibility, then re-evaluates the limit
+    condition; exit 0 iff the walk succeeds and the limit verdict
+    matches the recorded one."""
+    from repro.core import SmoothSolutionSolver
+    from repro.obs.replay import ReplayDivergence
+
+    scenario = (schedule.meta.get("scenario")
+                or schedule.meta.get("description"))
+    try:
+        spec, channels, _ = _solve_spec(scenario, None)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    solver = SmoothSolutionSolver.over_channels(spec, channels)
+    try:
+        trace = solver.replay_witness(schedule)
+    except ReplayDivergence as exc:
+        print(f"witness replay DIVERGED: {exc}")
+        return 1
+    limit = spec.limit_holds(trace, solver.limit_depth)
+    recorded = schedule.meta.get("limit_holds")
+    print(f"witness path re-walked: {trace}")
+    print(f"limit condition: {limit} (recorded: {recorded})")
+    ok = recorded is None or bool(recorded) == limit
+    print("replay " + ("MATCHES the recording" if ok
+                       else "DIVERGED from the recording"))
+    return 0 if ok else 1
+
+
 def _replay_bundle(path: pathlib.Path) -> int:
     """Replay a fleet quarantine bundle; exit 0 iff the recorded
     infrastructure failure reproduces under the recorded policy."""
@@ -494,6 +527,8 @@ def cmd_replay(path: str, lenient: bool) -> int:
 
     schedule = Schedule.load(path)
     print(render_schedule(schedule, max_decisions=4))
+    if schedule.meta.get("kind") == "solver-path":
+        return _replay_witness_schedule(schedule)
     outcome, result, recorded_outcome = _replay_schedule(
         schedule, lenient)
     expected = schedule.meta.get("digest", "")
@@ -1003,6 +1038,30 @@ def cmd_bench_check(core: str, history: str, strict: bool,
 SOLVE_SCENARIOS = ("dfm", "alternating_bit")
 
 
+def _solve_spec(scenario: str, depth: int | None):
+    """Build a scenario's specification for the solver commands;
+    returns ``(spec, channels, depth)``."""
+    if scenario == "dfm":
+        from repro.channels import Channel
+        from repro.core import Description, combine
+        from repro.functions import chan, even_of, odd_of
+
+        b = Channel("b", alphabet={0, 2})
+        c = Channel("c", alphabet={1, 3})
+        d = Channel("d", alphabet={0, 1, 2, 3})
+        spec = combine([
+            Description(even_of(chan(d)), chan(b)),
+            Description(odd_of(chan(d)), chan(c)),
+        ], name="dfm")
+        return spec, [b, c, d], 4 if depth is None else depth
+    if scenario == "alternating_bit":
+        abp = _import_example("alternating_bit")
+        spec = abp.service_spec(abp.MESSAGES).combined()
+        depth = len(abp.MESSAGES) + 1 if depth is None else depth
+        return spec, [abp.OUT], depth
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
 def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
               budget_seconds: float | None, resume: str | None,
               checkpoint_out: str | None, use_cache: bool,
@@ -1010,7 +1069,10 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
               profile: bool = False,
               profile_json: str | None = None,
               profile_folded: str | None = None,
-              engine: str = "auto") -> int:
+              engine: str = "auto",
+              strategy: str = "bfs",
+              heuristic: str = "rhs-distance",
+              dedup: bool = False) -> int:
     """Run the §3.3 solver on a scenario's specification.
 
     A truncated exploration (node or wall-clock budget) exits 1 and —
@@ -1030,31 +1092,19 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
     before/after profiles), ``compiled`` demands compilation and
     fails loudly when it is unavailable.  All three produce the same
     digests.
+
+    ``--strategy`` picks the exploration order (``bfs``,
+    ``best-first`` with ``--heuristic``, ``iterative-deepening``) and
+    ``--dedup`` turns on duplicate-state reduction; every combination
+    produces the same digests wherever the search completes.
     """
     from repro.core import SmoothSolutionSolver
     from repro.report import render_solver_result
 
-    if scenario == "dfm":
-        from repro.channels import Channel
-        from repro.core import Description, combine
-        from repro.functions import chan, even_of, odd_of
-
-        b = Channel("b", alphabet={0, 2})
-        c = Channel("c", alphabet={1, 3})
-        d = Channel("d", alphabet={0, 1, 2, 3})
-        spec = combine([
-            Description(even_of(chan(d)), chan(b)),
-            Description(odd_of(chan(d)), chan(c)),
-        ], name="dfm")
-        channels = [b, c, d]
-        depth = 4 if depth is None else depth
-    elif scenario == "alternating_bit":
-        abp = _import_example("alternating_bit")
-        spec = abp.service_spec(abp.MESSAGES).combined()
-        channels = [abp.OUT]
-        depth = len(abp.MESSAGES) + 1 if depth is None else depth
-    else:  # pragma: no cover - argparse restricts choices
-        print(f"unknown scenario {scenario!r}", file=sys.stderr)
+    try:
+        spec, channels, depth = _solve_spec(scenario, depth)
+    except ValueError as exc:  # pragma: no cover - argparse restricts
+        print(str(exc), file=sys.stderr)
         return 2
     store = _make_cache(use_cache, cache_dir, fsync=fsync)
     profiling = bool(profile or profile_json or profile_folded)
@@ -1069,7 +1119,8 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
                 "compiled": True}[engine]
     solver = SmoothSolutionSolver.over_channels(
         spec, channels, cache=store, tracer=tracer,
-        compiled=compiled)
+        compiled=compiled, strategy=strategy, heuristic=heuristic,
+        dedup=dedup)
     resume_from = None
     if resume:
         from repro.cache import SolverCheckpoint
@@ -1114,6 +1165,66 @@ def cmd_solve(scenario: str, depth: int | None, max_nodes: int,
         print("cache: " + ", ".join(f"{k} {v}"
                                     for k, v in counts.items()))
     return 1 if result.truncated else 0
+
+
+def cmd_query(scenario: str, exists: str | None, all_pred: str | None,
+              depth: int | None, max_nodes: int,
+              budget_seconds: float | None, use_cache: bool,
+              cache_dir: str | None, engine: str = "auto",
+              strategy: str = "best-first",
+              heuristic: str = "rhs-distance", dedup: bool = False,
+              witness_out: str | None = None) -> int:
+    """Ask a question about a scenario's smooth solutions instead of
+    enumerating them.
+
+    ``--exists P`` asks whether some finite smooth solution within the
+    depth bound satisfies ``P``; ``--all P`` whether they all do.  The
+    search short-circuits at the first witness / counterexample — with
+    the default best-first + rhs-distance exploration it typically
+    answers under a node budget where ``solve`` truncates.  Exit
+    codes: 0 the question holds, 1 it does not, 2 unresolved at this
+    budget (or bad arguments).
+
+    ``--witness-out`` writes the settling trace's replayable schedule
+    JSON (the same format ``replay`` understands for solver paths).
+    """
+    from repro.core import SmoothSolutionSolver
+    from repro.core.search import PREDICATE_GRAMMAR
+
+    if (exists is None) == (all_pred is None):
+        print("exactly one of --exists P / --all P is required\n"
+              + PREDICATE_GRAMMAR, file=sys.stderr)
+        return 2
+    mode = "exists" if exists is not None else "all"
+    text = exists if exists is not None else all_pred
+    try:
+        spec, channels, depth = _solve_spec(scenario, depth)
+    except ValueError as exc:  # pragma: no cover - argparse restricts
+        print(str(exc), file=sys.stderr)
+        return 2
+    store = _make_cache(use_cache, cache_dir)
+    compiled = {"auto": None, "reference": False,
+                "compiled": True}[engine]
+    solver = SmoothSolutionSolver.over_channels(
+        spec, channels, cache=store, compiled=compiled,
+        strategy=strategy, heuristic=heuristic, dedup=dedup)
+    try:
+        answer = solver.query(text, depth, mode=mode,
+                              max_nodes=max_nodes,
+                              budget_seconds=budget_seconds)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(answer.describe())
+    if answer.result is not None and answer.result.truncated:
+        print(f"  stopped: {answer.result.truncation_reason}")
+    if witness_out and answer.certificate is not None:
+        answer.certificate.meta["scenario"] = scenario
+        answer.certificate.save(witness_out)
+        print(f"wrote witness schedule to {witness_out}")
+    if not answer.resolved:
+        return 2
+    return 0 if answer.holds else 1
 
 
 def _add_cache_options(sub_parser) -> None:
@@ -1394,7 +1505,69 @@ def main(argv: list[str] | None = None) -> int:
         help="exploration path: auto-detect (default), force the "
              "reference loop, or demand the compiled hot path — "
              "digests are identical either way")
+    p_solve.add_argument(
+        "--strategy",
+        choices=("bfs", "best-first", "iterative-deepening"),
+        default="bfs",
+        help="exploration order (default bfs); every strategy finds "
+             "the same solution set wherever it completes")
+    p_solve.add_argument(
+        "--heuristic",
+        choices=("depth", "rhs-distance", "channel-balance"),
+        default="rhs-distance",
+        help="best-first ranking (ignored by the other strategies)")
+    p_solve.add_argument(
+        "--dedup", action="store_true",
+        help="duplicate-state reduction: share g/limit/expansion "
+             "work between traces with equal per-channel projections")
     _add_cache_options(p_solve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="ask whether a smooth solution matching a predicate "
+             "exists (--exists P) or all match (--all P) — "
+             "short-circuits instead of enumerating")
+    p_query.add_argument(
+        "scenario", nargs="?", choices=SOLVE_SCENARIOS,
+        default="dfm", help="which specification to query")
+    p_query.add_argument(
+        "--exists", default=None, metavar="PRED",
+        help="does some finite smooth solution satisfy PRED? "
+             "(e.g. 'on:b >= 1, length <= 6')")
+    p_query.add_argument(
+        "--all", dest="all_pred", default=None, metavar="PRED",
+        help="do all finite smooth solutions satisfy PRED?")
+    p_query.add_argument(
+        "--depth", type=int, default=None,
+        help="depth bound (default: scenario-specific)")
+    p_query.add_argument(
+        "--max-nodes", type=int, default=200_000,
+        help="node budget (exit 2 when it fires unresolved)")
+    p_query.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="wall-clock budget")
+    p_query.add_argument(
+        "--engine", choices=("auto", "reference", "compiled"),
+        default="auto",
+        help="exploration path (see solve --engine)")
+    p_query.add_argument(
+        "--strategy",
+        choices=("bfs", "best-first", "iterative-deepening"),
+        default="best-first",
+        help="exploration order (default best-first: pops "
+             "solution-shaped nodes first, so queries settle early)")
+    p_query.add_argument(
+        "--heuristic",
+        choices=("depth", "rhs-distance", "channel-balance"),
+        default="rhs-distance",
+        help="best-first ranking (default rhs-distance)")
+    p_query.add_argument(
+        "--dedup", action="store_true",
+        help="duplicate-state reduction (see solve --dedup)")
+    p_query.add_argument(
+        "--witness-out", default=None, metavar="PATH",
+        help="write the witness/counterexample schedule JSON here")
+    _add_cache_options(p_query)
 
     args = parser.parse_args(argv)
     if args.command == "trace":
@@ -1441,7 +1614,15 @@ def main(argv: list[str] | None = None) -> int:
                          args.checkpoint_out, args.cache,
                          args.cache_dir, args.fsync,
                          args.profile, args.profile_json,
-                         args.profile_folded, args.engine)
+                         args.profile_folded, args.engine,
+                         args.strategy, args.heuristic, args.dedup)
+    if args.command == "query":
+        return cmd_query(args.scenario, args.exists, args.all_pred,
+                         args.depth, args.max_nodes,
+                         args.budget_seconds, args.cache,
+                         args.cache_dir, args.engine, args.strategy,
+                         args.heuristic, args.dedup,
+                         args.witness_out)
     dispatch = {
         "summary": cmd_summary,
         "dfm": cmd_dfm,

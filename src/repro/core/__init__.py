@@ -6,6 +6,8 @@ Modules:
   solutions, Lemma 2, Theorem 1, combination, description systems (§3.2);
 * :mod:`repro.core.solution` — verdict/report types;
 * :mod:`repro.core.solver` — the §3.3 tree search;
+* :mod:`repro.core.search` — exploration strategies, ranking
+  heuristics, and the query layer over the §3.3 tree;
 * :mod:`repro.core.composition` — Theorem 2 (§5);
 * :mod:`repro.core.elimination` — Theorems 5/6 (§7);
 * :mod:`repro.core.chains` — generalized smooth solutions, Theorem 4 (§6);
@@ -56,12 +58,19 @@ from repro.core.solution import (
     SmoothnessViolation,
     SolutionVerdict,
 )
+from repro.core.search import (
+    HEURISTICS,
+    STRATEGIES,
+    QueryResult,
+    parse_predicate,
+)
 from repro.core.solver import (
     SmoothSolutionSolver,
     SolverResult,
     alphabet_candidates,
     rhs_guided_candidates,
     solve,
+    solve_query,
 )
 
 __all__ = [
@@ -73,11 +82,14 @@ __all__ = [
     "EliminationError",
     "EliminationReport",
     "GeneralDescription",
+    "HEURISTICS",
     "InductionReport",
     "KahnSemantics",
     "KahnSystem",
     "LimitReport",
     "NotDeterministicError",
+    "QueryResult",
+    "STRATEGIES",
     "SmoothSolutionSolver",
     "SmoothnessViolation",
     "SolutionVerdict",
@@ -95,9 +107,11 @@ __all__ = [
     "id_description",
     "kahn_least_fixpoint",
     "kleene_witness_chain",
+    "parse_predicate",
     "pipeline",
     "rhs_guided_candidates",
     "solve",
+    "solve_query",
     "theorem4_unique_smooth_solution",
     "theorem5_holds",
     "theorem6_holds",

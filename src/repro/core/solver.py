@@ -21,6 +21,7 @@ it, so the elements of ``g(u)`` bound the useful candidates).
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional
@@ -28,6 +29,13 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.channels.channel import Channel
 from repro.channels.event import Event
 from repro.core.description import DEFAULT_DEPTH, Description
+from repro.core.search import (
+    STRATEGIES,
+    QueryResult,
+    component_lengths,
+    get_heuristic,
+    parse_predicate,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import Schedule, stable_digest
 from repro.obs.replay import ReplayDivergence
@@ -51,11 +59,34 @@ class CandidateError(RuntimeError):
         self.original = original
 
 
+def _message_sort_key(channel: Channel, m: object) -> tuple:
+    """Deterministic ordering key for alphabet messages.
+
+    Ordering by bare ``repr`` is a trap: objects that inherit
+    ``object.__repr__`` render as ``<X object at 0x...>`` — a memory
+    address — so the candidate order (and with it every digest and
+    cache key downstream) would differ between processes.  Such
+    messages are rejected outright; everything else sorts by
+    ``(type name, repr)``, which is stable across runs and keeps the
+    historical per-type ordering intact.
+    """
+    if type(m).__repr__ is object.__repr__:
+        raise ValueError(
+            f"channel {channel.name!r} alphabet member {m!r} has no "
+            "deterministic repr (it inherits object.__repr__, which "
+            "renders a memory address); give the message type a "
+            "stable __repr__ or supply a custom candidate generator")
+    return (type(m).__name__, repr(m))
+
+
 def alphabet_candidates(channels: Iterable[Channel]) -> CandidateFn:
     """The default candidate generator: all events over finite alphabets.
 
     Raises ``ValueError`` at construction if some channel has no finite
-    alphabet — then a custom generator is required.
+    alphabet — then a custom generator is required — or if some
+    alphabet member has no deterministic ``repr`` (candidate order
+    must be reproducible across processes; see
+    :func:`_message_sort_key`).
     """
     events: list[Event] = []
     for c in sorted(channels):
@@ -64,7 +95,9 @@ def alphabet_candidates(channels: Iterable[Channel]) -> CandidateFn:
                 f"channel {c.name!r} has no finite alphabet; supply a "
                 "custom candidate generator"
             )
-        events.extend(Event(c, m) for m in sorted(c.alphabet, key=repr))
+        events.extend(
+            Event(c, m) for m in sorted(
+                c.alphabet, key=lambda m, _c=c: _message_sort_key(_c, m)))
 
     def candidates(u: Trace) -> Iterable[Event]:
         del u
@@ -136,6 +169,12 @@ class SolverResult:
     #: columns are wall-clock — neither enters the digest or the
     #: cache payload.
     profile: dict = field(default_factory=dict)
+    #: strategy-private resume state (e.g. the iterative-deepening
+    #: iteration counter and tested-node marks).  Carried into
+    #: :meth:`checkpoint` as the checkpoint ``meta`` — outside both
+    #: the result digest and the cache payload, so strategies can park
+    #: state without perturbing any pinned hash.
+    strategy_meta: dict = field(default_factory=dict)
 
     def solution_set(self) -> set[Trace]:
         return set(self.finite_solutions)
@@ -188,6 +227,7 @@ class SolverResult:
             frontier=[_trace_key(t) for t in self.frontier],
             dead_ends=[_trace_key(t) for t in self.dead_ends],
             unvisited=[_trace_key(t) for t in self.unvisited],
+            meta=dict(self.strategy_meta),
         )
 
     def to_payload(self) -> dict:
@@ -221,7 +261,10 @@ class SmoothSolutionSolver:
                  limit_depth: int = DEFAULT_DEPTH,
                  tracer: Optional[Tracer] = None,
                  cache: Optional[object] = None,
-                 compiled: Optional[bool] = None):
+                 compiled: Optional[bool] = None,
+                 strategy: str = "bfs",
+                 heuristic: str = "rhs-distance",
+                 dedup: bool = False):
         self.description = description
         self.candidates = candidates
         self.limit_depth = limit_depth
@@ -237,6 +280,28 @@ class SmoothSolutionSolver:
         #: reference path; ``True`` demands compilation and makes
         #: :meth:`explore` raise if it is unavailable.
         self.compiled = compiled
+        #: exploration order: ``"bfs"`` (the reference order),
+        #: ``"best-first"`` (priority frontier ranked by
+        #: ``heuristic``) or ``"iterative-deepening"``.  Strategies
+        #: reorder the walk, never the admissibility or limit tests,
+        #: so completed runs are digest-identical across strategies.
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; known: "
+                f"{', '.join(STRATEGIES)}")
+        self.strategy = strategy
+        #: best-first ranking heuristic (see
+        #: :data:`repro.core.search.HEURISTICS`); validated eagerly so
+        #: a typo fails at construction, not mid-search.
+        self.heuristic = get_heuristic(heuristic).name
+        #: duplicate-state reduction: memoize ``g``, the limit verdict
+        #: and the admissible-extension scan per *interned per-channel
+        #: projection* — nodes whose channel projections coincide (the
+        #: paper's ``b(t)``) share one evaluation.  Every node is
+        #: still enumerated and classified, so the solution set (and
+        #: digest) is untouched; the saving is evaluation work on
+        #: converging interleavings.
+        self.dedup = dedup
 
     @classmethod
     def over_channels(cls, description: Description,
@@ -244,11 +309,14 @@ class SmoothSolutionSolver:
                       limit_depth: int = DEFAULT_DEPTH,
                       tracer: Optional[Tracer] = None,
                       cache: Optional[object] = None,
-                      compiled: Optional[bool] = None
-                      ) -> "SmoothSolutionSolver":
+                      compiled: Optional[bool] = None,
+                      strategy: str = "bfs",
+                      heuristic: str = "rhs-distance",
+                      dedup: bool = False) -> "SmoothSolutionSolver":
         return cls(description, alphabet_candidates(channels),
                    limit_depth=limit_depth, tracer=tracer,
-                   cache=cache, compiled=compiled)
+                   cache=cache, compiled=compiled, strategy=strategy,
+                   heuristic=heuristic, dedup=dedup)
 
     # -- tree structure ------------------------------------------------------
 
@@ -256,15 +324,26 @@ class SmoothSolutionSolver:
         """Admissible one-step extensions: ``v`` with ``f(v) ⊑ g(u)``."""
         f = self.description.lhs
         gu = self.description.rhs.apply(u)
-        for event in self._candidate_events(u):
+        for event in self._candidate_events(u, gu):
             v = u.append(event)
             fv = f.apply(v)
             if self.description._leq(fv, gu, self.limit_depth):
                 yield v
 
-    def _candidate_events(self, u: Trace) -> list[Event]:
-        """Run the candidate generator, wrapping its failures."""
+    def _candidate_events(self, u: Trace,
+                          gu: object = None) -> list[Event]:
+        """Run the candidate generator, wrapping its failures.
+
+        Generators that publish ``accepts_gu = True`` receive the
+        caller's already-computed ``g(u)`` as a second argument — the
+        hot-path discipline ("``g`` exactly once per node") extended
+        through the generator protocol, so an rhs-guided generator
+        does not silently double every ``rhs.apply``.
+        """
         try:
+            if gu is not None and getattr(self.candidates,
+                                          "accepts_gu", False):
+                return list(self.candidates(u, gu))
             return list(self.candidates(u))
         except CandidateError:
             raise
@@ -286,7 +365,9 @@ class SmoothSolutionSolver:
     def explore(self, max_depth: int,
                 max_nodes: int = 200_000,
                 budget_seconds: Optional[float] = None,
-                resume_from: Optional[object] = None) -> SolverResult:
+                resume_from: Optional[object] = None,
+                _watch: Optional[Callable[[Trace], str]] = None
+                ) -> SolverResult:
         """Breadth-first exploration to ``max_depth``.
 
         Resource guards keep runaway alphabets and hostile candidate
@@ -360,6 +441,16 @@ class SmoothSolutionSolver:
             cache_key = solver_cache_key(
                 self.description, self.candidates, max_depth,
                 self.limit_depth, max_nodes, budget_seconds)
+            if self.strategy != "bfs":
+                # completed runs are strategy-independent, but a
+                # node-budget truncation parks a strategy-specific
+                # set — the key must tell the entries apart.  Plain
+                # BFS keeps the historical key so warm caches stay
+                # warm.  ``dedup`` never changes the result, so it
+                # stays out of the key on purpose.
+                cache_key = dict(cache_key,
+                                 strategy=self.strategy,
+                                 heuristic=self.heuristic)
             if profile is not None:
                 t0 = time.perf_counter_ns()
                 hit = self.cache.get("solver", cache_key)
@@ -404,10 +495,31 @@ class SmoothSolutionSolver:
                     "compiled=True, but this description/candidate "
                     "pair is outside the compilable fragment (see "
                     "repro.core.compiled for the preconditions)")
+        if self.dedup and compiled is None:
+            self._require_dedup_eligible()
+        # strategy routing: plain BFS stays on the pinned legacy
+        # loops; best-first, duplicate-state reduction and query
+        # watches share the ordered frontier (a depth-ranked heap
+        # *is* BFS, FIFO tie-break included); iterative deepening has
+        # its own loop.  All of them work per engine adapter, so both
+        # representations run the same strategy code.
+        deepening = self.strategy == "iterative-deepening"
+        ordered = (self.strategy == "best-first"
+                   or (not deepening
+                       and (self.dedup or _watch is not None)))
         if compiled is not None:
             from repro.core.compiled import CompiledEvalError
 
             try:
+                if deepening or ordered:
+                    engine = _CompiledEngine(self, compiled, metrics,
+                                             profile)
+                    runner = (self._explore_deepening if deepening
+                              else self._explore_ordered)
+                    return runner(
+                        engine, result, max_depth, max_nodes,
+                        budget_seconds, deadline, resume_from,
+                        metrics, profile, cache_key, _watch)
                 return self._explore_compiled(
                     compiled, result, max_depth, max_nodes,
                     budget_seconds, deadline, resume_from, metrics,
@@ -424,11 +536,21 @@ class SmoothSolutionSolver:
                 fallback = SmoothSolutionSolver(
                     self.description, self.candidates,
                     limit_depth=self.limit_depth, tracer=self.tracer,
-                    cache=self.cache, compiled=False)
+                    cache=self.cache, compiled=False,
+                    strategy=self.strategy, heuristic=self.heuristic,
+                    dedup=False)
                 return fallback.explore(
                     max_depth, max_nodes=max_nodes,
                     budget_seconds=budget_seconds,
-                    resume_from=resume_from)
+                    resume_from=resume_from, _watch=_watch)
+        if deepening or ordered:
+            engine = _ReferenceEngine(self, metrics, profile)
+            runner = (self._explore_deepening if deepening
+                      else self._explore_ordered)
+            return runner(
+                engine, result, max_depth, max_nodes, budget_seconds,
+                deadline, resume_from, metrics, profile, cache_key,
+                _watch)
         # level entries are ``(u, f(u))``: f was computed when u was a
         # candidate of its parent (or re-derived from the checkpoint),
         # so it rides along instead of being recomputed per node
@@ -597,9 +719,18 @@ class SmoothSolutionSolver:
         """Is this result a pure function of the cache key?  Complete
         and node-budget-truncated explorations are (the traversal is
         deterministic); wall-clock truncations are not — where the
-        clock fires depends on the machine, not the inputs."""
+        clock fires depends on the machine, not the inputs.  Query
+        early-exits are not either — the predicate is not part of the
+        key.  Results carrying strategy-private resume state
+        (``strategy_meta``) stay out too: the cache payload cannot
+        round-trip the meta, and a resume without it would
+        double-classify nodes."""
+        if result.strategy_meta:
+            return False
         return not (result.truncated
-                    and "wall-clock" in result.truncation_reason)
+                    and ("wall-clock" in result.truncation_reason
+                         or result.truncation_reason.startswith(
+                             "query")))
 
     def _expand(self, u: Trace, gu: object,
                 metrics: Optional[MetricsRegistry],
@@ -615,7 +746,7 @@ class SmoothSolutionSolver:
         ``lhs.apply.expand`` site."""
         f = self.description.lhs
         t0 = (time.perf_counter_ns() if profile is not None else 0)
-        events = self._candidate_events(u)
+        events = self._candidate_events(u, gu)
         kids: list[tuple[Trace, object]] = []
         pruned = 0
         for event in events:
@@ -653,7 +784,7 @@ class SmoothSolutionSolver:
         t0 = (time.perf_counter_ns() if profile is not None else 0)
         tried = 0
         hit = False
-        for event in self._candidate_events(u):
+        for event in self._candidate_events(u, gu):
             v = u.append(event)
             tried += 1
             if self.description._leq(f.apply(v), gu,
@@ -683,6 +814,542 @@ class SmoothSolutionSolver:
         result.truncation_reason = reason
         result.unvisited.extend(u for u, _ in unvisited)
         result.unvisited.extend(v for v, _ in next_level)
+
+    # -- strategy layer -------------------------------------------------------
+
+    def _require_dedup_eligible(self) -> None:
+        """Duplicate-state reduction keys nodes on their per-channel
+        projections (the paper's ``b(t)``); that key is sound only
+        when both sides are pure functions of those projections.  The
+        compilable expression fragment guarantees it; anything else
+        (subclassed descriptions, opaque lambdas) must refuse loudly
+        rather than dedup unsoundly."""
+        from repro.core.compiled import _leaf_channels
+
+        if type(self.description) is Description \
+                and _leaf_channels(self.description.lhs) is not None \
+                and _leaf_channels(self.description.rhs) is not None:
+            return
+        raise ValueError(
+            "dedup=True requires a plain Description whose sides "
+            "factor through per-channel projections (sides that "
+            "inspect whole traces would make the duplicate-state key "
+            "unsound); run with dedup=False")
+
+    def _channel_universe(self) -> tuple:
+        """The fixed channel set heuristics and dedup keys range over:
+        the candidate alphabet's channels plus both sides' observed
+        channels — the same universe the compiled engine interns, so
+        feature values agree across engines."""
+        from repro.core.compiled import _leaf_channels
+
+        chans = set()
+        events = getattr(self.candidates, "constant_events", None)
+        if events:
+            chans.update(e.channel for e in events)
+        for side in (self.description.lhs, self.description.rhs):
+            leaf = _leaf_channels(side)
+            if leaf:
+                chans.update(leaf)
+        return tuple(sorted(chans, key=lambda c: c.name))
+
+    def _finish_run(self, result: SolverResult,
+                    cache_key: Optional[dict],
+                    metrics: Optional[MetricsRegistry],
+                    profile: Optional[object],
+                    tracing: bool) -> SolverResult:
+        """Shared exploration epilogue: cache write-back (when the
+        result is a pure function of the key) and metrics/profile
+        attachment."""
+        if cache_key is not None and self._cacheable(result):
+            if profile is not None:
+                t0 = time.perf_counter_ns()
+                self.cache.put("solver", cache_key,
+                               result.to_payload())
+                profile.add("cache.put",
+                            time.perf_counter_ns() - t0)
+            else:
+                self.cache.put("solver", cache_key,
+                               result.to_payload())
+            if tracing:
+                self.tracer.event(
+                    "cache.write", category="cache", track="solver",
+                    key=self.cache.key_digest(cache_key)[:16])
+        if tracing:
+            profile.to_metrics(metrics)
+            result.metrics = metrics.summary()
+            result.profile = profile.summary()
+        return result
+
+    def _explore_ordered(self, engine, result: SolverResult,
+                         max_depth: int, max_nodes: int,
+                         budget_seconds: Optional[float],
+                         deadline: Optional[float],
+                         resume_from: Optional[object],
+                         metrics: Optional[MetricsRegistry],
+                         profile: Optional[object],
+                         cache_key: Optional[dict],
+                         watch: Optional[Callable[[Trace], str]]
+                         ) -> SolverResult:
+        """Priority-frontier exploration over either engine.
+
+        The frontier is a heap of ``(rank, seq, ...)`` entries: the
+        configured heuristic ranks nodes, the monotone ``seq`` breaks
+        ties FIFO.  With the ``depth`` rank this *is* the reference
+        BFS — same pop order, same truncation parking — which is how
+        plain-BFS runs with duplicate-state reduction or a query watch
+        share this loop without perturbing digests.  ``g(u)`` is
+        evaluated at push time (the rank needs it); every pushed node
+        is popped on a completed run, so the one-``g``-per-node
+        discipline holds wherever the budget does not fire first.
+
+        With ``dedup`` on, ``g``, the limit verdict, the admissible
+        edge scan and the extendability probe are memoized per
+        per-channel projection — nodes are still enumerated and
+        classified one by one (the solution set is untouched), only
+        the evaluation work is shared.
+
+        ``watch`` is the query hook: called with each finite solution
+        as it is classified; a truthy return value early-exits the
+        search with that string as the truncation reason, parking the
+        remaining frontier as ``unvisited`` (the result stays a sound,
+        resumable under-approximation).
+        """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        heuristic = get_heuristic(
+            "depth" if self.strategy == "bfs" else self.heuristic)
+        rank_fn = heuristic.fn
+        needs_values = heuristic.needs_values
+        needs_counts = heuristic.needs_counts
+        plain_depth = heuristic.name == "depth"
+        memo: Optional[dict] = {} if self.dedup else None
+        label = f"strategy.{self.strategy}"
+        explored = 0
+        heap: list = []
+        seq = 0
+
+        def entry_of(node) -> Optional[dict]:
+            if memo is None:
+                return None
+            key = engine.env_key(node)
+            if key is None:
+                return None
+            entry = memo.get(key)
+            if entry is None:
+                entry = {}
+                try:
+                    memo[key] = entry
+                except TypeError:
+                    return None
+                if profile is not None:
+                    profile.bump("dedup.states")
+            return entry
+
+        def g_of(node, entry):
+            if entry is not None and "g" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["g"]
+            gu = engine.g(node)
+            if entry is not None:
+                entry["g"] = gu
+            return gu
+
+        def edges_of(node, fu, gu, entry):
+            if entry is not None and "edges" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["edges"]
+            edges = engine.edges(node, fu, gu)
+            if entry is not None:
+                entry["edges"] = edges
+            return edges
+
+        def limit_of(node, fu, gu, entry):
+            if entry is not None and "limit" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["limit"]
+            limit = engine.limit(node, fu, gu)
+            if entry is not None:
+                entry["limit"] = limit
+            return limit
+
+        def ext_of(node, fu, gu, entry):
+            if entry is not None and "ext" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["ext"]
+            ext = engine.extendable(node, fu, gu)
+            if entry is not None:
+                entry["ext"] = ext
+            return ext
+
+        def push(node, fu, depth):
+            nonlocal seq
+            entry = entry_of(node)
+            gu = g_of(node, entry)
+            if plain_depth:
+                rank = depth
+            else:
+                f_lens = engine.f_lens(fu) if needs_values else ()
+                g_lens = engine.g_lens(gu) if needs_values else ()
+                counts = engine.counts(node) if needs_counts else ()
+                rank = rank_fn(depth, f_lens, g_lens, counts)
+            heapq.heappush(heap, (rank, seq, depth, node, fu, gu))
+            seq += 1
+            if profile is not None:
+                profile.bump(label + ".pushed")
+
+        def park(reason: str) -> None:
+            result.truncated = True
+            result.truncation_reason = reason
+            while heap:
+                _r, _s, _d, node, _fu, _gu = heapq.heappop(heap)
+                result.unvisited.append(engine.trace(node))
+            if tracing:
+                tracer.event(
+                    "solver.truncate", category="solver",
+                    track="solver", reason=reason,
+                    parked=len(result.unvisited))
+
+        if resume_from is None:
+            node, fu = engine.root()
+            push(node, fu, 0)
+        else:
+            checkpoint = self._coerce_checkpoint(resume_from)
+            self._validate_checkpoint(checkpoint, max_depth)
+            seeds = engine.seeds(checkpoint, result)
+            explored = checkpoint.nodes_explored
+            if not seeds:
+                result.nodes_explored = explored
+                return result
+            for depth, node, fu in seeds:
+                push(node, fu, depth)
+        session = 0
+        with tracer.span("solver.explore", category="solver",
+                         track="solver", depth=max_depth,
+                         max_nodes=max_nodes,
+                         resumed=resume_from is not None,
+                         limit_depth=self.limit_depth) as root:
+            while heap:
+                reason = ""
+                if session >= max_nodes:
+                    reason = (f"node budget ({max_nodes}) "
+                              f"exhausted at depth {heap[0][2]}")
+                elif deadline is not None and \
+                        time.monotonic() > deadline:
+                    reason = (f"wall-clock budget "
+                              f"({budget_seconds}s) exhausted "
+                              f"at depth {heap[0][2]}")
+                if reason:
+                    park(reason)
+                    break
+                _rank, _s, depth, node, fu, gu = heapq.heappop(heap)
+                explored += 1
+                session += 1
+                if profile is not None:
+                    profile.bump(label + ".popped")
+                entry = entry_of(node)
+                limit = limit_of(node, fu, gu, entry)
+                trace = engine.trace(node)
+                if depth < max_depth:
+                    kids = [(engine.child(node, edge), fv)
+                            for edge, fv in
+                            edges_of(node, fu, gu, entry)]
+                else:
+                    kids = None
+                if limit:
+                    result.finite_solutions.append(trace)
+                    if tracing:
+                        tracer.event(
+                            "solver.accept", category="solver",
+                            track="solver", node=repr(trace),
+                            depth=depth)
+                if kids is None:
+                    # at the bound: frontier if extendable
+                    if ext_of(node, fu, gu, entry):
+                        result.frontier.append(trace)
+                    elif not limit:
+                        result.dead_ends.append(trace)
+                else:
+                    if not kids and not limit:
+                        result.dead_ends.append(trace)
+                        if tracing:
+                            tracer.event(
+                                "solver.dead_end", category="solver",
+                                track="solver", node=repr(trace),
+                                depth=depth)
+                    for cnode, fv in kids:
+                        push(cnode, fv, depth + 1)
+                if limit and watch is not None:
+                    stop = watch(trace)
+                    if stop:
+                        park(stop)
+                        break
+            result.nodes_explored = explored
+            if tracing:
+                metrics.counter("solver.nodes_expanded").inc(session)
+                metrics.counter("solver.finite_solutions").inc(
+                    len(result.finite_solutions))
+                metrics.counter("solver.dead_ends").inc(
+                    len(result.dead_ends))
+                metrics.gauge("solver.frontier_size").set(
+                    len(result.frontier))
+                root.annotate(nodes=explored,
+                              solutions=len(result.finite_solutions),
+                              truncated=result.truncated)
+        return self._finish_run(result, cache_key, metrics, profile,
+                                tracing)
+
+    def _explore_deepening(self, engine, result: SolverResult,
+                           max_depth: int, max_nodes: int,
+                           budget_seconds: Optional[float],
+                           deadline: Optional[float],
+                           resume_from: Optional[object],
+                           metrics: Optional[MetricsRegistry],
+                           profile: Optional[object],
+                           cache_key: Optional[dict],
+                           watch: Optional[Callable[[Trace], str]]
+                           ) -> SolverResult:
+        """Iterative deepening over either engine.
+
+        Iteration ``L`` walks depth-first from the persistent seeds
+        (the root, or a checkpoint's parked nodes) and *goal-tests* —
+        evaluates ``g``, checks the limit condition, classifies,
+        counts — exactly the nodes at depth ``L``; shallower nodes are
+        re-expanded as interior rework (uncounted, so
+        ``nodes_explored`` equals the BFS count and completed-run
+        digests match BFS exactly).  The memory footprint is one DFS
+        stack instead of a whole BFS level.
+
+        A budget truncation parks the DFS residue plus this
+        iteration's already-tested still-extendable nodes; the latter
+        are marked in ``strategy_meta["tested"]`` (with the iteration
+        number) so a resume — which must itself use
+        iterative-deepening, enforced at checkpoint validation —
+        treats them as interior-only and never re-classifies them.
+        Checkpoints parked by BFS/best-first carry only untested
+        nodes, so this loop resumes them from their shallowest depth.
+        """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        memo: Optional[dict] = {} if self.dedup else None
+        explored = 0
+
+        def entry_of(node) -> Optional[dict]:
+            if memo is None:
+                return None
+            key = engine.env_key(node)
+            if key is None:
+                return None
+            entry = memo.get(key)
+            if entry is None:
+                entry = {}
+                try:
+                    memo[key] = entry
+                except TypeError:
+                    return None
+                if profile is not None:
+                    profile.bump("dedup.states")
+            return entry
+
+        def g_of(node, entry):
+            if entry is not None and "g" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["g"]
+            gu = engine.g(node)
+            if entry is not None:
+                entry["g"] = gu
+            return gu
+
+        def edges_of(node, fu, gu, entry):
+            if entry is not None and "edges" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["edges"]
+            edges = engine.edges(node, fu, gu)
+            if entry is not None:
+                entry["edges"] = edges
+            return edges
+
+        def limit_of(node, fu, gu, entry):
+            if entry is not None and "limit" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["limit"]
+            limit = engine.limit(node, fu, gu)
+            if entry is not None:
+                entry["limit"] = limit
+            return limit
+
+        def ext_of(node, fu, gu, entry):
+            if entry is not None and "ext" in entry:
+                if profile is not None:
+                    profile.bump("dedup.hits")
+                return entry["ext"]
+            ext = engine.extendable(node, fu, gu)
+            if entry is not None:
+                entry["ext"] = ext
+            return ext
+
+        # persistent seeds: (depth, node, fu, tested); each iteration
+        # restarts its DFS from here (classic deepening rework)
+        if resume_from is None:
+            node, fu = engine.root()
+            seeds = [(0, node, fu, False)]
+            start_iteration = 0
+        else:
+            checkpoint = self._coerce_checkpoint(resume_from)
+            self._validate_checkpoint(checkpoint, max_depth)
+            tested_keys = {
+                tuple(tuple(e) for e in key)
+                for key in checkpoint.meta.get("tested", [])}
+            raw = engine.seeds(checkpoint, result)
+            explored = checkpoint.nodes_explored
+            if not raw:
+                result.nodes_explored = explored
+                return result
+            seeds = []
+            for depth, node, fu in raw:
+                key = tuple(tuple(e) for e in
+                            _trace_key(engine.trace(node)))
+                seeds.append((depth, node, fu, key in tested_keys))
+            start_iteration = int(checkpoint.meta.get(
+                "iteration", min(d for d, _n, _f, _t in seeds)))
+        session = 0
+        with tracer.span("solver.explore", category="solver",
+                         track="solver", depth=max_depth,
+                         max_nodes=max_nodes,
+                         resumed=resume_from is not None,
+                         limit_depth=self.limit_depth) as root:
+            for iteration in range(start_iteration, max_depth + 1):
+                goal_tested = 0
+                alive: list = []      # tested this iteration, extendable
+                held: list = []       # seeds sitting this iteration out
+                stack: list = []
+                for sd in seeds:
+                    d, node, fu, tested = sd
+                    if d > iteration or (tested and d == iteration):
+                        held.append(sd)
+                    else:
+                        stack.append((d, node, fu))
+                stack.reverse()
+
+                def park(reason: str) -> None:
+                    result.truncated = True
+                    result.truncation_reason = reason
+                    tested_marks: list = []
+                    for d, node, fu in stack:
+                        result.unvisited.append(engine.trace(node))
+                    for d, node, fu in alive:
+                        trace = engine.trace(node)
+                        result.unvisited.append(trace)
+                        tested_marks.append(_trace_key(trace))
+                    for d, node, fu, tested in held:
+                        trace = engine.trace(node)
+                        result.unvisited.append(trace)
+                        if tested:
+                            tested_marks.append(_trace_key(trace))
+                    result.strategy_meta = {
+                        "strategy": "iterative-deepening",
+                        "iteration": iteration,
+                        "tested": tested_marks,
+                    }
+                    if tracing:
+                        tracer.event(
+                            "solver.truncate", category="solver",
+                            track="solver", reason=reason,
+                            parked=len(result.unvisited))
+
+                truncated = False
+                while stack:
+                    d, node, fu = stack.pop()
+                    entry = entry_of(node)
+                    if d < iteration:
+                        # interior rework: re-derive the children on
+                        # the way down to this iteration's depth
+                        gu = g_of(node, entry)
+                        kids = [(engine.child(node, edge), fv)
+                                for edge, fv in
+                                edges_of(node, fu, gu, entry)]
+                        if profile is not None:
+                            profile.bump(
+                                "strategy.iterative-deepening.rework")
+                        for cnode, fv in reversed(kids):
+                            stack.append((d + 1, cnode, fv))
+                        continue
+                    reason = ""
+                    if session >= max_nodes:
+                        reason = (f"node budget ({max_nodes}) "
+                                  f"exhausted at depth {iteration}")
+                    elif deadline is not None and \
+                            time.monotonic() > deadline:
+                        reason = (f"wall-clock budget "
+                                  f"({budget_seconds}s) exhausted "
+                                  f"at depth {iteration}")
+                    if reason:
+                        stack.append((d, node, fu))
+                        park(reason)
+                        truncated = True
+                        break
+                    explored += 1
+                    session += 1
+                    goal_tested += 1
+                    gu = g_of(node, entry)
+                    limit = limit_of(node, fu, gu, entry)
+                    trace = engine.trace(node)
+                    if limit:
+                        result.finite_solutions.append(trace)
+                        if tracing:
+                            tracer.event(
+                                "solver.accept", category="solver",
+                                track="solver", node=repr(trace),
+                                depth=d)
+                    if iteration < max_depth:
+                        kids = edges_of(node, fu, gu, entry)
+                        if kids:
+                            alive.append((d, node, fu))
+                        elif not limit:
+                            result.dead_ends.append(trace)
+                            if tracing:
+                                tracer.event(
+                                    "solver.dead_end",
+                                    category="solver", track="solver",
+                                    node=repr(trace), depth=d)
+                    else:
+                        if ext_of(node, fu, gu, entry):
+                            result.frontier.append(trace)
+                        elif not limit:
+                            result.dead_ends.append(trace)
+                    if limit and watch is not None:
+                        stop = watch(trace)
+                        if stop:
+                            park(stop)
+                            truncated = True
+                            break
+                if truncated:
+                    break
+                if not alive and not held:
+                    # no deeper nodes exist and no seed waits for a
+                    # later iteration: the tree is exhausted
+                    break
+            result.nodes_explored = explored
+            if tracing:
+                metrics.counter("solver.nodes_expanded").inc(session)
+                metrics.counter("solver.finite_solutions").inc(
+                    len(result.finite_solutions))
+                metrics.counter("solver.dead_ends").inc(
+                    len(result.dead_ends))
+                metrics.gauge("solver.frontier_size").set(
+                    len(result.frontier))
+                root.annotate(nodes=explored,
+                              solutions=len(result.finite_solutions),
+                              truncated=result.truncated)
+        return self._finish_run(result, cache_key, metrics, profile,
+                                tracing)
 
     # -- compiled engine ------------------------------------------------------
 
@@ -1046,6 +1713,16 @@ class SmoothSolutionSolver:
                 f"checkpoint is of description "
                 f"{checkpoint.description!r}, this solver explores "
                 f"{mine!r}")
+        parked_by = checkpoint.meta.get("strategy", "")
+        if parked_by == "iterative-deepening" and \
+                self.strategy != "iterative-deepening":
+            # a deepening checkpoint parks nodes whose limit condition
+            # was already checked (marked in meta); any other strategy
+            # would re-classify them and double-count
+            raise ValueError(
+                "checkpoint was parked by an iterative-deepening "
+                f"exploration and must be resumed with it (this "
+                f"solver uses strategy {self.strategy!r})")
 
     def _resume_seeds(self, checkpoint, result: SolverResult
                       ) -> dict[int, list[tuple[Trace, object]]]:
@@ -1207,13 +1884,391 @@ class SmoothSolutionSolver:
 
         yield from go(Trace.empty(), 0)
 
+    # -- queries --------------------------------------------------------------
+
+    def query(self, predicate, max_depth: int, mode: str = "exists",
+              max_nodes: int = 200_000,
+              budget_seconds: Optional[float] = None,
+              resume_from: Optional[object] = None) -> QueryResult:
+        """Ask a question about the finite smooth solutions instead of
+        enumerating them.
+
+        ``mode="exists"``: does some finite smooth solution within
+        ``max_depth`` satisfy ``predicate``?  ``mode="all"``: do they
+        all?  The exploration short-circuits the moment the question
+        is settled — at the first satisfying solution (``exists``) or
+        the first violating one (``all``) — so with a solution-seeking
+        strategy (best-first + rhs-distance) the answer typically
+        costs a fraction of the full enumeration's node budget.  On
+        complete runs the answer provably agrees with
+        enumerate-then-filter: the watch only reorders *when* the
+        search stops, never which nodes are solutions (pinned by
+        ``tests/core/test_query.py``).
+
+        ``predicate`` is a ``Trace -> bool`` callable or the textual
+        form :func:`repro.core.search.parse_predicate` understands.
+        Returns a :class:`~repro.core.search.QueryResult`; ``holds``
+        is ``None`` when a resource guard fired before the question
+        was settled.  A positive ``exists`` / negative ``all`` answer
+        ships the settling trace plus its replayable
+        :meth:`witness_schedule` certificate.
+        """
+        if isinstance(predicate, str):
+            predicate = parse_predicate(predicate)
+        if mode not in ("exists", "all"):
+            raise ValueError(
+                f"unknown query mode {mode!r}; known: exists, all")
+        source = (getattr(predicate, "source", None)
+                  or getattr(predicate, "__name__", None)
+                  or repr(predicate))
+        found: list[Trace] = []
+
+        if mode == "exists":
+            def watch(trace: Trace) -> str:
+                if predicate(trace):
+                    found.append(trace)
+                    return "query: witness found (exists)"
+                return ""
+        else:
+            def watch(trace: Trace) -> str:
+                if not predicate(trace):
+                    found.append(trace)
+                    return "query: counterexample found (all)"
+                return ""
+
+        result = self.explore(max_depth, max_nodes=max_nodes,
+                              budget_seconds=budget_seconds,
+                              resume_from=resume_from, _watch=watch)
+        witness = found[0] if found else None
+        if witness is None:
+            # a cache hit (or a checkpoint of a completed run) never
+            # ran the watch: settle from the enumerated solutions
+            for trace in result.finite_solutions:
+                if predicate(trace) == (mode == "exists"):
+                    witness = trace
+                    break
+        if witness is not None:
+            holds: Optional[bool] = (mode == "exists")
+        elif result.truncated:
+            holds = None
+        else:
+            holds = (mode == "all")
+        certificate = (self.witness_schedule(witness)
+                       if witness is not None else None)
+        return QueryResult(
+            mode=mode, predicate=source, holds=holds,
+            witness=witness, certificate=certificate,
+            nodes_explored=result.nodes_explored,
+            strategy=self.strategy, result=result,
+            meta={"short_circuited":
+                  result.truncation_reason.startswith("query")},
+        )
+
+
+class _ReferenceEngine:
+    """Strategy-loop adapter over the reference representation.
+
+    Nodes are live :class:`Trace` objects; values are whatever the
+    description's sides produce.  All evaluation is attributed to the
+    same profile sites as the legacy loops (``rhs.apply``,
+    ``limit_report``, ``lhs.apply.expand``/``probe``/``root``), so the
+    memo-discipline pins in ``tests/core/test_solver_memo.py`` apply
+    unchanged.
+    """
+
+    __slots__ = ("solver", "metrics", "profile", "names", "_name_set")
+
+    def __init__(self, solver: "SmoothSolutionSolver", metrics,
+                 profile) -> None:
+        self.solver = solver
+        self.metrics = metrics
+        self.profile = profile
+        self.names = tuple(c.name
+                           for c in solver._channel_universe())
+        self._name_set = frozenset(self.names)
+
+    def root(self):
+        solver = self.solver
+        trace = Trace.empty()
+        if self.profile is not None:
+            t0 = time.perf_counter_ns()
+            fu = solver.description.lhs.apply(trace)
+            self.profile.add("lhs.apply.root",
+                             time.perf_counter_ns() - t0)
+        else:
+            fu = solver.description.lhs.apply(trace)
+        return trace, fu
+
+    def g(self, node: Trace):
+        solver = self.solver
+        if self.profile is not None:
+            t0 = time.perf_counter_ns()
+            gu = solver.description.rhs.apply(node)
+            self.profile.add("rhs.apply",
+                             time.perf_counter_ns() - t0)
+            return gu
+        return solver.description.rhs.apply(node)
+
+    def limit(self, node: Trace, fu, gu) -> bool:
+        solver = self.solver
+        if self.profile is not None:
+            t0 = time.perf_counter_ns()
+            holds = solver.description.limit_report(
+                node, solver.limit_depth,
+                lhs_value=fu, rhs_value=gu).holds
+            self.profile.add("limit_report",
+                             time.perf_counter_ns() - t0)
+            return holds
+        return solver.description.limit_report(
+            node, solver.limit_depth,
+            lhs_value=fu, rhs_value=gu).holds
+
+    def edges(self, node: Trace, fu, gu) -> list:
+        """The admissible extensions as ``(event, f(v))`` pairs —
+        node-independent given the per-channel projection, which is
+        what makes them memoizable under dedup."""
+        solver = self.solver
+        f = solver.description.lhs
+        profile = self.profile
+        t0 = (time.perf_counter_ns() if profile is not None else 0)
+        events = solver._candidate_events(node, gu)
+        out: list = []
+        pruned = 0
+        for event in events:
+            v = node.append(event)
+            fv = f.apply(v)
+            if solver.description._leq(fv, gu, solver.limit_depth):
+                out.append((event, fv))
+            else:
+                pruned += 1
+                if self.metrics is not None:
+                    solver.tracer.event(
+                        "solver.prune", category="solver",
+                        track="solver", node=repr(node),
+                        candidate=repr(event), reason="f(v) ⋢ g(u)")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "solver.candidates_proposed").inc(len(events))
+            self.metrics.counter(
+                "solver.candidates_pruned").inc(pruned)
+            self.metrics.histogram(
+                "solver.branching").record(len(out))
+        if profile is not None:
+            profile.add("lhs.apply.expand",
+                        time.perf_counter_ns() - t0,
+                        calls=len(events))
+            profile.note("proposed", len(events))
+            profile.note("pruned", pruned)
+        return out
+
+    def child(self, node: Trace, edge) -> Trace:
+        return node.append(edge)
+
+    def extendable(self, node: Trace, fu, gu) -> bool:
+        return self.solver._extendable(node, gu, self.profile)
+
+    def trace(self, node: Trace) -> Trace:
+        return node
+
+    def env_key(self, node: Trace):
+        """The per-channel projection of the trace — the paper's
+        ``b(t)`` — as a hashable key; ``None`` when some message is
+        unhashable (that node just skips the memo)."""
+        per: dict = {}
+        for e in node:
+            per.setdefault(e.channel.name, []).append(e.message)
+        extra = sorted(n for n in per if n not in self._name_set)
+        key = (tuple(tuple(per.get(n, ())) for n in self.names)
+               + tuple((n, tuple(per[n])) for n in extra))
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def f_lens(self, value) -> tuple:
+        return component_lengths(value)
+
+    def g_lens(self, value) -> tuple:
+        return component_lengths(value)
+
+    def counts(self, node: Trace) -> tuple:
+        per = {n: 0 for n in self.names}
+        for e in node:
+            per[e.channel.name] = per.get(e.channel.name, 0) + 1
+        return tuple(per[n] for n in sorted(per))
+
+    def seeds(self, checkpoint, result: SolverResult) -> list:
+        pending = self.solver._resume_seeds(checkpoint, result)
+        out = []
+        for depth in sorted(pending):
+            for u, fu in pending[depth]:
+                out.append((depth, u, fu))
+        return out
+
+
+class _CompiledEngine:
+    """Strategy-loop adapter over the packed representation.
+
+    Nodes are ``(packed, env)`` pairs — the interned trace and its
+    per-channel message environment; values are the compiled sides'
+    flat tuples.  The environment *is* the per-channel projection, so
+    it doubles as the dedup key with no extra work.  Feature values
+    (lengths, counts) land on the same integers as the reference
+    engine's, which keeps pop order — and therefore even truncated
+    best-first runs — identical across engines.
+    """
+
+    __slots__ = ("solver", "compiled", "metrics", "profile", "table",
+                 "lhs", "rhs", "leq", "lhs_after", "acts")
+
+    def __init__(self, solver: "SmoothSolutionSolver", compiled,
+                 metrics, profile) -> None:
+        self.solver = solver
+        self.compiled = compiled
+        self.metrics = metrics
+        self.profile = profile
+        self.table = compiled.table
+        self.lhs = compiled.lhs
+        self.rhs = compiled.rhs
+        self.leq = compiled.leq
+        self.lhs_after = compiled.lhs.after
+        self.acts = tuple(
+            (pair, pair[0], self.table.messages[pair[1]], event)
+            for pair, _cid, event in compiled.actions)
+
+    def root(self):
+        env = self.compiled.root_env
+        if self.profile is not None:
+            t0 = time.perf_counter_ns()
+            fu = self.lhs.eval(env)
+            self.profile.add("lhs.apply.root",
+                             time.perf_counter_ns() - t0)
+        else:
+            fu = self.lhs.eval(env)
+        return ((), env), fu
+
+    def g(self, node):
+        env = node[1]
+        if self.profile is not None:
+            t0 = time.perf_counter_ns()
+            gu = self.rhs.eval(env)
+            self.profile.add("rhs.apply",
+                             time.perf_counter_ns() - t0)
+            return gu
+        return self.rhs.eval(env)
+
+    def limit(self, node, fu, gu) -> bool:
+        if self.profile is not None:
+            t0 = time.perf_counter_ns()
+            holds = fu == gu
+            self.profile.add("limit_report",
+                             time.perf_counter_ns() - t0)
+            return holds
+        return fu == gu
+
+    def edges(self, node, fu, gu) -> list:
+        packed, env = node
+        profile = self.profile
+        t0 = (time.perf_counter_ns() if profile is not None else 0)
+        out: list = []
+        pruned = 0
+        leq = self.leq
+        lhs_after = self.lhs_after
+        for pair, acid, msg, event in self.acts:
+            env_v = (env[:acid] + (env[acid] + (msg,),)
+                     + env[acid + 1:])
+            fv = lhs_after[acid](env_v, fu)
+            if leq(fv, gu):
+                out.append(((pair, acid, msg), fv))
+            else:
+                pruned += 1
+                if self.metrics is not None:
+                    self.solver.tracer.event(
+                        "solver.prune", category="solver",
+                        track="solver",
+                        node=repr(self.table.unpack(packed)),
+                        candidate=repr(event), reason="f(v) ⋢ g(u)")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "solver.candidates_proposed").inc(len(self.acts))
+            self.metrics.counter(
+                "solver.candidates_pruned").inc(pruned)
+            self.metrics.histogram(
+                "solver.branching").record(len(out))
+        if profile is not None:
+            profile.add("lhs.apply.expand",
+                        time.perf_counter_ns() - t0,
+                        calls=len(self.acts))
+            profile.note("proposed", len(self.acts))
+            profile.note("pruned", pruned)
+        return out
+
+    def child(self, node, edge):
+        packed, env = node
+        pair, acid, msg = edge
+        env_v = (env[:acid] + (env[acid] + (msg,),)
+                 + env[acid + 1:])
+        return (packed + (pair,), env_v)
+
+    def extendable(self, node, fu, gu) -> bool:
+        _packed, env = node
+        profile = self.profile
+        t0 = (time.perf_counter_ns() if profile is not None else 0)
+        tried = 0
+        hit = False
+        leq = self.leq
+        lhs_after = self.lhs_after
+        for _pair, acid, msg, _event in self.acts:
+            env_v = (env[:acid] + (env[acid] + (msg,),)
+                     + env[acid + 1:])
+            tried += 1
+            if leq(lhs_after[acid](env_v, fu), gu):
+                hit = True
+                break
+        if profile is not None:
+            profile.add("lhs.apply.probe",
+                        time.perf_counter_ns() - t0, calls=tried)
+        return hit
+
+    def trace(self, node) -> Trace:
+        return self.table.unpack(node[0])
+
+    def env_key(self, node):
+        return node[1]
+
+    def f_lens(self, value) -> tuple:
+        if self.lhs.is_product:
+            return tuple(len(c) for c in value)
+        return (len(value),)
+
+    def g_lens(self, value) -> tuple:
+        if self.rhs.is_product:
+            return tuple(len(c) for c in value)
+        return (len(value),)
+
+    def counts(self, node) -> tuple:
+        return tuple(len(msgs) for msgs in node[1])
+
+    def seeds(self, checkpoint, result: SolverResult) -> list:
+        pending = self.solver._resume_seeds_packed(
+            checkpoint, result, self.compiled)
+        out = []
+        for depth in sorted(pending):
+            for packed, env, fu, _pgu, _cid in pending[depth]:
+                out.append((depth, (packed, env), fu))
+        return out
+
 
 def solve(description: Description, channels: Iterable[Channel],
           max_depth: int,
           limit_depth: int = DEFAULT_DEPTH,
           tracer: Optional[Tracer] = None,
           cache: Optional[object] = None,
-          compiled: Optional[bool] = None) -> SolverResult:
+          compiled: Optional[bool] = None,
+          strategy: str = "bfs",
+          heuristic: str = "rhs-distance",
+          dedup: bool = False) -> SolverResult:
     """One-call convenience: explore over the channels' alphabets.
 
     With ``cache`` (a :class:`repro.cache.CacheStore`), the
@@ -1223,12 +2278,47 @@ def solve(description: Description, channels: Iterable[Channel],
     computed one.  ``compiled`` selects the exploration engine (see
     :class:`SmoothSolutionSolver`): ``None`` auto-detects, ``False``
     forces the reference path, ``True`` demands the compiled one.
+    ``strategy`` / ``heuristic`` / ``dedup`` select the exploration
+    order (see :mod:`repro.core.search`); every strategy finds the
+    same solution set wherever it completes.
     """
     solver = SmoothSolutionSolver.over_channels(
         description, channels, limit_depth=limit_depth, tracer=tracer,
-        cache=cache, compiled=compiled
+        cache=cache, compiled=compiled, strategy=strategy,
+        heuristic=heuristic, dedup=dedup
     )
     return solver.explore(max_depth)
+
+
+def solve_query(description: Description,
+                channels: Iterable[Channel],
+                predicate, max_depth: int, mode: str = "exists",
+                limit_depth: int = DEFAULT_DEPTH,
+                max_nodes: int = 200_000,
+                budget_seconds: Optional[float] = None,
+                tracer: Optional[Tracer] = None,
+                cache: Optional[object] = None,
+                compiled: Optional[bool] = None,
+                strategy: str = "best-first",
+                heuristic: str = "rhs-distance",
+                dedup: bool = False) -> "QueryResult":
+    """One-call query: "does a finite smooth solution matching
+    ``predicate`` exist within ``max_depth``?" (``mode="exists"``) or
+    "do all of them match?" (``mode="all"``) — short-circuiting at the
+    first witness / counterexample instead of enumerating the full
+    solution set.  See :meth:`SmoothSolutionSolver.query`.  Defaults
+    to best-first exploration under the rhs-distance heuristic, which
+    pops solution-shaped nodes first — the combination the EXT-SEARCH
+    benchmark pins as expanding measurably fewer nodes than ``solve``.
+    """
+    solver = SmoothSolutionSolver.over_channels(
+        description, channels, limit_depth=limit_depth, tracer=tracer,
+        cache=cache, compiled=compiled, strategy=strategy,
+        heuristic=heuristic, dedup=dedup
+    )
+    return solver.query(predicate, max_depth, mode=mode,
+                        max_nodes=max_nodes,
+                        budget_seconds=budget_seconds)
 
 
 def rhs_guided_candidates(channels: Iterable[Channel],
@@ -1247,14 +2337,19 @@ def rhs_guided_candidates(channels: Iterable[Channel],
     """
     channel_list = sorted(channels)
 
-    def candidates(u: Trace) -> Iterable[Event]:
-        gu = description.rhs.apply(u)
+    def candidates(u: Trace, gu: object = None) -> Iterable[Event]:
+        # ``explore`` computed g(u) for this exact node already (the
+        # one-g-per-node discipline); only standalone callers pay for
+        # a fresh evaluation
+        if gu is None:
+            gu = description.rhs.apply(u)
         messages = _flatten_messages(gu, probe_depth)
         for c in channel_list:
             for m in messages:
                 if c.admits(m):
                     yield Event(c, m)
 
+    candidates.accepts_gu = True
     candidates.cache_key = {
         "kind": "rhs-guided",
         "channels": [c.name for c in channel_list],
@@ -1286,16 +2381,23 @@ def _flatten_messages(value: object, probe_depth: int) -> list:
 
 
 def _dedup(items: list) -> list:
+    """Order-preserving dedup on ``(type, value)`` identity.
+
+    Plain hash equality would collapse ``True``/``1``/``1.0`` into one
+    candidate message (they are equal and hash alike), silently
+    shrinking the proposed event set for mixed-type alphabets; keying
+    on the concrete type keeps distinct messages distinct.
+    """
     seen = set()
     result = []
     for x in items:
         try:
-            key = x
+            key = (type(x), x)
             if key in seen:
                 continue
             seen.add(key)
         except TypeError:
-            if x in result:
+            if any(type(y) is type(x) and y == x for y in result):
                 continue
         result.append(x)
     return result

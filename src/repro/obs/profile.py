@@ -35,12 +35,15 @@ class SolverProfile:
     """Per-site counters/timers and a per-level series for one
     exploration.  Mutated on the solver's traced path only."""
 
-    __slots__ = ("sites", "levels", "_pending")
+    __slots__ = ("sites", "levels", "counters", "_pending")
 
     def __init__(self) -> None:
         #: site -> [calls, ns]
         self.sites: Dict[str, List[int]] = {}
         self.levels: List[Dict[str, int]] = []
+        #: untimed event counters (strategy pushes/pops, dedup hits,
+        #: deepening rework) — deterministic, like the site call counts
+        self.counters: Dict[str, int] = {}
         self._pending: Dict[str, int] = {}
 
     def add(self, site: str, ns: int, calls: int = 1) -> None:
@@ -50,6 +53,11 @@ class SolverProfile:
         else:
             entry[0] += calls
             entry[1] += ns
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Count an untimed strategy event (heap push/pop, dedup hit,
+        deepening rework, …)."""
+        self.counters[name] = self.counters.get(name, 0) + n
 
     def note(self, key: str, n: int = 1) -> None:
         """Accumulate a per-level counter (folded by :meth:`end_level`)."""
@@ -83,6 +91,7 @@ class SolverProfile:
             "sites": {name: {"calls": calls, "ns": ns}
                       for name, (calls, ns) in self.sites.items()},
             "levels": list(self.levels),
+            "counters": dict(self.counters),
             "total_ns": total_ns,
             "f_evaluations": self.f_evaluations(),
             "g_evaluations": self.g_evaluations(),
@@ -94,6 +103,8 @@ class SolverProfile:
         for name, (calls, ns) in self.sites.items():
             registry.counter(f"solver.site.{name}.calls").inc(calls)
             registry.counter(f"solver.site.{name}.ns").inc(ns)
+        for name, n in self.counters.items():
+            registry.counter(f"solver.{name}").inc(n)
 
 
 def hotspots(profile_summary: Optional[Dict[str, Any]]

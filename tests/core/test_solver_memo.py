@@ -226,6 +226,59 @@ class TestResumeEvaluationCounts:
         assert warm_desc.rhs.calls == 0
 
 
+class TestRhsGuidedCandidates:
+    """The generator protocol extension of the memo discipline.
+
+    ``rhs_guided_candidates`` needs ``g(u)`` to propose events;
+    ``explore`` has already evaluated it for that exact node.  The
+    generator publishes ``accepts_gu`` and receives the value, so the
+    documented "g exactly once per node" bound holds for rhs-guided
+    runs too (it used to double every ``rhs.apply``).
+    """
+
+    def guided_solver(self, desc):
+        from repro.core.solver import rhs_guided_candidates
+
+        return SmoothSolutionSolver(
+            desc, rhs_guided_candidates([B, C, D], desc))
+
+    def test_g_evaluated_exactly_once_per_node(self):
+        desc = counting_dfm()
+        result = self.guided_solver(desc).explore(3)
+        assert desc.rhs.calls == result.nodes_explored
+
+    def test_standalone_calls_still_work_without_gu(self):
+        from repro.core.solver import rhs_guided_candidates
+
+        desc = counting_dfm()
+        gen = rhs_guided_candidates([B, C, D], desc)
+        assert gen.accepts_gu
+        before = desc.rhs.calls
+        events = list(gen(Trace.empty()))
+        assert desc.rhs.calls == before + 1  # computed its own g
+        gu = desc.rhs.apply(Trace.empty())
+        assert list(gen(Trace.empty(), gu)) == events
+
+    def test_digest_unchanged_by_the_protocol(self):
+        desc = counting_dfm()
+        threaded = self.guided_solver(desc).explore(3)
+
+        # a legacy-style generator without accepts_gu: same events,
+        # own g evaluation per call
+        from repro.core.solver import rhs_guided_candidates
+
+        desc2 = counting_dfm()
+        inner = rhs_guided_candidates([B, C, D], desc2)
+
+        def legacy(u):
+            return inner(u)
+
+        legacy.cache_key = inner.cache_key
+        unthreaded = SmoothSolutionSolver(desc2, legacy).explore(3)
+        assert threaded.digest() == unthreaded.digest()
+        assert desc.rhs.calls < desc2.rhs.calls
+
+
 class TestLimitReportPrecomputed:
     def test_precomputed_values_match_fresh_evaluation(self):
         desc = counting_dfm()

@@ -145,6 +145,60 @@ class TestAlternatingBitResume:
         assert resumed.digest() == straight.digest()
 
 
+class TestPerStrategyResume:
+    """PR 5 pinned truncate-then-resume for the BFS loop; the strategy
+    layer extends the invariant to every exploration order, including
+    iterative deepening's mid-iteration parking (which carries extra
+    ``meta`` state marking already-goal-tested nodes)."""
+
+    @pytest.mark.parametrize(
+        "strategy", ["bfs", "best-first", "iterative-deepening"])
+    @pytest.mark.parametrize("budget", [1, 7, 40, 200, 696])
+    def test_truncate_resume_digest_equals_straight_run(
+            self, strategy, budget):
+        straight = dfm_solver().explore(DFM_DEPTH)
+
+        def solver():
+            return SmoothSolutionSolver.over_channels(
+                dfm_solver().description, [B, C, D],
+                strategy=strategy)
+
+        partial = solver().explore(DFM_DEPTH, max_nodes=budget)
+        assert partial.truncated
+        ckpt = SolverCheckpoint.from_json(
+            partial.checkpoint().to_json())
+        resumed = solver().explore(DFM_DEPTH, resume_from=ckpt)
+        assert not resumed.truncated
+        assert resumed.digest() == straight.digest()
+        assert resumed.nodes_explored == straight.nodes_explored
+
+    def test_deepening_meta_survives_json_round_trip(self):
+        solver = SmoothSolutionSolver.over_channels(
+            dfm_solver().description, [B, C, D],
+            strategy="iterative-deepening")
+        partial = solver.explore(DFM_DEPTH, max_nodes=100)
+        assert partial.truncated
+        doc = partial.checkpoint().to_dict()
+        assert doc["meta"]["strategy"] == "iterative-deepening"
+        assert isinstance(doc["meta"]["iteration"], int)
+        # tested marks are plain trace keys, like every other bucket
+        for key in doc["meta"]["tested"]:
+            for step in key:
+                assert len(step) == 2
+
+    def test_meta_stays_out_of_the_checkpoint_digest(self):
+        # two checkpoints of the same parked set must stay
+        # digest-comparable even though one carries strategy meta
+        solver = SmoothSolutionSolver.over_channels(
+            dfm_solver().description, [B, C, D],
+            strategy="iterative-deepening")
+        partial = solver.explore(DFM_DEPTH, max_nodes=100)
+        ckpt = partial.checkpoint()
+        stripped = SolverCheckpoint.from_dict(ckpt.to_dict())
+        stripped.meta = {}
+        assert stripped.digest() == ckpt.digest()
+
+
 class TestResumeValidation:
     def test_wrong_depth_rejected(self):
         partial = dfm_solver().explore(DFM_DEPTH, max_nodes=10)
